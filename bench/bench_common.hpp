@@ -1,0 +1,82 @@
+// Shared scaffolding for the per-figure benchmark binaries.
+//
+// Every binary regenerates one table/figure of the paper: it prints the
+// series as an aligned table (annotated with the paper's qualitative
+// expectation) and drops a CSV next to it, mirroring the artifact's data/
+// layout. Binaries take no required arguments so `for b in build/bench/*`
+// reproduces the full evaluation.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/cluster/placement.hpp"
+#include "gpucomm/comm/ccl/ccl_comm.hpp"
+#include "gpucomm/comm/devcopy.hpp"
+#include "gpucomm/comm/mpi/mpi_comm.hpp"
+#include "gpucomm/comm/staging.hpp"
+#include "gpucomm/harness/runner.hpp"
+#include "gpucomm/harness/table.hpp"
+#include "gpucomm/systems/registry.hpp"
+
+namespace gpucomm::bench {
+
+/// Directory for CSV output (artifact-style data/ folder). Override with
+/// GPUCOMM_DATA_DIR; creation failures degrade to printing only.
+inline std::string data_dir() {
+  const char* env = std::getenv("GPUCOMM_DATA_DIR");
+  std::string dir = env != nullptr ? env : "data";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+inline void emit(const Table& table, const std::string& csv_name) {
+  table.print(std::cout);
+  const std::string path = data_dir() + "/" + csv_name;
+  table.write_csv(path);
+  std::cout << "\n[csv] " << path << "\n";
+  // Artifact parity: data/description.csv records every produced file
+  // (the original artifact keeps run metadata the same way).
+  std::ofstream desc(data_dir() + "/description.csv", std::ios::app);
+  if (desc) desc << csv_name << "," << table.rows() << " rows\n";
+}
+
+inline void header(const std::string& figure, const std::string& description) {
+  std::cout << "\n================================================================\n"
+            << figure << " — " << description << "\n"
+            << "================================================================\n";
+}
+
+/// Construct the requested mechanism over `gpus`.
+inline std::unique_ptr<Communicator> make_comm(Mechanism m, Cluster& cluster,
+                                               std::vector<int> gpus, CommOptions opt) {
+  switch (m) {
+    case Mechanism::kStaging:
+      return std::make_unique<StagingComm>(cluster, std::move(gpus), std::move(opt));
+    case Mechanism::kDeviceCopy:
+      return std::make_unique<DeviceCopyComm>(cluster, std::move(gpus), std::move(opt));
+    case Mechanism::kCcl:
+      return std::make_unique<CclComm>(cluster, std::move(gpus), std::move(opt));
+    case Mechanism::kMpi:
+      return std::make_unique<MpiComm>(cluster, std::move(gpus), std::move(opt));
+  }
+  return nullptr;
+}
+
+/// The standard message-size sweep (powers of four from 1 B to 1 GiB).
+inline std::vector<Bytes> size_sweep() {
+  std::vector<Bytes> sizes;
+  for (Bytes b = 1; b <= 1_GiB; b *= 4) sizes.push_back(b);
+  if (sizes.back() != 1_GiB) sizes.push_back(1_GiB);
+  return sizes;
+}
+
+}  // namespace gpucomm::bench

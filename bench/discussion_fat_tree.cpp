@@ -1,0 +1,73 @@
+// Sec. VIII what-if: the paper argues its conclusions transfer to fat-tree
+// systems, with (i) slightly higher latency from the larger diameter and
+// (ii) different routing/noise characteristics. This bench swaps Leonardo's
+// Dragonfly+ for a three-level fat tree and re-runs the distance and
+// library-comparison probes.
+#include "bench_common.hpp"
+
+using namespace gpucomm;
+using namespace gpucomm::bench;
+
+namespace {
+
+SystemConfig leonardo_fat_tree() {
+  SystemConfig cfg = leonardo_config();
+  cfg.name = "leonardo-fattree";
+  cfg.fabric.kind = FabricKind::kFatTree;
+  cfg.fabric.fat_tree.pods = 8;
+  cfg.fabric.fat_tree.edges_per_pod = 8;
+  cfg.fabric.fat_tree.aggs_per_pod = 8;
+  cfg.fabric.fat_tree.cores = 64;
+  cfg.noise.production_noise = false;  // topology comparison, drained fabric
+  return cfg;
+}
+
+SystemConfig leonardo_quiet() {
+  SystemConfig cfg = leonardo_config();
+  cfg.noise.production_noise = false;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  header("Sec. VIII", "Leonardo on a fat tree vs its Dragonfly+ (drained fabric)");
+
+  Table t({"fabric", "same_switch_lat_us", "cross_lat_us", "cross_gp_gbps",
+           "allreduce64_gbps", "ccl_over_mpi_a2a"});
+  for (const bool fat : {false, true}) {
+    const SystemConfig cfg = fat ? leonardo_fat_tree() : leonardo_quiet();
+    CommOptions opt;
+    opt.env = cfg.tuned_env();
+
+    // Latency at both extremes of the distance axis.
+    Cluster near(cfg, {.nodes = 2});
+    MpiComm mpi_near(near, {0, 4}, opt);
+    const double lat_near = mpi_near.time_pingpong(0, 1, 1).micros() / 2;
+
+    ClusterOptions spread;
+    spread.nodes = 4;
+    spread.placement = Placement::kScatterGroups;
+    Cluster far(cfg, spread);
+    MpiComm mpi_far(far, {0, 4}, opt);
+    const double lat_far = mpi_far.time_pingpong(0, 1, 1).micros() / 2;
+    const double gp_far =
+        goodput_gbps(1_GiB, SimTime{mpi_far.time_pingpong(0, 1, 1_GiB).ps / 2});
+
+    // Library comparison carries over: *CCL still wins the collectives.
+    Cluster coll(cfg, {.nodes = 16, .placement = Placement::kScatterSwitches});
+    const auto gpus = first_n_gpus(coll, 64);
+    CclComm ccl(coll, gpus, opt);
+    MpiComm mpi(coll, gpus, opt);
+    const double ar = goodput_gbps(1_GiB, ccl.time_allreduce(1_GiB));
+    const double ratio =
+        mpi.time_alltoall(2_MiB).seconds() / ccl.time_alltoall(2_MiB).seconds();
+
+    t.add_row({cfg.name, fmt(lat_near), fmt(lat_far), fmt(gp_far, 1), fmt(ar, 1),
+               fmt(ratio, 2)});
+  }
+  emit(t, "discussion_fat_tree.csv");
+  std::cout << "\n(expected per Sec. VIII: slightly higher cross latency on the fat tree —\n"
+               " 5 switch hops vs 4 — with the library conclusions unchanged)\n";
+  return 0;
+}

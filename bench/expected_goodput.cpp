@@ -1,0 +1,35 @@
+// Sec. IV-A / IV-C analysis: edge forwarding index of every node topology
+// and the derived expected collective goodputs (the dashed lines of
+// Figs. 5 and 6).
+#include "bench_common.hpp"
+#include "gpucomm/topology/forwarding.hpp"
+
+using namespace gpucomm;
+using namespace gpucomm::bench;
+
+int main() {
+  header("Sec. IV-A", "Edge forwarding index and expected intra-node goodput");
+
+  Table t({"system", "fully_connected", "edge_fwd_index", "max_loaded_link",
+           "expected_a2a_gbps", "expected_ar_gbps", "disjoint_rings"});
+  for (const SystemConfig& cfg : all_systems()) {
+    Graph g;
+    const NodeDevices node = build_node(g, cfg.arch, 0);
+    const auto fwd = analyze_forwarding(g, node.gpus, gpu_fabric_options());
+    std::string max_link = "-";
+    if (fwd.max_loaded_link != kInvalidLink) {
+      const Link& l = g.link(fwd.max_loaded_link);
+      max_link = g.device(l.src).label + "->" + g.device(l.dst).label;
+    }
+    const auto rings = disjoint_hamiltonian_cycles(g, node.gpus, gpu_fabric_options());
+    t.add_row({cfg.name, fully_connected(g, node.gpus) ? "yes" : "no",
+               std::to_string(fwd.edge_forwarding_index), max_link,
+               fmt(expected_alltoall_goodput(g, node.gpus, gpu_fabric_options()) / 1e9, 0),
+               fmt(expected_allreduce_goodput(g, node.gpus, gpu_fabric_options()) / 1e9, 0),
+               std::to_string(2 * rings.size())});
+  }
+  emit(t, "expected_goodput.csv");
+  std::cout << "\n(paper: index 1 on Alps/Leonardo, 4 on LUMI's GCD1-GCD5 / GCD3-GCD7;\n"
+               " expected alltoall 3600/2400/600 Gb/s, allreduce 3600/2400/800 Gb/s)\n";
+  return 0;
+}

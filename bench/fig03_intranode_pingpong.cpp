@@ -1,0 +1,46 @@
+// Fig. 3: GPU-GPU unidirectional transfer performance within one node, for
+// the four mechanisms, across message sizes. Reports goodput (Gb/s) for the
+// sweep and runtime (us) for small messages (the inner plots).
+//
+// Expected shape (paper): trivial staging ~1 order of magnitude below the
+// rest; GPU-aware MPI the highest goodput on every system (Obs. 2); small
+// messages: *CCL ~ MPI on Alps, MPI far ahead on Leonardo (GDRCopy) and
+// LUMI (CPU->HBM memcpy) (Sec. III-C).
+#include "bench_common.hpp"
+
+using namespace gpucomm;
+using namespace gpucomm::bench;
+
+int main() {
+  header("Fig. 3", "Intra-node GPU-GPU ping-pong: goodput and small-message runtime");
+
+  for (const SystemConfig& cfg : all_systems()) {
+    Cluster cluster(cfg, {.nodes = 1});
+    CommOptions opt;
+    opt.env = cfg.tuned_env();
+
+    std::cout << "\n--- " << cfg.name << " (nominal pair "
+              << fmt(nominal_pair_goodput(cluster.graph(), cluster.gpu_device(0),
+                                          cluster.gpu_device(1)) / 1e9, 0)
+              << " Gb/s) ---\n";
+
+    std::vector<Mechanism> mechanisms{Mechanism::kStaging, Mechanism::kCcl, Mechanism::kMpi};
+    if (cfg.gpu.peer_access) mechanisms.insert(mechanisms.begin() + 1, Mechanism::kDeviceCopy);
+
+    Table t({"size", "mechanism", "runtime_us", "goodput_gbps"});
+    for (const Bytes b : size_sweep()) {
+      for (const Mechanism m : mechanisms) {
+        auto comm = make_comm(m, cluster, {0, 1}, opt);
+        const RunConfig rc = run_config_for(b);
+        const Samples s = run_iterations(cluster, rc, [&] {
+          return SimTime{comm->time_pingpong(0, 1, b).ps / 2};
+        });
+        const Summary lat = s.summary();
+        const Summary gp = s.goodput_summary(b);
+        t.add_row({format_bytes(b), to_string(m), fmt(lat.median), fmt(gp.median, 1)});
+      }
+    }
+    emit(t, "fig03_" + cfg.name + ".csv");
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 4: unidirectional goodput from GPU 0 on LUMI to every other GPU on
+// the node, for a 1 GiB buffer, with the nominal (best-single-path) line.
+//
+// Expected shape (paper): staging flat across pairs; MPI and device copies
+// ~70% of nominal on every pair; RCCL matches them on direct-link peers
+// (1, 2, 6) but falls to less than half of MPI on two-hop peers (3, 4, 5, 7)
+// — the hop-count bandwidth-estimation defect (Obs. 3).
+#include "bench_common.hpp"
+
+using namespace gpucomm;
+using namespace gpucomm::bench;
+
+int main() {
+  header("Fig. 4", "LUMI: goodput from GPU 0 to each other GCD, 1 GiB buffer");
+
+  const SystemConfig cfg = lumi_config();
+  const Bytes buffer = 1_GiB;
+  Table t({"pair", "nominal_gbps", "staging", "devcopy", "rccl", "mpi"});
+
+  for (int peer = 1; peer < cfg.gpus_per_node; ++peer) {
+    Cluster cluster(cfg, {.nodes = 1});
+    CommOptions opt;
+    opt.env = cfg.tuned_env();
+    const Bandwidth nominal = nominal_pair_goodput(cluster.graph(), cluster.gpu_device(0),
+                                                   cluster.gpu_device(peer));
+    std::vector<std::string> row{"0->" + std::to_string(peer), fmt(nominal / 1e9, 0)};
+    for (const Mechanism m :
+         {Mechanism::kStaging, Mechanism::kDeviceCopy, Mechanism::kCcl, Mechanism::kMpi}) {
+      auto comm = make_comm(m, cluster, {0, peer}, opt);
+      const SimTime t2 = comm->time_pingpong(0, 1, buffer);
+      row.push_back(fmt(goodput_gbps(buffer, SimTime{t2.ps / 2}), 1));
+    }
+    t.add_row(std::move(row));
+  }
+  emit(t, "fig04_lumi_pairs.csv");
+  return 0;
+}

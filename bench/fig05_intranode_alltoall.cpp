@@ -1,0 +1,42 @@
+// Fig. 5: intra-node alltoall performance for the three systems, with the
+// Sec. IV-A expected goodput (edge-forwarding-index analysis) as reference.
+//
+// Expected shape (paper): on Alps and LUMI *CCL wins at large sizes; on
+// Leonardo MPI is slightly ahead; on LUMI MPI is up to 3x faster for small
+// collectives; expected peaks 3.6 Tb/s / 2.4 Tb/s / 600 Gb/s.
+#include "bench_common.hpp"
+#include "gpucomm/scale/scale_model.hpp"
+
+using namespace gpucomm;
+using namespace gpucomm::bench;
+
+int main() {
+  header("Fig. 5", "Intra-node alltoall goodput vs buffer size");
+
+  for (const SystemConfig& cfg : all_systems()) {
+    Cluster cluster(cfg, {.nodes = 1});
+    CommOptions opt;
+    opt.env = cfg.tuned_env();
+    std::vector<int> gpus;
+    for (int i = 0; i < cfg.gpus_per_node; ++i) gpus.push_back(i);
+
+    std::cout << "\n--- " << cfg.name << " (expected peak "
+              << fmt(intra_node_alltoall_peak(cfg) / 1e9, 0) << " Gb/s) ---\n";
+
+    std::vector<Mechanism> mechanisms{Mechanism::kStaging, Mechanism::kCcl, Mechanism::kMpi};
+    if (cfg.gpu.peer_access) mechanisms.insert(mechanisms.begin() + 1, Mechanism::kDeviceCopy);
+
+    Table t({"size", "mechanism", "runtime_us", "goodput_gbps"});
+    for (const Bytes b : size_sweep()) {
+      if (b < static_cast<Bytes>(cfg.gpus_per_node)) continue;  // needs >= 1 B per pair
+      for (const Mechanism m : mechanisms) {
+        auto comm = make_comm(m, cluster, gpus, opt);
+        const SimTime dur = comm->time_alltoall(b);
+        t.add_row({format_bytes(b), to_string(m), fmt(dur.micros()),
+                   fmt(goodput_gbps(b, dur), 1)});
+      }
+    }
+    emit(t, "fig05_" + cfg.name + ".csv");
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Fig. 6: intra-node allreduce performance for the three systems, with the
+// Sec. IV-C expected goodput (tree on fully connected nodes, Rabenseifner
+// over the LUMI ring decomposition) as reference.
+//
+// Expected shape (paper): *CCL beats MPI at every size on Alps and Leonardo;
+// on LUMI MPI wins small, *CCL wins large; Leonardo Open MPI collapses to
+// staging level (host-staged reduction, [34]); LUMI's measured/expected
+// ratio is the closest of the three.
+#include "bench_common.hpp"
+#include "gpucomm/scale/scale_model.hpp"
+
+using namespace gpucomm;
+using namespace gpucomm::bench;
+
+int main() {
+  header("Fig. 6", "Intra-node allreduce goodput vs buffer size");
+
+  for (const SystemConfig& cfg : all_systems()) {
+    Cluster cluster(cfg, {.nodes = 1});
+    CommOptions opt;
+    opt.env = cfg.tuned_env();
+    std::vector<int> gpus;
+    for (int i = 0; i < cfg.gpus_per_node; ++i) gpus.push_back(i);
+
+    std::cout << "\n--- " << cfg.name << " (expected peak "
+              << fmt(intra_node_allreduce_peak(cfg) / 1e9, 0) << " Gb/s) ---\n";
+
+    std::vector<Mechanism> mechanisms{Mechanism::kStaging, Mechanism::kCcl, Mechanism::kMpi};
+    if (cfg.gpu.peer_access) mechanisms.insert(mechanisms.begin() + 1, Mechanism::kDeviceCopy);
+
+    Table t({"size", "mechanism", "runtime_us", "goodput_gbps"});
+    for (const Bytes b : size_sweep()) {
+      if (b < static_cast<Bytes>(cfg.gpus_per_node)) continue;
+      for (const Mechanism m : mechanisms) {
+        auto comm = make_comm(m, cluster, gpus, opt);
+        const SimTime dur = comm->time_allreduce(b);
+        t.add_row({format_bytes(b), to_string(m), fmt(dur.micros()),
+                   fmt(goodput_gbps(b, dur), 1)});
+      }
+    }
+    emit(t, "fig06_" + cfg.name + ".csv");
+  }
+  return 0;
+}

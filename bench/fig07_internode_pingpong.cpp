@@ -1,0 +1,56 @@
+// Fig. 7: inter-node unidirectional goodput (per node) and latency between
+// two nodes, one process per GPU/NIC, for MPI (host and GPU buffers) and
+// *CCL (GPU buffers).
+//
+// Expected shape (paper): MPI highest goodput and lowest latency regardless
+// of buffer location; *CCL up to one order of magnitude slower on small
+// transfers and up to 3x on large ones (Obs. 5); node goodput approaches
+// 4 x NIC rate (800 / 400 / 800 Gb/s).
+#include "bench_common.hpp"
+
+using namespace gpucomm;
+using namespace gpucomm::bench;
+
+int main() {
+  header("Fig. 7", "Inter-node ping-pong: per-node goodput and latency");
+
+  for (const SystemConfig& cfg : all_systems()) {
+    std::cout << "\n--- " << cfg.name << " (peak node bw "
+              << fmt(cfg.nics_per_node * cfg.nic.rate / 1e9, 0) << " Gb/s) ---\n";
+    Table t({"size_per_nic", "stack", "latency_us", "node_goodput_gbps"});
+
+    struct Config {
+      const char* label;
+      Mechanism mech;
+      MemSpace space;
+    };
+    const std::vector<Config> stacks{
+        {"mpi-host", Mechanism::kMpi, MemSpace::kHost},
+        {"mpi-gpu", Mechanism::kMpi, MemSpace::kDevice},
+        {"ccl-gpu", Mechanism::kCcl, MemSpace::kDevice},
+    };
+
+    for (const Bytes b : size_sweep()) {
+      for (const auto& stack : stacks) {
+        Cluster cluster(cfg, {.nodes = 2});
+        CommOptions opt;
+        opt.env = cfg.tuned_env();
+        opt.space = stack.space;
+        // One rank per GPU; the measured pair rides one NIC, and all NICs
+        // carry a pair concurrently — per-node goodput sums them.
+        std::vector<int> gpus = first_n_gpus(cluster, 2 * cfg.gpus_per_node);
+        auto comm = make_comm(stack.mech, cluster, gpus, opt);
+        // Run the NIC-count worth of concurrent ping-pongs: ranks i <-> i+n.
+        // For reporting we time one representative pair and scale by NICs
+        // (pairs use disjoint NICs, so they do not contend).
+        const SimTime t2 = comm->time_pingpong(0, cfg.gpus_per_node, b);
+        const double lat_us = t2.micros() / 2;
+        const double per_pair = goodput_gbps(b, SimTime{t2.ps / 2});
+        const double node = per_pair * cfg.nics_per_node;
+        t.add_row({format_bytes(b), stack.label, fmt(lat_us), fmt(node, 1)});
+      }
+    }
+    emit(t, "fig07_" + cfg.name + ".csv");
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 8: latency (1 B) and goodput (1 GiB) between GPUs at different
+// network distances — same switch, same group, different groups — for GPU
+// (a) and host (b) buffers, with box statistics over repeated iterations.
+//
+// Expected shape (paper): same-switch GPU latency 3.7-5.7 us band (Leonardo
+// ~2 us); Alps/LUMI degrade deterministically (~+28% latency, ~1% goodput);
+// Leonardo's mean latency doubles and its node goodput drops ~17% with long
+// tails across groups — production network noise (Obs. 6).
+#include "bench_common.hpp"
+
+using namespace gpucomm;
+using namespace gpucomm::bench;
+
+namespace {
+
+Placement placement_for(NetworkDistance d) {
+  switch (d) {
+    case NetworkDistance::kSameSwitch: return Placement::kPacked;
+    case NetworkDistance::kSameGroup: return Placement::kScatterSwitches;
+    default: return Placement::kScatterGroups;
+  }
+}
+
+}  // namespace
+
+int main() {
+  header("Fig. 8", "Latency and goodput vs network distance (MPI)");
+
+  for (const SystemConfig& cfg : all_systems()) {
+    std::cout << "\n--- " << cfg.name << " ---\n";
+    Table t({"distance", "buffers", "lat_mean_us", "lat_med", "lat_p95", "lat_max",
+             "node_gp_mean", "node_gp_med", "node_gp_min"});
+
+    for (const NetworkDistance d : {NetworkDistance::kSameSwitch, NetworkDistance::kSameGroup,
+                                    NetworkDistance::kDiffGroup}) {
+      ClusterOptions copt;
+      copt.nodes = 6;
+      copt.placement = placement_for(d);
+      Cluster cluster(cfg, copt);
+      const auto nodes = find_node_pair(cluster, d);
+      if (!nodes) {
+        std::cout << "  (no " << to_string(d) << " pair available)\n";
+        continue;
+      }
+      const std::vector<int> pair{nodes->first * cfg.gpus_per_node,
+                                  nodes->second * cfg.gpus_per_node};
+      for (const MemSpace space : {MemSpace::kDevice, MemSpace::kHost}) {
+        CommOptions opt;
+        opt.env = cfg.tuned_env();
+        opt.space = space;
+        MpiComm mpi(cluster, pair, opt);
+        const Summary lat = run_iterations(cluster, RunConfig{100, 3}, [&] {
+                              return SimTime{mpi.time_pingpong(0, 1, 1).ps / 2};
+                            }).summary();
+        const Summary gp = run_iterations(cluster, RunConfig{40, 2}, [&] {
+                             return SimTime{mpi.time_pingpong(0, 1, 1_GiB).ps / 2};
+                           }).goodput_summary(1_GiB);
+        const double nics = cfg.nics_per_node;
+        t.add_row({to_string(d), space == MemSpace::kDevice ? "gpu" : "host",
+                   fmt(lat.mean), fmt(lat.median), fmt(lat.p95), fmt(lat.max),
+                   fmt(gp.mean * nics, 0), fmt(gp.median * nics, 0), fmt(gp.min * nics, 0)});
+      }
+    }
+    emit(t, "fig08_" + cfg.name + ".csv");
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Fig. 10: 1 GiB allreduce scalability up to 4,096 GPUs, *CCL vs GPU-aware
+// MPI.
+//
+// Expected shape (paper): *CCL above MPI everywhere; Leonardo's MPI
+// (host-staged allreduce) is dramatically low and flat; *CCL shows a sharp
+// drop from 256 to 512 GPUs on Alps and LUMI (Sec. V-D).
+#include "bench_common.hpp"
+#include "gpucomm/scale/scale_model.hpp"
+
+using namespace gpucomm;
+using namespace gpucomm::bench;
+
+namespace {
+constexpr Bytes kBuffer = 1_GiB;
+constexpr int kExactLimitGpus = 32;  // allreduce rounds are costlier to simulate
+
+int system_cap(const SystemConfig& cfg, Library lib) {
+  if (cfg.name == "leonardo") return 1024;
+  if (cfg.name == "alps") return lib == Library::kMpi ? 2048 : 4096;
+  return 4096;
+}
+
+double exact_goodput(const SystemConfig& cfg, Library lib, int gpus) {
+  ClusterOptions copt;
+  copt.nodes = gpus / cfg.gpus_per_node;
+  // Production-like allocation: jobs spread over many switches (Sec. III-A).
+  copt.placement = Placement::kScatterSwitches;
+  Cluster cluster(cfg, copt);
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  auto comm = make_comm(lib == Library::kCcl ? Mechanism::kCcl : Mechanism::kMpi, cluster,
+                        first_n_gpus(cluster, gpus), opt);
+  return goodput_gbps(kBuffer, comm->time_allreduce(kBuffer));
+}
+
+}  // namespace
+
+int main() {
+  header("Fig. 10", "1 GiB allreduce scalability (per-GPU goodput, Gb/s)");
+
+  for (const SystemConfig& cfg : all_systems()) {
+    std::cout << "\n--- " << cfg.name << " ---\n";
+    Table t({"gpus", "library", "goodput_gbps", "source"});
+    for (int gpus = cfg.gpus_per_node; gpus <= 4096; gpus *= 2) {
+      for (const Library lib : {Library::kCcl, Library::kMpi}) {
+        if (gpus > system_cap(cfg, lib)) continue;
+        if (gpus <= kExactLimitGpus) {
+          t.add_row({std::to_string(gpus), to_string(lib),
+                     fmt(exact_goodput(cfg, lib, gpus), 2), "exact-sim"});
+        } else {
+          const ScaleResult r = allreduce_at_scale(cfg, lib, kBuffer, gpus);
+          t.add_row({std::to_string(gpus), to_string(lib), fmt(r.goodput_gbps, 2), "model"});
+        }
+      }
+    }
+    emit(t, "fig10_" + cfg.name + ".csv");
+  }
+  return 0;
+}

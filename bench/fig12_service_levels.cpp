@@ -1,0 +1,85 @@
+// Fig. 12: impact of congestion on different service levels on Leonardo.
+// An allreduce runs on one random allocation while a second job (alltoall
+// or incast) runs concurrently on another; both ride the same service
+// level (0 or 1). A switch-disjoint allocation is the control.
+//
+// Expected shape (paper): the incast collapses the allreduce goodput
+// regardless of which (shared) service level the pair uses; the alltoall
+// background is mild; with no shared switches there is no impact.
+#include "bench_common.hpp"
+#include "gpucomm/noise/background.hpp"
+
+using namespace gpucomm;
+using namespace gpucomm::bench;
+
+namespace {
+
+constexpr Bytes kBuffer = 128_MiB;
+constexpr int kAppNodes = 8;
+constexpr int kBgNodes = 8;
+
+double run_case(const SystemConfig& cfg, const char* interference, int service_level,
+                bool disjoint_switches) {
+  ClusterOptions copt;
+  copt.nodes = kAppNodes + kBgNodes;
+  // Shared case: both jobs in one Dragonfly+ group (they share the spines,
+  // as random allocations on the production machine do). Control: each job
+  // in its own set of groups, so no switch is shared (the paper's placement
+  // experiment, Sec. VI-A).
+  copt.placement =
+      disjoint_switches ? Placement::kScatterGroups : Placement::kScatterSwitches;
+  copt.enable_noise = false;  // isolate the co-scheduled-job effect
+  copt.seed = 7;
+  Cluster cluster(cfg, copt);
+
+  std::vector<int> app_nodes, bg_nodes;
+  if (disjoint_switches) {
+    // Scatter-groups puts node i in group i: the halves share nothing.
+    for (int n = 0; n < kAppNodes; ++n) app_nodes.push_back(n);
+    for (int n = kAppNodes; n < kAppNodes + kBgNodes; ++n) bg_nodes.push_back(n);
+  } else {
+    Rng rng = cluster.rng().fork("fig12");
+    auto split = split_random_nodes(cluster, kAppNodes, kBgNodes, rng);
+    app_nodes = split.first;
+    bg_nodes = split.second;
+  }
+
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  opt.env.ccl_ib_sl = service_level;
+  opt.service_level = service_level;
+
+  std::unique_ptr<BackgroundJob> job;
+  if (std::string(interference) != "none") {
+    const TrafficPattern pattern = std::string(interference) == "incast"
+                                       ? TrafficPattern::kIncast
+                                       : TrafficPattern::kAlltoall;
+    job = std::make_unique<BackgroundJob>(cluster, gpus_of_nodes(cluster, bg_nodes), pattern,
+                                          8_MiB, service_level, /*window=*/3);
+    job->start();
+  }
+
+  CclComm ccl(cluster, gpus_of_nodes(cluster, app_nodes), opt);
+  const SimTime t = ccl.time_allreduce(kBuffer);
+  if (job) job->stop();
+  return goodput_gbps(kBuffer, t);
+}
+
+}  // namespace
+
+int main() {
+  header("Fig. 12", "Allreduce goodput under co-scheduled interference, per service level");
+
+  const SystemConfig cfg = leonardo_config();
+  Table t({"interference", "sl0_gbps", "sl1_gbps", "disjoint_switches_gbps"});
+  for (const char* interference : {"none", "alltoall", "incast"}) {
+    const double sl0 = run_case(cfg, interference, 0, false);
+    const double sl1 = run_case(cfg, interference, 1, false);
+    const double ctrl = run_case(cfg, interference, 0, true);
+    t.add_row({interference, fmt(sl0, 1), fmt(sl1, 1), ctrl >= 0 ? fmt(ctrl, 1) : "n/a"});
+  }
+  emit(t, "fig12_leonardo_service_levels.csv");
+  std::cout << "\n(the incast should collapse goodput on both service levels when switches\n"
+               " are shared, and leave it intact on the disjoint allocation — Sec. VI-A)\n";
+  return 0;
+}

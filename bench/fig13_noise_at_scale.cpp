@@ -1,0 +1,44 @@
+// Fig. 13: impact of production congestion on scalability on Leonardo —
+// a 2 MiB alltoall and a 1 GiB allreduce run on the default service level
+// (exposed to real production noise) vs a non-default one (clean).
+//
+// Expected shape (paper): no difference at small GPU counts; at 1,024 GPUs
+// the default service level loses ~20% on the alltoall and ~50% on the
+// allreduce (Obs. 8).
+#include "bench_common.hpp"
+#include "gpucomm/scale/scale_model.hpp"
+
+using namespace gpucomm;
+using namespace gpucomm::bench;
+
+int main() {
+  header("Fig. 13", "Leonardo: default vs non-default service level at scale");
+
+  const SystemConfig cfg = leonardo_config();
+  struct Workload {
+    const char* label;
+    CollKind kind;
+    Bytes buffer;
+  };
+  for (const Workload w : {Workload{"alltoall-2MiB", CollKind::kAlltoall, 2_MiB},
+                           Workload{"allreduce-1GiB", CollKind::kAllreduce, 1_GiB}}) {
+    std::cout << "\n--- " << w.label << " (NCCL) ---\n";
+    Table t({"gpus", "default_sl_gbps", "nondefault_sl_gbps", "noise_loss_pct"});
+    for (int gpus = 8; gpus <= 1024; gpus *= 2) {
+      ScaleOptions noisy, clean;
+      noisy.default_sl_noise = true;
+      clean.default_sl_noise = false;
+      const auto run = [&](const ScaleOptions& o) {
+        return w.kind == CollKind::kAlltoall
+                   ? alltoall_at_scale(cfg, Library::kCcl, w.buffer, gpus, o)
+                   : allreduce_at_scale(cfg, Library::kCcl, w.buffer, gpus, o);
+      };
+      const double g_noisy = run(noisy).goodput_gbps;
+      const double g_clean = run(clean).goodput_gbps;
+      const double loss = 100.0 * (1.0 - g_noisy / g_clean);
+      t.add_row({std::to_string(gpus), fmt(g_noisy, 2), fmt(g_clean, 2), fmt(loss, 1)});
+    }
+    emit(t, std::string("fig13_leonardo_") + w.label + ".csv");
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// google-benchmark microbenchmarks of the simulator's hot paths: event
+// queue churn, engine dispatch, max-min fair allocation, and route
+// computation. These guard the simulator's own performance (a 4,096-GPU
+// collective replays millions of events).
+#include <benchmark/benchmark.h>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/net/fairshare.hpp"
+#include "gpucomm/sim/engine.hpp"
+#include "gpucomm/systems/registry.hpp"
+#include "gpucomm/topology/routing.hpp"
+
+namespace gpucomm {
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    EventQueue q;
+    std::uint64_t x = 42;
+    for (int i = 0; i < n; ++i) {
+      x = x * 6364136223846793005ull + 1;
+      q.push(SimTime{static_cast<std::int64_t>(x % 1000000)}, [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().time.ps);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_EngineSelfScheduling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine e;
+    int count = 0;
+    std::function<void()> chain = [&] {
+      if (++count < n) e.after(nanoseconds(10), chain);
+    };
+    e.after(nanoseconds(10), chain);
+    e.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineSelfScheduling)->Arg(10000);
+
+void BM_MaxMinFairShare(benchmark::State& state) {
+  const int flows = static_cast<int>(state.range(0));
+  FairshareProblem p;
+  p.capacity.assign(256, gbps(200));
+  std::uint64_t x = 7;
+  for (int i = 0; i < flows; ++i) {
+    std::vector<LinkId> route;
+    for (int h = 0; h < 5; ++h) {
+      x = x * 2862933555777941757ull + 3037000493ull;
+      route.push_back(static_cast<LinkId>(x % 256));
+    }
+    std::sort(route.begin(), route.end());
+    route.erase(std::unique(route.begin(), route.end()), route.end());
+    p.flows.push_back(std::move(route));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maxmin_fair_rates(p));
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_MaxMinFairShare)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_ClusterConstruction(benchmark::State& state) {
+  const SystemConfig cfg = leonardo_config();
+  const int nodes = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Cluster cluster(cfg, {.nodes = nodes});
+    benchmark::DoNotOptimize(cluster.total_gpus());
+  }
+}
+BENCHMARK(BM_ClusterConstruction)->Arg(4)->Arg(64);
+
+void BM_IntraNodeRoute(benchmark::State& state) {
+  const SystemConfig cfg = lumi_config();
+  Cluster cluster(cfg, {.nodes = 1});
+  int pair = 0;
+  for (auto _ : state) {
+    const int a = pair % 8;
+    const int b = (pair + 3) % 8;
+    if (a != b) benchmark::DoNotOptimize(cluster.intra_node_route(a, b));
+    ++pair;
+  }
+}
+BENCHMARK(BM_IntraNodeRoute);
+
+}  // namespace
+}  // namespace gpucomm
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Table I: main characteristics of the analyzed systems, printed from the
+// encoded configurations (the simulator's ground truth).
+#include "bench_common.hpp"
+#include "gpucomm/scale/scale_model.hpp"
+
+using namespace gpucomm;
+using namespace gpucomm::bench;
+
+int main() {
+  header("Table I", "Main characteristics of the analyzed systems");
+
+  Table t({"property", "alps", "leonardo", "lumi"});
+  const auto systems = all_systems();
+  const auto row = [&](const std::string& name, auto getter) {
+    std::vector<std::string> cells{name};
+    for (const SystemConfig& s : systems) cells.push_back(getter(s));
+    t.add_row(std::move(cells));
+  };
+
+  row("gpus/node", [](const SystemConfig& s) { return std::to_string(s.gpus_per_node); });
+  row("nics/node", [](const SystemConfig& s) { return std::to_string(s.nics_per_node); });
+  row("nic rate (Gb/s)", [](const SystemConfig& s) { return fmt(s.nic.rate / 1e9, 0); });
+  row("nic bw per gpu (Gb/s)",
+      [](const SystemConfig& s) { return fmt(s.nic_bw_per_gpu / 1e9, 0); });
+  row("fabric", [](const SystemConfig& s) {
+    return std::string(s.fabric.kind == FabricKind::kDragonfly ? "dragonfly" : "dragonfly+");
+  });
+  row("groups", [](const SystemConfig& s) {
+    return std::to_string(s.fabric.kind == FabricKind::kDragonfly
+                              ? s.fabric.dragonfly.groups
+                              : s.fabric.dragonfly_plus.groups);
+  });
+  row("mpi flavor", [](const SystemConfig& s) {
+    return std::string(s.mpi.flavor == MpiFlavor::kCrayMpich ? "cray-mpich" : "openmpi-ucx");
+  });
+  row("timer res (ns)",
+      [](const SystemConfig& s) { return fmt(s.timer_resolution.nanos(), 0); });
+  row("gpu peer access", [](const SystemConfig& s) {
+    return std::string(s.gpu.peer_access ? "yes" : "no");
+  });
+  row("production noise", [](const SystemConfig& s) {
+    return std::string(s.noise.production_noise ? "yes" : "no");
+  });
+  row("intra pair bw (Gb/s)", [](const SystemConfig& s) {
+    Graph g;
+    const NodeDevices node = build_node(g, s.arch, 0);
+    return fmt(nominal_pair_goodput(g, node.gpus[0], node.gpus[1]) / 1e9, 0);
+  });
+  row("expected a2a (Gb/s)",
+      [](const SystemConfig& s) { return fmt(intra_node_alltoall_peak(s) / 1e9, 0); });
+  row("expected ar (Gb/s)",
+      [](const SystemConfig& s) { return fmt(intra_node_allreduce_peak(s) / 1e9, 0); });
+
+  emit(t, "table1_systems.csv");
+  return 0;
+}

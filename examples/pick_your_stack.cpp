@@ -1,0 +1,76 @@
+// Decision helper: given a workload (operation, buffer size, GPU count),
+// report which data-movement stack the simulated systems favour — the
+// practical guidance the paper distills into its eight observations.
+//
+//   $ ./pick_your_stack [alltoall|allreduce|p2p] [bytes] [gpus]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/cluster/placement.hpp"
+#include "gpucomm/comm/ccl/ccl_comm.hpp"
+#include "gpucomm/comm/mpi/mpi_comm.hpp"
+#include "gpucomm/comm/staging.hpp"
+#include "gpucomm/systems/registry.hpp"
+
+using namespace gpucomm;
+
+int main(int argc, char** argv) {
+  const std::string op = argc > 1 ? argv[1] : "allreduce";
+  const Bytes bytes = argc > 2 ? static_cast<Bytes>(std::strtoull(argv[2], nullptr, 10))
+                               : Bytes(16_MiB);
+  const int want_gpus = argc > 3 ? std::atoi(argv[3]) : 16;
+
+  std::printf("workload: %s, %s, %d GPUs\n\n", op.c_str(), format_bytes(bytes).c_str(),
+              want_gpus);
+  std::printf("%-10s %-14s %-14s %s\n", "system", "*ccl", "gpu-aware mpi", "recommendation");
+
+  for (const SystemConfig& cfg : all_systems()) {
+    const int nodes = std::max(1, want_gpus / cfg.gpus_per_node);
+    const int gpus = nodes * cfg.gpus_per_node;
+    Cluster cluster(cfg, {.nodes = nodes});
+    CommOptions opt;
+    opt.env = cfg.tuned_env();
+    const auto ranks = first_n_gpus(cluster, gpus);
+    CclComm ccl(cluster, ranks, opt);
+    MpiComm mpi(cluster, ranks, opt);
+
+    const auto run = [&](Communicator& c) -> double {
+      if (op == "alltoall") {
+        if (!c.available(CollectiveOp::kAlltoall)) return -1;  // *CCL stall
+        return c.time_alltoall(bytes).micros();
+      }
+      if (op == "p2p") return c.time_pingpong(0, c.size() - 1, bytes).micros() / 2;
+      return c.time_allreduce(bytes).micros();
+    };
+
+    const double t_ccl = run(ccl);
+    const double t_mpi = run(mpi);
+    std::string verdict;
+    if (t_ccl < 0) {
+      verdict = "mpi (*ccl alltoall stalls at this scale)";
+    } else if (t_ccl < t_mpi * 0.95) {
+      verdict = "*ccl";
+    } else if (t_mpi < t_ccl * 0.95) {
+      verdict = "gpu-aware mpi";
+    } else {
+      verdict = "either";
+    }
+    char ccl_buf[32], mpi_buf[32];
+    if (t_ccl < 0) {
+      std::snprintf(ccl_buf, sizeof ccl_buf, "stall");
+    } else {
+      std::snprintf(ccl_buf, sizeof ccl_buf, "%.1f us", t_ccl);
+    }
+    std::snprintf(mpi_buf, sizeof mpi_buf, "%.1f us", t_mpi);
+    std::printf("%-10s %-14s %-14s %s\n", cfg.name.c_str(), ccl_buf, mpi_buf,
+                verdict.c_str());
+  }
+
+  std::printf(
+      "\n(the paper's rule of thumb: *ccl for collectives, mpi for point-to-point\n"
+      " and for small collectives on LUMI — Obs. 2/4/5)\n");
+  return 0;
+}

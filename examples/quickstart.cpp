@@ -1,0 +1,65 @@
+// Quickstart: build a simulated supercomputer, run a ping-pong and an
+// allreduce with two communication stacks, and print what the paper's
+// benchmark would have measured.
+//
+//   $ ./quickstart [alps|leonardo|lumi]
+#include <cstdio>
+#include <string>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/cluster/placement.hpp"
+#include "gpucomm/comm/ccl/ccl_comm.hpp"
+#include "gpucomm/comm/mpi/mpi_comm.hpp"
+#include "gpucomm/systems/registry.hpp"
+
+using namespace gpucomm;
+
+int main(int argc, char** argv) {
+  const std::string system = argc > 1 ? argv[1] : "leonardo";
+  const SystemConfig cfg = system_by_name(system);
+
+  // A two-node slice of the machine. Nodes are wired into the real fabric
+  // topology (Dragonfly or Dragonfly+); Leonardo also gets its production
+  // network-noise field.
+  Cluster cluster(cfg, {.nodes = 2});
+  std::printf("system: %s (%d GPUs/node, %s fabric)\n", cfg.name.c_str(), cfg.gpus_per_node,
+              cfg.fabric.kind == FabricKind::kDragonfly ? "dragonfly" : "dragonfly+");
+
+  // One rank per GPU, the paper's tuned environment (Sec. III-B).
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  const std::vector<int> gpus = first_n_gpus(cluster, 2 * cfg.gpus_per_node);
+
+  MpiComm mpi(cluster, gpus, opt);
+  CclComm ccl(cluster, gpus, opt);
+
+  // Intra-node ping-pong, 1 MiB (ranks 0 and 1 share a node).
+  const Bytes small = 1_MiB;
+  const SimTime t_mpi = mpi.time_pingpong(0, 1, small);
+  const SimTime t_ccl = ccl.time_pingpong(0, 1, small);
+  std::printf("\nintra-node 1 MiB ping-pong (one way):\n");
+  std::printf("  gpu-aware mpi : %8.2f us  (%7.1f Gb/s)\n", t_mpi.micros() / 2,
+              goodput_gbps(small, SimTime{t_mpi.ps / 2}));
+  std::printf("  %s          : %8.2f us  (%7.1f Gb/s)\n",
+              cfg.arch == NodeArch::kLumi ? "rccl" : "nccl", t_ccl.micros() / 2,
+              goodput_gbps(small, SimTime{t_ccl.ps / 2}));
+
+  // Inter-node ping-pong between rank 0 and the first rank of node 1.
+  const SimTime x_mpi = mpi.time_pingpong(0, cfg.gpus_per_node, small);
+  const SimTime x_ccl = ccl.time_pingpong(0, cfg.gpus_per_node, small);
+  std::printf("\ninter-node 1 MiB ping-pong (one way):\n");
+  std::printf("  gpu-aware mpi : %8.2f us\n", x_mpi.micros() / 2);
+  std::printf("  *ccl          : %8.2f us   <- proxy/launch overhead, Obs. 5\n",
+              x_ccl.micros() / 2);
+
+  // A 64 MiB allreduce over all 2 nodes.
+  const Bytes big = 64_MiB;
+  const SimTime ar_mpi = mpi.time_allreduce(big);
+  const SimTime ar_ccl = ccl.time_allreduce(big);
+  std::printf("\n64 MiB allreduce over %d GPUs:\n", static_cast<int>(gpus.size()));
+  std::printf("  gpu-aware mpi : %8.2f ms (%7.1f Gb/s)\n", ar_mpi.seconds() * 1e3,
+              goodput_gbps(big, ar_mpi));
+  std::printf("  *ccl          : %8.2f ms (%7.1f Gb/s)  <- wins collectives, Obs. 4/7\n",
+              ar_ccl.seconds() * 1e3, goodput_gbps(big, ar_ccl));
+  return 0;
+}

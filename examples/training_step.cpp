@@ -1,0 +1,87 @@
+// ML-training communication study — the workload class the paper's
+// introduction motivates. Models one data-parallel training step of a
+// transformer: backward-pass gradient buckets are allreduced as they become
+// ready, and (optionally) a mixture-of-experts layer runs an alltoall.
+// Reports the communication time per step for NCCL vs GPU-aware MPI on the
+// chosen system and scale.
+//
+//   $ ./training_step [alps|leonardo|lumi] [gpus] [params_millions]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/cluster/placement.hpp"
+#include "gpucomm/comm/ccl/ccl_comm.hpp"
+#include "gpucomm/comm/mpi/mpi_comm.hpp"
+#include "gpucomm/systems/registry.hpp"
+
+using namespace gpucomm;
+
+namespace {
+
+struct StepCost {
+  SimTime gradient_sync;
+  SimTime moe_alltoall;
+};
+
+StepCost run_step(Communicator& comm, Bytes gradient_bytes, Bytes moe_bytes, int buckets) {
+  StepCost cost{};
+  const Bytes bucket = gradient_bytes / static_cast<Bytes>(buckets);
+  for (int b = 0; b < buckets; ++b) cost.gradient_sync += comm.time_allreduce(bucket);
+  if (moe_bytes > 0 && comm.available(CollectiveOp::kAlltoall)) {
+    // Two MoE dispatoch/combine alltoalls per layer pass.
+    cost.moe_alltoall = comm.time_alltoall(moe_bytes) + comm.time_alltoall(moe_bytes);
+  }
+  return cost;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string system = argc > 1 ? argv[1] : "alps";
+  const int want_gpus = argc > 2 ? std::atoi(argv[2]) : 32;
+  const double params_m = argc > 3 ? std::atof(argv[3]) : 1300.0;  // 1.3B default
+
+  const SystemConfig cfg = system_by_name(system);
+  const int nodes = std::max(1, want_gpus / cfg.gpus_per_node);
+  const int gpus = nodes * cfg.gpus_per_node;
+
+  // fp16 gradients; bucketed the way DDP implementations overlap them.
+  const Bytes gradient_bytes = static_cast<Bytes>(params_m * 1e6 * 2.0);
+  const int buckets = 32;
+  const Bytes moe_bytes = 64_MiB;  // per-layer token dispatch volume
+
+  ClusterOptions copt;
+  copt.nodes = nodes;
+  copt.placement = Placement::kScatterSwitches;
+  Cluster cluster(cfg, copt);
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  const auto ranks = first_n_gpus(cluster, gpus);
+
+  std::printf("data-parallel step on %s, %d GPUs, %.0fM params (%.2f GiB fp16 grads)\n\n",
+              cfg.name.c_str(), gpus, params_m,
+              static_cast<double>(gradient_bytes) / (1 << 30));
+
+  CclComm ccl(cluster, ranks, opt);
+  MpiComm mpi(cluster, ranks, opt);
+  const StepCost c_ccl = run_step(ccl, gradient_bytes, moe_bytes, buckets);
+  const StepCost c_mpi = run_step(mpi, gradient_bytes, moe_bytes, buckets);
+
+  std::printf("%-14s %16s %16s\n", "", "gradient sync", "moe alltoall x2");
+  std::printf("%-14s %13.1f ms %13.1f ms\n",
+              cfg.arch == NodeArch::kLumi ? "rccl" : "nccl",
+              c_ccl.gradient_sync.seconds() * 1e3, c_ccl.moe_alltoall.seconds() * 1e3);
+  std::printf("%-14s %13.1f ms %13.1f ms\n", "gpu-aware mpi",
+              c_mpi.gradient_sync.seconds() * 1e3, c_mpi.moe_alltoall.seconds() * 1e3);
+
+  const double speedup = c_mpi.gradient_sync.seconds() / c_ccl.gradient_sync.seconds();
+  std::printf("\n*ccl syncs gradients %.1fx faster (Obs. 4/7). With a 250 ms compute\n"
+              "phase, the step-time difference is %.0f%% -> the library choice is a\n"
+              "first-order training-throughput decision on this machine.\n",
+              speedup,
+              100.0 * (c_mpi.gradient_sync.seconds() - c_ccl.gradient_sync.seconds()) /
+                  (0.25 + c_ccl.gradient_sync.seconds()));
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "gpucomm/cluster/cluster.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "gpucomm/noise/noise_model.hpp"
+
+namespace gpucomm {
+
+Cluster::Cluster(SystemConfig config, ClusterOptions options)
+    : config_(std::move(config)), rng_(options.seed) {
+  // Fabric first: switch construction precedes node attachment.
+  FabricSpec& spec = config_.fabric;
+  if (spec.kind == FabricKind::kDragonfly) {
+    DragonflyParams p = spec.dragonfly;
+    p.wire.rate = config_.nic.rate;  // the NIC wire runs at the NIC's rate
+    switch (options.placement) {
+      case Placement::kPacked: p.attach = DragonflyParams::Attach::kPacked; break;
+      case Placement::kScatterSwitches:
+        p.attach = DragonflyParams::Attach::kScatterSwitches;
+        break;
+      case Placement::kScatterGroups: p.attach = DragonflyParams::Attach::kScatterGroups; break;
+    }
+    fabric_ = std::make_unique<Dragonfly>(graph_, p);
+  } else if (spec.kind == FabricKind::kDragonflyPlus) {
+    DragonflyPlusParams p = spec.dragonfly_plus;
+    p.edge.rate = config_.nic.rate;  // the NIC wire runs at the NIC's rate
+    switch (options.placement) {
+      case Placement::kPacked: p.attach = DragonflyPlusParams::Attach::kPacked; break;
+      case Placement::kScatterSwitches:
+        p.attach = DragonflyPlusParams::Attach::kScatterSwitches;
+        break;
+      case Placement::kScatterGroups:
+        p.attach = DragonflyPlusParams::Attach::kScatterGroups;
+        break;
+    }
+    fabric_ = std::make_unique<DragonflyPlus>(graph_, p);
+  } else {
+    FatTreeParams p = spec.fat_tree;
+    p.edge_link.rate = config_.nic.rate;
+    switch (options.placement) {
+      case Placement::kPacked: p.attach = FatTreeParams::Attach::kPacked; break;
+      case Placement::kScatterSwitches:
+        p.attach = FatTreeParams::Attach::kScatterSwitches;
+        break;
+      case Placement::kScatterGroups: p.attach = FatTreeParams::Attach::kScatterGroups; break;
+    }
+    fabric_ = std::make_unique<FatTree>(graph_, p);
+  }
+
+  if (static_cast<std::size_t>(options.nodes) > fabric_->max_nodes())
+    throw std::invalid_argument("more nodes requested than the fabric can host");
+
+  nodes_.reserve(options.nodes);
+  for (int n = 0; n < options.nodes; ++n) {
+    nodes_.push_back(build_node(graph_, config_.arch, n));
+    fabric_->attach_node(graph_, nodes_.back());
+  }
+
+  network_ = std::make_unique<Network>(engine_, graph_);
+  network_->set_congestion(
+      {config_.congestion.flow_threshold, config_.congestion.rate_factor});
+  if (options.enable_noise && config_.noise.production_noise) {
+    noise_ = std::make_unique<ProductionNoise>(graph_, config_.noise, rng_.fork("noise"));
+    network_->set_noise(noise_.get());
+  }
+}
+
+Cluster::~Cluster() = default;
+
+DeviceId Cluster::gpu_device(int gpu) const {
+  return nodes_[node_of_gpu(gpu)].gpus[local_index(gpu)];
+}
+
+DeviceId Cluster::nic_of_gpu(int gpu) const {
+  return nodes_[node_of_gpu(gpu)].closest_nic[local_index(gpu)];
+}
+
+DeviceId Cluster::numa_of_gpu(int gpu) const {
+  return nodes_[node_of_gpu(gpu)].closest_numa[local_index(gpu)];
+}
+
+Route Cluster::intra_node_route(int gpu_a, int gpu_b) const {
+  assert(same_node(gpu_a, gpu_b));
+  const auto route = shortest_route(graph_, gpu_device(gpu_a), gpu_device(gpu_b),
+                                    gpu_fabric_options());
+  assert(route.has_value() && "intra-node GPU fabric must be connected");
+  return *route;
+}
+
+Route Cluster::inter_node_route(DeviceId src_endpoint, int src_gpu, DeviceId dst_endpoint,
+                                int dst_gpu) {
+  const DeviceId src_nic = nic_of_gpu(src_gpu);
+  const DeviceId dst_nic = nic_of_gpu(dst_gpu);
+  Route r;
+  const LinkId up = graph_.find_link(src_endpoint, src_nic);
+  assert(up != kInvalidLink && "endpoint must attach to its NIC");
+  r.push_back(up);
+  const Route fab = fabric_->route(graph_, src_nic, dst_nic, rng_);
+  r.insert(r.end(), fab.begin(), fab.end());
+  const LinkId down = graph_.find_link(dst_nic, dst_endpoint);
+  assert(down != kInvalidLink);
+  r.push_back(down);
+  return r;
+}
+
+NetworkDistance Cluster::distance(int gpu_a, int gpu_b) const {
+  if (same_node(gpu_a, gpu_b)) return NetworkDistance::kSameNode;
+  return fabric_->classify(nic_of_gpu(gpu_a), nic_of_gpu(gpu_b));
+}
+
+}  // namespace gpucomm

@@ -1,0 +1,82 @@
+#include "gpucomm/cluster/placement.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace gpucomm {
+
+std::optional<std::pair<int, int>> find_node_pair(const Cluster& cluster, NetworkDistance d) {
+  const int n = cluster.num_nodes();
+  const int gpn = cluster.gpus_per_node();
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      if (cluster.distance(a * gpn, b * gpn) == d) return std::make_pair(a, b);
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<int> gpus_of_nodes(const Cluster& cluster, const std::vector<int>& nodes) {
+  std::vector<int> gpus;
+  gpus.reserve(nodes.size() * cluster.gpus_per_node());
+  for (const int node : nodes) {
+    for (int l = 0; l < cluster.gpus_per_node(); ++l)
+      gpus.push_back(node * cluster.gpus_per_node() + l);
+  }
+  return gpus;
+}
+
+std::vector<int> first_n_gpus(const Cluster& cluster, int n) {
+  assert(n <= cluster.total_gpus());
+  (void)cluster;
+  std::vector<int> gpus(n);
+  std::iota(gpus.begin(), gpus.end(), 0);
+  return gpus;
+}
+
+std::pair<std::vector<int>, std::vector<int>> split_random_nodes(const Cluster& cluster,
+                                                                 int nodes_a, int nodes_b,
+                                                                 Rng& rng) {
+  std::vector<int> all(cluster.num_nodes());
+  std::iota(all.begin(), all.end(), 0);
+  rng.shuffle(all);
+  std::vector<int> a(all.begin(), all.begin() + nodes_a);
+  std::vector<int> b(all.begin() + nodes_a, all.begin() + nodes_a + nodes_b);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return {std::move(a), std::move(b)};
+}
+
+std::optional<std::pair<std::vector<int>, std::vector<int>>> split_disjoint_switches(
+    const Cluster& cluster, int nodes_a, int nodes_b) {
+  // Greedy: walk nodes grouped by first-hop switch; give whole switches to A
+  // until filled, then to B. NICs of one node may span two switches (LUMI);
+  // use the first NIC's switch as the node's home switch.
+  const int gpn = cluster.gpus_per_node();
+  std::vector<std::pair<int, int>> by_switch;  // (switch, node)
+  for (int node = 0; node < cluster.num_nodes(); ++node) {
+    by_switch.emplace_back(cluster.fabric().switch_of(cluster.nic_of_gpu(node * gpn)), node);
+  }
+  std::sort(by_switch.begin(), by_switch.end());
+
+  std::vector<int> a, b;
+  std::size_t i = 0;
+  while (i < by_switch.size() && static_cast<int>(a.size()) < nodes_a) {
+    const int sw = by_switch[i].first;
+    // Take the whole switch's nodes for A (so B never shares it).
+    while (i < by_switch.size() && by_switch[i].first == sw) {
+      if (static_cast<int>(a.size()) < nodes_a) a.push_back(by_switch[i].second);
+      ++i;
+    }
+  }
+  while (i < by_switch.size() && static_cast<int>(b.size()) < nodes_b)
+    b.push_back(by_switch[i++].second);
+  if (static_cast<int>(a.size()) < nodes_a || static_cast<int>(b.size()) < nodes_b)
+    return std::nullopt;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return std::make_pair(std::move(a), std::move(b));
+}
+
+}  // namespace gpucomm

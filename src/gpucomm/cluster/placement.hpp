@@ -1,0 +1,35 @@
+// Node/GPU selection helpers mirroring the paper's allocation procedures:
+// placement-controlled pairs for Fig. 8 (same switch / same group / different
+// group), random disjoint allocations for the Fig. 12 interference runs, and
+// simple prefix allocations for the scalability sweeps.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "gpucomm/cluster/cluster.hpp"
+
+namespace gpucomm {
+
+/// First pair of distinct nodes whose NICs sit at the requested distance.
+std::optional<std::pair<int, int>> find_node_pair(const Cluster& cluster, NetworkDistance d);
+
+/// GPU indices of a list of nodes, in rank order.
+std::vector<int> gpus_of_nodes(const Cluster& cluster, const std::vector<int>& nodes);
+
+/// The first `n` global GPU indices (the paper's contiguous allocations).
+std::vector<int> first_n_gpus(const Cluster& cluster, int n);
+
+/// Two disjoint random node sets of the given sizes (Fig. 12's "benchmarks
+/// are allocated on nodes randomly").
+std::pair<std::vector<int>, std::vector<int>> split_random_nodes(const Cluster& cluster,
+                                                                 int nodes_a, int nodes_b,
+                                                                 Rng& rng);
+
+/// Two disjoint node sets chosen to minimize switch sharing (the paper's
+/// control experiment: no interference when switches are not shared).
+std::optional<std::pair<std::vector<int>, std::vector<int>>> split_disjoint_switches(
+    const Cluster& cluster, int nodes_a, int nodes_b);
+
+}  // namespace gpucomm

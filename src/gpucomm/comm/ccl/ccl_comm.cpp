@@ -1,0 +1,443 @@
+#include "gpucomm/comm/ccl/ccl_comm.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <utility>
+
+#include "gpucomm/comm/ccl/channels.hpp"
+#include "gpucomm/comm/ccl/topo_detect.hpp"
+#include "gpucomm/sim/log.hpp"
+#include "gpucomm/topology/forwarding.hpp"
+#include "gpucomm/topology/intra_node.hpp"
+
+namespace gpucomm {
+
+CclComm::CclComm(Cluster& cluster, std::vector<int> gpus, CommOptions options)
+    : Communicator(cluster, std::move(gpus), std::move(options)),
+      eff_(resolve_ccl(cluster.config().ccl, opts_.env)) {
+  // NCCL_IB_SL overrides the communicator's service level when set.
+  if (opts_.env.ccl_ib_sl != 0) opts_.service_level = opts_.env.ccl_ib_sl;
+
+  for (const Rank& r : ranks_) {
+    if (node_order_.empty() || node_order_.back() != r.node) node_order_.push_back(r.node);
+  }
+
+  // Topology detection for single-node communicators on non-fully-connected
+  // meshes: build the directed rings *CCL would construct (two per
+  // edge-disjoint Hamiltonian cycle).
+  if (!multi_node()) {
+    std::vector<DeviceId> devs;
+    for (const Rank& r : ranks_) devs.push_back(r.gpu_dev);
+    if (!fully_connected(cluster_.graph(), devs) && devs.size() >= 3) {
+      std::map<DeviceId, int> to_rank;
+      for (int i = 0; i < size(); ++i) to_rank[devs[i]] = i;
+      for (const auto& cycle : disjoint_hamiltonian_cycles(cluster_.graph(), devs)) {
+        std::vector<int> fwd;
+        for (const DeviceId d : cycle) fwd.push_back(to_rank.at(d));
+        std::vector<int> rev(fwd.rbegin(), fwd.rend());
+        intra_rings_.push_back(std::move(fwd));
+        intra_rings_.push_back(std::move(rev));
+      }
+      // The counterpart of NCCL_DEBUG_SUBSYS=INIT,GRAPH output the paper
+      // used to diagnose Obs. 3 (set GPUCOMM_LOG=info to see it).
+      if (log_level() >= LogLevel::kInfo) {
+        for (const auto& ring : intra_rings_) {
+          std::string desc;
+          for (const int r : ring) desc += std::to_string(r) + " ";
+          log_info("ccl/graph", "ring: ", desc);
+        }
+        for (int peer = 1; peer < size(); ++peer) {
+          log_info("ccl/graph", "peer ", ranks_[0].gpu, " -> ", ranks_[peer].gpu,
+                   " estimated bw ",
+                   ccl_peer_bw_estimate(cluster_.graph(), devs[0], devs[peer],
+                                        cluster_.config().ccl.hop_count_bw_bug) / 1e9,
+                   " Gb/s");
+        }
+      }
+    }
+  }
+}
+
+bool CclComm::multi_node() const { return node_order_.size() > 1; }
+
+bool CclComm::available(CollectiveOp op) const {
+  if (opts_.space != MemSpace::kDevice) return false;  // *CCL moves GPU buffers
+  const int stall = sys().ccl.alltoall_stall_ranks;
+  if (op == CollectiveOp::kAlltoall && stall > 0 && size() >= stall) return false;
+  return true;
+}
+
+CclComm::FlowShape CclComm::shape(Bytes bytes, Bandwidth base_cap, double big_eff,
+                                  Bandwidth nominal) const {
+  // Protocol auto-selection: LL (flat latency, modest rate) vs Simple
+  // (pipelined, ramps to peak with size). *CCL picks per-message; we choose
+  // whichever serializes faster at this size, like the real tuner.
+  const CclParams& p = sys().ccl;
+  const Bandwidth capped_nominal = base_cap > 0 ? std::min(nominal, base_cap) : nominal;
+  const double ll_rate = std::min(p.ll_bw, capped_nominal);
+  const double simple_eff = big_eff * ramp_factor(bytes, p.p2p_rampup);
+  const double simple_rate = simple_eff * capped_nominal;
+  if (bytes < p.ll_threshold || ll_rate >= simple_rate) {
+    const Bandwidth cap = base_cap > 0 ? std::min(base_cap, p.ll_bw) : p.ll_bw;
+    return {1.0, cap};
+  }
+  return {simple_eff, base_cap};
+}
+
+double CclComm::inter_efficiency(bool allreduce) const {
+  const CclParams& p = sys().ccl;
+  double eff = p.net_coll_efficiency * sys().nic.protocol_efficiency;
+  if (!eff_.gdr_ok) eff *= p.gdr_disabled_bw_factor;
+  if (!eff_.good_affinity) {
+    eff /= allreduce ? p.bad_affinity_allreduce_factor : p.bad_affinity_alltoall_factor;
+  }
+  return eff;
+}
+
+double CclComm::coll_intra_eff(Bytes buffer) const {
+  return sys().ccl.intra_coll_efficiency * ramp_factor(buffer, sys().ccl.p2p_rampup);
+}
+
+void CclComm::coll_transfer(int src, int dst, Bytes bytes, double simple_eff_intra,
+                            SimTime pre, EventFn done) {
+  const CclParams& p = sys().ccl;
+  if (same_node(src, dst)) {
+    // Collectives build channel rings with correct topology awareness; the
+    // hop-count estimate defect only affects the p2p transport (Obs. 3), so
+    // only the channel-count ceiling applies here.
+    const Route route = cluster_.intra_node_route(ranks_[src].gpu, ranks_[dst].gpu);
+    const Bandwidth cap = static_cast<double>(eff_.nchannels) * p.per_channel_bw;
+    const Bandwidth nominal = std::min(cap, route_bottleneck(cluster_.graph(), route));
+    // LL vs Simple on the *segment* size, with the Simple efficiency coming
+    // from the whole-operation ramp.
+    const double ll_rate = std::min(p.ll_bw, nominal);
+    const double simple_rate = simple_eff_intra * nominal;
+    if (bytes < p.ll_threshold || ll_rate >= simple_rate) {
+      post_flow(route, bytes, 1.0, std::min(cap, p.ll_bw), pre, std::move(done));
+    } else {
+      post_flow(route, bytes, simple_eff_intra, cap, pre, std::move(done));
+    }
+    return;
+  }
+  const Rank& s = ranks_[src];
+  const Rank& d = ranks_[dst];
+  if (!eff_.gdr_ok) pre += p.gdr_disabled_latency;
+  const Route route = cluster_.inter_node_route(s.gpu_dev, s.gpu, d.gpu_dev, d.gpu);
+  // The net proxy pipelines chunks across peers; no per-segment ramp.
+  post_flow(route, bytes, inter_efficiency(false), 0, pre, std::move(done));
+}
+
+void CclComm::coll_message(int src, int dst, Bytes bytes, Bytes op_bytes, EventFn done) {
+  coll_transfer(src, dst, bytes, coll_intra_eff(op_bytes), SimTime::zero(), std::move(done));
+}
+
+SimTime CclComm::coll_launch() const { return sys().ccl.group_launch; }
+
+void CclComm::send(int src, int dst, Bytes bytes, EventFn done) {
+  const CclParams& p = sys().ccl;
+  if (same_node(src, dst)) {
+    const Route route = cluster_.intra_node_route(ranks_[src].gpu, ranks_[dst].gpu);
+    const Bandwidth cap = ccl_p2p_rate_cap(cluster_.graph(), ranks_[src].gpu_dev,
+                                           ranks_[dst].gpu_dev, p, eff_);
+    const FlowShape fs = shape(bytes, cap, p.intra_p2p_efficiency,
+                               route_bottleneck(cluster_.graph(), route));
+    post_flow(route, bytes, fs.efficiency, fs.rate_cap, p.p2p_launch, std::move(done));
+    return;
+  }
+  const Rank& s = ranks_[src];
+  const Rank& d = ranks_[dst];
+  // Proxy-thread net path: kernel launch + proxy wakeup + NIC processing
+  // dominate small inter-node transfers (Obs. 5).
+  SimTime pre = p.p2p_launch + p.net_overhead + sys().nic.send_overhead;
+  if (!eff_.gdr_ok) pre += p.gdr_disabled_latency;
+  double eff = p.net_p2p_efficiency * sys().nic.protocol_efficiency;
+  if (!eff_.gdr_ok) eff *= p.gdr_disabled_bw_factor;
+  const Route route = cluster_.inter_node_route(s.gpu_dev, s.gpu, d.gpu_dev, d.gpu);
+  const FlowShape fs = shape(bytes, 0, eff, sys().nic.rate);
+  post_flow(route, bytes, fs.efficiency, fs.rate_cap, pre, std::move(done));
+}
+
+void CclComm::alltoall(Bytes buffer, EventFn done) {
+  const int n = size();
+  const Bytes per_pair = buffer / static_cast<Bytes>(n);
+  const double simple_eff = coll_intra_eff(buffer);
+
+  // One grouped launch (ncclGroupStart/End around n-1 send/recv pairs, as
+  // the NCCL documentation suggests [32]); the sends then stream through the
+  // channel FIFOs with several messages in flight per rank.
+  engine().after(sys().ccl.group_launch, [this, n, per_pair, simple_eff,
+                                          done = std::move(done)]() mutable {
+    windowed_alltoall(
+        /*window=*/8,
+        [this, n, per_pair, simple_eff](int src, int k, EventFn msg_done) {
+          coll_transfer(src, pairwise_partner(src, k, n), per_pair, simple_eff,
+                        sys().ccl.per_chunk_overhead, std::move(msg_done));
+        },
+        std::move(done));
+  });
+}
+
+void CclComm::append_ring_stages(std::vector<Stage>& stages, std::vector<int> ring,
+                                 Bytes per_ring, Bytes buffer) {
+  const int n = static_cast<int>(ring.size());
+  const Bytes segment = std::max<Bytes>(per_ring / static_cast<Bytes>(n), 1);
+  const double simple_eff = coll_intra_eff(buffer);
+  const auto schedule = ring_allreduce_schedule(n);
+  for (std::size_t round = 0; round < schedule.size(); ++round) {
+    const bool reduce_round = round + 1 < static_cast<std::size_t>(n);
+    stages.push_back([this, ring, segment, simple_eff, reduce_round](EventFn next) {
+      const SimTime reduce = reduce_round ? copy_.reduce_time(segment) : SimTime::zero();
+      EventFn after_reduce = reduce > SimTime::zero()
+                                 ? EventFn([this, reduce, next = std::move(next)]() mutable {
+                                     engine().after(reduce, std::move(next));
+                                   })
+                                 : std::move(next);
+      auto join = JoinCounter::create(static_cast<int>(ring.size()), std::move(after_reduce));
+      for (std::size_t i = 0; i < ring.size(); ++i) {
+        const int src = ring[i];
+        const int dst = ring[(i + 1) % ring.size()];
+        coll_transfer(src, dst, segment, simple_eff, SimTime::zero(),
+                      [join] { join->arrive(); });
+      }
+    });
+  }
+}
+
+bool CclComm::run_on_intra_rings(int rounds, Bytes per_ring, Bytes op_bytes, bool reduce,
+                                 EventFn done) {
+  if (intra_rings_.empty()) return false;
+  const double simple_eff = coll_intra_eff(op_bytes);
+  auto outer = JoinCounter::create(static_cast<int>(intra_rings_.size()),
+                                   [this, done = std::move(done)]() mutable {
+                                     engine().after(SimTime::zero(), std::move(done));
+                                   });
+  for (const auto& ring : intra_rings_) {
+    std::vector<Stage> stages;
+    stages.push_back([this](EventFn next) {
+      engine().after(sys().ccl.group_launch, std::move(next));
+    });
+    const Bytes segment = std::max<Bytes>(per_ring / ring.size(), 1);
+    for (int r = 0; r < rounds; ++r) {
+      stages.push_back([this, ring, segment, simple_eff, reduce](EventFn next) {
+        EventFn after = std::move(next);
+        if (reduce) {
+          after = [this, segment, next = std::move(after)]() mutable {
+            engine().after(copy_.reduce_time(segment), std::move(next));
+          };
+        }
+        auto join = JoinCounter::create(static_cast<int>(ring.size()), std::move(after));
+        for (std::size_t i = 0; i < ring.size(); ++i) {
+          coll_transfer(ring[i], ring[(i + 1) % ring.size()], segment, simple_eff,
+                        SimTime::zero(), [join] { join->arrive(); });
+        }
+      });
+    }
+    run_stages(std::move(stages), [outer] { outer->arrive(); });
+  }
+  return true;
+}
+
+void CclComm::allgather(Bytes per_rank, EventFn done) {
+  const int n = size();
+  if (n >= 2 && !intra_rings_.empty()) {
+    // Each ring carries an equal share of every rank's contribution.
+    const Bytes total = per_rank * static_cast<Bytes>(n);
+    const Bytes per_ring = std::max<Bytes>(total / intra_rings_.size(), 1);
+    if (run_on_intra_rings(n - 1, per_ring, total, /*reduce=*/false, std::move(done))) return;
+  }
+  Communicator::allgather(per_rank, std::move(done));
+}
+
+void CclComm::reduce_scatter(Bytes buffer, EventFn done) {
+  const int n = size();
+  if (n >= 2 && !intra_rings_.empty()) {
+    const Bytes per_ring = std::max<Bytes>(buffer / intra_rings_.size(), 1);
+    if (run_on_intra_rings(n - 1, per_ring, buffer, /*reduce=*/true, std::move(done))) return;
+  }
+  Communicator::reduce_scatter(buffer, std::move(done));
+}
+
+void CclComm::allreduce_tree(Bytes buffer, EventFn done) {
+  const int n = size();
+  const double simple_eff = coll_intra_eff(buffer);
+  std::vector<Stage> stages;
+  stages.push_back([this](EventFn next) {
+    engine().after(sys().ccl.group_launch, std::move(next));
+  });
+  // Reduce: in round k, ranks with bit k set send to their parent.
+  for (int stride = 1; stride < n; stride <<= 1) {
+    stages.push_back([this, n, stride, buffer, simple_eff](EventFn next) {
+      std::vector<std::pair<int, int>> sends;
+      for (int i = 0; i + stride < n; i += 2 * stride) sends.emplace_back(i + stride, i);
+      EventFn after = [this, buffer, next = std::move(next)]() mutable {
+        engine().after(copy_.reduce_time(buffer), std::move(next));
+      };
+      auto join = JoinCounter::create(static_cast<int>(sends.size()), std::move(after));
+      for (const auto& [src, dst] : sends) {
+        coll_transfer(src, dst, buffer, simple_eff, SimTime::zero(),
+                      [join] { join->arrive(); });
+      }
+    });
+  }
+  // Broadcast back down the same tree.
+  int top = 1;
+  while (top < n) top <<= 1;
+  for (int stride = top >> 1; stride >= 1; stride >>= 1) {
+    stages.push_back([this, n, stride, buffer, simple_eff](EventFn next) {
+      std::vector<std::pair<int, int>> sends;
+      for (int i = 0; i + stride < n; i += 2 * stride) sends.emplace_back(i, i + stride);
+      auto join = JoinCounter::create(static_cast<int>(sends.size()), std::move(next));
+      for (const auto& [src, dst] : sends) {
+        coll_transfer(src, dst, buffer, simple_eff, SimTime::zero(),
+                      [join] { join->arrive(); });
+      }
+    });
+  }
+  run_stages(std::move(stages), std::move(done));
+}
+
+void CclComm::allreduce(Bytes buffer, EventFn done) {
+  const int n = size();
+
+  // The tuner picks the latency-optimal binomial tree only where the
+  // hierarchical ring's 2(nodes-1) rounds dominate: tiny vectors on many
+  // nodes (2 log2 n rounds of the full buffer instead).
+  if (multi_node() && buffer <= 16_KiB && static_cast<int>(node_order_.size()) >= 16) {
+    allreduce_tree(buffer, std::move(done));
+    return;
+  }
+
+  std::vector<Stage> stages;
+  stages.push_back([this](EventFn next) {
+    engine().after(sys().ccl.group_launch, std::move(next));
+  });
+
+  const auto all_pairs_stage = [this, n, buffer](Bytes per_peer, bool reduce_after) {
+    const double simple_eff = coll_intra_eff(buffer);
+    return Stage([this, n, per_peer, simple_eff, reduce_after](EventFn next) {
+      EventFn after = next;
+      if (reduce_after) {
+        const Bytes reduced = per_peer * static_cast<Bytes>(n - 1);
+        after = [this, reduced, next = std::move(next)]() mutable {
+          engine().after(copy_.reduce_time(reduced), std::move(next));
+        };
+      }
+      auto join = JoinCounter::create(n * (n - 1), std::move(after));
+      for (int src = 0; src < n; ++src) {
+        for (int k = 1; k < n; ++k) {
+          coll_transfer(src, (src + k) % n, per_peer, simple_eff, SimTime::zero(),
+                        [join] { join->arrive(); });
+        }
+      }
+    });
+  };
+
+  if (!multi_node()) {
+    if (!intra_rings_.empty()) {
+      // LUMI: counter-rotating rings over the edge-disjoint Hamiltonian
+      // cycles; each ring carries an equal share and they run concurrently.
+      const Bytes per_ring = buffer / intra_rings_.size();
+      std::vector<std::vector<Stage>> per_ring_stages(intra_rings_.size());
+      for (std::size_t r = 0; r < intra_rings_.size(); ++r)
+        append_ring_stages(per_ring_stages[r], intra_rings_[r], per_ring, buffer);
+      // Run the rings concurrently: one stage that joins all ring pipelines.
+      stages.push_back([this, per_ring_stages = std::move(per_ring_stages)](EventFn next) {
+        auto join = JoinCounter::create(static_cast<int>(per_ring_stages.size()),
+                                        std::move(next));
+        for (const auto& ring_stages : per_ring_stages) {
+          run_stages(ring_stages, [join] { join->arrive(); });
+        }
+      });
+    } else {
+      // Fully connected: direct reduce-scatter + allgather across all links.
+      const Bytes per_peer = std::max<Bytes>(buffer / static_cast<Bytes>(n), 1);
+      stages.push_back(all_pairs_stage(per_peer, /*reduce_after=*/true));
+      stages.push_back(all_pairs_stage(per_peer, /*reduce_after=*/false));
+    }
+    run_stages(std::move(stages), std::move(done));
+    return;
+  }
+
+  // Hierarchical: intra-node reduce-scatter, per-local-index inter-node
+  // rings (each over its own NIC), intra-node allgather.
+  const int n_local = cluster_.gpus_per_node();
+  const int nodes = static_cast<int>(node_order_.size());
+  assert(n == n_local * nodes && "hierarchical allreduce expects whole nodes");
+  const Bytes chunk = std::max<Bytes>(buffer / static_cast<Bytes>(n_local), 1);
+
+  // Phase 1: reduce-scatter inside every node (concurrent across nodes).
+  const double simple_eff = coll_intra_eff(buffer);
+  stages.push_back([this, n_local, nodes, chunk, simple_eff](EventFn next) {
+    const Bytes per_peer = std::max<Bytes>(chunk / static_cast<Bytes>(n_local), 1);
+    EventFn after = [this, chunk, next = std::move(next)]() mutable {
+      engine().after(copy_.reduce_time(chunk), std::move(next));
+    };
+    auto join = JoinCounter::create(nodes * n_local * (n_local - 1), std::move(after));
+    for (int node = 0; node < nodes; ++node) {
+      for (int i = 0; i < n_local; ++i) {
+        for (int k = 1; k < n_local; ++k) {
+          const int src = node * n_local + i;
+          const int dst = node * n_local + (i + k) % n_local;
+          coll_transfer(src, dst, per_peer, simple_eff, SimTime::zero(),
+                        [join] { join->arrive(); });
+        }
+      }
+    }
+  });
+
+  // Phase 2: n_local concurrent inter-node rings (ranks with the same local
+  // index), each reducing its `chunk`. The allreduce-specific affinity
+  // penalty applies to these inter-node flows via inter_efficiency(); model
+  // the extra cost by inflating the ring flows when affinity is bad.
+  {
+    const bool bad_affinity = !eff_.good_affinity;
+    const double ratio = sys().ccl.bad_affinity_allreduce_factor /
+                         sys().ccl.bad_affinity_alltoall_factor;
+    const auto ring_schedule = ring_allreduce_schedule(nodes);
+    const Bytes segment = std::max<Bytes>(chunk / static_cast<Bytes>(nodes), 1);
+    const Bytes wire_segment =
+        bad_affinity ? static_cast<Bytes>(static_cast<double>(segment) * ratio) : segment;
+    for (std::size_t round = 0; round < ring_schedule.size(); ++round) {
+      const bool reduce_round = round + 1 < static_cast<std::size_t>(nodes);
+      stages.push_back([this, n_local, nodes, wire_segment, segment, simple_eff,
+                        reduce_round](EventFn next) {
+        EventFn after = next;
+        if (reduce_round) {
+          after = [this, segment, next = std::move(next)]() mutable {
+            engine().after(copy_.reduce_time(segment), std::move(next));
+          };
+        }
+        auto join = JoinCounter::create(nodes * n_local, std::move(after));
+        for (int node = 0; node < nodes; ++node) {
+          for (int j = 0; j < n_local; ++j) {
+            const int src = node * n_local + j;
+            const int dst = ((node + 1) % nodes) * n_local + j;
+            coll_transfer(src, dst, wire_segment, simple_eff, SimTime::zero(),
+                          [join] { join->arrive(); });
+          }
+        }
+      });
+    }
+  }
+
+  // Phase 3: allgather inside every node.
+  stages.push_back([this, n_local, nodes, chunk, simple_eff](EventFn next) {
+    const Bytes per_peer = std::max<Bytes>(chunk / static_cast<Bytes>(n_local), 1);
+    auto join = JoinCounter::create(nodes * n_local * (n_local - 1), std::move(next));
+    for (int node = 0; node < nodes; ++node) {
+      for (int i = 0; i < n_local; ++i) {
+        for (int k = 1; k < n_local; ++k) {
+          const int src = node * n_local + i;
+          const int dst = node * n_local + (i + k) % n_local;
+          coll_transfer(src, dst, per_peer, simple_eff, SimTime::zero(),
+                        [join] { join->arrive(); });
+        }
+      }
+    }
+  });
+
+  run_stages(std::move(stages), std::move(done));
+}
+
+}  // namespace gpucomm

@@ -1,0 +1,86 @@
+// NCCL / RCCL behavioural model.
+//
+// Captures the traits the paper measures: kernel-launch/group overhead per
+// operation (Obs. 5), channel-limited p2p rate with the RCCL hop-count
+// defect (Obs. 3), LL/Simple protocol selection, topology-aware collectives
+// (rings over the LUMI GCD mesh, all-pairs exchange on fully connected
+// NVLink nodes), GDR-level and CPU-affinity tuning effects (Sec. III-B), and
+// the large-scale alltoall stall (Sec. V-C).
+#pragma once
+
+#include <vector>
+
+#include "gpucomm/comm/ccl/ccl_config.hpp"
+#include "gpucomm/comm/communicator.hpp"
+
+namespace gpucomm {
+
+class CclComm final : public Communicator {
+ public:
+  CclComm(Cluster& cluster, std::vector<int> gpus, CommOptions options);
+
+  Mechanism mechanism() const override { return Mechanism::kCcl; }
+  bool available(CollectiveOp op) const override;
+
+  void send(int src, int dst, Bytes bytes, EventFn done) override;
+  void alltoall(Bytes buffer, EventFn done) override;
+  void allreduce(Bytes buffer, EventFn done) override;
+  /// Topology-aware on non-fully-connected nodes: the ring phases run over
+  /// the detected edge-disjoint rings instead of the flat rank order.
+  void allgather(Bytes per_rank, EventFn done) override;
+  void reduce_scatter(Bytes buffer, EventFn done) override;
+
+  const CclEffective& effective() const { return eff_; }
+
+ protected:
+  void coll_message(int src, int dst, Bytes bytes, Bytes op_bytes, EventFn done) override;
+  SimTime coll_launch() const override;
+
+ private:
+  struct FlowShape {
+    double efficiency = 1.0;
+    Bandwidth rate_cap = 0;
+  };
+  /// Protocol selection: LL below the threshold (flat-latency, modest rate),
+  /// Simple with pipeline ramp above it; picks the faster of the two at this
+  /// size given the path's nominal rate.
+  FlowShape shape(Bytes bytes, Bandwidth base_cap, double big_eff, Bandwidth nominal) const;
+
+  /// One transfer inside a collective (no per-op launch; that is added once).
+  /// `simple_eff_intra` is the Simple-protocol efficiency computed from the
+  /// *whole* collective buffer (chunks pipeline across rounds, so the ramp
+  /// depends on the operation size, not the per-segment size).
+  void coll_transfer(int src, int dst, Bytes bytes, double simple_eff_intra, SimTime pre,
+                     EventFn done);
+
+  /// Simple-protocol intra-node efficiency for a collective of this size.
+  double coll_intra_eff(Bytes buffer) const;
+
+  bool multi_node() const;
+  double inter_efficiency(bool allreduce) const;
+
+  /// Ring-allreduce rounds as stages appended to `stages`, over the given
+  /// rank sequence, moving `per_ring` bytes of a `buffer`-byte operation.
+  void append_ring_stages(std::vector<Stage>& stages, std::vector<int> ring, Bytes per_ring,
+                          Bytes buffer);
+
+  /// Binomial-tree allreduce (reduce to rank 0, broadcast back): NCCL's
+  /// latency-optimal choice for small vectors at scale, 2 ceil(log2 n)
+  /// rounds instead of the ring's 2(n-1).
+  void allreduce_tree(Bytes buffer, EventFn done);
+
+  /// Run `rounds` ring rounds concurrently over every detected intra ring,
+  /// moving `per_ring` bytes per ring per round (+ optional reduce). Returns
+  /// false when no topology rings exist (caller falls back to the base).
+  bool run_on_intra_rings(int rounds, Bytes per_ring, Bytes op_bytes, bool reduce,
+                          EventFn done);
+
+  CclEffective eff_;
+  /// Directed intra-node rings (rank sequences) for non-fully-connected
+  /// nodes (LUMI); empty when the all-pairs path is used.
+  std::vector<std::vector<int>> intra_rings_;
+  /// rank index by (node order, local gpu index) for the hierarchical phase.
+  std::vector<int> node_order_;  // distinct nodes, in rank order
+};
+
+}  // namespace gpucomm

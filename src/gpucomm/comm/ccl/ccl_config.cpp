@@ -1,0 +1,20 @@
+#include "gpucomm/comm/ccl/ccl_config.hpp"
+
+#include <algorithm>
+
+namespace gpucomm {
+
+CclEffective resolve_ccl(const CclParams& params, const SoftwareEnv& env) {
+  CclEffective eff;
+  eff.nchannels = env.ccl_nchannels_per_peer > 0
+                      ? std::min(env.ccl_nchannels_per_peer, params.max_nchannels)
+                      : params.default_nchannels_p2p;
+  const int gdr_level = env.ccl_net_gdr_level >= 0 ? env.ccl_net_gdr_level
+                                                   : params.gdr_level_default;
+  eff.gdr_ok = gdr_level >= params.gdr_level_required;
+  eff.good_affinity = env.ccl_ignore_cpu_affinity;
+  eff.service_level = env.ccl_ib_sl;
+  return eff;
+}
+
+}  // namespace gpucomm

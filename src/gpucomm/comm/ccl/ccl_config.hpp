@@ -1,0 +1,23 @@
+// Resolution of the *CCL tuning environment (Sec. III-B) into effective
+// runtime settings.
+#pragma once
+
+#include "gpucomm/systems/system_config.hpp"
+
+namespace gpucomm {
+
+struct CclEffective {
+  /// Channels used per p2p connection (NCCL_NCHANNELS_PER_PEER).
+  int nchannels = 0;
+  /// Direct RDMA between GPU and NIC usable (NCCL_NET_GDR_LEVEL >= layout
+  /// distance); otherwise inter-node sends bounce through a host buffer.
+  bool gdr_ok = false;
+  /// Proxy threads correctly pinned (NCCL_IGNORE_CPU_AFFINITY=1).
+  bool good_affinity = false;
+  /// InfiniBand service level traffic is tagged with (NCCL_IB_SL).
+  int service_level = 0;
+};
+
+CclEffective resolve_ccl(const CclParams& params, const SoftwareEnv& env);
+
+}  // namespace gpucomm

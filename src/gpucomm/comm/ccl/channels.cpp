@@ -1,0 +1,15 @@
+#include "gpucomm/comm/ccl/channels.hpp"
+
+#include <algorithm>
+
+namespace gpucomm {
+
+Bandwidth ccl_p2p_rate_cap(const Graph& g, DeviceId gpu_a, DeviceId gpu_b,
+                           const CclParams& params, const CclEffective& eff) {
+  const Bandwidth channel_cap = static_cast<double>(eff.nchannels) * params.per_channel_bw;
+  const Bandwidth estimate =
+      ccl_peer_bw_estimate(g, gpu_a, gpu_b, params.hop_count_bw_bug);
+  return std::min(channel_cap, estimate);
+}
+
+}  // namespace gpucomm

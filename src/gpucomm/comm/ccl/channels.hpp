@@ -1,0 +1,16 @@
+// *CCL channel model: a p2p connection is served by a set of channels
+// (CUDA/HIP block groups with FIFO buffers); the achievable rate is capped
+// by channels x per-channel throughput and by the library's own estimate of
+// the peer bandwidth (topo_detect.hpp).
+#pragma once
+
+#include "gpucomm/comm/ccl/ccl_config.hpp"
+#include "gpucomm/comm/ccl/topo_detect.hpp"
+
+namespace gpucomm {
+
+/// Rate ceiling for one intra-node p2p connection.
+Bandwidth ccl_p2p_rate_cap(const Graph& g, DeviceId gpu_a, DeviceId gpu_b,
+                           const CclParams& params, const CclEffective& eff);
+
+}  // namespace gpucomm

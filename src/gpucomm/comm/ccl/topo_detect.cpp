@@ -1,0 +1,16 @@
+#include "gpucomm/comm/ccl/topo_detect.hpp"
+
+#include "gpucomm/topology/intra_node.hpp"
+
+namespace gpucomm {
+
+Bandwidth ccl_peer_bw_estimate(const Graph& g, DeviceId gpu_a, DeviceId gpu_b,
+                               bool hop_count_bug) {
+  const auto route = shortest_route(g, gpu_a, gpu_b, gpu_fabric_options());
+  if (!route || route->empty()) return 0;
+  const Bandwidth nominal = route_bottleneck(g, *route);
+  if (!hop_count_bug) return nominal;
+  return nominal / static_cast<double>(route->size());
+}
+
+}  // namespace gpucomm

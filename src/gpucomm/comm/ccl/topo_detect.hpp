@@ -1,0 +1,21 @@
+// *CCL topology detection: how the library estimates the bandwidth available
+// towards an intra-node peer.
+//
+// NCCL/RCCL probe the node graph at init (NCCL_DEBUG_SUBSYS=INIT,GRAPH shows
+// the result, which is how the paper diagnosed Obs. 3). RCCL's estimate is
+// derived from the *hop count* of the best path rather than the number of
+// parallel paths, so two-hop GCD pairs on LUMI are assumed to have half the
+// bandwidth actually available and the transport under-drives them.
+#pragma once
+
+#include "gpucomm/topology/graph.hpp"
+
+namespace gpucomm {
+
+/// Bandwidth *CCL believes is available between two same-node GPUs. With
+/// `hop_count_bug` the best-path bottleneck is divided by the hop count
+/// (RCCL, Obs. 3); without it the estimate is the true best-path bottleneck.
+Bandwidth ccl_peer_bw_estimate(const Graph& g, DeviceId gpu_a, DeviceId gpu_b,
+                               bool hop_count_bug);
+
+}  // namespace gpucomm

@@ -1,0 +1,284 @@
+#include "gpucomm/comm/communicator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace gpucomm {
+
+const char* to_string(Mechanism m) {
+  switch (m) {
+    case Mechanism::kStaging: return "staging";
+    case Mechanism::kDeviceCopy: return "devcopy";
+    case Mechanism::kCcl: return "ccl";
+    case Mechanism::kMpi: return "mpi";
+  }
+  return "?";
+}
+
+Communicator::Communicator(Cluster& cluster, std::vector<int> gpus, CommOptions options)
+    : cluster_(cluster),
+      ranks_(make_ranks(cluster, gpus)),
+      opts_(std::move(options)),
+      copy_(make_copy_engine(cluster)) {
+  assert(!ranks_.empty());
+}
+
+bool Communicator::available(CollectiveOp) const { return true; }
+
+namespace {
+struct WindowState {
+  std::function<void(int, int, EventFn)> transfer;
+  std::shared_ptr<JoinCounter> join;
+  int n = 0;
+};
+}  // namespace
+
+void Communicator::windowed_alltoall(
+    int window, const std::function<void(int, int, EventFn)>& transfer_fn, EventFn done) {
+  const int n = size();
+  if (n < 2) {
+    if (done) done();
+    return;
+  }
+  auto st = std::make_shared<WindowState>();
+  st->transfer = transfer_fn;
+  st->n = n;
+  st->join = JoinCounter::create(n * (n - 1), std::move(done));
+
+  // Per-rank cursor: post the next message when one completes.
+  auto cursors = std::make_shared<std::vector<int>>(n, 0);
+  auto post_next = std::make_shared<std::function<void(int)>>();
+  *post_next = [st, cursors, post_next](int rank) {
+    int& k = (*cursors)[rank];
+    if (k >= st->n - 1) return;
+    const int msg = ++k;  // messages 1 .. n-1
+    st->transfer(rank, msg, [st, post_next, rank] {
+      st->join->arrive();
+      (*post_next)(rank);
+    });
+  };
+  const int w = std::min(window, n - 1);
+  for (int r = 0; r < n; ++r) {
+    for (int i = 0; i < w; ++i) (*post_next)(r);
+  }
+}
+
+FlowSpec Communicator::make_flow(const Route& route, Bytes bytes, double efficiency,
+                                 Bandwidth rate_cap) const {
+  assert(efficiency > 0 && efficiency <= 1.0);
+  FlowSpec spec;
+  spec.route = route;
+  spec.bytes = static_cast<Bytes>(static_cast<double>(bytes) / efficiency);
+  spec.vl = opts_.service_level;
+  spec.rate_cap = rate_cap;
+  return spec;
+}
+
+void Communicator::post_flow(const Route& route, Bytes bytes, double efficiency,
+                             Bandwidth rate_cap, SimTime pre_delay, EventFn done) {
+  FlowSpec spec = make_flow(route, bytes, efficiency, rate_cap);
+  auto start = [this, spec = std::move(spec), done = std::move(done)]() mutable {
+    network().start_flow(std::move(spec), [done = std::move(done)](SimTime) {
+      if (done) done();
+    });
+  };
+  if (pre_delay > SimTime::zero()) {
+    engine().after(pre_delay, std::move(start));
+  } else {
+    start();
+  }
+}
+
+namespace {
+SimTime run_blocking(Engine& engine, const std::function<void(EventFn)>& op) {
+  const SimTime start = engine.now();
+  bool finished = false;
+  op([&finished] { finished = true; });
+  const bool ok = engine.run_until([&finished] { return finished; });
+  if (!ok) throw std::runtime_error("operation deadlocked: engine drained before completion");
+  return engine.now() - start;
+}
+}  // namespace
+
+SimTime Communicator::time_send(int src, int dst, Bytes bytes) {
+  assert(src >= 0 && src < size() && dst >= 0 && dst < size());
+  return run_blocking(engine(), [&](EventFn done) { send(src, dst, bytes, std::move(done)); });
+}
+
+SimTime Communicator::time_pingpong(int a, int b, Bytes bytes) {
+  assert(a >= 0 && a < size() && b >= 0 && b < size());
+  return run_blocking(engine(), [&](EventFn done) {
+    send(a, b, bytes, [this, a, b, bytes, done = std::move(done)]() mutable {
+      send(b, a, bytes, std::move(done));
+    });
+  });
+}
+
+SimTime Communicator::time_alltoall(Bytes buffer) {
+  return run_blocking(engine(), [&](EventFn done) { alltoall(buffer, std::move(done)); });
+}
+
+SimTime Communicator::time_allreduce(Bytes buffer) {
+  return run_blocking(engine(), [&](EventFn done) { allreduce(buffer, std::move(done)); });
+}
+
+SimTime Communicator::time_broadcast(int root, Bytes buffer) {
+  return run_blocking(engine(), [&](EventFn done) { broadcast(root, buffer, std::move(done)); });
+}
+
+SimTime Communicator::time_allgather(Bytes per_rank) {
+  return run_blocking(engine(), [&](EventFn done) { allgather(per_rank, std::move(done)); });
+}
+
+SimTime Communicator::time_reduce_scatter(Bytes buffer) {
+  return run_blocking(engine(),
+                      [&](EventFn done) { reduce_scatter(buffer, std::move(done)); });
+}
+
+void Communicator::coll_message(int src, int dst, Bytes bytes, Bytes op_bytes, EventFn done) {
+  (void)op_bytes;
+  send(src, dst, bytes, std::move(done));
+}
+
+void Communicator::broadcast(int root, Bytes buffer, EventFn done) {
+  const int n = size();
+  if (n < 2) {
+    if (done) done();
+    return;
+  }
+  std::vector<Stage> stages;
+  stages.push_back([this](EventFn next) { engine().after(coll_launch(), std::move(next)); });
+
+  if (buffer <= 64_KiB) {
+    // Binomial tree: ceil(log2 n) rounds, the informed set doubles.
+    for (int stride = 1; stride < n; stride <<= 1) {
+      stages.push_back([this, n, root, stride, buffer](EventFn next) {
+        std::vector<std::pair<int, int>> sends;
+        for (int i = 0; i < stride && i + stride < n; ++i) {
+          // Positions are relative to the root.
+          sends.emplace_back((root + i) % n, (root + i + stride) % n);
+        }
+        auto join = JoinCounter::create(static_cast<int>(sends.size()), std::move(next));
+        for (const auto& [src, dst] : sends) {
+          coll_message(src, dst, buffer, buffer, [join] { join->arrive(); });
+        }
+      });
+    }
+    run_stages(std::move(stages), std::move(done));
+    return;
+  }
+
+  // Large vectors: ring scatter from the root followed by a ring allgather
+  // (the standard 2S-byte pipeline; goodput approaches bw/2).
+  const Bytes segment = std::max<Bytes>(buffer / static_cast<Bytes>(n), 1);
+  // Scatter: n-1 rounds; in round r the segment destined farthest travels
+  // one hop (pipelined, so every rank forwards concurrently).
+  for (int r = 0; r < n - 1; ++r) {
+    stages.push_back([this, n, root, segment, buffer, r](EventFn next) {
+      // Ranks root..root+r hold data to forward.
+      const int active = std::min(r + 1, n - 1);
+      auto join = JoinCounter::create(active, std::move(next));
+      for (int i = 0; i < active; ++i) {
+        const int src = (root + i) % n;
+        const int dst = (root + i + 1) % n;
+        coll_message(src, dst, segment, buffer, [join] { join->arrive(); });
+      }
+    });
+  }
+  // Allgather phase: n-1 full rounds.
+  for (int r = 0; r < n - 1; ++r) {
+    stages.push_back([this, n, segment, buffer](EventFn next) {
+      auto join = JoinCounter::create(n, std::move(next));
+      for (int i = 0; i < n; ++i) {
+        coll_message(i, (i + 1) % n, segment, buffer, [join] { join->arrive(); });
+      }
+    });
+  }
+  run_stages(std::move(stages), std::move(done));
+}
+
+void Communicator::allgather(Bytes per_rank, EventFn done) {
+  const int n = size();
+  if (n < 2) {
+    if (done) done();
+    return;
+  }
+  const Bytes total = per_rank * static_cast<Bytes>(n);
+  std::vector<Stage> stages;
+  stages.push_back([this](EventFn next) { engine().after(coll_launch(), std::move(next)); });
+  // Ring: n-1 rounds, each rank forwards one per_rank segment to its
+  // successor (bandwidth-optimal: (n-1)/n of the result moves per rank).
+  for (int r = 0; r < n - 1; ++r) {
+    stages.push_back([this, n, per_rank, total](EventFn next) {
+      auto join = JoinCounter::create(n, std::move(next));
+      for (int i = 0; i < n; ++i) {
+        coll_message(i, (i + 1) % n, per_rank, total, [join] { join->arrive(); });
+      }
+    });
+  }
+  run_stages(std::move(stages), std::move(done));
+}
+
+void Communicator::reduce_scatter(Bytes buffer, EventFn done) {
+  const int n = size();
+  if (n < 2) {
+    if (done) done();
+    return;
+  }
+  const Bytes segment = std::max<Bytes>(buffer / static_cast<Bytes>(n), 1);
+  std::vector<Stage> stages;
+  stages.push_back([this](EventFn next) { engine().after(coll_launch(), std::move(next)); });
+  // Ring reduce-scatter: the first half of the ring allreduce.
+  for (int r = 0; r < n - 1; ++r) {
+    stages.push_back([this, n, segment, buffer](EventFn next) {
+      EventFn after = [this, segment, next = std::move(next)]() mutable {
+        engine().after(copy_.reduce_time(segment), std::move(next));
+      };
+      auto join = JoinCounter::create(n, std::move(after));
+      for (int i = 0; i < n; ++i) {
+        coll_message(i, (i + 1) % n, segment, buffer, [join] { join->arrive(); });
+      }
+    });
+  }
+  run_stages(std::move(stages), std::move(done));
+}
+
+double ramp_factor(Bytes bytes, Bytes rampup) {
+  if (rampup == 0) return 1.0;
+  const double b = static_cast<double>(bytes);
+  return b / (b + static_cast<double>(rampup));
+}
+
+int pairwise_partner(int rank, int round, int n) {
+  assert(round >= 1 && round < n);
+  return (rank + round) % n;
+}
+
+std::vector<std::vector<RingStep>> ring_allreduce_schedule(int n) {
+  assert(n >= 2);
+  std::vector<std::vector<RingStep>> rounds;
+  rounds.reserve(static_cast<std::size_t>(2 * (n - 1)));
+  // Reduce-scatter: in round r, rank i sends segment (i - r + n) % n to i+1,
+  // which reduces it into its accumulator for that segment.
+  for (int r = 0; r < n - 1; ++r) {
+    std::vector<RingStep> round;
+    round.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      round.push_back(RingStep{i, (i + 1) % n, ((i - r) % n + n) % n, true});
+    }
+    rounds.push_back(std::move(round));
+  }
+  // Allgather: rank i forwards the fully reduced segment (i + 1 - r) % n.
+  for (int r = 0; r < n - 1; ++r) {
+    std::vector<RingStep> round;
+    round.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      round.push_back(RingStep{i, (i + 1) % n, ((i + 1 - r) % n + n) % n, false});
+    }
+    rounds.push_back(std::move(round));
+  }
+  return rounds;
+}
+
+}  // namespace gpucomm

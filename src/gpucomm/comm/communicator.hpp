@@ -1,0 +1,150 @@
+// Base interface for the four data-movement mechanisms benchmarked by the
+// paper (Sec. III-A): trivial staging, explicit device-device copies, *CCL
+// (NCCL/RCCL), and GPU-aware MPI.
+//
+// Operations are asynchronous against the simulation engine; `time_*`
+// helpers run the engine until the operation completes and return its
+// simulated duration (the max across ranks, per the paper's methodology).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/mem/buffer.hpp"
+#include "gpucomm/mem/copy_engine.hpp"
+#include "gpucomm/runtime/ops.hpp"
+#include "gpucomm/runtime/rank.hpp"
+
+namespace gpucomm {
+
+enum class Mechanism : std::uint8_t { kStaging, kDeviceCopy, kCcl, kMpi };
+const char* to_string(Mechanism m);
+
+enum class CollectiveOp : std::uint8_t { kSend, kPingPong, kAlltoall, kAllreduce };
+
+struct CommOptions {
+  /// Tuning environment; defaults to the paper's tuned configuration.
+  SoftwareEnv env;
+  /// Where the communication buffers live.
+  MemSpace space = MemSpace::kDevice;
+  /// Service level (virtual lane) the traffic is mapped to. Production
+  /// noise rides SL 0 (Sec. VI-A).
+  int service_level = 0;
+};
+
+class Communicator {
+ public:
+  Communicator(Cluster& cluster, std::vector<int> gpus, CommOptions options);
+  virtual ~Communicator() = default;
+
+  int size() const { return static_cast<int>(ranks_.size()); }
+  const std::vector<Rank>& ranks() const { return ranks_; }
+  const CommOptions& options() const { return opts_; }
+
+  virtual Mechanism mechanism() const = 0;
+
+  /// Whether this mechanism can run the operation on this rank set (e.g.
+  /// device copies need peer access and a single node; *CCL alltoall stalls
+  /// at large scale, Sec. V-C).
+  virtual bool available(CollectiveOp op) const;
+
+  /// One-way transfer rank src -> dst; `done` fires when the receiver has
+  /// the full payload (GPU-synchronized, per the benchmark methodology).
+  virtual void send(int src, int dst, Bytes bytes, EventFn done) = 0;
+
+  /// Alltoall with `buffer` total bytes per rank (per-pair chunk =
+  /// buffer / size()).
+  virtual void alltoall(Bytes buffer, EventFn done) = 0;
+
+  /// Allreduce of a `buffer`-byte vector.
+  virtual void allreduce(Bytes buffer, EventFn done) = 0;
+
+  // --- further collectives (generic algorithms over the mechanism's
+  // --- message primitive; *CCL/MPI specializations come from coll_message
+  // --- and coll_launch) -----------------------------------------------------
+
+  /// Broadcast `buffer` bytes from rank `root`: binomial tree for small
+  /// vectors, scatter + ring allgather for large ones.
+  virtual void broadcast(int root, Bytes buffer, EventFn done);
+  /// Ring allgather: every rank contributes `per_rank` bytes and ends with
+  /// all of them (n * per_rank total).
+  virtual void allgather(Bytes per_rank, EventFn done);
+  /// Ring reduce-scatter of a `buffer`-byte vector (each rank ends owning a
+  /// reduced buffer/n segment).
+  virtual void reduce_scatter(Bytes buffer, EventFn done);
+
+  // --- blocking helpers (run the engine until the op completes) ------------
+  SimTime time_send(int src, int dst, Bytes bytes);
+  /// Full round trip src -> dst -> src (divide by 2 for the paper's numbers).
+  SimTime time_pingpong(int a, int b, Bytes bytes);
+  SimTime time_alltoall(Bytes buffer);
+  SimTime time_allreduce(Bytes buffer);
+  SimTime time_broadcast(int root, Bytes buffer);
+  SimTime time_allgather(Bytes per_rank);
+  SimTime time_reduce_scatter(Bytes buffer);
+
+ protected:
+  /// One message inside a collective, in this mechanism's preferred way
+  /// (*CCL channel transfer, MPI collective-context transfer, host path,
+  /// device copy). `op_bytes` is the whole operation's size (pipeline-ramp
+  /// reference). The base-class collective algorithms are built on this.
+  virtual void coll_message(int src, int dst, Bytes bytes, Bytes op_bytes, EventFn done);
+
+  /// Fixed per-operation launch cost (e.g. *CCL group launch).
+  virtual SimTime coll_launch() const { return SimTime::zero(); }
+
+  /// Windowed alltoall driver: every rank streams its n-1 peer messages
+  /// (k-th message of rank r targets (r+k) % n) with at most `window`
+  /// outstanding, modelling the non-blocking pipelines real alltoall
+  /// implementations use; `transfer_fn(src, k, done)` performs one message.
+  void windowed_alltoall(int window,
+                         const std::function<void(int, int, EventFn)>& transfer_fn,
+                         EventFn done);
+
+  /// Post a flow after `pre_delay`, inflating bytes by 1/efficiency to model
+  /// protocol overhead, with an optional per-flow rate cap.
+  void post_flow(const Route& route, Bytes bytes, double efficiency, Bandwidth rate_cap,
+                 SimTime pre_delay, EventFn done);
+
+  /// Byte-inflated helper applying the communicator's service level.
+  FlowSpec make_flow(const Route& route, Bytes bytes, double efficiency,
+                     Bandwidth rate_cap) const;
+
+  Engine& engine() { return cluster_.engine(); }
+  Network& network() { return cluster_.network(); }
+  const SystemConfig& sys() const { return cluster_.config(); }
+  bool same_node(int a, int b) const {
+    return ranks_[a].node == ranks_[b].node;
+  }
+
+  Cluster& cluster_;
+  std::vector<Rank> ranks_;
+  CommOptions opts_;
+  CopyEngine copy_;
+};
+
+/// Size ramp-up factor: pipelines reach peak rate only for large transfers;
+/// effective rate scales by bytes / (bytes + rampup).
+double ramp_factor(Bytes bytes, Bytes rampup);
+
+// --- collective schedules (shared by MPI and *CCL models, and unit-tested
+// --- for data-plane correctness) -------------------------------------------
+
+/// Pairwise-exchange partner of `rank` in `round` (1 <= round < n).
+int pairwise_partner(int rank, int round, int n);
+
+struct RingStep {
+  int src = -1;
+  int dst = -1;
+  int segment = -1;  // buffer segment index in [0, n)
+  bool reduce = false;
+};
+
+/// Ring allreduce schedule over ring positions 0..n-1: n-1 reduce-scatter
+/// rounds followed by n-1 allgather rounds; each rank sends one segment of
+/// size ~ total/n per round.
+std::vector<std::vector<RingStep>> ring_allreduce_schedule(int n);
+
+}  // namespace gpucomm

@@ -1,0 +1,51 @@
+// Executable data-plane semantics for the collective algorithm families the
+// timing models mirror (ring, recursive doubling, Bruck, pairwise, binomial
+// tree, hierarchical). The simulator moves no payload at scale; these
+// reference implementations operate on real per-rank vectors so tests can
+// prove each schedule actually computes the collective it claims to — the
+// correctness companion to the performance models.
+#pragma once
+
+#include <vector>
+
+namespace gpucomm::dataplane {
+
+using Vec = std::vector<double>;
+/// state[rank] = that rank's buffer.
+using State = std::vector<Vec>;
+
+/// Ring allreduce (reduce-scatter + allgather) over rank order 0..n-1.
+/// Buffers must share a size divisible by n.
+void ring_allreduce(State& state);
+
+/// Recursive-doubling allreduce; n must be a power of two.
+void recursive_doubling_allreduce(State& state);
+
+/// Hierarchical allreduce: intra-group reduce-scatter, per-slot inter-group
+/// ring, intra-group allgather (the *CCL multi-node structure). `n_local`
+/// must divide both the rank count and the buffer size.
+void hierarchical_allreduce(State& state, int n_local);
+
+/// Pairwise-exchange alltoall: state[rank] holds n equal blocks; afterwards
+/// block j of rank i equals the original block i of rank j.
+void pairwise_alltoall(State& state);
+
+/// Bruck alltoall (log-round small-message algorithm); any n.
+void bruck_alltoall(State& state);
+
+/// Binomial-tree broadcast of rank `root`'s buffer.
+void binomial_broadcast(State& state, int root);
+
+/// Ring allgather: every rank starts with its own contribution in slot
+/// `rank` of an n-slot buffer (other slots arbitrary); afterwards all slots
+/// hold the respective contributions.
+void ring_allgather(State& state);
+
+/// Ring reduce-scatter: afterwards segment (rank + 1) mod n of each rank's
+/// buffer holds the full sum of that segment; other segments are scratch.
+void ring_reduce_scatter(State& state);
+
+/// Expected allreduce result (elementwise sum of all ranks' inputs).
+Vec elementwise_sum(const State& state);
+
+}  // namespace gpucomm::dataplane

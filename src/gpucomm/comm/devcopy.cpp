@@ -1,0 +1,81 @@
+#include "gpucomm/comm/devcopy.hpp"
+
+#include <utility>
+
+namespace gpucomm {
+
+DeviceCopyComm::DeviceCopyComm(Cluster& cluster, std::vector<int> gpus, CommOptions options)
+    : Communicator(cluster, std::move(gpus), std::move(options)) {}
+
+bool DeviceCopyComm::all_same_node() const {
+  for (const Rank& r : ranks_) {
+    if (r.node != ranks_.front().node) return false;
+  }
+  return true;
+}
+
+bool DeviceCopyComm::available(CollectiveOp) const {
+  return sys().gpu.peer_access && opts_.space == MemSpace::kDevice && all_same_node();
+}
+
+void DeviceCopyComm::copy_flow(int src, int dst, Bytes bytes, int concurrent,
+                               SimTime issue_delay, EventFn done) {
+  const Route route = cluster_.intra_node_route(ranks_[src].gpu, ranks_[dst].gpu);
+  const double eff =
+      sys().gpu.ipc_copy_efficiency * ramp_factor(bytes, sys().gpu.copy_rampup_bytes);
+  Bandwidth cap = 0;
+  if (concurrent > 1 && sys().gpu.copy_engine_bw > 0) {
+    cap = sys().gpu.copy_engine_bw / static_cast<double>(concurrent);
+  }
+  post_flow(route, bytes, eff, cap, sys().gpu.copy_issue + issue_delay, std::move(done));
+}
+
+void DeviceCopyComm::send(int src, int dst, Bytes bytes, EventFn done) {
+  copy_flow(src, dst, bytes, /*concurrent=*/1, SimTime::zero(), std::move(done));
+}
+
+void DeviceCopyComm::alltoall(Bytes buffer, EventFn done) {
+  const int n = size();
+  const Bytes per_pair = buffer / static_cast<Bytes>(n);
+  auto join = JoinCounter::create(n * (n - 1), std::move(done));
+  for (int src = 0; src < n; ++src) {
+    for (int k = 1; k < n; ++k) {
+      const int dst = (src + k) % n;
+      // Async issues queue back-to-back on the source stream before the
+      // copies run concurrently on the fabric.
+      const SimTime issue_delay = SimTime{sys().gpu.copy_issue.ps * (k - 1)};
+      copy_flow(src, dst, per_pair, n - 1, issue_delay, [join] { join->arrive(); });
+    }
+  }
+}
+
+void DeviceCopyComm::allreduce(Bytes buffer, EventFn done) {
+  const int n = size();
+  // Phase 1: every rank copies its full buffer to rank 0 (concurrent copies
+  // share rank 0's ingress links); rank 0 then reduces n-1 buffers.
+  // Phase 2: rank 0 broadcasts the result with n-1 concurrent copies.
+  run_stages(
+      {
+          [this, n, buffer](EventFn next) {
+            auto join = JoinCounter::create(n - 1, std::move(next));
+            for (int src = 1; src < n; ++src) {
+              copy_flow(src, 0, buffer, /*concurrent=*/1, SimTime::zero(),
+                        [join] { join->arrive(); });
+            }
+          },
+          [this, n, buffer](EventFn next) {
+            const Bytes to_reduce = buffer * static_cast<Bytes>(n - 1);
+            engine().after(copy_.reduce_time(to_reduce), std::move(next));
+          },
+          [this, n, buffer](EventFn next) {
+            auto join = JoinCounter::create(n - 1, std::move(next));
+            for (int dst = 1; dst < n; ++dst) {
+              const SimTime issue_delay = SimTime{sys().gpu.copy_issue.ps * (dst - 1)};
+              copy_flow(0, dst, buffer, n - 1, issue_delay, [join] { join->arrive(); });
+            }
+          },
+      },
+      std::move(done));
+}
+
+}  // namespace gpucomm

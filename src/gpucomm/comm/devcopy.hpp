@@ -1,0 +1,36 @@
+// Explicit device-device copies (Sec. III-A): IPC memory handles are
+// exchanged once (outside the timed region); transfers are direct
+// cudaMemcpy/hipMemcpy between GPU memories over the intra-node fabric.
+// Intra-node only — there is no device-copy path across nodes. Requires GPU
+// peer access (disabled on Alps at the time of the paper, Sec. III-C).
+#pragma once
+
+#include "gpucomm/comm/communicator.hpp"
+
+namespace gpucomm {
+
+class DeviceCopyComm final : public Communicator {
+ public:
+  DeviceCopyComm(Cluster& cluster, std::vector<int> gpus, CommOptions options);
+
+  Mechanism mechanism() const override { return Mechanism::kDeviceCopy; }
+  bool available(CollectiveOp op) const override;
+
+  void send(int src, int dst, Bytes bytes, EventFn done) override;
+  /// Each GPU copies to all peers asynchronously, overlapping the copies
+  /// (the paper's alltoall implementation).
+  void alltoall(Bytes buffer, EventFn done) override;
+  /// Unpipelined reduce-to-GPU0 followed by a broadcast (the paper's
+  /// reference implementation showing multi-GPU collectives are non-trivial).
+  void allreduce(Bytes buffer, EventFn done) override;
+
+ private:
+  /// Issue + flow for one copy src -> dst; per-copy issue costs serialize on
+  /// the source rank's stream, and `concurrent` copies in flight from the
+  /// same GPU share its copy-engine budget.
+  void copy_flow(int src, int dst, Bytes bytes, int concurrent, SimTime issue_delay,
+                 EventFn done);
+  bool all_same_node() const;
+};
+
+}  // namespace gpucomm

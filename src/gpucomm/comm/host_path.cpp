@@ -1,0 +1,52 @@
+#include "gpucomm/comm/host_path.hpp"
+
+#include <utility>
+
+namespace gpucomm {
+
+SimTime HostPath::pre_overhead(Bytes bytes) const {
+  const MpiParams& mpi = cluster_.config().mpi;
+  const NicParams& nic = cluster_.config().nic;
+  SimTime t = mpi.o_send + nic.send_overhead;
+  if (bytes > mpi.eager_threshold) t += mpi.rndv_handshake;
+  return t;
+}
+
+SimTime HostPath::post_overhead() const {
+  const MpiParams& mpi = cluster_.config().mpi;
+  const NicParams& nic = cluster_.config().nic;
+  return mpi.o_recv + nic.recv_overhead;
+}
+
+void HostPath::send(int src, int dst, Bytes bytes, double efficiency, EventFn done) {
+  Engine& engine = cluster_.engine();
+  const Rank& s = ranks_[src];
+  const Rank& d = ranks_[dst];
+
+  if (s.node == d.node) {
+    // Shared-memory path: software overhead + one cross-process memcpy.
+    const MpiParams& mpi = cluster_.config().mpi;
+    const SimTime t = mpi.o_send + copy_.h2h_time(bytes) + mpi.o_recv;
+    engine.after(t, std::move(done));
+    return;
+  }
+
+  // `efficiency` carries the MPI path efficiency (p2p or collective); the
+  // NIC's protocol framing overhead applies to every wire transfer.
+  const double wire_eff = efficiency * cluster_.config().nic.protocol_efficiency;
+  FlowSpec spec;
+  spec.route = cluster_.inter_node_route(s.numa_dev, s.gpu, d.numa_dev, d.gpu);
+  spec.bytes = static_cast<Bytes>(static_cast<double>(bytes) / wire_eff);
+  spec.vl = service_level_;
+  const SimTime pre = pre_overhead(bytes);
+  const SimTime post = post_overhead();
+  engine.after(pre, [this, &engine, spec = std::move(spec), post,
+                     done = std::move(done)]() mutable {
+    cluster_.network().start_flow(std::move(spec), [&engine, post, done = std::move(done)](
+                                                       SimTime) mutable {
+      engine.after(post, std::move(done));
+    });
+  });
+}
+
+}  // namespace gpucomm

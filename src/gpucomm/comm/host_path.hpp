@@ -1,0 +1,44 @@
+// Host-buffer MPI transfer path, shared by the trivial-staging baseline,
+// host-memory benchmarks (Fig. 7/8b), and Open MPI's host-staged allreduce.
+//
+// Intra-node: shared-memory copy between the two processes.
+// Inter-node: eager/rendezvous over the rank's closest NIC, with NIC and
+// software per-message overheads from the system config.
+#pragma once
+
+#include <vector>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/mem/copy_engine.hpp"
+#include "gpucomm/runtime/rank.hpp"
+#include "gpucomm/sim/engine.hpp"
+
+namespace gpucomm {
+
+class HostPath {
+ public:
+  HostPath(Cluster& cluster, const std::vector<Rank>& ranks, int service_level)
+      : cluster_(cluster),
+        ranks_(ranks),
+        service_level_(service_level),
+        copy_(make_copy_engine(cluster)) {}
+
+  /// One-way host-buffer transfer between two ranks. `efficiency` inflates
+  /// the wire bytes (collective protocol overhead); 1.0 for plain p2p.
+  void send(int src, int dst, Bytes bytes, double efficiency, EventFn done);
+
+  /// Software+NIC overhead added before the wire for an inter-node message.
+  SimTime pre_overhead(Bytes bytes) const;
+  /// Receive-side overhead after delivery.
+  SimTime post_overhead() const;
+
+  const CopyEngine& copy() const { return copy_; }
+
+ private:
+  Cluster& cluster_;
+  const std::vector<Rank>& ranks_;
+  int service_level_;
+  CopyEngine copy_;
+};
+
+}  // namespace gpucomm

@@ -1,0 +1,244 @@
+#include "gpucomm/comm/mpi/mpi_comm.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "gpucomm/hw/link.hpp"
+
+namespace gpucomm {
+
+MpiComm::MpiComm(Cluster& cluster, std::vector<int> gpus, CommOptions options)
+    : Communicator(cluster, std::move(gpus), std::move(options)),
+      eff_(resolve_mpi(cluster.config().mpi, opts_.env)),
+      host_(cluster, ranks_, opts_.env.ucx_ib_sl != 0 ? opts_.env.ucx_ib_sl
+                                                      : opts_.service_level) {
+  if (opts_.env.ucx_ib_sl != 0) opts_.service_level = opts_.env.ucx_ib_sl;
+}
+
+MpiP2pPath MpiComm::path_for(int src, int dst, Bytes bytes) const {
+  return select_mpi_path(sys(), eff_, opts_.space, same_node(src, dst), bytes);
+}
+
+Bandwidth MpiComm::intra_rate_cap() const {
+  if (!eff_.sdma_single_link) return 0;
+  // One SDMA engine drives a single Infinity Fabric link at a time
+  // (HSA_ENABLE_SDMA=1 default; disabling it unlocks striping, Sec. III-B).
+  return links::infinity_fabric().rate;
+}
+
+void MpiComm::transfer(int src, int dst, Bytes bytes, bool collective, Bytes ramp_ref,
+                       EventFn done) {
+  const MpiParams& mpi = sys().mpi;
+  const MpiP2pPath path = path_for(src, dst, bytes);
+  const SimTime o = mpi.o_send + mpi.o_recv;
+  const double wire_eff_p2p = collective ? mpi.net_coll_efficiency : mpi.net_p2p_efficiency;
+
+  switch (path) {
+    case MpiP2pPath::kHostShared:
+    case MpiP2pPath::kHostNetwork:
+      host_.send(src, dst, bytes, wire_eff_p2p, std::move(done));
+      return;
+
+    case MpiP2pPath::kGdrCopy: {
+      // CPU writes through the BAR window: flat latency, modest bandwidth.
+      const SimTime t = o + mpi.gdrcopy_latency + transfer_time(bytes, mpi.gdrcopy_bw);
+      engine().after(t, std::move(done));
+      return;
+    }
+
+    case MpiP2pPath::kCpuHbm: {
+      const SimTime t = o + mpi.cpu_hbm_latency + transfer_time(bytes, mpi.cpu_hbm_bw);
+      engine().after(t, std::move(done));
+      return;
+    }
+
+    case MpiP2pPath::kStagedBounce: {
+      const SimTime t = o + copy_.d2h_time(bytes) + copy_.h2h_time(bytes) +
+                        copy_.h2d_time(bytes);
+      engine().after(t, std::move(done));
+      return;
+    }
+
+    case MpiP2pPath::kIpc: {
+      const Route route = cluster_.intra_node_route(ranks_[src].gpu, ranks_[dst].gpu);
+      SimTime pre = o + mpi.ipc_setup;
+      if (bytes <= mpi.eager_threshold) {
+        // Eager IPC: a direct small copy, no pipelined rendezvous machinery.
+        post_flow(route, bytes, 1.0, mpi.ipc_eager_bw, pre, std::move(done));
+        return;
+      }
+      const double eff =
+          (collective ? mpi.intra_coll_efficiency : mpi.intra_p2p_efficiency) *
+          ramp_factor(ramp_ref, mpi.p2p_rampup);
+      pre += mpi.rndv_handshake;
+      post_flow(route, bytes, eff, intra_rate_cap(), pre, std::move(done));
+      return;
+    }
+
+    case MpiP2pPath::kGdrRdma: {
+      const Rank& s = ranks_[src];
+      const Rank& d = ranks_[dst];
+      SimTime pre = host_.pre_overhead(bytes) + mpi.gpu_extra;
+      const Route route = cluster_.inter_node_route(s.gpu_dev, s.gpu, d.gpu_dev, d.gpu);
+      const double eff = wire_eff_p2p * sys().nic.protocol_efficiency;
+      const SimTime post = host_.post_overhead();
+      post_flow(route, bytes, eff, /*rate_cap=*/0, pre,
+                [this, post, done = std::move(done)]() mutable {
+                  engine().after(post, std::move(done));
+                });
+      return;
+    }
+  }
+}
+
+void MpiComm::coll_message(int src, int dst, Bytes bytes, Bytes op_bytes, EventFn done) {
+  transfer(src, dst, bytes, /*collective=*/true, op_bytes, std::move(done));
+}
+
+void MpiComm::send(int src, int dst, Bytes bytes, EventFn done) {
+  transfer(src, dst, bytes, /*collective=*/false, bytes, std::move(done));
+}
+
+void MpiComm::alltoall(Bytes buffer, EventFn done) {
+  const int n = size();
+  if (buffer <= 32_KiB && n >= 4) {
+    // Small vectors: Bruck's algorithm — ceil(log2 n) blocking rounds, each
+    // moving ~half the buffer to rank + 2^k (latency-optimal; why MPI wins
+    // small collectives, Fig. 11).
+    const Bytes half = std::max<Bytes>(buffer / 2, 1);
+    std::vector<Stage> stages;
+    for (int stride = 1; stride < n; stride <<= 1) {
+      stages.push_back([this, n, stride, half, buffer](EventFn next) {
+        auto join = JoinCounter::create(n, std::move(next));
+        for (int r = 0; r < n; ++r) {
+          transfer(r, (r + stride) % n, half, /*collective=*/true, buffer,
+                   [join] { join->arrive(); });
+        }
+      });
+    }
+    run_stages(std::move(stages), std::move(done));
+    return;
+  }
+  // Non-blocking pairwise exchange with a modest isend/irecv window (the
+  // standard MPICH/Open MPI medium-message alltoall structure).
+  const Bytes per_pair = buffer / static_cast<Bytes>(n);
+  windowed_alltoall(
+      /*window=*/4,
+      [this, n, per_pair, buffer](int src, int k, EventFn msg_done) {
+        transfer(src, pairwise_partner(src, k, n), per_pair, /*collective=*/true, buffer,
+                 std::move(msg_done));
+      },
+      std::move(done));
+}
+
+void MpiComm::allreduce(Bytes buffer, EventFn done) {
+  if (opts_.space == MemSpace::kHost) {
+    allreduce_host_staged(buffer, std::move(done));
+    return;
+  }
+  // Small vectors: recursive doubling (latency-optimal, what Cray MPICH's
+  // selector picks); requires a power-of-two communicator.
+  if (!sys().mpi.host_staged_allreduce && buffer <= 64_KiB &&
+      (size() & (size() - 1)) == 0 && size() >= 2) {
+    allreduce_recursive_doubling(buffer, std::move(done));
+    return;
+  }
+  if (sys().mpi.host_staged_allreduce) {
+    // Open MPI 4.1's CUDA coll: bounce the whole vector through the host
+    // and run the reduction there ([34]).
+    std::vector<Stage> stages;
+    stages.push_back([this, buffer](EventFn next) {
+      auto join = JoinCounter::create(size(), std::move(next));
+      for (int r = 0; r < size(); ++r) copy_.async_d2h(buffer, [join] { join->arrive(); });
+    });
+    stages.push_back([this, buffer](EventFn next) { allreduce_host_staged(buffer, std::move(next)); });
+    stages.push_back([this, buffer](EventFn next) {
+      auto join = JoinCounter::create(size(), std::move(next));
+      for (int r = 0; r < size(); ++r) copy_.async_h2d(buffer, [join] { join->arrive(); });
+    });
+    run_stages(std::move(stages), std::move(done));
+    return;
+  }
+  allreduce_gpu_staged(buffer, std::move(done));
+}
+
+void MpiComm::allreduce_gpu_staged(Bytes buffer, EventFn done) {
+  // Ring allreduce over the rank order; the GPU-kernel staging buffer limits
+  // the effective bandwidth by blk / (blk + halfpoint) (Sec. III-B).
+  const int n = size();
+  const double blk_factor =
+      static_cast<double>(eff_.allreduce_blk) /
+      static_cast<double>(eff_.allreduce_blk + sys().mpi.allreduce_blk_halfpoint);
+  const Bytes segment = std::max<Bytes>(buffer / static_cast<Bytes>(n), 1);
+  // Surface the block penalty as extra wire bytes on every ring transfer.
+  const Bytes wire_segment = static_cast<Bytes>(static_cast<double>(segment) / blk_factor);
+
+  const auto schedule = ring_allreduce_schedule(n);
+  std::vector<Stage> stages;
+  stages.reserve(schedule.size());
+  for (std::size_t round = 0; round < schedule.size(); ++round) {
+    const bool reduce_round = round + 1 < static_cast<std::size_t>(n);
+    stages.push_back([this, n, wire_segment, segment, buffer, reduce_round](EventFn next) {
+      EventFn after = std::move(next);
+      if (reduce_round) {
+        after = [this, segment, next = std::move(after)]() mutable {
+          engine().after(copy_.reduce_time(segment), std::move(next));
+        };
+      }
+      auto join = JoinCounter::create(n, std::move(after));
+      for (int i = 0; i < n; ++i) {
+        transfer(i, (i + 1) % n, wire_segment, /*collective=*/true, buffer,
+                 [join] { join->arrive(); });
+      }
+    });
+  }
+  run_stages(std::move(stages), std::move(done));
+}
+
+void MpiComm::allreduce_recursive_doubling(Bytes buffer, EventFn done) {
+  const int n = size();
+  int rounds = 0;
+  for (int m = 1; m < n; m <<= 1) ++rounds;
+  std::vector<Stage> stages;
+  stages.reserve(rounds);
+  for (int k = 0; k < rounds; ++k) {
+    stages.push_back([this, n, k, buffer](EventFn next) {
+      EventFn after = [this, buffer, next = std::move(next)]() mutable {
+        engine().after(copy_.reduce_time(buffer), std::move(next));
+      };
+      auto join = JoinCounter::create(n, std::move(after));
+      for (int i = 0; i < n; ++i) {
+        transfer(i, i ^ (1 << k), buffer, /*collective=*/true, buffer,
+                 [join] { join->arrive(); });
+      }
+    });
+  }
+  run_stages(std::move(stages), std::move(done));
+}
+
+void MpiComm::allreduce_host_staged(Bytes buffer, EventFn done) {
+  const int n = size();
+  const Bytes segment = std::max<Bytes>(buffer / static_cast<Bytes>(n), 1);
+  const auto schedule = ring_allreduce_schedule(n);
+  std::vector<Stage> stages;
+  stages.reserve(schedule.size());
+  for (std::size_t round = 0; round < schedule.size(); ++round) {
+    const bool reduce_round = round + 1 < static_cast<std::size_t>(n);
+    stages.push_back([this, n, segment, reduce_round](EventFn next) {
+      EventFn after = std::move(next);
+      if (reduce_round) {
+        after = [this, segment, next = std::move(after)]() mutable {
+          engine().after(transfer_time(segment, sys().host.reduce_bw), std::move(next));
+        };
+      }
+      auto join = JoinCounter::create(n, std::move(after));
+      for (int i = 0; i < n; ++i) {
+        host_.send(i, (i + 1) % n, segment, sys().mpi.net_coll_efficiency,
+                   [join] { join->arrive(); });
+      }
+    });
+  }
+  run_stages(std::move(stages), std::move(done));
+}
+
+}  // namespace gpucomm

@@ -1,0 +1,53 @@
+// GPU-aware MPI behavioural model (Cray MPICH and Open MPI/UCX flavours).
+//
+// Point-to-point uses the path table in p2p.hpp. Collectives: pairwise
+// exchange alltoall; allreduce is either the Cray MPICH GPU-staged ring
+// (block-size-limited, Sec. III-B) or Open MPI's host-staged reduction
+// ([34], Sec. IV-D) depending on the flavour.
+#pragma once
+
+#include "gpucomm/comm/communicator.hpp"
+#include "gpucomm/comm/host_path.hpp"
+#include "gpucomm/comm/mpi/mpi_config.hpp"
+#include "gpucomm/comm/mpi/p2p.hpp"
+
+namespace gpucomm {
+
+class MpiComm final : public Communicator {
+ public:
+  MpiComm(Cluster& cluster, std::vector<int> gpus, CommOptions options);
+
+  Mechanism mechanism() const override { return Mechanism::kMpi; }
+
+  void send(int src, int dst, Bytes bytes, EventFn done) override;
+  void alltoall(Bytes buffer, EventFn done) override;
+  void allreduce(Bytes buffer, EventFn done) override;
+
+  const MpiEffective& effective() const { return eff_; }
+  /// Path the next send of this size/pair would take (test/debug hook).
+  MpiP2pPath path_for(int src, int dst, Bytes bytes) const;
+
+ protected:
+  void coll_message(int src, int dst, Bytes bytes, Bytes op_bytes, EventFn done) override;
+
+ private:
+  /// One transfer with collective-context efficiency (per-message software
+  /// overheads included; collectives pass lower wire efficiency and the
+  /// whole-operation size as the pipeline-ramp reference).
+  void transfer(int src, int dst, Bytes bytes, bool collective, Bytes ramp_ref, EventFn done);
+
+  /// Cray MPICH GPU-staged ring allreduce.
+  void allreduce_gpu_staged(Bytes buffer, EventFn done);
+  /// Recursive-doubling allreduce for small vectors (latency-optimal).
+  void allreduce_recursive_doubling(Bytes buffer, EventFn done);
+  /// Open MPI host-staged allreduce: D2H, host ring allreduce, H2D.
+  void allreduce_host_staged(Bytes buffer, EventFn done);
+
+  /// SDMA cap: with SDMA engaged, intra-node copies ride one IF link.
+  Bandwidth intra_rate_cap() const;
+
+  MpiEffective eff_;
+  HostPath host_;
+};
+
+}  // namespace gpucomm

@@ -1,0 +1,17 @@
+#include "gpucomm/comm/mpi/mpi_config.hpp"
+
+namespace gpucomm {
+
+MpiEffective resolve_mpi(const MpiParams& params, const SoftwareEnv& env) {
+  MpiEffective eff;
+  eff.ipc_threshold = env.mpich_gpu_ipc_threshold > 0 ? env.mpich_gpu_ipc_threshold
+                                                      : params.ipc_threshold_default;
+  eff.allreduce_blk = env.mpich_gpu_allreduce_blk > 0 ? env.mpich_gpu_allreduce_blk
+                                                      : params.allreduce_blk_default;
+  eff.sdma_single_link = params.sdma_limits_links && env.hsa_enable_sdma;
+  eff.gdrcopy = env.gdrcopy_loaded || params.gdrcopy_in_default_env;
+  eff.service_level = env.ucx_ib_sl;
+  return eff;
+}
+
+}  // namespace gpucomm

@@ -1,0 +1,26 @@
+// Resolution of the MPI tuning environment (Sec. III-B) into effective
+// runtime settings.
+#pragma once
+
+#include "gpucomm/systems/system_config.hpp"
+
+namespace gpucomm {
+
+struct MpiEffective {
+  /// Intra-node GPU messages at/above this size use the IPC device-copy
+  /// path; below it Cray MPICH stages through host memory
+  /// (MPICH_GPU_IPC_THRESHOLD).
+  Bytes ipc_threshold = 0;
+  /// GPU-staged allreduce block size (MPICH_GPU_ALLREDUCE_BLK_SIZE).
+  Bytes allreduce_blk = 0;
+  /// SDMA engaged: copies ride a single IF link (HSA_ENABLE_SDMA, LUMI).
+  bool sdma_single_link = false;
+  /// GDRCopy loaded for small GPU messages (Open MPI/UCX on Leonardo).
+  bool gdrcopy = false;
+  /// InfiniBand service level (UCX_IB_SL).
+  int service_level = 0;
+};
+
+MpiEffective resolve_mpi(const MpiParams& params, const SoftwareEnv& env);
+
+}  // namespace gpucomm

@@ -1,0 +1,40 @@
+#include "gpucomm/comm/mpi/p2p.hpp"
+
+namespace gpucomm {
+
+const char* to_string(MpiP2pPath path) {
+  switch (path) {
+    case MpiP2pPath::kHostShared: return "host-shared";
+    case MpiP2pPath::kHostNetwork: return "host-network";
+    case MpiP2pPath::kGdrCopy: return "gdrcopy";
+    case MpiP2pPath::kCpuHbm: return "cpu-hbm";
+    case MpiP2pPath::kStagedBounce: return "staged-bounce";
+    case MpiP2pPath::kIpc: return "ipc";
+    case MpiP2pPath::kGdrRdma: return "gdr-rdma";
+  }
+  return "?";
+}
+
+MpiP2pPath select_mpi_path(const SystemConfig& sys, const MpiEffective& eff, MemSpace space,
+                           bool same_node, Bytes bytes) {
+  if (space == MemSpace::kHost) {
+    return same_node ? MpiP2pPath::kHostShared : MpiP2pPath::kHostNetwork;
+  }
+  if (!same_node) return MpiP2pPath::kGdrRdma;
+
+  const MpiParams& mpi = sys.mpi;
+  if (mpi.flavor == MpiFlavor::kOpenMpiUcx) {
+    if (eff.gdrcopy && bytes <= mpi.gdrcopy_threshold) return MpiP2pPath::kGdrCopy;
+    return MpiP2pPath::kIpc;
+  }
+  // Cray MPICH. On AMD the optimized CPU-to-HBM memcpy serves small
+  // messages with its own size cutoff (LUMI, Sec. III-C); on NVIDIA,
+  // messages below the IPC threshold take a host-staged bounce (Alps until
+  // MPICH_GPU_IPC_THRESHOLD=1, Sec. III-B).
+  if (sys.gpu.cpu_access_hbm && mpi.cpu_hbm_threshold > 0 && bytes <= mpi.cpu_hbm_threshold)
+    return MpiP2pPath::kCpuHbm;
+  if (bytes < eff.ipc_threshold) return MpiP2pPath::kStagedBounce;
+  return MpiP2pPath::kIpc;
+}
+
+}  // namespace gpucomm

@@ -1,0 +1,36 @@
+// GPU-aware MPI point-to-point path selection (Sec. III-C).
+//
+// Intra-node device buffers take one of four paths depending on the
+// implementation and message size:
+//   - GDRCopy window writes (Open MPI/UCX on NVIDIA, small messages),
+//   - CPU load/store directly to HBM (Cray MPICH on AMD, small messages),
+//   - host-staged bounce (Cray MPICH below the IPC threshold on NVIDIA),
+//   - IPC device-device copy (everything else).
+// Inter-node device buffers go out via GDR RDMA on the rank's NIC; host
+// buffers use the plain eager/rendezvous path.
+#pragma once
+
+#include <cstdint>
+
+#include "gpucomm/comm/mpi/mpi_config.hpp"
+#include "gpucomm/mem/buffer.hpp"
+
+namespace gpucomm {
+
+enum class MpiP2pPath : std::uint8_t {
+  kHostShared,   // host buffers, same node (shared memory)
+  kHostNetwork,  // host buffers, different nodes
+  kGdrCopy,      // device, small, CPU writes through BAR window
+  kCpuHbm,       // device, small, CPU load/store to HBM (AMD)
+  kStagedBounce, // device, below IPC threshold, D2H + H2H + H2D
+  kIpc,          // device, IPC device-device copy over the GPU fabric
+  kGdrRdma,      // device, different nodes, NIC reads GPU memory directly
+};
+
+const char* to_string(MpiP2pPath path);
+
+/// Select the transfer path for one message.
+MpiP2pPath select_mpi_path(const SystemConfig& sys, const MpiEffective& eff, MemSpace space,
+                           bool same_node, Bytes bytes);
+
+}  // namespace gpucomm

@@ -1,0 +1,95 @@
+#include "gpucomm/comm/staging.hpp"
+
+#include <utility>
+
+namespace gpucomm {
+
+StagingComm::StagingComm(Cluster& cluster, std::vector<int> gpus, CommOptions options)
+    : Communicator(cluster, std::move(gpus), std::move(options)),
+      host_(cluster, ranks_, opts_.service_level) {}
+
+void StagingComm::send(int src, int dst, Bytes bytes, EventFn done) {
+  if (opts_.space == MemSpace::kHost) {
+    host_.send(src, dst, bytes, sys().mpi.net_p2p_efficiency, std::move(done));
+    return;
+  }
+  // Store-and-forward: D2H, host transfer, H2D — strictly sequential.
+  run_stages(
+      {
+          [this, bytes](EventFn next) { copy_.async_d2h(bytes, std::move(next)); },
+          [this, src, dst, bytes](EventFn next) {
+            host_.send(src, dst, bytes, sys().mpi.net_p2p_efficiency, std::move(next));
+          },
+          [this, bytes](EventFn next) { copy_.async_h2d(bytes, std::move(next)); },
+      },
+      std::move(done));
+}
+
+void StagingComm::stage_all(bool to_host, Bytes bytes_per_rank, EventFn done) {
+  auto join = JoinCounter::create(size(), std::move(done));
+  for (int r = 0; r < size(); ++r) {
+    auto arrive = [join] { join->arrive(); };
+    if (to_host) {
+      copy_.async_d2h(bytes_per_rank, std::move(arrive));
+    } else {
+      copy_.async_h2d(bytes_per_rank, std::move(arrive));
+    }
+  }
+}
+
+void StagingComm::alltoall(Bytes buffer, EventFn done) {
+  const int n = size();
+  const Bytes per_pair = buffer / static_cast<Bytes>(n);
+  // D2H all -> host pairwise exchange (n-1 rounds) -> H2D all.
+  std::vector<Stage> stages;
+  if (opts_.space == MemSpace::kDevice) {
+    stages.push_back([this, buffer](EventFn next) { stage_all(true, buffer, std::move(next)); });
+  }
+  for (int round = 1; round < n; ++round) {
+    stages.push_back([this, n, round, per_pair](EventFn next) {
+      auto join = JoinCounter::create(n, std::move(next));
+      for (int r = 0; r < n; ++r) {
+        host_.send(r, pairwise_partner(r, round, n), per_pair, sys().mpi.net_coll_efficiency,
+                   [join] { join->arrive(); });
+      }
+    });
+  }
+  if (opts_.space == MemSpace::kDevice) {
+    stages.push_back([this, buffer](EventFn next) { stage_all(false, buffer, std::move(next)); });
+  }
+  run_stages(std::move(stages), std::move(done));
+}
+
+void StagingComm::allreduce(Bytes buffer, EventFn done) {
+  const int n = size();
+  const Bytes segment = buffer / static_cast<Bytes>(n);
+  const auto schedule = ring_allreduce_schedule(n);
+
+  std::vector<Stage> stages;
+  if (opts_.space == MemSpace::kDevice) {
+    stages.push_back([this, buffer](EventFn next) { stage_all(true, buffer, std::move(next)); });
+  }
+  for (const auto& round : schedule) {
+    stages.push_back([this, round, segment](EventFn next) {
+      auto join = JoinCounter::create(static_cast<int>(round.size()), std::move(next));
+      for (const RingStep& step : round) {
+        const SimTime reduce =
+            step.reduce ? transfer_time(segment, sys().host.reduce_bw) : SimTime::zero();
+        host_.send(step.src, step.dst, segment, sys().mpi.net_coll_efficiency,
+                   [this, reduce, join] {
+                     if (reduce > SimTime::zero()) {
+                       engine().after(reduce, [join] { join->arrive(); });
+                     } else {
+                       join->arrive();
+                     }
+                   });
+      }
+    });
+  }
+  if (opts_.space == MemSpace::kDevice) {
+    stages.push_back([this, buffer](EventFn next) { stage_all(false, buffer, std::move(next)); });
+  }
+  run_stages(std::move(stages), std::move(done));
+}
+
+}  // namespace gpucomm

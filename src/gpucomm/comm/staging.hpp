@@ -1,0 +1,30 @@
+// Trivial staging baseline (Sec. III-A): device buffers bounce through host
+// memory and move between processes with plain host MPI. Store-and-forward,
+// pinned buffers, no pipelining — the paper's lower-bound reference.
+#pragma once
+
+#include "gpucomm/comm/communicator.hpp"
+#include "gpucomm/comm/host_path.hpp"
+
+namespace gpucomm {
+
+class StagingComm final : public Communicator {
+ public:
+  StagingComm(Cluster& cluster, std::vector<int> gpus, CommOptions options);
+
+  Mechanism mechanism() const override { return Mechanism::kStaging; }
+  void send(int src, int dst, Bytes bytes, EventFn done) override;
+  void alltoall(Bytes buffer, EventFn done) override;
+  void allreduce(Bytes buffer, EventFn done) override;
+
+  /// The paper's dashed expected-goodput line for staging p2p (Fig. 3).
+  Bandwidth expected_goodput(Bytes bytes) const { return copy_.staging_expected_goodput(bytes); }
+
+ private:
+  /// D2H on every rank (or H2D), all concurrent; join on completion.
+  void stage_all(bool to_host, Bytes bytes_per_rank, EventFn done);
+
+  HostPath host_;
+};
+
+}  // namespace gpucomm

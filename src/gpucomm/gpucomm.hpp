@@ -1,0 +1,28 @@
+// Umbrella header: the full public API of the gpucomm simulator.
+//
+//   #include "gpucomm/gpucomm.hpp"
+//
+// Typical use:
+//   SystemConfig cfg = system_by_name("leonardo");   // Table I, encoded
+//   Cluster cluster(cfg, {.nodes = 4});              // fabric + nodes + noise
+//   CommOptions opt{.env = cfg.tuned_env()};         // Sec. III-B tuning
+//   CclComm nccl(cluster, first_n_gpus(cluster, 16), opt);
+//   SimTime t = nccl.time_allreduce(1_GiB);
+#pragma once
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/cluster/placement.hpp"
+#include "gpucomm/comm/ccl/ccl_comm.hpp"
+#include "gpucomm/comm/communicator.hpp"
+#include "gpucomm/comm/dataplane.hpp"
+#include "gpucomm/comm/devcopy.hpp"
+#include "gpucomm/comm/mpi/mpi_comm.hpp"
+#include "gpucomm/comm/staging.hpp"
+#include "gpucomm/harness/runner.hpp"
+#include "gpucomm/harness/stats.hpp"
+#include "gpucomm/harness/table.hpp"
+#include "gpucomm/noise/background.hpp"
+#include "gpucomm/noise/noise_model.hpp"
+#include "gpucomm/scale/scale_model.hpp"
+#include "gpucomm/systems/registry.hpp"
+#include "gpucomm/topology/forwarding.hpp"

@@ -1,0 +1,48 @@
+#include "gpucomm/harness/runner.hpp"
+
+#include "gpucomm/runtime/clock.hpp"
+#include "gpucomm/sim/units.hpp"
+
+namespace gpucomm {
+
+RunConfig run_config_for(Bytes bytes) {
+  // The paper runs 100-1,000 iterations depending on the transfer size; the
+  // simulator's variability needs fewer repetitions for stable statistics,
+  // but keeps the same shape: more iterations for small transfers.
+  RunConfig cfg;
+  if (bytes <= 64_KiB) {
+    cfg.iterations = 100;
+  } else if (bytes <= 16_MiB) {
+    cfg.iterations = 50;
+  } else {
+    cfg.iterations = 25;
+  }
+  cfg.warmup = 3;
+  return cfg;
+}
+
+Samples run_iterations(Cluster& cluster, const RunConfig& cfg,
+                       const std::function<SimTime()>& iteration) {
+  const MeasurementClock clock(cluster.config().timer_resolution);
+  Samples samples;
+  samples.us.reserve(cfg.iterations);
+  for (int i = 0; i < cfg.warmup + cfg.iterations; ++i) {
+    if (NoiseField* noise = cluster.noise_field()) noise->resample();
+    const SimTime t = iteration();
+    if (i < cfg.warmup) continue;
+    samples.us.push_back(clock.measure(SimTime::zero(), t).micros());
+  }
+  return samples;
+}
+
+Summary Samples::goodput_summary(Bytes bytes) const {
+  std::vector<double> gbps;
+  gbps.reserve(us.size());
+  for (const double t_us : us) {
+    if (t_us <= 0) continue;
+    gbps.push_back(static_cast<double>(bytes) * 8.0 / (t_us * 1e-6) / 1e9);
+  }
+  return summarize(std::move(gbps));
+}
+
+}  // namespace gpucomm

@@ -1,0 +1,38 @@
+// Iteration runner implementing the paper's benchmarking methodology
+// (Sec. III-A): warmup iterations excluded, per-iteration timings recorded
+// with the system's MPI_Wtime resolution, production noise redrawn between
+// iterations, and collective results reported as max time across ranks
+// (which the operation-completion callback already is).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/harness/stats.hpp"
+#include "gpucomm/sim/time.hpp"
+
+namespace gpucomm {
+
+struct RunConfig {
+  int iterations = 50;
+  int warmup = 3;
+};
+
+/// Iteration counts the paper uses: more repetitions for small transfers.
+RunConfig run_config_for(Bytes bytes);
+
+struct Samples {
+  /// Per-iteration durations in microseconds (quantized to the timer).
+  std::vector<double> us;
+  Summary summary() const { return summarize(us); }
+  /// Goodput summary in Gb/s for `bytes` moved per iteration.
+  Summary goodput_summary(Bytes bytes) const;
+};
+
+/// Run `iteration` repeatedly; it must advance the cluster engine and return
+/// the measured duration of one iteration.
+Samples run_iterations(Cluster& cluster, const RunConfig& cfg,
+                       const std::function<SimTime()>& iteration);
+
+}  // namespace gpucomm

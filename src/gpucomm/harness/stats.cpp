@@ -1,0 +1,45 @@
+#include "gpucomm/harness/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gpucomm {
+
+double percentile_sorted(const std::vector<double>& sorted, double p) {
+  assert(!sorted.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  if (sorted.size() == 1) return sorted.front();
+  const double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+
+  double sum = 0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+  double var = 0;
+  for (const double v : samples) var += (v - s.mean) * (v - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(var / static_cast<double>(s.n - 1)) : 0.0;
+
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p5 = percentile_sorted(samples, 5);
+  s.q1 = percentile_sorted(samples, 25);
+  s.median = percentile_sorted(samples, 50);
+  s.q3 = percentile_sorted(samples, 75);
+  s.p95 = percentile_sorted(samples, 95);
+  s.iqr = s.q3 - s.q1;
+  s.median_ci = 1.57 * s.iqr / std::sqrt(static_cast<double>(s.n));
+  return s;
+}
+
+}  // namespace gpucomm

@@ -1,0 +1,33 @@
+// Statistics matching the paper's reporting (Sec. III-A, Fig. 8): mean,
+// median, quartiles, 5th/95th percentiles, IQR, min/max, and the 95%
+// confidence interval of the median (box-plot notches).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gpucomm {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  double p5 = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double p95 = 0;
+  double iqr = 0;
+  /// 95% CI half-width of the median (1.57 * IQR / sqrt(n), the standard
+  /// notch formula).
+  double median_ci = 0;
+};
+
+/// Linear-interpolation percentile of a sorted sample, p in [0, 100].
+double percentile_sorted(const std::vector<double>& sorted, double p);
+
+Summary summarize(std::vector<double> samples);
+
+}  // namespace gpucomm

@@ -1,0 +1,30 @@
+// Aligned text tables (the benches' stdout) and CSV emission (the paper
+// artifact's data/ folder format).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gpucomm {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  /// Write headers + rows as CSV.
+  void write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double ("12.34"); trims to "n/a" for NaN.
+std::string fmt(double value, int precision = 2);
+
+}  // namespace gpucomm

@@ -1,0 +1,56 @@
+#include "gpucomm/hw/gpu.hpp"
+
+namespace gpucomm::gpus {
+
+// HBM figures are nominal per-die bandwidths; d2h/h2d are the sustained
+// single-stream staging copy rates that set the paper's "trivial staging"
+// dashed lines in Fig. 3 (roughly 1/10th of the direct GPU-GPU goodput).
+
+GpuParams h100_gh200() {
+  GpuParams p;
+  p.hbm_bw = gbps(3350 * 8);            // HBM3, ~3.35 TB/s
+  // Single-stream staged memcpy as the paper's baseline drives it; the
+  // staging line in Fig. 3 sits one order of magnitude below NVLink peak.
+  p.d2h_bw = gbps(25 * 8);
+  p.h2d_bw = gbps(25 * 8);
+  p.kernel_launch = microseconds(4.0);  // CUDA launch + NCCL group overhead share
+  p.copy_issue = microseconds(1.2);
+  p.reduce_bw = gbps(1500 * 8);
+  p.copy_engine_bw = gbps(2400);
+  p.peer_access = false;  // not enabled on Alps nodes at the time (Sec. III-C)
+  p.cpu_access_hbm = false;
+  p.gdrcopy_capable = true;
+  return p;
+}
+
+GpuParams a100_leonardo() {
+  GpuParams p;
+  p.hbm_bw = gbps(2000 * 8);            // HBM2e custom SKU
+  p.d2h_bw = gbps(22 * 8);              // PCIe Gen4 x16 sustained memcpy
+  p.h2d_bw = gbps(22 * 8);
+  p.kernel_launch = microseconds(4.5);
+  p.copy_issue = microseconds(1.4);
+  p.reduce_bw = gbps(900 * 8);
+  p.copy_engine_bw = gbps(1200);
+  p.peer_access = true;
+  p.cpu_access_hbm = false;
+  p.gdrcopy_capable = true;
+  return p;
+}
+
+GpuParams mi250x_gcd() {
+  GpuParams p;
+  p.hbm_bw = gbps(1600 * 8);            // per GCD
+  p.d2h_bw = gbps(24 * 8);              // 288 Gb/s IF host link, sustained
+  p.h2d_bw = gbps(24 * 8);
+  p.kernel_launch = microseconds(5.0);  // HIP launch slightly costlier
+  p.copy_issue = microseconds(1.5);
+  p.reduce_bw = gbps(800 * 8);
+  p.copy_engine_bw = gbps(1400);
+  p.peer_access = true;
+  p.cpu_access_hbm = true;  // enables MPICH's host-mediated small-msg path
+  p.gdrcopy_capable = false;
+  return p;
+}
+
+}  // namespace gpucomm::gpus

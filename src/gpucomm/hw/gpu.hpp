@@ -1,0 +1,54 @@
+// GPU device model parameters.
+//
+// The simulator does not execute kernels; it accounts for the costs that
+// shape communication performance: memory bandwidth for local copies, the
+// latency of launching copy/communication kernels, and architectural
+// capabilities that gate software paths (peer access, CPU stores to HBM).
+#pragma once
+
+#include "gpucomm/sim/time.hpp"
+#include "gpucomm/sim/units.hpp"
+
+namespace gpucomm {
+
+struct GpuParams {
+  /// Device-memory (HBM) bandwidth, bits/s; bounds D2D copies on one die.
+  Bandwidth hbm_bw = 0;
+  /// Sustained device<->host copy bandwidth through the host link.
+  Bandwidth d2h_bw = 0;
+  Bandwidth h2d_bw = 0;
+  /// Latency to launch a kernel (used by *CCL per group/collective).
+  SimTime kernel_launch;
+  /// Latency to issue an async memcpy (cudaMemcpyAsync / hipMemcpyAsync).
+  SimTime copy_issue;
+  /// Per-GPU reduction throughput for on-GPU data aggregation, bits/s of
+  /// input consumed (allreduce compute term).
+  Bandwidth reduce_bw = 0;
+  /// GPU peer access (IPC device-device copies). Disabled on Alps at the
+  /// time of the paper (Sec. III-C), so devcopy results are skipped there.
+  bool peer_access = true;
+  /// CPU can issue load/store directly to GPU HBM (AMD: yes; NVIDIA: no).
+  /// Enables Cray MPICH's optimized host-mediated small-message path on LUMI.
+  bool cpu_access_hbm = false;
+  /// GDRCopy-style CPU window writes to device memory for small messages
+  /// (NVIDIA + InfiniBand; Leonardo after the LD_LIBRARY_PATH fix).
+  bool gdrcopy_capable = false;
+  /// Sustained fraction of the path's nominal bandwidth a single IPC
+  /// device-device copy achieves (Fig. 4: ~70% on any LUMI pair).
+  double ipc_copy_efficiency = 0.72;
+  /// Copy engines ramp to peak with size: effective rate scales by
+  /// bytes / (bytes + rampup).
+  Bytes copy_rampup_bytes = 1_MiB;
+  /// Aggregate throughput of concurrent peer copies issued by one GPU (DMA
+  /// engines + SM copy paths share this budget); bounds the paper's
+  /// overlapped device-copy alltoall (Sec. IV-B).
+  Bandwidth copy_engine_bw = 0;
+};
+
+namespace gpus {
+GpuParams h100_gh200();   // Alps
+GpuParams a100_leonardo();
+GpuParams mi250x_gcd();   // LUMI, one GCD
+}  // namespace gpus
+
+}  // namespace gpucomm

@@ -1,0 +1,27 @@
+#include "gpucomm/hw/link.hpp"
+
+namespace gpucomm::links {
+
+// Latencies are one-hop traversal times (serdes + wire + forwarding). They
+// are calibrated so the end-to-end same-switch and cross-group latencies of
+// Fig. 8 land in the paper's reported ranges once software overheads from
+// SystemConfig are added.
+
+LinkPreset nvlink4() { return {gbps(200), nanoseconds(220), LinkType::kNvLink}; }
+LinkPreset nvlink3() { return {gbps(200), nanoseconds(250), LinkType::kNvLink}; }
+LinkPreset infinity_fabric() { return {gbps(400), nanoseconds(300), LinkType::kInfinityFabric}; }
+LinkPreset pcie_gen4_x16() { return {gbps(256), nanoseconds(100), LinkType::kPcie}; }
+LinkPreset pcie_gen5_x16() { return {gbps(512), nanoseconds(100), LinkType::kPcie}; }
+
+// Slingshot: ~350 ns per switch hop (De Sensi et al. [12]); the NIC wire
+// includes NIC pipeline + cable.
+LinkPreset slingshot_edge() { return {gbps(200), nanoseconds(350), LinkType::kNicWire}; }
+LinkPreset slingshot_global() { return {gbps(200), nanoseconds(600), LinkType::kGlobal}; }
+
+// InfiniBand HDR: ~130 ns switch hops, low NIC wire latency; Leonardo's
+// same-switch host latency of 1.02 us (Fig. 8b) is dominated by software.
+LinkPreset ib_hdr100_edge() { return {gbps(100), nanoseconds(150), LinkType::kNicWire}; }
+LinkPreset ib_hdr200_leafspine() { return {gbps(200), nanoseconds(280), LinkType::kLeafSpine}; }
+LinkPreset ib_hdr200_global() { return {gbps(200), nanoseconds(450), LinkType::kGlobal}; }
+
+}  // namespace gpucomm::links

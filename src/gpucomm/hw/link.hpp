@@ -1,0 +1,43 @@
+// Link parameter presets for the interconnect technologies in Table I.
+//
+// Capacities are unidirectional bits/s per *physical* link; node builders
+// aggregate parallel links into one graph edge with a multiplicity.
+#pragma once
+
+#include "gpucomm/sim/time.hpp"
+#include "gpucomm/sim/units.hpp"
+#include "gpucomm/topology/graph.hpp"
+
+namespace gpucomm {
+
+struct LinkPreset {
+  Bandwidth rate = 0;  // per physical link
+  SimTime latency;     // per traversal
+  LinkType type = LinkType::kNvLink;
+};
+
+namespace links {
+
+/// NVLink 4.0 (Alps GH200): 200 Gb/s per link, 6 links per GPU pair.
+LinkPreset nvlink4();
+/// NVLink 3.0 (Leonardo A100): 200 Gb/s per link, 4 links per GPU pair.
+LinkPreset nvlink3();
+/// AMD Infinity Fabric GCD-GCD (LUMI MI250X): 400 Gb/s per link.
+LinkPreset infinity_fabric();
+/// PCIe Gen4 x16 (Leonardo GPU/NIC attach): 256 Gb/s.
+LinkPreset pcie_gen4_x16();
+/// PCIe Gen5-class device attach (Alps GH200 NIC, LUMI ESM NIC attach).
+LinkPreset pcie_gen5_x16();
+/// HPE Slingshot 200 Gb/s port (NIC wire or switch-switch, electrical).
+LinkPreset slingshot_edge();
+/// HPE Slingshot global (optical, longer reach -> higher latency).
+LinkPreset slingshot_global();
+/// InfiniBand HDR 100 Gb/s endpoint port (Leonardo NIC wire).
+LinkPreset ib_hdr100_edge();
+/// InfiniBand HDR 200 Gb/s switch-switch (leaf-spine).
+LinkPreset ib_hdr200_leafspine();
+/// InfiniBand HDR 200 Gb/s spine-spine between groups (optical).
+LinkPreset ib_hdr200_global();
+
+}  // namespace links
+}  // namespace gpucomm

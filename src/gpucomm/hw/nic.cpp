@@ -1,0 +1,28 @@
+#include "gpucomm/hw/nic.hpp"
+
+namespace gpucomm::nics {
+
+NicParams cassini1() {
+  NicParams p;
+  p.rate = gbps(200);
+  // Slingshot's Ethernet-derived protocol carries larger headers than IB
+  // (Hoefler et al. [39]); the paper attributes part of the host-latency gap
+  // vs. Leonardo to this (Sec. V-B2).
+  p.send_overhead = nanoseconds(800);
+  p.recv_overhead = nanoseconds(700);
+  p.gdr_bounce_penalty = microseconds(2.0);
+  p.protocol_efficiency = 0.96;
+  return p;
+}
+
+NicParams connectx6_100() {
+  NicParams p;
+  p.rate = gbps(100);
+  p.send_overhead = nanoseconds(120);
+  p.recv_overhead = nanoseconds(100);
+  p.gdr_bounce_penalty = microseconds(2.5);
+  p.protocol_efficiency = 0.985;
+  return p;
+}
+
+}  // namespace gpucomm::nics

@@ -1,0 +1,31 @@
+// NIC model parameters.
+#pragma once
+
+#include "gpucomm/sim/time.hpp"
+#include "gpucomm/sim/units.hpp"
+
+namespace gpucomm {
+
+struct NicParams {
+  /// Injection rate per NIC port, bits/s unidirectional.
+  Bandwidth rate = 0;
+  /// Per-message send-side processing (doorbell, descriptor, DMA setup).
+  SimTime send_overhead;
+  /// Per-message receive-side processing (completion, delivery).
+  SimTime recv_overhead;
+  /// Extra per-message cost when the payload is in GPU memory and direct
+  /// RDMA (GDR) is *not* usable: data bounces through a host buffer.
+  SimTime gdr_bounce_penalty;
+  /// Ethernet-style protocol overhead factor (Slingshot): headers reduce the
+  /// achievable goodput fraction relative to the raw rate.
+  double protocol_efficiency = 1.0;
+};
+
+namespace nics {
+/// HPE Cray Cassini-1, 200 Gb/s (Alps, LUMI).
+NicParams cassini1();
+/// NVIDIA ConnectX-6 port configured at 100 Gb/s (Leonardo).
+NicParams connectx6_100();
+}  // namespace nics
+
+}  // namespace gpucomm

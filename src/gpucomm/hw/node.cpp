@@ -1,0 +1,14 @@
+#include "gpucomm/hw/node.hpp"
+
+namespace gpucomm {
+
+const char* to_string(NodeArch arch) {
+  switch (arch) {
+    case NodeArch::kAlps: return "alps";
+    case NodeArch::kLeonardo: return "leonardo";
+    case NodeArch::kLumi: return "lumi";
+  }
+  return "?";
+}
+
+}  // namespace gpucomm

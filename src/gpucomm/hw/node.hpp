@@ -1,0 +1,28 @@
+// Assembled compute node: device ids of its GPUs, NICs and NUMA domains,
+// plus the affinity maps the paper's benchmark relies on (each MPI rank
+// drives the GPU and NIC closest to its core, Sec. III-A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpucomm/topology/graph.hpp"
+
+namespace gpucomm {
+
+enum class NodeArch : std::uint8_t { kAlps, kLeonardo, kLumi };
+
+const char* to_string(NodeArch arch);
+
+struct NodeDevices {
+  std::int32_t node = -1;
+  std::vector<DeviceId> gpus;
+  std::vector<DeviceId> numas;
+  std::vector<DeviceId> nics;
+  /// closest_nic[g] = NIC driven by the rank managing GPU g.
+  std::vector<DeviceId> closest_nic;
+  /// closest_numa[g] = host memory domain of that rank.
+  std::vector<DeviceId> closest_numa;
+};
+
+}  // namespace gpucomm

@@ -1,0 +1,38 @@
+#include "gpucomm/hw/switch.hpp"
+
+namespace gpucomm::switches {
+
+SwitchParams rosetta() {
+  SwitchParams p;
+  p.radix = 64;
+  p.endpoint_ports = 16;
+  p.local_ports = 31;
+  p.global_ports = 17;
+  p.virtual_lanes = 4;
+  p.hop_latency = nanoseconds(350);
+  return p;
+}
+
+SwitchParams quantum_leaf() {
+  SwitchParams p;
+  p.radix = 40;
+  p.endpoint_ports = 40;  // 100 Gb/s split ports towards 10 nodes
+  p.local_ports = 18;     // towards spines
+  p.global_ports = 0;
+  p.virtual_lanes = 8;
+  p.hop_latency = nanoseconds(130);
+  return p;
+}
+
+SwitchParams quantum_spine() {
+  SwitchParams p;
+  p.radix = 40;
+  p.endpoint_ports = 0;
+  p.local_ports = 18;   // towards leaves
+  p.global_ports = 22;  // towards other groups
+  p.virtual_lanes = 8;
+  p.hop_latency = nanoseconds(130);
+  return p;
+}
+
+}  // namespace gpucomm::switches

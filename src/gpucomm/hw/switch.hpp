@@ -1,0 +1,35 @@
+// Switch model parameters.
+//
+// Switches appear in the device graph as forwarding devices; their queueing
+// behaviour under contention is modelled by the flow-level network plus the
+// noise field (per-VL queueing delay). These parameters capture the static
+// properties: port counts (used by the topology builders to validate the
+// paper's wiring budgets) and per-VL configuration.
+#pragma once
+
+#include <cstdint>
+
+#include "gpucomm/sim/time.hpp"
+
+namespace gpucomm {
+
+struct SwitchParams {
+  std::uint16_t radix = 0;
+  std::uint16_t endpoint_ports = 0;
+  std::uint16_t local_ports = 0;   // intra-group (Dragonfly) or up-links (leaf)
+  std::uint16_t global_ports = 0;  // inter-group
+  std::uint16_t virtual_lanes = 2;
+  SimTime hop_latency;
+};
+
+namespace switches {
+/// HPE Slingshot Rosetta (Alps/LUMI): 64 ports; 16 endpoint, 31 local,
+/// 17 global (Sec. II-A / II-C).
+SwitchParams rosetta();
+/// Leonardo leaf: 40 ports at 200 Gb/s, run as 40x100 endpoint + 18x200 up.
+SwitchParams quantum_leaf();
+/// Leonardo spine: 18x200 down + 22x200 global.
+SwitchParams quantum_spine();
+}  // namespace switches
+
+}  // namespace gpucomm

@@ -1,0 +1,13 @@
+#include "gpucomm/mem/buffer.hpp"
+
+namespace gpucomm {
+
+const char* to_string(MemSpace space) {
+  switch (space) {
+    case MemSpace::kDevice: return "device";
+    case MemSpace::kHost: return "host";
+  }
+  return "?";
+}
+
+}  // namespace gpucomm

@@ -1,0 +1,31 @@
+// Simulated memory buffers.
+//
+// Buffers carry location metadata (device vs. host, owning rank) used by
+// the communication layers to pick software paths, mirroring how GPU-aware
+// MPI dispatches on the pointer's memory space.
+#pragma once
+
+#include <cstdint>
+
+#include "gpucomm/sim/units.hpp"
+
+namespace gpucomm {
+
+enum class MemSpace : std::uint8_t { kDevice, kHost };
+
+const char* to_string(MemSpace space);
+
+struct Buffer {
+  MemSpace space = MemSpace::kDevice;
+  /// Rank owning the buffer (index within the communicator).
+  int rank = -1;
+  Bytes size = 0;
+  /// Host buffers are assumed registered/pinned (the paper's staging baseline
+  /// pins its bounce buffers, Sec. III-A).
+  bool pinned = true;
+};
+
+inline Buffer device_buffer(int rank, Bytes size) { return {MemSpace::kDevice, rank, size, true}; }
+inline Buffer host_buffer(int rank, Bytes size) { return {MemSpace::kHost, rank, size, true}; }
+
+}  // namespace gpucomm

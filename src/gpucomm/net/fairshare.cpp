@@ -1,0 +1,98 @@
+#include "gpucomm/net/fairshare.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace gpucomm {
+
+std::vector<Bandwidth> maxmin_fair_rates(const FairshareProblem& problem) {
+  const std::size_t n = problem.flows.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<Bandwidth> rate(n, 0.0);
+  if (n == 0) return rate;
+  assert(problem.caps.empty() || problem.caps.size() == n);
+
+  const auto cap_of = [&](std::size_t i) {
+    return problem.caps.empty() ? kInf : problem.caps[i];
+  };
+
+  // Only links actually used by some flow participate; map to a dense index.
+  std::unordered_map<LinkId, std::size_t> dense;
+  std::vector<Bandwidth> remaining;
+  std::vector<int> unfrozen_count;
+  for (const auto& flow : problem.flows) {
+    for (const LinkId l : flow) {
+      auto [it, inserted] = dense.try_emplace(l, remaining.size());
+      if (inserted) {
+        remaining.push_back(std::max(problem.capacity[l], 0.0));
+        unfrozen_count.push_back(0);
+      }
+      ++unfrozen_count[it->second];
+    }
+  }
+
+  std::vector<bool> frozen(n, false);
+  std::size_t frozen_total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (problem.flows[i].empty()) {
+      // No link constraint: the flow runs at its cap (callers bound pure
+      // local transfers by device limits via the cap).
+      rate[i] = std::isfinite(cap_of(i)) ? cap_of(i) : 0.0;
+      frozen[i] = true;
+      ++frozen_total;
+    }
+  }
+
+  // Progressive filling. Each iteration freezes at least one flow: either a
+  // set of flows crossing the current bottleneck link (at the link's fair
+  // share), or flows whose private cap binds below that share.
+  while (frozen_total < n) {
+    double link_share = kInf;
+    for (std::size_t li = 0; li < remaining.size(); ++li) {
+      if (unfrozen_count[li] <= 0) continue;
+      link_share = std::min(link_share, remaining[li] / unfrozen_count[li]);
+    }
+    double cap_min = kInf;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!frozen[i]) cap_min = std::min(cap_min, cap_of(i));
+    }
+    const double s = std::max(0.0, std::min(link_share, cap_min));
+    if (!std::isfinite(s)) break;  // remaining flows are unconstrained
+
+    bool froze_any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      const double cap = cap_of(i);
+      bool at_bottleneck = cap <= s * (1.0 + 1e-12);
+      if (!at_bottleneck) {
+        for (const LinkId l : problem.flows[i]) {
+          const std::size_t li = dense.at(l);
+          if (unfrozen_count[li] > 0 &&
+              remaining[li] / unfrozen_count[li] <= s * (1.0 + 1e-12)) {
+            at_bottleneck = true;
+            break;
+          }
+        }
+      }
+      if (!at_bottleneck) continue;
+      const double r = std::min(s, cap);
+      rate[i] = r;
+      frozen[i] = true;
+      ++frozen_total;
+      froze_any = true;
+      for (const LinkId l : problem.flows[i]) {
+        const std::size_t li = dense.at(l);
+        remaining[li] = std::max(0.0, remaining[li] - r);
+        --unfrozen_count[li];
+      }
+    }
+    assert(froze_any && "progressive filling must make progress");
+    if (!froze_any) break;
+  }
+  return rate;
+}
+
+}  // namespace gpucomm

@@ -1,0 +1,37 @@
+// Progressive-filling max-min fair rate allocation.
+//
+// Given active flows (each a set of directed links) and per-link available
+// capacities, assigns each flow the max-min fair rate: repeatedly saturate
+// the tightest link, freeze its flows at the fair share, and continue.
+// This is the classic fluid approximation of per-flow fair queueing and is
+// the core of the flow-level network model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpucomm/sim/units.hpp"
+#include "gpucomm/topology/graph.hpp"
+
+namespace gpucomm {
+
+struct FairshareProblem {
+  /// capacity[link] = available bits/s for the flows being allocated (already
+  /// net of background-noise occupancy on the flow's virtual lane).
+  std::vector<Bandwidth> capacity;
+  /// flows[i] = distinct links used by flow i (duplicates must be pre-merged;
+  /// a flow crossing a link twice is not a case our routes produce).
+  std::vector<std::vector<LinkId>> flows;
+  /// Optional per-flow rate ceiling (protocol/implementation limits such as
+  /// *CCL channel counts). Empty, or infinity entries, mean uncapped. A cap
+  /// behaves like a private link of that capacity: capped flows freeze at
+  /// their cap and the slack is redistributed to the others.
+  std::vector<Bandwidth> caps;
+};
+
+/// Returns rate[i] in bits/s for each flow. Flows that use no links (pure
+/// local transfers) get an unbounded sentinel rate of 0 meaning "no network
+/// constraint"; callers bound those by device limits.
+std::vector<Bandwidth> maxmin_fair_rates(const FairshareProblem& problem);
+
+}  // namespace gpucomm

@@ -1,0 +1,239 @@
+#include "gpucomm/net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+namespace gpucomm {
+
+namespace {
+// Residuals below this are treated as complete (guards FP rounding).
+constexpr double kEpsilonBits = 1e-6;
+}  // namespace
+
+Network::Network(Engine& engine, const Graph& graph)
+    : engine_(engine), graph_(graph), last_advance_(engine.now()) {}
+
+Bandwidth Network::effective_capacity(LinkId link, int vl) const {
+  Bandwidth cap = graph_.link(link).capacity;
+  if (noise_ != nullptr && vl == noise_->noisy_vl()) {
+    const double bg = std::clamp(noise_->background_utilization(link), 0.0, 0.95);
+    cap *= (1.0 - bg);
+  }
+  return cap;
+}
+
+FlowId Network::start_flow(FlowSpec spec, std::function<void(SimTime)> on_delivered) {
+  const FlowId id = next_id_++;
+  ActiveFlow flow;
+  flow.id = id;
+  flow.route = std::move(spec.route);
+  flow.vl = spec.vl;
+  flow.rate_cap = spec.rate_cap;
+  flow.total_bits = static_cast<double>(spec.bytes) * 8.0;
+  flow.residual_bits = flow.total_bits;
+  flow.on_delivered = std::move(on_delivered);
+
+  if (flow.residual_bits <= 0 || (flow.route.empty() && flow.rate_cap <= 0)) {
+    // No constraint at all: deliver after latency only.
+    deliver(std::move(flow));
+    return id;
+  }
+
+  advance_residuals();
+  active_.push_back(std::move(flow));
+  mark_dirty();
+  return id;
+}
+
+Bandwidth Network::flow_rate(FlowId id) const {
+  for (const ActiveFlow& f : active_) {
+    if (f.id == id) return f.rate;
+  }
+  return 0;
+}
+
+void Network::mark_dirty() {
+  if (realloc_pending_) return;
+  realloc_pending_ = true;
+  // Zero-delay event: coalesces a whole batch of starts/completions at the
+  // same timestamp into one rate computation.
+  engine_.after(SimTime::zero(), [this] {
+    realloc_pending_ = false;
+    reallocate_and_schedule();
+  });
+}
+
+void Network::advance_residuals() {
+  const SimTime now = engine_.now();
+  if (now == last_advance_) return;
+  const double dt = (now - last_advance_).seconds();
+  for (ActiveFlow& f : active_) f.residual_bits = std::max(0.0, f.residual_bits - f.rate * dt);
+  last_advance_ = now;
+}
+
+void Network::reallocate_and_schedule() {
+  advance_residuals();
+
+  if (completion_scheduled_) {
+    engine_.cancel(completion_event_);
+    completion_scheduled_ = false;
+  }
+  if (active_.empty()) return;
+
+  // The scratch problem's capacity table is sized once; only entries for
+  // links actually crossed by active flows are (re)written, and the solver
+  // reads exactly those, so no full reset is needed per reallocation.
+  problem_.capacity.resize(graph_.link_count(), 0.0);
+  problem_.flows.clear();
+  problem_.flows.reserve(active_.size());
+  problem_.caps.clear();
+  problem_.caps.reserve(active_.size());
+  // When flows on different VLs share a link each sees the full
+  // (noise-adjusted) capacity in the problem, and the max-min allocator
+  // shares it across all of them — a work-conserving approximation of
+  // round-robin VL arbitration.
+  for (const ActiveFlow& f : active_) {
+    for (const LinkId l : f.route) {
+      problem_.capacity[l] = effective_capacity(l, f.vl);
+    }
+    problem_.flows.push_back(f.route);
+    problem_.caps.push_back(f.rate_cap > 0 ? f.rate_cap
+                                           : std::numeric_limits<double>::infinity());
+  }
+  const std::vector<Bandwidth> rates = maxmin_fair_rates(problem_);
+  for (std::size_t i = 0; i < active_.size(); ++i) active_[i].rate = rates[i];
+  if (congestion_.rate_factor < 1.0) apply_congestion(rates);
+  SimTime earliest = SimTime::infinity();
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i].rate > 0) {
+      const double secs = active_[i].residual_bits / active_[i].rate;
+      const SimTime done = engine_.now() + SimTime{static_cast<std::int64_t>(
+                                               std::ceil(secs * 1e12))};
+      earliest = std::min(earliest, done);
+    }
+  }
+  if (!earliest.is_infinite()) {
+    completion_event_ = engine_.at(earliest, [this] {
+      completion_scheduled_ = false;
+      on_completion_event();
+    });
+    completion_scheduled_ = true;
+  }
+}
+
+void Network::apply_congestion(const std::vector<Bandwidth>& rates) {
+  // A (link, vl) is incast-congested when >= flow_threshold flows saturate
+  // it. The backlog propagates upstream through the buffers of every switch
+  // the congesting flows traverse (credit/PFC backpressure), so flows of the
+  // same VL crossing any of those switches lose rate.
+  struct LinkLoad {
+    int count = 0;
+    double sum = 0;
+  };
+  std::unordered_map<std::uint64_t, LinkLoad> load;  // key = link << 8 | vl
+  const auto key = [](LinkId l, int vl) {
+    return (static_cast<std::uint64_t>(l) << 8) | static_cast<std::uint64_t>(vl & 0xff);
+  };
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    for (const LinkId l : active_[i].route) {
+      LinkLoad& ll = load[key(l, active_[i].vl)];
+      ++ll.count;
+      ll.sum += rates[i];
+    }
+  }
+  // A candidate link only counts as an incast if the converging flows come
+  // from many *distinct sources* — a single rank streaming a deep window
+  // through its own NIC is well-behaved traffic, not congestion.
+  std::unordered_map<std::uint64_t, bool> congested_link;  // key = link << 8 | vl
+  bool any = false;
+  for (const auto& [k, ll] : load) {
+    if (ll.count < congestion_.flow_threshold) continue;
+    const LinkId l = static_cast<LinkId>(k >> 8);
+    const int vl = static_cast<int>(k & 0xff);
+    if (ll.sum < 0.98 * effective_capacity(l, vl)) continue;
+    std::unordered_map<DeviceId, bool> origins;
+    for (const ActiveFlow& f : active_) {
+      if (f.vl != vl || f.route.empty()) continue;
+      bool uses = false;
+      for (const LinkId fl : f.route) {
+        if (fl == l) {
+          uses = true;
+          break;
+        }
+      }
+      if (uses) origins[graph_.link(f.route.front()).src] = true;
+    }
+    if (static_cast<int>(origins.size()) < congestion_.flow_threshold) continue;
+    congested_link[k] = true;
+    any = true;
+  }
+  if (!any) return;
+
+  // Hot flows: those crossing a congested link. Warm switches: every switch
+  // on a hot flow's route (their buffers hold the backlog).
+  std::unordered_map<std::uint64_t, bool> warm_switch;  // key = device << 8 | vl
+  const auto dev_key = [](DeviceId d, int vl) {
+    return (static_cast<std::uint64_t>(d) << 8) | static_cast<std::uint64_t>(vl & 0xff);
+  };
+  for (const ActiveFlow& f : active_) {
+    bool hot = false;
+    for (const LinkId l : f.route) {
+      if (congested_link.count(key(l, f.vl)) != 0) {
+        hot = true;
+        break;
+      }
+    }
+    if (!hot) continue;
+    for (const LinkId l : f.route) {
+      const Link& link = graph_.link(l);
+      for (const DeviceId d : {link.src, link.dst}) {
+        if (graph_.device(d).kind == DeviceKind::kSwitch) warm_switch[dev_key(d, f.vl)] = true;
+      }
+    }
+  }
+  for (ActiveFlow& f : active_) {
+    bool crosses = false;
+    for (const LinkId l : f.route) {
+      const Link& link = graph_.link(l);
+      if (warm_switch.count(dev_key(link.src, f.vl)) != 0 ||
+          warm_switch.count(dev_key(link.dst, f.vl)) != 0) {
+        crosses = true;
+        break;
+      }
+    }
+    if (crosses) f.rate *= congestion_.rate_factor;
+  }
+}
+
+void Network::on_completion_event() {
+  advance_residuals();
+  // Complete every flow that has fully serialized (ties batch here).
+  std::vector<ActiveFlow> done;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->residual_bits <= kEpsilonBits) {
+      done.push_back(std::move(*it));
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (ActiveFlow& f : done) deliver(std::move(f));
+  mark_dirty();
+}
+
+void Network::deliver(ActiveFlow&& flow) {
+  SimTime delay = route_latency(graph_, flow.route);
+  if (noise_ != nullptr && flow.vl == noise_->noisy_vl()) {
+    for (const LinkId l : flow.route) delay += noise_->queueing_delay(l);
+  }
+  bits_delivered_ += flow.total_bits;
+  auto cb = std::move(flow.on_delivered);
+  if (!cb) return;
+  engine_.after(delay, [cb = std::move(cb), this] { cb(engine_.now()); });
+}
+
+}  // namespace gpucomm

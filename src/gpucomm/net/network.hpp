@@ -1,0 +1,124 @@
+// Event-driven flow-level network.
+//
+// Transfers are fluid flows over a fixed route. Whenever the active set
+// changes, rates are recomputed with max-min fairness (fairshare.hpp) and the
+// earliest completion is scheduled. On completion the flow's payload has been
+// serialized; delivery fires after the route's propagation latency plus any
+// sampled queueing delay from the noise field (network noise, Sec. VI).
+//
+// Service levels: a flow carries a virtual-lane id. Background production
+// noise lives on one VL (Leonardo's default service level 0); flows on that
+// VL see reduced link capacity and stochastic per-hop queueing delays, flows
+// on other VLs are isolated (separate switch buffering + round-robin
+// arbitration, Sec. VI-A).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gpucomm/net/fairshare.hpp"
+#include "gpucomm/sim/engine.hpp"
+#include "gpucomm/sim/random.hpp"
+#include "gpucomm/topology/graph.hpp"
+
+namespace gpucomm {
+
+using FlowId = std::uint64_t;
+
+struct FlowSpec {
+  Route route;
+  Bytes bytes = 0;
+  int vl = 0;
+  /// Per-flow rate ceiling (implementation limits: *CCL channels, protocol
+  /// efficiency). 0 means uncapped.
+  Bandwidth rate_cap = 0;
+};
+
+/// Stochastic model of interfering production traffic (see noise/).
+class NoiseField {
+ public:
+  virtual ~NoiseField() = default;
+  /// Fraction of `link`'s capacity consumed by background traffic on the
+  /// noisy VL right now, in [0, 1).
+  virtual double background_utilization(LinkId link) const = 0;
+  /// The service level production traffic is mapped to (0 on Leonardo).
+  virtual int noisy_vl() const { return 0; }
+  /// Sampled additional queueing delay for one message crossing `link` on the
+  /// noisy VL.
+  virtual SimTime queueing_delay(LinkId link) = 0;
+  /// Redraw the background state (called by the harness between iterations).
+  virtual void resample() = 0;
+};
+
+/// Shared-buffer congestion coupling (see SystemConfig::CongestionParams):
+/// an incast saturating a link with many flows degrades co-located same-VL
+/// traffic crossing the affected switch.
+struct SwitchCongestion {
+  int flow_threshold = 4;
+  double rate_factor = 1.0;
+};
+
+class Network {
+ public:
+  Network(Engine& engine, const Graph& graph);
+
+  /// Attach interfering-traffic model; nullptr disables noise. Non-owning.
+  void set_noise(NoiseField* noise) { noise_ = noise; }
+  NoiseField* noise() const { return noise_; }
+
+  void set_congestion(SwitchCongestion c) { congestion_ = c; }
+
+  /// Begin a transfer. `on_delivered` fires (via the engine) when the last
+  /// byte has arrived at the destination.
+  FlowId start_flow(FlowSpec spec, std::function<void(SimTime)> on_delivered);
+
+  std::size_t active_flows() const { return active_.size(); }
+
+  /// Current allocated rate of a flow (0 if unknown/finished). Test hook.
+  Bandwidth flow_rate(FlowId id) const;
+
+  /// Bits delivered since construction (all flows). Test hook.
+  double total_bits_delivered() const { return bits_delivered_; }
+
+ private:
+  struct ActiveFlow {
+    FlowId id;
+    Route route;
+    int vl;
+    Bandwidth rate_cap;
+    double total_bits;
+    double residual_bits;
+    Bandwidth rate = 0;
+    std::function<void(SimTime)> on_delivered;
+  };
+
+  /// Effective capacity of a link for traffic on `vl`, net of noise.
+  Bandwidth effective_capacity(LinkId link, int vl) const;
+
+  void mark_dirty();
+  void reallocate_and_schedule();
+  /// Post-allocation congestion coupling: degrade flows crossing switches
+  /// with an incast-saturated port on their VL.
+  void apply_congestion(const std::vector<Bandwidth>& rates);
+  void on_completion_event();
+  void advance_residuals();
+  void deliver(ActiveFlow&& flow);
+
+  Engine& engine_;
+  const Graph& graph_;
+  NoiseField* noise_ = nullptr;
+
+  std::vector<ActiveFlow> active_;
+  FairshareProblem problem_;  // scratch, reused across reallocations
+  SwitchCongestion congestion_;
+  FlowId next_id_ = 1;
+  SimTime last_advance_;
+  bool realloc_pending_ = false;
+  EventId completion_event_ = 0;
+  bool completion_scheduled_ = false;
+  double bits_delivered_ = 0;
+};
+
+}  // namespace gpucomm

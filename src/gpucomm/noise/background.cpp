@@ -1,0 +1,74 @@
+#include "gpucomm/noise/background.hpp"
+
+namespace gpucomm {
+
+const char* to_string(TrafficPattern p) {
+  switch (p) {
+    case TrafficPattern::kAlltoall: return "alltoall";
+    case TrafficPattern::kIncast: return "incast";
+    case TrafficPattern::kUniformRandom: return "uniform";
+  }
+  return "?";
+}
+
+BackgroundJob::BackgroundJob(Cluster& cluster, std::vector<int> gpus, TrafficPattern pattern,
+                             Bytes message_bytes, int service_level, int window)
+    : cluster_(cluster),
+      ranks_(make_ranks(cluster, gpus)),
+      pattern_(pattern),
+      message_bytes_(message_bytes),
+      service_level_(service_level),
+      window_(window),
+      rr_cursor_(ranks_.size(), 1),
+      rng_(cluster.rng().fork("background")) {}
+
+int BackgroundJob::pick_peer(int rank_idx) {
+  const int n = static_cast<int>(ranks_.size());
+  switch (pattern_) {
+    case TrafficPattern::kIncast:
+      return rank_idx == 0 ? 1 + static_cast<int>(rng_.uniform_int(n - 1)) : 0;
+    case TrafficPattern::kAlltoall: {
+      const int peer = (rank_idx + rr_cursor_[rank_idx]) % n;
+      rr_cursor_[rank_idx] = rr_cursor_[rank_idx] % (n - 1) + 1;
+      return peer;
+    }
+    case TrafficPattern::kUniformRandom: {
+      int peer = rank_idx;
+      while (peer == rank_idx) peer = static_cast<int>(rng_.uniform_int(n));
+      return peer;
+    }
+  }
+  return 0;
+}
+
+void BackgroundJob::post_next(int rank_idx) {
+  if (!running_) return;
+  const int peer = pick_peer(rank_idx);
+  const Rank& s = ranks_[rank_idx];
+  const Rank& d = ranks_[peer];
+
+  FlowSpec spec;
+  if (s.node == d.node) {
+    spec.route = cluster_.intra_node_route(s.gpu, d.gpu);
+  } else {
+    spec.route = cluster_.inter_node_route(s.gpu_dev, s.gpu, d.gpu_dev, d.gpu);
+  }
+  spec.bytes = message_bytes_;
+  spec.vl = service_level_;
+  bytes_injected_ += static_cast<double>(message_bytes_);
+  cluster_.network().start_flow(std::move(spec), [this, rank_idx](SimTime) {
+    post_next(rank_idx);
+  });
+}
+
+void BackgroundJob::start() {
+  if (running_) return;
+  running_ = true;
+  for (int r = 0; r < static_cast<int>(ranks_.size()); ++r) {
+    // Incast: only non-target ranks transmit.
+    if (pattern_ == TrafficPattern::kIncast && r == 0) continue;
+    for (int w = 0; w < window_; ++w) post_next(r);
+  }
+}
+
+}  // namespace gpucomm

@@ -1,0 +1,50 @@
+// Explicit co-scheduled interfering applications (Fig. 12): a second job
+// running an alltoall or an incast on its own GPU allocation, sharing the
+// fabric (and optionally the service level) with the measured benchmark.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/runtime/rank.hpp"
+
+namespace gpucomm {
+
+enum class TrafficPattern : std::uint8_t { kAlltoall, kIncast, kUniformRandom };
+
+const char* to_string(TrafficPattern p);
+
+/// A free-running traffic generator: each GPU keeps `window` transfers in
+/// flight towards peers chosen by the pattern, until stop() is called.
+class BackgroundJob {
+ public:
+  BackgroundJob(Cluster& cluster, std::vector<int> gpus, TrafficPattern pattern,
+                Bytes message_bytes, int service_level, int window = 2);
+
+  /// Begin generating traffic (flows repost themselves on completion).
+  void start();
+  /// Stop reposting; in-flight flows drain naturally.
+  void stop() { running_ = false; }
+  bool running() const { return running_; }
+
+  /// Bytes injected since start() (test hook).
+  double bytes_injected() const { return bytes_injected_; }
+
+ private:
+  void post_next(int rank_idx);
+  int pick_peer(int rank_idx);
+
+  Cluster& cluster_;
+  std::vector<Rank> ranks_;
+  TrafficPattern pattern_;
+  Bytes message_bytes_;
+  int service_level_;
+  int window_;
+  bool running_ = false;
+  std::vector<int> rr_cursor_;  // per-rank peer cursor for alltoall
+  Rng rng_;
+  double bytes_injected_ = 0;
+};
+
+}  // namespace gpucomm

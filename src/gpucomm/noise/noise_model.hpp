@@ -1,0 +1,40 @@
+// Production network-noise field (Sec. VI).
+//
+// On Leonardo all production traffic is mapped to service level 0, so jobs
+// on SL0 share switch queues with the whole machine's traffic while a
+// non-default SL behaves like a drained system (Sec. VI-A). The field draws
+// a per-link background utilization (lognormal) for the shared fabric links
+// and samples per-hop queueing delays with a heavy tail, calibrated against
+// Fig. 8's latency/goodput spreads.
+#pragma once
+
+#include <vector>
+
+#include "gpucomm/net/network.hpp"
+#include "gpucomm/sim/random.hpp"
+#include "gpucomm/systems/system_config.hpp"
+
+namespace gpucomm {
+
+class ProductionNoise final : public NoiseField {
+ public:
+  ProductionNoise(const Graph& graph, NoiseParams params, Rng rng);
+
+  double background_utilization(LinkId link) const override;
+  int noisy_vl() const override { return 0; }
+  SimTime queueing_delay(LinkId link) override;
+  void resample() override;
+
+  /// Mean utilization across noisy links (test hook).
+  double mean_utilization() const;
+
+ private:
+  bool noisy_link(LinkId link) const;
+
+  const Graph& graph_;
+  NoiseParams params_;
+  Rng rng_;
+  std::vector<double> util_;  // per link; 0 for non-fabric links
+};
+
+}  // namespace gpucomm

@@ -1,0 +1,11 @@
+#include "gpucomm/runtime/clock.hpp"
+
+namespace gpucomm {
+
+SimTime quantize(SimTime t, SimTime resolution) {
+  if (resolution.ps <= 0) return t;
+  const std::int64_t q = (t.ps + resolution.ps / 2) / resolution.ps;
+  return SimTime{q * resolution.ps};
+}
+
+}  // namespace gpucomm

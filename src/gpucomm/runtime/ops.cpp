@@ -1,0 +1,52 @@
+#include "gpucomm/runtime/ops.hpp"
+
+#include <cassert>
+
+namespace gpucomm {
+
+std::shared_ptr<JoinCounter> JoinCounter::create(int expected, EventFn done) {
+  assert(expected >= 0);
+  auto counter = std::shared_ptr<JoinCounter>(new JoinCounter(expected, std::move(done)));
+  if (expected == 0 && counter->done_) {
+    // Nothing to wait for; complete immediately.
+    auto cb = std::move(counter->done_);
+    cb();
+  }
+  return counter;
+}
+
+void JoinCounter::arrive() {
+  ++arrived_;
+  if (arrived_ == expected_ && done_) {
+    auto cb = std::move(done_);
+    done_ = nullptr;
+    cb();
+  }
+}
+
+namespace {
+struct StageRunner : std::enable_shared_from_this<StageRunner> {
+  std::vector<Stage> stages;
+  EventFn done;
+  std::size_t next = 0;
+
+  void run() {
+    if (next >= stages.size()) {
+      if (done) done();
+      return;
+    }
+    Stage& stage = stages[next++];
+    auto self = shared_from_this();
+    stage([self] { self->run(); });
+  }
+};
+}  // namespace
+
+void run_stages(std::vector<Stage> stages, EventFn done) {
+  auto runner = std::make_shared<StageRunner>();
+  runner->stages = std::move(stages);
+  runner->done = std::move(done);
+  runner->run();
+}
+
+}  // namespace gpucomm

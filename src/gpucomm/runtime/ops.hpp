@@ -1,0 +1,36 @@
+// Small helpers for composing event-driven operations.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gpucomm/sim/engine.hpp"
+
+namespace gpucomm {
+
+/// Fan-in: fires `done` once `expected` arrivals have happened. Heap-managed
+/// so in-flight callbacks can outlive the creating scope.
+class JoinCounter {
+ public:
+  static std::shared_ptr<JoinCounter> create(int expected, EventFn done);
+
+  void arrive();
+  /// Raise the expected count before any arrival completes it (for dynamic
+  /// fan-out where the total is discovered while posting work).
+  void expect_more(int n) { expected_ += n; }
+
+ private:
+  JoinCounter(int expected, EventFn done) : expected_(expected), done_(std::move(done)) {}
+  int expected_;
+  int arrived_ = 0;
+  EventFn done_;
+};
+
+/// Run `stages` sequentially: each stage receives a continuation it must call
+/// exactly once when complete.
+using Stage = std::function<void(EventFn next)>;
+void run_stages(std::vector<Stage> stages, EventFn done);
+
+}  // namespace gpucomm

@@ -1,0 +1,25 @@
+#include "gpucomm/runtime/rank.hpp"
+
+namespace gpucomm {
+
+std::vector<Rank> make_ranks(const Cluster& cluster, const std::vector<int>& gpus) {
+  std::vector<Rank> ranks;
+  ranks.reserve(gpus.size());
+  for (std::size_t i = 0; i < gpus.size(); ++i) {
+    Rank r;
+    r.index = static_cast<int>(i);
+    r.gpu = gpus[i];
+    r.node = cluster.node_of_gpu(gpus[i]);
+    r.gpu_dev = cluster.gpu_device(gpus[i]);
+    r.nic_dev = cluster.nic_of_gpu(gpus[i]);
+    r.numa_dev = cluster.numa_of_gpu(gpus[i]);
+    ranks.push_back(r);
+  }
+  return ranks;
+}
+
+CopyEngine make_copy_engine(Cluster& cluster) {
+  return CopyEngine(cluster.engine(), cluster.config().gpu, cluster.config().host);
+}
+
+}  // namespace gpucomm

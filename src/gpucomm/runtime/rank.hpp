@@ -1,0 +1,27 @@
+// Simulated MPI ranks: one process per GPU, pinned to the nearest NIC and
+// NUMA domain (Sec. III-A).
+#pragma once
+
+#include <vector>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/mem/copy_engine.hpp"
+
+namespace gpucomm {
+
+struct Rank {
+  int index = -1;     // rank within the communicator
+  int gpu = -1;       // global GPU index in the cluster
+  int node = -1;
+  DeviceId gpu_dev = kInvalidDevice;
+  DeviceId nic_dev = kInvalidDevice;
+  DeviceId numa_dev = kInvalidDevice;
+};
+
+/// Build the rank list for a set of global GPU indices.
+std::vector<Rank> make_ranks(const Cluster& cluster, const std::vector<int>& gpus);
+
+/// Per-rank copy engine (all ranks of a system share parameters).
+CopyEngine make_copy_engine(Cluster& cluster);
+
+}  // namespace gpucomm

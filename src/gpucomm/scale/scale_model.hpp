@@ -1,0 +1,56 @@
+// Analytic large-scale collective model (Figs. 9, 10, 13).
+//
+// The exact flow simulation is used up to a few hundred GPUs; beyond that,
+// collective goodput is computed from per-link-class loads — the same
+// "asymptotically expected goodput" reasoning the paper applies in Sec. V-C
+// — plus calibrated efficiency decay, the *CCL allreduce knee (Sec. V-D),
+// and the Leonardo production-noise impact at scale (Sec. VI-B). A unit test
+// cross-validates this model against the exact simulation where both apply.
+#pragma once
+
+#include "gpucomm/systems/system_config.hpp"
+
+namespace gpucomm {
+
+enum class Library : std::uint8_t { kCcl, kMpi };
+const char* to_string(Library lib);
+
+enum class CollKind : std::uint8_t { kAlltoall, kAllreduce };
+
+struct ScaleResult {
+  /// Per-GPU goodput (buffer bytes / runtime), Gb/s.
+  double goodput_gbps = 0;
+  /// The benchmark never completes at this scale (*CCL alltoall stall,
+  /// Sec. V-C).
+  bool stalled = false;
+};
+
+struct ScaleOptions {
+  /// Run on the default service level, i.e. exposed to Leonardo's production
+  /// noise (Sec. VI-B). Non-default SL behaves like a drained system.
+  bool default_sl_noise = true;
+  /// Tuned environment (Sec. III-B); false models the out-of-the-box config.
+  bool tuned = true;
+};
+
+/// Per-GPU goodput of a `buffer`-bytes-per-rank alltoall on `gpus` GPUs.
+ScaleResult alltoall_at_scale(const SystemConfig& sys, Library lib, Bytes buffer, int gpus,
+                              const ScaleOptions& opts = {});
+
+/// Per-GPU goodput of a `buffer`-byte allreduce on `gpus` GPUs.
+ScaleResult allreduce_at_scale(const SystemConfig& sys, Library lib, Bytes buffer, int gpus,
+                               const ScaleOptions& opts = {});
+
+/// Fractional goodput loss from production noise at this scale (0 when the
+/// system is not noise-prone). Calibrated to Fig. 13: ~20% on a 2 MiB
+/// alltoall and ~50% on a 1 GiB allreduce at 1,024 GPUs.
+double noise_impact_at_scale(const SystemConfig& sys, CollKind kind, int gpus);
+
+/// Intra-node expected alltoall goodput per GPU (Sec. IV-A), computed from a
+/// freshly built single-node graph of this system.
+Bandwidth intra_node_alltoall_peak(const SystemConfig& sys);
+
+/// Intra-node expected allreduce goodput (Sec. IV-C).
+Bandwidth intra_node_allreduce_peak(const SystemConfig& sys);
+
+}  // namespace gpucomm

@@ -1,0 +1,46 @@
+#include "gpucomm/sim/engine.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace gpucomm {
+
+EventId Engine::at(SimTime when, EventFn fn) {
+  assert(when >= now_ && "cannot schedule in the past");
+  return queue_.push(when, std::move(fn));
+}
+
+EventId Engine::after(SimTime delay, EventFn fn) {
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+void Engine::fire_next() {
+  auto [time, fn] = queue_.pop();
+  assert(time >= now_);
+  now_ = time;
+  ++fired_;
+  fn();
+}
+
+std::uint64_t Engine::run() {
+  const std::uint64_t start = fired_;
+  while (!queue_.empty()) fire_next();
+  return fired_ - start;
+}
+
+bool Engine::run_until(const std::function<bool()>& done) {
+  if (done()) return true;
+  while (!queue_.empty()) {
+    fire_next();
+    if (done()) return true;
+  }
+  return false;
+}
+
+void Engine::run_for(SimTime duration) {
+  const SimTime deadline = now_ + duration;
+  while (!queue_.empty() && queue_.next_time() <= deadline) fire_next();
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace gpucomm

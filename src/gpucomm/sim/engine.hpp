@@ -1,0 +1,54 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic: events fire in (time, insertion) order.
+// Components schedule callbacks; the benchmark harness drives the engine
+// with run_until()/run_for() while long-lived processes (e.g. background
+// noise jobs) keep rescheduling themselves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "gpucomm/sim/event_queue.hpp"
+#include "gpucomm/sim/time.hpp"
+
+namespace gpucomm {
+
+class Engine {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Schedule at an absolute simulated time (must be >= now()).
+  EventId at(SimTime when, EventFn fn);
+
+  /// Schedule `delay` after now().
+  EventId after(SimTime delay, EventFn fn);
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Run until the queue drains. Returns the number of events fired.
+  std::uint64_t run();
+
+  /// Run until `done()` returns true (checked after each event) or the queue
+  /// drains. Returns true iff the predicate was satisfied.
+  bool run_until(const std::function<bool()>& done);
+
+  /// Run events up to and including time `deadline`; afterwards now() ==
+  /// max(now, deadline) even if no event fired at the deadline itself.
+  void run_for(SimTime duration);
+
+  std::size_t pending_events() { return queue_.size(); }
+
+  /// Total events fired over the engine's lifetime (for stats/tests).
+  std::uint64_t events_fired() const { return fired_; }
+
+ private:
+  void fire_next();
+
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace gpucomm

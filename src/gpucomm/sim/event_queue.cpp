@@ -1,0 +1,61 @@
+#include "gpucomm/sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace gpucomm {
+
+EventId EventQueue::push(SimTime at, EventFn fn) {
+  const EventId id = next_seq_;
+  heap_.push_back(Entry{at, next_seq_, id, std::move(fn)});
+  ++next_seq_;
+  std::push_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id >= next_seq_) return false;
+  // Only mark ids that are plausibly still pending; a stale id (already
+  // popped) inserts a tombstone that is never consulted, so guard by scanning
+  // is unnecessary — but we must not double-decrement live_.
+  if (cancelled_pending_.contains(id)) return false;
+  // Check the id is still in the heap. The heap is small relative to the
+  // cancel rate in our workloads (cancels target the single pending network
+  // completion), so a linear check is acceptable and keeps live_ exact.
+  const bool pending = std::any_of(heap_.begin(), heap_.end(),
+                                   [&](const Entry& e) { return e.id == id; });
+  if (!pending) return false;
+  cancelled_pending_.insert(id);
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_dead_prefix() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_pending_.find(heap_.front().id);
+    if (it == cancelled_pending_.end()) return;
+    cancelled_pending_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_dead_prefix();
+  if (heap_.empty()) return SimTime::infinity();
+  return heap_.front().time;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_dead_prefix();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  std::pop_heap(heap_.begin(), heap_.end(), EntryAfter{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  --live_;
+  return Popped{e.time, std::move(e.fn)};
+}
+
+}  // namespace gpucomm

@@ -1,0 +1,65 @@
+// Pending-event set for the discrete-event engine.
+//
+// A binary heap keyed by (time, sequence number): events at equal times pop
+// in insertion order, which keeps runs deterministic. Events are cancellable;
+// cancellation is lazy (the entry is marked and skipped at pop).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "gpucomm/sim/time.hpp"
+
+namespace gpucomm {
+
+using EventId = std::uint64_t;
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `at`. Returns an id usable with cancel().
+  EventId push(SimTime at, EventFn fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or already-cancelled
+  /// event is a no-op and returns false.
+  bool cancel(EventId id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event; infinity() when empty.
+  SimTime next_time();
+
+  struct Popped {
+    SimTime time;
+    EventFn fn;
+  };
+  /// Remove and return the earliest live event. Precondition: !empty().
+  Popped pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    EventFn fn;
+  };
+  struct EntryAfter {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pop cancelled entries off the heap top.
+  void drop_dead_prefix();
+
+  std::vector<Entry> heap_;  // managed with std::push_heap/pop_heap
+  std::unordered_set<EventId> cancelled_pending_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace gpucomm

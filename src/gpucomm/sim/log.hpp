@@ -1,0 +1,58 @@
+// Minimal leveled logger for simulator components.
+//
+// Off by default; enabled programmatically or via the GPUCOMM_LOG
+// environment variable (error|warn|info|debug). Mirrors the way NCCL/RCCL
+// expose NCCL_DEBUG, which the paper uses to diagnose topology detection.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace gpucomm {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_message(LogLevel level, std::string_view component, std::string_view message);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  if constexpr (sizeof...(args) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+  }
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(std::string_view component, Args&&... args) {
+  if (log_level() >= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, component, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_info(std::string_view component, Args&&... args) {
+  if (log_level() >= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, component, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_warn(std::string_view component, Args&&... args) {
+  if (log_level() >= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, component, detail::concat(std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+void log_error(std::string_view component, Args&&... args) {
+  if (log_level() >= LogLevel::kError)
+    log_message(LogLevel::kError, component, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace gpucomm

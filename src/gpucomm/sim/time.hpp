@@ -1,0 +1,55 @@
+// Simulated time: integer picoseconds.
+//
+// All scheduling in the simulator uses SimTime so that event ordering is
+// exact and runs are bit-reproducible; floating point appears only at the
+// edges (bandwidth math, statistics) and is rounded into SimTime once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gpucomm {
+
+/// A point in simulated time (or a duration), in picoseconds.
+struct SimTime {
+  std::int64_t ps = 0;
+
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t picoseconds) : ps(picoseconds) {}
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  /// Largest representable time; used as "never".
+  static constexpr SimTime infinity() { return SimTime{INT64_MAX}; }
+
+  constexpr bool is_infinite() const { return ps == INT64_MAX; }
+
+  constexpr double seconds() const { return static_cast<double>(ps) * 1e-12; }
+  constexpr double micros() const { return static_cast<double>(ps) * 1e-6; }
+  constexpr double nanos() const { return static_cast<double>(ps) * 1e-3; }
+
+  friend constexpr bool operator==(SimTime a, SimTime b) { return a.ps == b.ps; }
+  friend constexpr bool operator!=(SimTime a, SimTime b) { return a.ps != b.ps; }
+  friend constexpr bool operator<(SimTime a, SimTime b) { return a.ps < b.ps; }
+  friend constexpr bool operator<=(SimTime a, SimTime b) { return a.ps <= b.ps; }
+  friend constexpr bool operator>(SimTime a, SimTime b) { return a.ps > b.ps; }
+  friend constexpr bool operator>=(SimTime a, SimTime b) { return a.ps >= b.ps; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    if (a.is_infinite() || b.is_infinite()) return infinity();
+    return SimTime{a.ps + b.ps};
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime{a.ps - b.ps}; }
+  SimTime& operator+=(SimTime o) { *this = *this + o; return *this; }
+  SimTime& operator-=(SimTime o) { ps -= o.ps; return *this; }
+};
+
+constexpr SimTime picoseconds(std::int64_t v) { return SimTime{v}; }
+constexpr SimTime nanoseconds(double v) { return SimTime{static_cast<std::int64_t>(v * 1e3)}; }
+constexpr SimTime microseconds(double v) { return SimTime{static_cast<std::int64_t>(v * 1e6)}; }
+constexpr SimTime milliseconds(double v) { return SimTime{static_cast<std::int64_t>(v * 1e9)}; }
+constexpr SimTime seconds(double v) { return SimTime{static_cast<std::int64_t>(v * 1e12)}; }
+
+/// Render a time as a human-readable string with an adaptive unit.
+std::string to_string(SimTime t);
+
+}  // namespace gpucomm

@@ -1,0 +1,40 @@
+#include "gpucomm/sim/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gpucomm {
+
+std::string to_string(SimTime t) {
+  char buf[64];
+  const double ps = static_cast<double>(t.ps);
+  if (t.is_infinite()) return "inf";
+  if (ps < 1e3) std::snprintf(buf, sizeof buf, "%.0f ps", ps);
+  else if (ps < 1e6) std::snprintf(buf, sizeof buf, "%.2f ns", ps * 1e-3);
+  else if (ps < 1e9) std::snprintf(buf, sizeof buf, "%.2f us", ps * 1e-6);
+  else if (ps < 1e12) std::snprintf(buf, sizeof buf, "%.2f ms", ps * 1e-9);
+  else std::snprintf(buf, sizeof buf, "%.3f s", ps * 1e-12);
+  return buf;
+}
+
+SimTime transfer_time(Bytes bytes, Bandwidth bw) {
+  if (bw <= 0.0) return SimTime::infinity();
+  const double s = static_cast<double>(bytes) * 8.0 / bw;
+  return SimTime{static_cast<std::int64_t>(std::ceil(s * 1e12))};
+}
+
+double goodput_gbps(Bytes bytes, SimTime elapsed) {
+  if (elapsed.ps <= 0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / elapsed.seconds() / 1e9;
+}
+
+std::string format_bytes(Bytes b) {
+  char buf[64];
+  if (b >= 1_GiB && b % 1_GiB == 0) std::snprintf(buf, sizeof buf, "%llu GiB", static_cast<unsigned long long>(b / 1_GiB));
+  else if (b >= 1_MiB && b % 1_MiB == 0) std::snprintf(buf, sizeof buf, "%llu MiB", static_cast<unsigned long long>(b / 1_MiB));
+  else if (b >= 1_KiB && b % 1_KiB == 0) std::snprintf(buf, sizeof buf, "%llu KiB", static_cast<unsigned long long>(b / 1_KiB));
+  else std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(b));
+  return buf;
+}
+
+}  // namespace gpucomm

@@ -1,0 +1,36 @@
+// Data-size and bandwidth helpers.
+//
+// Conventions (matching the paper): sizes are bytes, bandwidths are
+// *unidirectional* bits per second, goodput is payload bits divided by
+// elapsed time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "gpucomm/sim/time.hpp"
+
+namespace gpucomm {
+
+using Bytes = std::uint64_t;
+
+constexpr Bytes operator""_B(unsigned long long v) { return v; }
+constexpr Bytes operator""_KiB(unsigned long long v) { return v * 1024ull; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v * 1024ull * 1024ull; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v * 1024ull * 1024ull * 1024ull; }
+
+/// Bandwidth in bits per second (unidirectional).
+using Bandwidth = double;
+
+constexpr Bandwidth gbps(double v) { return v * 1e9; }
+
+/// Time to move `bytes` at `bw` bits/s (serialization delay only).
+SimTime transfer_time(Bytes bytes, Bandwidth bw);
+
+/// Goodput in Gb/s for `bytes` moved in `elapsed`.
+double goodput_gbps(Bytes bytes, SimTime elapsed);
+
+/// "1 GiB", "2 MiB", "512 B", ... for table headers.
+std::string format_bytes(Bytes b);
+
+}  // namespace gpucomm

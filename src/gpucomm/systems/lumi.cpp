@@ -1,0 +1,97 @@
+// LUMI-G (CSC): 4x MI250X (8 GCDs) per node, Infinity Fabric mesh,
+// Slingshot-11 Dragonfly, Cray MPICH 8.1.27 + ROCm 5.7 + aws-ofi-rccl.
+// Sec. II-C.
+#include "gpucomm/systems/system_config.hpp"
+
+namespace gpucomm {
+
+SystemConfig lumi_config() {
+  SystemConfig s;
+  s.name = "lumi";
+  s.arch = NodeArch::kLumi;
+  s.gpus_per_node = 8;  // a LUMI node is treated as an 8-GPU node (Sec. II-C)
+  s.nics_per_node = 4;
+  s.nic_bw_per_gpu = gbps(100);  // one Cassini shared by 2 GCDs (Sec. V-C)
+
+  s.gpu = gpus::mi250x_gcd();
+  s.nic = nics::cassini1();
+  s.host.h2h_bw = gbps(140 * 8);  // DDR4, 4 NUMA domains
+  s.host.h2h_overhead = microseconds(0.7);
+  s.host.reduce_bw = gbps(32 * 8);  // Trento vector add
+  s.timer_resolution = nanoseconds(25);
+
+  s.fabric.kind = FabricKind::kDragonfly;
+  s.fabric.dragonfly.groups = 24;  // Sec. II-C
+  s.fabric.dragonfly.switch_span = 2;  // each node connects to two switches
+
+  // --- GPU-aware MPI: Cray MPICH over libfabric/CXI ------------------------
+  s.mpi.flavor = MpiFlavor::kCrayMpich;
+  s.mpi.o_send = nanoseconds(620);  // slightly leaner than Alps (in production)
+  s.mpi.o_recv = nanoseconds(540);
+  s.mpi.gpu_extra = nanoseconds(400);
+  s.mpi.eager_threshold = 16_KiB;
+  s.mpi.rndv_handshake = microseconds(1.7);
+  s.mpi.ipc_threshold_default = 8_KiB;
+  s.mpi.ipc_setup = microseconds(1.1);
+  s.mpi.intra_p2p_efficiency = 0.75;
+  s.mpi.ipc_eager_bw = gbps(160);
+  s.mpi.gdrcopy_in_default_env = false;
+  // Cray MPICH's optimized intra-node small-message path: the CPU issues
+  // load/stores directly to GPU HBM (permitted on AMD), giving MPI its large
+  // small-message lead over RCCL (Fig. 3, Sec. III-C).
+  s.mpi.cpu_hbm_bw = gbps(20 * 8);
+  s.mpi.cpu_hbm_latency = microseconds(1.1);
+  s.mpi.cpu_hbm_threshold = 64_KiB;
+  s.mpi.intra_coll_efficiency = 0.42;
+  s.mpi.net_p2p_efficiency = 0.99;
+  s.mpi.net_coll_efficiency = 0.60;
+  s.mpi.host_staged_allreduce = false;
+  s.mpi.allreduce_blk_default = 32_MiB;
+  s.mpi.allreduce_blk_halfpoint = 32_MiB;
+  // With SDMA enabled, copies ride a single IF link; HSA_ENABLE_SDMA=0
+  // unlocks multi-link striping, up to 3x (Sec. III-B).
+  s.mpi.sdma_limits_links = true;
+
+  // --- RCCL ----------------------------------------------------------------
+  s.ccl.group_launch = microseconds(14.0);  // HIP launches are costlier
+  s.ccl.p2p_launch = microseconds(11.0);   // ~5x the MPI host-mediated path (Fig. 3)
+  s.ccl.net_overhead = microseconds(18.0);
+  s.ccl.per_chunk_overhead = microseconds(1.8);
+  s.ccl.net_slot = microseconds(0.30);
+  s.ccl.chunk_size = 1_MiB;
+  // Default channel count per peer is tiny; NCCL_NCHANNELS_PER_PEER=32
+  // improved intra-node p2p by 3.5x (Sec. III-B): 8 -> 32 channels moves the
+  // in-module ceiling from 400 Gb/s to the full 1.6 Tb/s.
+  s.ccl.default_nchannels_p2p = 8;
+  s.ccl.max_nchannels = 32;
+  s.ccl.per_channel_bw = gbps(50);
+  s.ccl.intra_p2p_efficiency = 0.68;
+  s.ccl.p2p_rampup = 4_MiB;
+  s.ccl.ll_threshold = 64_KiB;
+  s.ccl.ll_bw = gbps(18);
+  s.ccl.intra_coll_efficiency = 0.70;  // LUMI's lower peak is easier to approach
+  s.ccl.net_p2p_efficiency = 0.35;
+  s.ccl.net_coll_efficiency = 0.78;  // slightly below Alps/Leonardo (Fig. 9)
+  // Obs. 3: RCCL derives peer bandwidth from hop count, not path count,
+  // under-utilizing two-hop GCD pairs (e.g. GCD0 -> GCD5/GCD7).
+  s.ccl.hop_count_bw_bug = true;
+  s.ccl.alltoall_stall_ranks = 1024;  // rccl alltoall stalls >= 1,024 GPUs
+  s.ccl.gdr_level_default = 1;
+  s.ccl.gdr_level_required = 3;
+  s.ccl.gdr_disabled_bw_factor = 0.45;
+  s.ccl.gdr_disabled_latency = microseconds(2.4);
+  s.ccl.bad_affinity_alltoall_factor = 1.6;
+  s.ccl.bad_affinity_allreduce_factor = 6.0;
+  s.ccl.allreduce_knee_gpus = 512;  // Sec. V-D drop at 256 -> 512
+  s.ccl.allreduce_knee_factor = 0.55;
+
+  // Slingshot's congestion management largely isolates victims ([12]).
+  s.congestion.flow_threshold = 12;
+  s.congestion.rate_factor = 0.85;
+
+  s.noise.production_noise = false;  // Slingshot; Sec. VI
+
+  return s;
+}
+
+}  // namespace gpucomm

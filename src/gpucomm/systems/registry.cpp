@@ -1,0 +1,26 @@
+#include "gpucomm/systems/registry.hpp"
+
+#include <stdexcept>
+
+namespace gpucomm {
+
+SystemConfig system_by_name(std::string_view name) {
+  if (name == "alps") return alps_config();
+  if (name == "leonardo") return leonardo_config();
+  if (name == "lumi") return lumi_config();
+  throw std::invalid_argument("unknown system: " + std::string(name) +
+                              " (expected alps, leonardo, or lumi)");
+}
+
+const std::vector<std::string>& all_system_names() {
+  static const std::vector<std::string> kNames = {"alps", "leonardo", "lumi"};
+  return kNames;
+}
+
+std::vector<SystemConfig> all_systems() {
+  std::vector<SystemConfig> out;
+  for (const std::string& n : all_system_names()) out.push_back(system_by_name(n));
+  return out;
+}
+
+}  // namespace gpucomm

@@ -1,0 +1,17 @@
+// Lookup of the three modelled systems by name (mirrors the artifact's
+// BLINK_SYSTEM=alps|leonardo|lumi configuration switch).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gpucomm/systems/system_config.hpp"
+
+namespace gpucomm {
+
+SystemConfig system_by_name(std::string_view name);
+const std::vector<std::string>& all_system_names();
+std::vector<SystemConfig> all_systems();
+
+}  // namespace gpucomm

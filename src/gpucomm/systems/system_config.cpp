@@ -1,0 +1,18 @@
+#include "gpucomm/systems/system_config.hpp"
+
+namespace gpucomm {
+
+SoftwareEnv SystemConfig::tuned_env() const {
+  SoftwareEnv env = default_env;
+  // Sec. III-B: the paper's tuned configuration on every system.
+  env.ccl_ignore_cpu_affinity = true;      // NCCL_IGNORE_CPU_AFFINITY=1 (Alps, LUMI)
+  env.ccl_net_gdr_level = 3;               // NCCL_NET_GDR_LEVEL=3
+  env.ccl_nchannels_per_peer = ccl.max_nchannels;  // NCCL_NCHANNELS_PER_PEER=32 (LUMI)
+  env.mpich_gpu_ipc_threshold = 1;         // MPICH_GPU_IPC_THRESHOLD=1 (Alps)
+  env.mpich_gpu_allreduce_blk = 128_MiB;   // MPICH_GPU_ALLREDUCE_BLK_SIZE (Alps)
+  env.hsa_enable_sdma = false;             // HSA_ENABLE_SDMA=0 (LUMI)
+  env.gdrcopy_loaded = true;               // LD_LIBRARY_PATH fix (Leonardo)
+  return env;
+}
+
+}  // namespace gpucomm

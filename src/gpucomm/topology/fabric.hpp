@@ -1,0 +1,52 @@
+// Abstract inter-node fabric: wiring of node NICs into the switch graph and
+// NIC-to-NIC routing.
+#pragma once
+
+#include <cstdint>
+
+#include "gpucomm/hw/node.hpp"
+#include "gpucomm/sim/random.hpp"
+#include "gpucomm/topology/graph.hpp"
+
+namespace gpucomm {
+
+/// Relative network location of two endpoints (Fig. 8's x-axis).
+enum class NetworkDistance : std::uint8_t { kSameNode, kSameSwitch, kSameGroup, kDiffGroup };
+
+inline const char* to_string(NetworkDistance d) {
+  switch (d) {
+    case NetworkDistance::kSameNode: return "same-node";
+    case NetworkDistance::kSameSwitch: return "same-switch";
+    case NetworkDistance::kSameGroup: return "same-group";
+    case NetworkDistance::kDiffGroup: return "diff-group";
+  }
+  return "?";
+}
+
+class Fabric {
+ public:
+  virtual ~Fabric() = default;
+
+  /// Wire a node's NICs to their switches. Call once per node, in node order.
+  virtual void attach_node(Graph& g, const NodeDevices& node) = 0;
+
+  /// NIC-to-NIC route across the fabric (including both NIC wires).
+  /// Adaptive choices (which global link / spine) consume `rng`.
+  virtual Route route(const Graph& g, DeviceId src_nic, DeviceId dst_nic, Rng& rng) const = 0;
+
+  /// First-hop switch index (fabric-global) of an attached NIC.
+  virtual int switch_of(DeviceId nic) const = 0;
+  /// Dragonfly/Dragonfly+ group of an attached NIC.
+  virtual int group_of(DeviceId nic) const = 0;
+
+  /// Maximum number of nodes the fabric can host.
+  virtual std::size_t max_nodes() const = 0;
+
+  NetworkDistance classify(DeviceId nic_a, DeviceId nic_b) const {
+    if (group_of(nic_a) != group_of(nic_b)) return NetworkDistance::kDiffGroup;
+    if (switch_of(nic_a) != switch_of(nic_b)) return NetworkDistance::kSameGroup;
+    return NetworkDistance::kSameSwitch;
+  }
+};
+
+}  // namespace gpucomm

@@ -1,0 +1,202 @@
+#include "gpucomm/topology/forwarding.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace gpucomm {
+
+ForwardingAnalysis analyze_forwarding(const Graph& g, const std::vector<DeviceId>& endpoints,
+                                      const RouteOptions& opts) {
+  ForwardingAnalysis out;
+  out.paths_crossing.assign(g.link_count(), 0);
+  for (const DeviceId src : endpoints) {
+    for (const DeviceId dst : endpoints) {
+      if (src == dst) continue;
+      const auto route = shortest_route(g, src, dst, opts);
+      assert(route.has_value() && "endpoints must be connected");
+      for (const LinkId id : *route) ++out.paths_crossing[id];
+    }
+  }
+  for (LinkId id = 0; id < g.link_count(); ++id) {
+    if (out.paths_crossing[id] == 0) continue;
+    const int mult = g.link(id).multiplicity;
+    const int per_phys = (out.paths_crossing[id] + mult - 1) / mult;
+    if (per_phys > out.edge_forwarding_index) {
+      out.edge_forwarding_index = per_phys;
+      out.max_loaded_link = id;
+    }
+  }
+  return out;
+}
+
+bool fully_connected(const Graph& g, const std::vector<DeviceId>& endpoints) {
+  for (const DeviceId a : endpoints) {
+    for (const DeviceId b : endpoints) {
+      if (a != b && g.find_link(a, b) == kInvalidLink) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Aggregate egress capacity of a device across links passing the filter.
+Bandwidth egress_capacity(const Graph& g, DeviceId dev, const RouteOptions& opts) {
+  Bandwidth total = 0;
+  for (const LinkId id : g.out_links(dev)) {
+    const Link& l = g.link(id);
+    if (opts.link_filter && !opts.link_filter(l)) continue;
+    total += l.capacity;
+  }
+  return total;
+}
+
+int egress_physical_links(const Graph& g, DeviceId dev, const RouteOptions& opts) {
+  int total = 0;
+  for (const LinkId id : g.out_links(dev)) {
+    const Link& l = g.link(id);
+    if (opts.link_filter && !opts.link_filter(l)) continue;
+    total += l.multiplicity;
+  }
+  return total;
+}
+
+/// Enumerate Hamiltonian cycles over `endpoints` using only filtered links.
+/// Cycles are canonicalized (start at endpoints[0], smaller second node
+/// first) so each undirected cycle appears once. Feasible because intra-node
+/// GPU counts are tiny (<= 8).
+std::vector<std::vector<DeviceId>> hamiltonian_cycles(const Graph& g,
+                                                      const std::vector<DeviceId>& endpoints,
+                                                      const RouteOptions& opts) {
+  std::vector<std::vector<DeviceId>> cycles;
+  const std::size_t n = endpoints.size();
+  if (n < 3) return cycles;
+  std::vector<std::size_t> perm(n - 1);
+  std::iota(perm.begin(), perm.end(), 1);
+
+  const auto connected = [&](DeviceId a, DeviceId b) {
+    const LinkId id = g.find_link(a, b);
+    if (id == kInvalidLink) return false;
+    if (opts.link_filter && !opts.link_filter(g.link(id))) return false;
+    return true;
+  };
+
+  do {
+    // Canonical direction: second node id < last node id.
+    if (endpoints[perm.front()] > endpoints[perm.back()]) continue;
+    bool ok = connected(endpoints[0], endpoints[perm.front()]);
+    for (std::size_t i = 0; ok && i + 1 < perm.size(); ++i)
+      ok = connected(endpoints[perm[i]], endpoints[perm[i + 1]]);
+    ok = ok && connected(endpoints[perm.back()], endpoints[0]);
+    if (!ok) continue;
+    std::vector<DeviceId> cycle;
+    cycle.push_back(endpoints[0]);
+    for (const std::size_t p : perm) cycle.push_back(endpoints[p]);
+    cycles.push_back(std::move(cycle));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return cycles;
+}
+
+/// Maximum set of link-disjoint cycles, where each aggregated link offers
+/// `multiplicity` slots. Exact DFS over the (small) cycle list; returns the
+/// chosen cycle indices.
+std::vector<std::size_t> max_disjoint_cycles(const Graph& g,
+                                             const std::vector<std::vector<DeviceId>>& cycles,
+                                             std::vector<int>& slots, std::size_t from) {
+  std::vector<std::size_t> best;
+  for (std::size_t c = from; c < cycles.size(); ++c) {
+    const auto& cycle = cycles[c];
+    std::vector<LinkId> used;
+    bool fits = true;
+    for (std::size_t i = 0; i < cycle.size() && fits; ++i) {
+      const DeviceId a = cycle[i];
+      const DeviceId b = cycle[(i + 1) % cycle.size()];
+      const LinkId fwd = g.find_link(a, b);
+      if (fwd == kInvalidLink || slots[fwd] == 0) { fits = false; break; }
+      used.push_back(fwd);
+      --slots[fwd];
+    }
+    if (fits) {
+      std::vector<std::size_t> with = max_disjoint_cycles(g, cycles, slots, c + 1);
+      with.insert(with.begin(), c);
+      if (with.size() > best.size()) best = std::move(with);
+    }
+    for (const LinkId id : used) ++slots[id];
+  }
+  return best;
+}
+
+std::vector<int> link_slots(const Graph& g, const RouteOptions& opts) {
+  std::vector<int> slots(g.link_count(), 0);
+  for (LinkId id = 0; id < g.link_count(); ++id) {
+    const Link& l = g.link(id);
+    if (opts.link_filter && !opts.link_filter(l)) continue;
+    slots[id] = l.multiplicity;
+  }
+  return slots;
+}
+
+}  // namespace
+
+Bandwidth expected_alltoall_goodput(const Graph& g, const std::vector<DeviceId>& endpoints,
+                                    const RouteOptions& opts) {
+  const ForwardingAnalysis fwd = analyze_forwarding(g, endpoints, opts);
+
+  // Per-physical-link peak: the most loaded physical link divides its
+  // bandwidth across the crossing paths; when paths < physical links the
+  // physical link rate itself is the cap.
+  Bandwidth per_phys_peak = 1e30;
+  for (LinkId id = 0; id < g.link_count(); ++id) {
+    if (fwd.paths_crossing[id] == 0) continue;
+    const Link& l = g.link(id);
+    const double denom = std::max<double>(fwd.paths_crossing[id], l.multiplicity);
+    per_phys_peak = std::min(per_phys_peak, l.capacity / denom);
+  }
+
+  int min_egress = INT32_MAX;
+  for (const DeviceId dev : endpoints)
+    min_egress = std::min(min_egress, egress_physical_links(g, dev, opts));
+  if (min_egress == INT32_MAX || per_phys_peak >= 1e30) return 0;
+  return per_phys_peak * min_egress;
+}
+
+Bandwidth expected_allreduce_goodput(const Graph& g, const std::vector<DeviceId>& endpoints,
+                                     const RouteOptions& opts) {
+  if (fully_connected(g, endpoints)) {
+    // Pipelined tree reduce + broadcast saturates every egress link of a GPU
+    // concurrently (Sec. IV-C), so peak = aggregate egress bandwidth.
+    Bandwidth peak = 1e30;
+    for (const DeviceId dev : endpoints)
+      peak = std::min(peak, egress_capacity(g, dev, opts));
+    return peak >= 1e30 ? 0 : peak;
+  }
+
+  // Rabenseifner over edge-disjoint rings. Each undirected Hamiltonian cycle
+  // supports two counter-rotating directed rings on full-duplex links; the
+  // algorithm moves 2x the buffer, so peak = aggregate ring bandwidth / 2.
+  const auto cycles = disjoint_hamiltonian_cycles(g, endpoints, opts);
+  if (cycles.empty()) return 0;
+  Bandwidth min_link = 1e30;
+  for (LinkId id = 0; id < g.link_count(); ++id) {
+    const Link& l = g.link(id);
+    if (opts.link_filter && !opts.link_filter(l)) continue;
+    min_link = std::min(min_link, l.capacity / l.multiplicity);
+  }
+  const Bandwidth aggregate = 2.0 * static_cast<double>(cycles.size()) * min_link;
+  return aggregate / 2.0;
+}
+
+std::vector<std::vector<DeviceId>> disjoint_hamiltonian_cycles(
+    const Graph& g, const std::vector<DeviceId>& endpoints, const RouteOptions& opts) {
+  const auto cycles = hamiltonian_cycles(g, endpoints, opts);
+  if (cycles.empty()) return {};
+  std::vector<int> slots = link_slots(g, opts);
+  const std::vector<std::size_t> chosen = max_disjoint_cycles(g, cycles, slots, 0);
+  std::vector<std::vector<DeviceId>> out;
+  out.reserve(chosen.size());
+  for (const std::size_t c : chosen) out.push_back(cycles[c]);
+  return out;
+}
+
+}  // namespace gpucomm

@@ -1,0 +1,56 @@
+// Edge forwarding index and expected-goodput estimates (Sec. IV-A).
+//
+// The paper derives intra-node collective bandwidth expectations from the
+// edge forwarding index (Heydemann et al. [31]): the maximum number of
+// routed paths crossing any directed link, under shortest-path routing
+// between every ordered pair of GPUs. On Alps/Leonardo the GPU graph is
+// fully connected (index 1); on LUMI the GCD graph yields index 4 on the
+// GCD1->GCD5 and GCD3->GCD7 links.
+#pragma once
+
+#include <vector>
+
+#include "gpucomm/topology/graph.hpp"
+#include "gpucomm/topology/routing.hpp"
+
+namespace gpucomm {
+
+struct ForwardingAnalysis {
+  /// paths_crossing[link] = number of ordered GPU pairs routed across it.
+  std::vector<int> paths_crossing;
+  /// Maximum over links, normalized by link multiplicity and rounded up:
+  /// the classic per-physical-link edge forwarding index.
+  int edge_forwarding_index = 0;
+  LinkId max_loaded_link = kInvalidLink;
+};
+
+/// Analyze shortest-path routing between every ordered pair in `endpoints`
+/// (typically the GPUs of one node), traversing only links accepted by opts.
+ForwardingAnalysis analyze_forwarding(const Graph& g, const std::vector<DeviceId>& endpoints,
+                                      const RouteOptions& opts = {});
+
+/// Expected peak per-GPU alltoall goodput, the paper's method: the most
+/// loaded physical link divides its bandwidth across crossing paths, giving
+/// the per-pair peak; a GPU drives all of its egress links concurrently.
+/// For a fully connected node this degenerates to the GPU injection bandwidth.
+Bandwidth expected_alltoall_goodput(const Graph& g, const std::vector<DeviceId>& endpoints,
+                                    const RouteOptions& opts = {});
+
+/// Expected peak allreduce goodput (Sec. IV-C): for fully connected nodes, a
+/// pipelined tree reduce+broadcast bounded by the GPU's aggregate egress; for
+/// ring-decomposable graphs (LUMI), Rabenseifner over the edge-disjoint rings,
+/// which moves 2x the buffer, so peak = aggregate ring bandwidth / 2.
+Bandwidth expected_allreduce_goodput(const Graph& g, const std::vector<DeviceId>& endpoints,
+                                     const RouteOptions& opts = {});
+
+/// True iff every endpoint has a direct link to every other endpoint.
+bool fully_connected(const Graph& g, const std::vector<DeviceId>& endpoints);
+
+/// Maximum set of link-disjoint undirected Hamiltonian cycles over the
+/// endpoints (each aggregated link offers `multiplicity` slots). On LUMI's
+/// GCD mesh this finds the two cycles underlying the four directed rings of
+/// the Rabenseifner expectation (Sec. IV-C); exact search, endpoints <= 8.
+std::vector<std::vector<DeviceId>> disjoint_hamiltonian_cycles(
+    const Graph& g, const std::vector<DeviceId>& endpoints, const RouteOptions& opts = {});
+
+}  // namespace gpucomm

@@ -1,0 +1,146 @@
+#include "gpucomm/topology/intra_node.hpp"
+
+#include <cassert>
+#include <string>
+
+#include "gpucomm/hw/link.hpp"
+
+namespace gpucomm {
+
+namespace {
+
+std::string dev_label(const char* kind, std::int32_t node, std::int32_t idx) {
+  return std::string(kind) + std::to_string(idx) + "@n" + std::to_string(node);
+}
+
+DeviceId add_gpu(Graph& g, std::int32_t node, std::int32_t idx) {
+  return g.add_device({DeviceKind::kGpu, node, idx, dev_label("gpu", node, idx)});
+}
+DeviceId add_numa(Graph& g, std::int32_t node, std::int32_t idx) {
+  return g.add_device({DeviceKind::kHost, node, idx, dev_label("numa", node, idx)});
+}
+DeviceId add_nic(Graph& g, std::int32_t node, std::int32_t idx) {
+  return g.add_device({DeviceKind::kNic, node, idx, dev_label("nic", node, idx)});
+}
+
+void add_pair_link(Graph& g, DeviceId a, DeviceId b, const LinkPreset& preset, int physical) {
+  g.add_duplex_link(a, b, preset.rate * physical, preset.latency, preset.type,
+                    static_cast<std::uint16_t>(physical));
+}
+
+// Alps (Fig. 1a): four GH200, all-to-all with 6 NVLink4 links per pair
+// (1.2 Tb/s); one Cassini NIC per superchip; per-superchip LPDDR NUMA.
+NodeDevices build_alps(Graph& g, std::int32_t node) {
+  NodeDevices nd;
+  nd.node = node;
+  for (int i = 0; i < 4; ++i) {
+    nd.gpus.push_back(add_gpu(g, node, i));
+    nd.numas.push_back(add_numa(g, node, i));
+    nd.nics.push_back(add_nic(g, node, i));
+  }
+  const LinkPreset nv = links::nvlink4();
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) add_pair_link(g, nd.gpus[i], nd.gpus[j], nv, 6);
+  }
+  const LinkPreset pcie = links::pcie_gen5_x16();
+  for (int i = 0; i < 4; ++i) {
+    add_pair_link(g, nd.gpus[i], nd.nics[i], pcie, 1);
+    add_pair_link(g, nd.numas[i], nd.nics[i], pcie, 1);
+    nd.closest_nic.push_back(nd.nics[i]);
+    nd.closest_numa.push_back(nd.numas[i]);
+  }
+  return nd;
+}
+
+// Leonardo (Fig. 1b): four A100, all-to-all with 4 NVLink3 links per pair
+// (800 Gb/s); one CPU socket; four 100 Gb/s ConnectX-6 ports, one per GPU
+// via PCIe Gen4.
+NodeDevices build_leonardo(Graph& g, std::int32_t node) {
+  NodeDevices nd;
+  nd.node = node;
+  for (int i = 0; i < 4; ++i) nd.gpus.push_back(add_gpu(g, node, i));
+  nd.numas.push_back(add_numa(g, node, 0));
+  for (int i = 0; i < 4; ++i) nd.nics.push_back(add_nic(g, node, i));
+  const LinkPreset nv = links::nvlink3();
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) add_pair_link(g, nd.gpus[i], nd.gpus[j], nv, 4);
+  }
+  const LinkPreset pcie = links::pcie_gen4_x16();
+  for (int i = 0; i < 4; ++i) {
+    add_pair_link(g, nd.gpus[i], nd.nics[i], pcie, 1);
+    add_pair_link(g, nd.numas[0], nd.nics[i], pcie, 1);
+    nd.closest_nic.push_back(nd.nics[i]);
+    nd.closest_numa.push_back(nd.numas[0]);
+  }
+  return nd;
+}
+
+// LUMI (Fig. 2): eight GCDs; module pairs (0,1),(2,3),(4,5),(6,7) joined by
+// four IF links; eight single external links; one Cassini NIC per module
+// shared by its two GCDs; four NUMA domains (one per module's CPU quadrant).
+NodeDevices build_lumi(Graph& g, std::int32_t node) {
+  NodeDevices nd;
+  nd.node = node;
+  for (int i = 0; i < 8; ++i) nd.gpus.push_back(add_gpu(g, node, i));
+  for (int i = 0; i < 4; ++i) nd.numas.push_back(add_numa(g, node, i));
+  for (int i = 0; i < 4; ++i) nd.nics.push_back(add_nic(g, node, i));
+
+  const LinkPreset xgmi = links::infinity_fabric();
+  for (const LumiLinkSpec& spec : lumi_gcd_links())
+    add_pair_link(g, nd.gpus[spec.gcd_a], nd.gpus[spec.gcd_b], xgmi, spec.physical_links);
+
+  const LinkPreset pcie = links::pcie_gen5_x16();
+  for (int m = 0; m < 4; ++m) {
+    add_pair_link(g, nd.gpus[2 * m], nd.nics[m], pcie, 1);
+    add_pair_link(g, nd.gpus[2 * m + 1], nd.nics[m], pcie, 1);
+    add_pair_link(g, nd.numas[m], nd.nics[m], pcie, 1);
+  }
+  for (int i = 0; i < 8; ++i) {
+    nd.closest_nic.push_back(nd.nics[i / 2]);
+    nd.closest_numa.push_back(nd.numas[i / 2]);
+  }
+  return nd;
+}
+
+}  // namespace
+
+const std::vector<LumiLinkSpec>& lumi_gcd_links() {
+  // In-module pairs carry 4 physical links; external single links form the
+  // even ring 0-2-4-6 and the odd cycle 1-3, 3-7, 7-5, 5-1. This wiring
+  // satisfies every structural property the paper states: 1-4 links per pair,
+  // six IF links per GCD, most-loaded links GCD1-GCD5 / GCD3-GCD7 with four
+  // crossing paths, and two edge-disjoint Hamiltonian cycles (four directed
+  // rings) for Rabenseifner's 800 Gb/s expectation.
+  static const std::vector<LumiLinkSpec> kLinks = {
+      {0, 1, 4}, {2, 3, 4}, {4, 5, 4}, {6, 7, 4},  // in-module
+      {0, 2, 1}, {2, 4, 1}, {4, 6, 1}, {0, 6, 1},  // even cycle
+      {1, 3, 1}, {3, 7, 1}, {5, 7, 1}, {1, 5, 1},  // odd cycle
+  };
+  return kLinks;
+}
+
+NodeDevices build_node(Graph& g, NodeArch arch, std::int32_t node_idx) {
+  switch (arch) {
+    case NodeArch::kAlps: return build_alps(g, node_idx);
+    case NodeArch::kLeonardo: return build_leonardo(g, node_idx);
+    case NodeArch::kLumi: return build_lumi(g, node_idx);
+  }
+  assert(false && "unknown arch");
+  return {};
+}
+
+RouteOptions gpu_fabric_options() {
+  RouteOptions opts;
+  opts.link_filter = [](const Link& l) {
+    return l.type == LinkType::kNvLink || l.type == LinkType::kInfinityFabric;
+  };
+  return opts;
+}
+
+Bandwidth nominal_pair_goodput(const Graph& g, DeviceId gpu_a, DeviceId gpu_b) {
+  const auto route = shortest_route(g, gpu_a, gpu_b, gpu_fabric_options());
+  if (!route) return 0;
+  return route_bottleneck(g, *route);
+}
+
+}  // namespace gpucomm

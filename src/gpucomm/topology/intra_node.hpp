@@ -1,0 +1,37 @@
+// Intra-node topology builders for the three systems (Fig. 1 and Fig. 2).
+//
+// Graph links model the GPU-GPU fabric (NVLink / Infinity Fabric) and the
+// GPU/host-to-NIC attach; host<->device staging copies are modelled by the
+// copy engine (mem/copy_engine.hpp), not by graph links.
+#pragma once
+
+#include "gpucomm/hw/node.hpp"
+#include "gpucomm/topology/graph.hpp"
+#include "gpucomm/topology/routing.hpp"
+
+namespace gpucomm {
+
+/// Build one node's devices and intra-node links. `node_idx` tags devices.
+NodeDevices build_node(Graph& g, NodeArch arch, std::int32_t node_idx);
+
+/// Filter accepting only GPU-GPU data links (NVLink / Infinity Fabric), used
+/// for intra-node GPU routing and the Sec. IV-A forwarding analysis.
+RouteOptions gpu_fabric_options();
+
+/// Nominal unidirectional goodput between two GPUs: the capacity of the best
+/// single path (the dashed lines of Fig. 3 and Fig. 4).
+Bandwidth nominal_pair_goodput(const Graph& g, DeviceId gpu_a, DeviceId gpu_b);
+
+/// The LUMI GCD-GCD link map (Fig. 2): in-module pairs joined by four
+/// 400 Gb/s links; eight single external links forming two 4-cycles
+/// (0-2-4-6 and 1-3-5-7 via the 1-5/3-7 diagonal arrangement). Exposed for
+/// tests that pin the paper's structural claims (edge forwarding index 4 on
+/// GCD1->GCD5 and GCD3->GCD7; two edge-disjoint Hamiltonian cycles).
+struct LumiLinkSpec {
+  int gcd_a;
+  int gcd_b;
+  int physical_links;
+};
+const std::vector<LumiLinkSpec>& lumi_gcd_links();
+
+}  // namespace gpucomm

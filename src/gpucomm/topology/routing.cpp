@@ -1,0 +1,80 @@
+#include "gpucomm/topology/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace gpucomm {
+
+namespace {
+// Breadth-first distances from every device to `dst` (reverse search), so the
+// forward greedy walk can follow the shortest-path DAG.
+std::vector<int> distances_to(const Graph& g, DeviceId dst, const RouteOptions& opts) {
+  // Build reverse adjacency on the fly: for each link src->dst it relaxes
+  // dist[src] from dist[dst]. A forward BFS from dst over reversed edges
+  // needs an in-links view; we precompute it once per call.
+  std::vector<std::vector<LinkId>> in(g.device_count());
+  for (LinkId id = 0; id < g.link_count(); ++id) {
+    const Link& l = g.link(id);
+    if (opts.link_filter && !opts.link_filter(l)) continue;
+    in[l.dst].push_back(id);
+  }
+
+  std::vector<int> dist(g.device_count(), -1);
+  std::queue<DeviceId> q;
+  dist[dst] = 0;
+  q.push(dst);
+  while (!q.empty()) {
+    const DeviceId cur = q.front();
+    q.pop();
+    if (dist[cur] >= opts.max_hops) continue;
+    for (const LinkId id : in[cur]) {
+      const DeviceId prev = g.link(id).src;
+      if (dist[prev] < 0) {
+        dist[prev] = dist[cur] + 1;
+        q.push(prev);
+      }
+    }
+  }
+  return dist;
+}
+}  // namespace
+
+std::optional<Route> shortest_route(const Graph& g, DeviceId src, DeviceId dst,
+                                    const RouteOptions& opts) {
+  if (src == dst) return Route{};
+  const std::vector<int> dist = distances_to(g, dst, opts);
+  if (dist[src] < 0) return std::nullopt;
+
+  Route route;
+  DeviceId cur = src;
+  while (cur != dst) {
+    // Follow the shortest-path DAG; among candidate next hops take the
+    // smallest device id, and among parallel links to it the smallest link id.
+    LinkId best_link = kInvalidLink;
+    DeviceId best_next = kInvalidDevice;
+    for (const LinkId id : g.out_links(cur)) {
+      const Link& l = g.link(id);
+      if (opts.link_filter && !opts.link_filter(l)) continue;
+      if (dist[l.dst] != dist[cur] - 1) continue;
+      if (best_next == kInvalidDevice || l.dst < best_next ||
+          (l.dst == best_next && id < best_link)) {
+        best_next = l.dst;
+        best_link = id;
+      }
+    }
+    if (best_link == kInvalidLink) return std::nullopt;  // filter removed the DAG edge
+    route.push_back(best_link);
+    cur = best_next;
+  }
+  return route;
+}
+
+int hop_distance(const Graph& g, DeviceId src, DeviceId dst, const RouteOptions& opts) {
+  if (src == dst) return 0;
+  const std::vector<int> dist = distances_to(g, dst, opts);
+  return dist[src];
+}
+
+}  // namespace gpucomm

@@ -1,0 +1,35 @@
+// Generic shortest-path routing over the device graph.
+//
+// Used for intra-node routes (GPU->GPU over NVLink/xGMI, GPU->NIC over PCIe)
+// and as the reference router in tests. Fabric topologies (Dragonfly,
+// Dragonfly+) use their own structured routing; see dragonfly*.hpp.
+//
+// Paths are minimal-hop with a deterministic lexicographic tie-break (the
+// smallest next device id on a shortest path is taken). Determinism matters:
+// the edge-forwarding-index analysis of Sec. IV-A and the simulator itself
+// must agree on which link a pair of GPUs loads.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "gpucomm/topology/graph.hpp"
+
+namespace gpucomm {
+
+struct RouteOptions {
+  /// If set, only links for which this returns true are usable.
+  std::function<bool(const Link&)> link_filter;
+  /// Maximum number of hops explored; routes longer than this fail.
+  int max_hops = 64;
+};
+
+/// Minimal-hop route src -> dst, lexicographic tie-break on device ids.
+/// Returns std::nullopt when dst is unreachable under the filter.
+std::optional<Route> shortest_route(const Graph& g, DeviceId src, DeviceId dst,
+                                    const RouteOptions& opts = {});
+
+/// Hop distance (number of links) or -1 if unreachable.
+int hop_distance(const Graph& g, DeviceId src, DeviceId dst, const RouteOptions& opts = {});
+
+}  // namespace gpucomm

@@ -1,0 +1,98 @@
+// Allreduce algorithm-selection behaviour: the binomial tree's log scaling
+// for tiny vectors at scale, the ring's bandwidth optimality for large
+// ones, and the NIC-rate authority over custom configurations.
+#include <gtest/gtest.h>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/cluster/placement.hpp"
+#include "gpucomm/comm/ccl/ccl_comm.hpp"
+#include "gpucomm/comm/mpi/mpi_comm.hpp"
+#include "gpucomm/systems/registry.hpp"
+
+namespace gpucomm {
+namespace {
+
+double ccl_allreduce_us(const SystemConfig& cfg, int nodes, Bytes buffer) {
+  Cluster cluster(cfg, {.nodes = nodes, .enable_noise = false});
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  CclComm ccl(cluster, first_n_gpus(cluster, nodes * cfg.gpus_per_node), opt);
+  return ccl.time_allreduce(buffer).micros();
+}
+
+TEST(AllreduceAlgoTest, TinyVectorsScaleLogarithmicallyAtManyNodes) {
+  // Doubling 16 -> 32 nodes adds ~2 tree rounds, not 32 ring rounds.
+  const SystemConfig cfg = system_by_name("alps");
+  const double t16 = ccl_allreduce_us(cfg, 16, 8_KiB);
+  const double t32 = ccl_allreduce_us(cfg, 32, 8_KiB);
+  EXPECT_LT(t32 / t16, 1.6);
+}
+
+TEST(AllreduceAlgoTest, TreeBeatsRingScalingForTinyVectors) {
+  // At 16 nodes the tree (in use at 16 KiB) must not be slower than ~the
+  // ring region's per-node-linear cost would predict.
+  const SystemConfig cfg = system_by_name("leonardo");
+  const double tiny = ccl_allreduce_us(cfg, 16, 8_KiB);
+  const double ring_small = ccl_allreduce_us(cfg, 16, 1_MiB);  // ring region
+  EXPECT_LT(tiny, ring_small);
+}
+
+TEST(AllreduceAlgoTest, LargeVectorsStayOnRings) {
+  // Ring goodput at 1 GiB on 16 nodes stays within the hierarchical-ring
+  // envelope (well above what 2 log2(n) full-buffer tree rounds would give).
+  const SystemConfig cfg = system_by_name("alps");
+  const double t = ccl_allreduce_us(cfg, 16, 1_GiB);
+  const double goodput = 1_GiB * 8.0 / (t * 1e-6) / 1e9;
+  EXPECT_GT(goodput, 100.0);  // tree over 200 Gb/s NICs could never exceed ~20
+}
+
+TEST(AllreduceAlgoTest, SmallVectorRegionContinuity) {
+  // No pathological cliff at the tree/ring boundary (16 KiB): the two sides
+  // stay within a small factor.
+  const SystemConfig cfg = system_by_name("leonardo");
+  const double below = ccl_allreduce_us(cfg, 16, 16_KiB);
+  const double above = ccl_allreduce_us(cfg, 16, 32_KiB);
+  EXPECT_LT(above / below, 4.0);
+  EXPECT_GT(above / below, 0.5);
+}
+
+TEST(CustomConfigTest, NicRateGovernsWireCapacity) {
+  // Changing SystemConfig::nic.rate must propagate to the fabric wires: the
+  // inter-node p2p goodput tracks it (the custom_system example relies on
+  // this).
+  SystemConfig base = system_by_name("leonardo");
+  base.noise.production_noise = false;
+  SystemConfig fat = base;
+  fat.nic.rate = gbps(200);
+  fat.nic_bw_per_gpu = gbps(200);
+
+  const auto p2p = [](const SystemConfig& cfg) {
+    Cluster cluster(cfg, {.nodes = 2});
+    CommOptions opt;
+    opt.env = cfg.tuned_env();
+    MpiComm mpi(cluster, {0, cfg.gpus_per_node}, opt);
+    const SimTime t = mpi.time_pingpong(0, 1, 1_GiB);
+    return goodput_gbps(1_GiB, SimTime{t.ps / 2});
+  };
+  const double g_base = p2p(base);
+  const double g_fat = p2p(fat);
+  EXPECT_NEAR(g_fat / g_base, 2.0, 0.1);
+}
+
+TEST(CustomConfigTest, FatTreeSwapKeepsLibraryOrdering) {
+  // The Sec. VIII expectation: swapping the fabric does not change who wins.
+  SystemConfig cfg = system_by_name("leonardo");
+  cfg.fabric.kind = FabricKind::kFatTree;
+  cfg.noise.production_noise = false;
+  Cluster cluster(cfg, {.nodes = 4});
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  const auto gpus = first_n_gpus(cluster, 16);
+  CclComm ccl(cluster, gpus, opt);
+  MpiComm mpi(cluster, gpus, opt);
+  EXPECT_LT(ccl.time_allreduce(64_MiB).seconds(), mpi.time_allreduce(64_MiB).seconds());
+  EXPECT_LT(mpi.time_pingpong(0, 4, 1).ps, ccl.time_pingpong(0, 4, 1).ps);
+}
+
+}  // namespace
+}  // namespace gpucomm

@@ -1,0 +1,88 @@
+// Explicit co-scheduled interference jobs (Fig. 12 machinery).
+#include <gtest/gtest.h>
+
+#include "gpucomm/cluster/placement.hpp"
+#include "gpucomm/comm/ccl/ccl_comm.hpp"
+#include "gpucomm/noise/background.hpp"
+#include "gpucomm/systems/registry.hpp"
+
+namespace gpucomm {
+namespace {
+
+TEST(BackgroundTest, InjectsTraffic) {
+  SystemConfig cfg = leonardo_config();
+  Cluster cluster(cfg, {.nodes = 4, .enable_noise = false});
+  BackgroundJob job(cluster, gpus_of_nodes(cluster, {2, 3}), TrafficPattern::kAlltoall,
+                    1_MiB, /*service_level=*/0);
+  job.start();
+  cluster.engine().run_for(milliseconds(2));
+  EXPECT_GT(job.bytes_injected(), 0.0);
+  EXPECT_GT(cluster.network().total_bits_delivered(), 0.0);
+  job.stop();
+}
+
+TEST(BackgroundTest, StopDrains) {
+  SystemConfig cfg = leonardo_config();
+  Cluster cluster(cfg, {.nodes = 2, .enable_noise = false});
+  BackgroundJob job(cluster, first_n_gpus(cluster, 8), TrafficPattern::kUniformRandom, 256_KiB,
+                    0);
+  job.start();
+  cluster.engine().run_for(milliseconds(1));
+  job.stop();
+  const double injected = job.bytes_injected();
+  cluster.engine().run();  // drains without reposting
+  EXPECT_EQ(job.bytes_injected(), injected);
+  EXPECT_EQ(cluster.network().active_flows(), 0u);
+}
+
+TEST(BackgroundTest, IncastConcentratesOnTarget) {
+  // All traffic terminates at rank 0's node: its NIC wire is the hot spot.
+  SystemConfig cfg = leonardo_config();
+  Cluster cluster(cfg, {.nodes = 4, .enable_noise = false});
+  BackgroundJob job(cluster, first_n_gpus(cluster, 16), TrafficPattern::kIncast, 1_MiB, 0);
+  job.start();
+  cluster.engine().run_for(milliseconds(5));
+  job.stop();
+  EXPECT_GT(job.bytes_injected(), 10.0 * 1_MiB);
+}
+
+TEST(BackgroundTest, InterferenceSlowsSharedFabricCollective) {
+  // Fig. 12's mechanism: an incast sharing switches with an allreduce
+  // reduces its goodput; a drained fabric does not.
+  SystemConfig cfg = leonardo_config();
+  const Bytes buffer = 32_MiB;
+
+  auto measure = [&](bool with_incast) {
+    ClusterOptions copt;
+    copt.nodes = 8;
+    copt.enable_noise = false;  // isolate the explicit-interference effect
+    Cluster cluster(cfg, copt);
+    CommOptions opt;
+    opt.env = cfg.tuned_env();
+    const auto app = gpus_of_nodes(cluster, {0, 1, 2, 3});
+    const auto other = gpus_of_nodes(cluster, {4, 5, 6, 7});
+    std::unique_ptr<BackgroundJob> job;
+    if (with_incast) {
+      job = std::make_unique<BackgroundJob>(cluster, other, TrafficPattern::kIncast, 4_MiB, 0,
+                                            /*window=*/4);
+      job->start();
+    }
+    CclComm ccl(cluster, app, opt);
+    const SimTime t = ccl.time_allreduce(buffer);
+    if (job) job->stop();
+    return goodput_gbps(buffer, t);
+  };
+
+  const double clean = measure(false);
+  const double noisy = measure(true);
+  EXPECT_LT(noisy, clean);
+}
+
+TEST(BackgroundTest, PatternNames) {
+  EXPECT_STREQ(to_string(TrafficPattern::kAlltoall), "alltoall");
+  EXPECT_STREQ(to_string(TrafficPattern::kIncast), "incast");
+  EXPECT_STREQ(to_string(TrafficPattern::kUniformRandom), "uniform");
+}
+
+}  // namespace
+}  // namespace gpucomm

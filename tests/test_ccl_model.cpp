@@ -1,0 +1,99 @@
+// *CCL topology detection and channel model, including the RCCL hop-count
+// bandwidth-estimation defect (Obs. 3).
+#include <gtest/gtest.h>
+
+#include "gpucomm/comm/ccl/ccl_config.hpp"
+#include "gpucomm/comm/ccl/channels.hpp"
+#include "gpucomm/comm/ccl/topo_detect.hpp"
+#include "gpucomm/systems/registry.hpp"
+#include "gpucomm/topology/intra_node.hpp"
+
+namespace gpucomm {
+namespace {
+
+struct LumiNode {
+  Graph g;
+  NodeDevices node;
+  LumiNode() : node(build_node(g, NodeArch::kLumi, 0)) {}
+};
+
+TEST(TopoDetectTest, CorrectEstimateWithoutBug) {
+  LumiNode f;
+  EXPECT_DOUBLE_EQ(ccl_peer_bw_estimate(f.g, f.node.gpus[0], f.node.gpus[1], false),
+                   gbps(1600));
+  EXPECT_DOUBLE_EQ(ccl_peer_bw_estimate(f.g, f.node.gpus[0], f.node.gpus[7], false),
+                   gbps(400));
+}
+
+TEST(TopoDetectTest, HopCountBugHalvesTwoHopPeers) {
+  // Obs. 3: RCCL assumes lower bandwidth towards GCD 7 than GCD 6 although
+  // GPU 0 has the same nominal goodput to both.
+  LumiNode f;
+  const Bandwidth to6 = ccl_peer_bw_estimate(f.g, f.node.gpus[0], f.node.gpus[6], true);
+  const Bandwidth to7 = ccl_peer_bw_estimate(f.g, f.node.gpus[0], f.node.gpus[7], true);
+  EXPECT_DOUBLE_EQ(to6, gbps(400));  // direct link: estimate correct
+  EXPECT_DOUBLE_EQ(to7, gbps(200));  // two hops: halved
+  EXPECT_DOUBLE_EQ(ccl_peer_bw_estimate(f.g, f.node.gpus[0], f.node.gpus[5], true), gbps(200));
+}
+
+TEST(TopoDetectTest, BugDoesNotAffectInModulePairs) {
+  LumiNode f;
+  EXPECT_DOUBLE_EQ(ccl_peer_bw_estimate(f.g, f.node.gpus[0], f.node.gpus[1], true),
+                   gbps(1600));
+}
+
+TEST(CclConfigTest, ChannelResolution) {
+  const SystemConfig lumi = lumi_config();
+  const CclEffective def = resolve_ccl(lumi.ccl, lumi.default_env);
+  EXPECT_EQ(def.nchannels, lumi.ccl.default_nchannels_p2p);
+  const CclEffective tuned = resolve_ccl(lumi.ccl, lumi.tuned_env());
+  EXPECT_EQ(tuned.nchannels, lumi.ccl.max_nchannels);  // NCCL_NCHANNELS_PER_PEER=32
+  SoftwareEnv huge;
+  huge.ccl_nchannels_per_peer = 1000;
+  EXPECT_EQ(resolve_ccl(lumi.ccl, huge).nchannels, lumi.ccl.max_nchannels);  // clamped
+}
+
+TEST(CclConfigTest, GdrLevelResolution) {
+  const SystemConfig alps = alps_config();
+  EXPECT_FALSE(resolve_ccl(alps.ccl, alps.default_env).gdr_ok);  // level 1 < required 3
+  EXPECT_TRUE(resolve_ccl(alps.ccl, alps.tuned_env()).gdr_ok);   // NCCL_NET_GDR_LEVEL=3
+  const SystemConfig leo = leonardo_config();
+  EXPECT_TRUE(resolve_ccl(leo.ccl, leo.default_env).gdr_ok);  // NICs adjacent to GPUs
+}
+
+TEST(CclConfigTest, AffinityAndServiceLevel) {
+  const SystemConfig lumi = lumi_config();
+  EXPECT_FALSE(resolve_ccl(lumi.ccl, lumi.default_env).good_affinity);
+  EXPECT_TRUE(resolve_ccl(lumi.ccl, lumi.tuned_env()).good_affinity);
+  SoftwareEnv env;
+  env.ccl_ib_sl = 2;
+  EXPECT_EQ(resolve_ccl(lumi.ccl, env).service_level, 2);
+}
+
+TEST(ChannelsTest, CapIsMinOfChannelsAndEstimate) {
+  LumiNode f;
+  const SystemConfig lumi = lumi_config();
+  CclEffective eff = resolve_ccl(lumi.ccl, lumi.tuned_env());  // 32 channels
+  // In-module: channel budget 32 x 50 = 1600 == path nominal.
+  EXPECT_DOUBLE_EQ(ccl_p2p_rate_cap(f.g, f.node.gpus[0], f.node.gpus[1], lumi.ccl, eff),
+                   gbps(1600));
+  // Two-hop peer with the bug: estimate 200 < channel budget.
+  EXPECT_DOUBLE_EQ(ccl_p2p_rate_cap(f.g, f.node.gpus[0], f.node.gpus[7], lumi.ccl, eff),
+                   gbps(200));
+  // Default channels (8 x 50 = 400) throttle the in-module pair: the paper's
+  // 3.5x NCHANNELS_PER_PEER effect.
+  eff = resolve_ccl(lumi.ccl, lumi.default_env);
+  EXPECT_DOUBLE_EQ(ccl_p2p_rate_cap(f.g, f.node.gpus[0], f.node.gpus[1], lumi.ccl, eff),
+                   gbps(400));
+}
+
+TEST(ChannelsTest, NvlinkSystemsUncappedAtDefaults) {
+  Graph g;
+  const NodeDevices node = build_node(g, NodeArch::kAlps, 0);
+  const SystemConfig alps = alps_config();
+  const CclEffective eff = resolve_ccl(alps.ccl, alps.tuned_env());
+  EXPECT_GE(ccl_p2p_rate_cap(g, node.gpus[0], node.gpus[1], alps.ccl, eff), gbps(1200));
+}
+
+}  // namespace
+}  // namespace gpucomm

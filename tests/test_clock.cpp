@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "gpucomm/runtime/clock.hpp"
+
+namespace gpucomm {
+namespace {
+
+TEST(ClockTest, QuantizeRoundsToResolution) {
+  const SimTime res = nanoseconds(25);
+  EXPECT_EQ(quantize(nanoseconds(0), res), nanoseconds(0));
+  EXPECT_EQ(quantize(nanoseconds(12), res), nanoseconds(0));
+  EXPECT_EQ(quantize(nanoseconds(13), res), nanoseconds(25));
+  EXPECT_EQ(quantize(nanoseconds(25), res), nanoseconds(25));
+  EXPECT_EQ(quantize(nanoseconds(37), res), nanoseconds(25));
+  EXPECT_EQ(quantize(nanoseconds(38), res), nanoseconds(50));
+}
+
+TEST(ClockTest, ZeroResolutionIsIdentity) {
+  EXPECT_EQ(quantize(nanoseconds(17), SimTime::zero()), nanoseconds(17));
+}
+
+TEST(ClockTest, LargeValuesExact) {
+  const SimTime res = nanoseconds(30);
+  EXPECT_EQ(quantize(microseconds(300), res), microseconds(300));
+}
+
+TEST(ClockTest, MeasureSubtractsAndQuantizes) {
+  const MeasurementClock clock(nanoseconds(25));
+  EXPECT_EQ(clock.measure(microseconds(1), microseconds(2)), microseconds(1));
+  // 1.012 us elapsed -> 1.0 us at 25 ns resolution.
+  EXPECT_EQ(clock.measure(SimTime::zero(), nanoseconds(1012)), nanoseconds(1000));
+}
+
+TEST(ClockTest, PaperResolutions) {
+  // The paper measured 25 ns (LUMI, Leonardo) and 30 ns (Alps); both must
+  // resolve a 1-byte ping-pong of a few microseconds to ~1% accuracy.
+  for (const double res_ns : {25.0, 30.0}) {
+    const MeasurementClock clock(nanoseconds(res_ns));
+    const SimTime t = clock.measure(SimTime::zero(), microseconds(2.03));
+    EXPECT_NEAR(t.micros(), 2.03, 0.015);
+  }
+}
+
+}  // namespace
+}  // namespace gpucomm

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/systems/registry.hpp"
+
+namespace gpucomm {
+namespace {
+
+TEST(ClusterTest, SingleNodeBasics) {
+  for (const SystemConfig& cfg : all_systems()) {
+    Cluster c(cfg, {.nodes = 1});
+    EXPECT_EQ(c.num_nodes(), 1);
+    EXPECT_EQ(c.total_gpus(), cfg.gpus_per_node);
+    EXPECT_EQ(c.node(0).gpus.size(), static_cast<std::size_t>(cfg.gpus_per_node));
+  }
+}
+
+TEST(ClusterTest, GpuIndexMapping) {
+  Cluster c(leonardo_config(), {.nodes = 3});
+  EXPECT_EQ(c.node_of_gpu(0), 0);
+  EXPECT_EQ(c.node_of_gpu(4), 1);
+  EXPECT_EQ(c.node_of_gpu(11), 2);
+  EXPECT_EQ(c.local_index(6), 2);
+  EXPECT_TRUE(c.same_node(4, 7));
+  EXPECT_FALSE(c.same_node(3, 4));
+  EXPECT_EQ(c.gpu_device(5), c.node(1).gpus[1]);
+}
+
+TEST(ClusterTest, NicAffinity) {
+  Cluster c(lumi_config(), {.nodes = 1});
+  // GCDs 0 and 1 share the module-0 NIC.
+  EXPECT_EQ(c.nic_of_gpu(0), c.nic_of_gpu(1));
+  EXPECT_NE(c.nic_of_gpu(0), c.nic_of_gpu(2));
+}
+
+TEST(ClusterTest, IntraNodeRouteStaysOnGpuFabric) {
+  Cluster c(lumi_config(), {.nodes = 1});
+  const Route r = c.intra_node_route(0, 7);
+  EXPECT_EQ(r.size(), 2u);  // two hops on the GCD mesh
+  for (const LinkId l : r) {
+    EXPECT_EQ(c.graph().link(l).type, LinkType::kInfinityFabric);
+  }
+}
+
+TEST(ClusterTest, InterNodeRouteStructure) {
+  Cluster c(alps_config(), {.nodes = 2});
+  const Route r = c.inter_node_route(c.gpu_device(0), 0, c.gpu_device(4), 4);
+  ASSERT_GE(r.size(), 4u);
+  EXPECT_EQ(c.graph().link(r.front()).type, LinkType::kPcie);  // GPU -> NIC
+  EXPECT_EQ(c.graph().link(r.back()).type, LinkType::kPcie);   // NIC -> GPU
+  // Contiguity end to end.
+  for (std::size_t i = 1; i < r.size(); ++i)
+    EXPECT_EQ(c.graph().link(r[i]).src, c.graph().link(r[i - 1]).dst);
+}
+
+TEST(ClusterTest, DistanceClasses) {
+  Cluster packed(alps_config(), {.nodes = 8});
+  EXPECT_EQ(packed.distance(0, 1), NetworkDistance::kSameNode);
+  EXPECT_EQ(packed.distance(0, 4), NetworkDistance::kSameSwitch);
+
+  ClusterOptions scatter;
+  scatter.nodes = 4;
+  scatter.placement = Placement::kScatterGroups;
+  Cluster spread(alps_config(), scatter);
+  EXPECT_EQ(spread.distance(0, 4), NetworkDistance::kDiffGroup);
+}
+
+TEST(ClusterTest, NoiseFieldOnlyOnLeonardo) {
+  Cluster alps(alps_config(), {.nodes = 2});
+  EXPECT_EQ(alps.noise_field(), nullptr);
+  Cluster leo(leonardo_config(), {.nodes = 2});
+  EXPECT_NE(leo.noise_field(), nullptr);
+  ClusterOptions quiet;
+  quiet.nodes = 2;
+  quiet.enable_noise = false;
+  Cluster leo_quiet(leonardo_config(), quiet);
+  EXPECT_EQ(leo_quiet.noise_field(), nullptr);
+}
+
+TEST(ClusterTest, RejectsOversizedCluster) {
+  SystemConfig cfg = alps_config();
+  cfg.fabric.dragonfly.groups = 2;
+  EXPECT_THROW(Cluster(cfg, {.nodes = 100000}), std::invalid_argument);
+}
+
+TEST(ClusterTest, ManyNodesBuildQuickly) {
+  // 64 LUMI nodes = 512 GCDs; the graph must stay consistent.
+  Cluster c(lumi_config(), {.nodes = 64});
+  EXPECT_EQ(c.total_gpus(), 512);
+  EXPECT_EQ(c.graph().devices_of_kind(DeviceKind::kGpu).size(), 512u);
+}
+
+}  // namespace
+}  // namespace gpucomm

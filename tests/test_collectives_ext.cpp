@@ -1,0 +1,138 @@
+// The extended collectives (broadcast, allgather, reduce-scatter): not part
+// of the paper's figures, but part of the libraries it benchmarks — the
+// generic algorithms must honour the same per-mechanism traits.
+#include <gtest/gtest.h>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/cluster/placement.hpp"
+#include "gpucomm/comm/ccl/ccl_comm.hpp"
+#include "gpucomm/comm/mpi/mpi_comm.hpp"
+#include "gpucomm/systems/registry.hpp"
+
+namespace gpucomm {
+namespace {
+
+struct Fixture {
+  SystemConfig cfg;
+  Cluster cluster;
+  CommOptions opt;
+  std::vector<int> gpus;
+
+  explicit Fixture(const std::string& name, int nodes = 1)
+      : cfg(system_by_name(name)), cluster(cfg, {.nodes = nodes}) {
+    opt.env = cfg.tuned_env();
+    gpus = first_n_gpus(cluster, nodes * cfg.gpus_per_node);
+  }
+};
+
+TEST(BroadcastTest, SmallUsesLogRounds) {
+  // A binomial tree: doubling the rank count adds one round, not n rounds.
+  Fixture f4("leonardo", 1);
+  Fixture f16("leonardo", 4);
+  MpiComm m4(f4.cluster, f4.gpus, f4.opt);
+  MpiComm m16(f16.cluster, f16.gpus, f16.opt);
+  const double t4 = m4.time_broadcast(0, 4_KiB).micros();
+  const double t16 = m16.time_broadcast(0, 4_KiB).micros();
+  EXPECT_LT(t16, t4 * 4.0);  // log scaling, not linear
+  EXPECT_GT(t16, t4);
+}
+
+TEST(BroadcastTest, LargeApproachesHalfBandwidth) {
+  // Scatter + allgather moves ~2S: goodput ~ pair-bandwidth / 2 intra-node.
+  Fixture f("alps");
+  CclComm ccl(f.cluster, f.gpus, f.opt);
+  const Bytes b = 1_GiB;
+  const double g = goodput_gbps(b, ccl.time_broadcast(0, b));
+  EXPECT_GT(g, 150.0);
+  EXPECT_LT(g, 1200.0);
+}
+
+TEST(BroadcastTest, RootPositionIrrelevantOnSymmetricNode) {
+  Fixture f("leonardo");
+  CclComm ccl(f.cluster, f.gpus, f.opt);
+  const SimTime t0 = ccl.time_broadcast(0, 16_MiB);
+  const SimTime t2 = ccl.time_broadcast(2, 16_MiB);
+  EXPECT_NEAR(t0.micros(), t2.micros(), 0.05 * t0.micros());
+}
+
+TEST(AllgatherTest, GoodputScalesWithContribution) {
+  // Ring allgather: time ~ (n-1) * per_rank / bw; doubling per_rank roughly
+  // doubles the time.
+  Fixture f("lumi");
+  CclComm ccl(f.cluster, f.gpus, f.opt);
+  const double t1 = ccl.time_allgather(8_MiB).micros();
+  const double t2 = ccl.time_allgather(16_MiB).micros();
+  EXPECT_GT(t2, 1.6 * t1);
+  EXPECT_LT(t2, 2.6 * t1);
+}
+
+TEST(AllgatherTest, CclBeatsMpiLarge) {
+  // Same trait as the paper's collectives (Obs. 4).
+  for (const auto& name : {"alps", "lumi"}) {
+    Fixture f(name);
+    CclComm ccl(f.cluster, f.gpus, f.opt);
+    MpiComm mpi(f.cluster, f.gpus, f.opt);
+    EXPECT_LT(ccl.time_allgather(64_MiB).seconds(), mpi.time_allgather(64_MiB).seconds())
+        << name;
+  }
+}
+
+TEST(ReduceScatterTest, HalfOfAllreduce) {
+  // Ring reduce-scatter is the first half of the ring allreduce: about half
+  // the time at large sizes.
+  Fixture f("lumi");
+  CclComm ccl(f.cluster, f.gpus, f.opt);
+  const Bytes b = 256_MiB;
+  const double rs = ccl.time_reduce_scatter(b).seconds();
+  const double ar = ccl.time_allreduce(b).seconds();
+  EXPECT_GT(rs, 0.3 * ar);
+  EXPECT_LT(rs, 0.8 * ar);
+}
+
+TEST(ReduceScatterTest, MultiNodeCclBeatsMpi) {
+  Fixture f("leonardo", 2);
+  CclComm ccl(f.cluster, f.gpus, f.opt);
+  MpiComm mpi(f.cluster, f.gpus, f.opt);
+  EXPECT_LT(ccl.time_reduce_scatter(64_MiB).seconds(),
+            mpi.time_reduce_scatter(64_MiB).seconds());
+}
+
+TEST(ExtCollectivesTest, SingleRankIsFree) {
+  Fixture f("alps");
+  MpiComm mpi(f.cluster, {0}, f.opt);
+  EXPECT_EQ(mpi.time_broadcast(0, 1_MiB).ps, 0);
+  EXPECT_EQ(mpi.time_allgather(1_MiB).ps, 0);
+  EXPECT_EQ(mpi.time_reduce_scatter(1_MiB).ps, 0);
+}
+
+TEST(ExtCollectivesTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Fixture f("lumi", 2);
+    CclComm ccl(f.cluster, f.gpus, f.opt);
+    return ccl.time_allgather(4_MiB).ps;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+class ExtCollectiveSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(ExtCollectiveSweep, TimesArePositiveAndOrdered) {
+  const auto& [name, nodes] = GetParam();
+  Fixture f(name, nodes);
+  CclComm ccl(f.cluster, f.gpus, f.opt);
+  SimTime prev = SimTime::zero();
+  for (Bytes b = 64_KiB; b <= 64_MiB; b *= 8) {
+    const SimTime t = ccl.time_allgather(b);
+    EXPECT_GT(t, SimTime::zero());
+    EXPECT_GE(t + microseconds(1), prev);
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExtCollectiveSweep,
+                         ::testing::Combine(::testing::Values("alps", "leonardo", "lumi"),
+                                            ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace gpucomm

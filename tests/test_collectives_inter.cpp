@@ -1,0 +1,142 @@
+// Multi-node collectives in the exact flow simulation (small scale), pinned
+// against the Sec. V trends: *CCL beats MPI, the gap narrows with node
+// count, and the *CCL alltoall stall thresholds hold.
+#include <gtest/gtest.h>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/cluster/placement.hpp"
+#include "gpucomm/comm/ccl/ccl_comm.hpp"
+#include "gpucomm/comm/mpi/mpi_comm.hpp"
+#include "gpucomm/systems/registry.hpp"
+
+namespace gpucomm {
+namespace {
+
+struct Fixture {
+  SystemConfig cfg;
+  Cluster cluster;
+  CommOptions opt;
+  std::vector<int> gpus;
+
+  Fixture(const std::string& name, int nodes)
+      : cfg(system_by_name(name)), cluster(cfg, {.nodes = nodes}) {
+    opt.env = cfg.tuned_env();
+    gpus = first_n_gpus(cluster, nodes * cfg.gpus_per_node);
+  }
+};
+
+TEST(InterCollectiveTest, CclBeatsMpiAlltoall) {
+  // Fig. 9 at small node counts: *CCL exploits the intra-node interconnect.
+  for (const auto& name : all_system_names()) {
+    Fixture f(name, 4);
+    MpiComm mpi(f.cluster, f.gpus, f.opt);
+    CclComm ccl(f.cluster, f.gpus, f.opt);
+    EXPECT_LT(ccl.time_alltoall(2_MiB).seconds(), mpi.time_alltoall(2_MiB).seconds())
+        << name;
+  }
+}
+
+TEST(InterCollectiveTest, CclBeatsMpiAllreduce) {
+  // Fig. 10.
+  for (const auto& name : all_system_names()) {
+    Fixture f(name, 4);
+    MpiComm mpi(f.cluster, f.gpus, f.opt);
+    CclComm ccl(f.cluster, f.gpus, f.opt);
+    EXPECT_LT(ccl.time_allreduce(64_MiB).seconds(), mpi.time_allreduce(64_MiB).seconds())
+        << name;
+  }
+}
+
+TEST(InterCollectiveTest, GapNarrowsWithScale) {
+  // Sec. V-C: "the performance gap decreases when the number of GPUs
+  // increases, since the goodput becomes dominated by inter-node
+  // performance." Compare the CCL/MPI ratio at 2 vs 8 nodes.
+  for (const auto& name : {"alps", "leonardo"}) {
+    double ratio[2];
+    int i = 0;
+    for (const int nodes : {2, 8}) {
+      Fixture f(name, nodes);
+      MpiComm mpi(f.cluster, f.gpus, f.opt);
+      CclComm ccl(f.cluster, f.gpus, f.opt);
+      ratio[i++] =
+          mpi.time_alltoall(2_MiB).seconds() / ccl.time_alltoall(2_MiB).seconds();
+    }
+    EXPECT_GT(ratio[0], 1.0) << name;
+    EXPECT_LT(ratio[1], ratio[0] * 1.25) << name;  // not growing
+  }
+}
+
+TEST(InterCollectiveTest, LeonardoMpiAllreduceExtremelyLow) {
+  // Sec. V-D: Open MPI host-staged allreduce at scale is dramatically slow.
+  Fixture f("leonardo", 4);
+  MpiComm mpi(f.cluster, f.gpus, f.opt);
+  CclComm ccl(f.cluster, f.gpus, f.opt);
+  const double g_mpi = goodput_gbps(64_MiB, mpi.time_allreduce(64_MiB));
+  const double g_ccl = goodput_gbps(64_MiB, ccl.time_allreduce(64_MiB));
+  EXPECT_GT(g_ccl / g_mpi, 4.0);
+}
+
+TEST(InterCollectiveTest, AlltoallStallThresholds) {
+  // Sec. V-C: the NCCL benchmark stalls at >= 512 GPUs on Alps, RCCL at
+  // >= 1,024 on LUMI; allreduce is unaffected.
+  {
+    Fixture f("alps", 2);
+    CclComm small(f.cluster, f.gpus, f.opt);
+    EXPECT_TRUE(small.available(CollectiveOp::kAlltoall));
+  }
+  {
+    SystemConfig cfg = system_by_name("alps");
+    Cluster cluster(cfg, {.nodes = 128});
+    CommOptions opt;
+    opt.env = cfg.tuned_env();
+    CclComm big(cluster, first_n_gpus(cluster, 512), opt);
+    EXPECT_FALSE(big.available(CollectiveOp::kAlltoall));
+    EXPECT_TRUE(big.available(CollectiveOp::kAllreduce));
+  }
+  {
+    SystemConfig cfg = system_by_name("lumi");
+    Cluster cluster(cfg, {.nodes = 128});
+    CommOptions opt;
+    opt.env = cfg.tuned_env();
+    CclComm big(cluster, first_n_gpus(cluster, 1024), opt);
+    EXPECT_FALSE(big.available(CollectiveOp::kAlltoall));
+    CclComm ok(cluster, first_n_gpus(cluster, 512), opt);
+    EXPECT_TRUE(ok.available(CollectiveOp::kAlltoall));
+  }
+}
+
+TEST(InterCollectiveTest, PerGpuGoodputDecaysWithScale) {
+  // Fig. 9: per-GPU goodput of a fixed 2 MiB alltoall decreases with GPUs.
+  Fixture f2("alps", 2), f8("alps", 8);
+  CclComm c2(f2.cluster, f2.gpus, f2.opt);
+  CclComm c8(f8.cluster, f8.gpus, f8.opt);
+  const double g2 = goodput_gbps(2_MiB, c2.time_alltoall(2_MiB));
+  const double g8 = goodput_gbps(2_MiB, c8.time_alltoall(2_MiB));
+  EXPECT_GT(g2, g8);
+}
+
+TEST(InterCollectiveTest, AllreduceUsesAllNicsForCcl) {
+  // The hierarchical CCL allreduce should beat a single-NIC bound; MPI's
+  // flat ring crosses node boundaries on one NIC and lands below it.
+  Fixture f("alps", 4);
+  MpiComm mpi(f.cluster, f.gpus, f.opt);
+  CclComm ccl(f.cluster, f.gpus, f.opt);
+  const Bytes b = 256_MiB;
+  const double g_ccl = goodput_gbps(b, ccl.time_allreduce(b));
+  const double g_mpi = goodput_gbps(b, mpi.time_allreduce(b));
+  const double single_nic_bound = 200.0 / 2.0;  // ring allreduce over one NIC
+  EXPECT_GT(g_ccl, single_nic_bound);
+  EXPECT_LT(g_mpi, single_nic_bound * 1.2);
+}
+
+TEST(InterCollectiveTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Fixture f("lumi", 2);
+    CclComm ccl(f.cluster, f.gpus, f.opt);
+    return ccl.time_alltoall(2_MiB).ps;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace gpucomm

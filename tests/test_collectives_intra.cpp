@@ -1,0 +1,197 @@
+// Intra-node collective calibration against Fig. 5 / Fig. 6 (Observation 4).
+#include <gtest/gtest.h>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/comm/ccl/ccl_comm.hpp"
+#include "gpucomm/comm/devcopy.hpp"
+#include "gpucomm/comm/mpi/mpi_comm.hpp"
+#include "gpucomm/comm/staging.hpp"
+#include "gpucomm/scale/scale_model.hpp"
+#include "gpucomm/systems/registry.hpp"
+
+namespace gpucomm {
+namespace {
+
+struct Fixture {
+  SystemConfig cfg;
+  Cluster cluster;
+  CommOptions opt;
+  std::vector<int> gpus;
+
+  explicit Fixture(const std::string& name)
+      : cfg(system_by_name(name)), cluster(cfg, {.nodes = 1}) {
+    opt.env = cfg.tuned_env();
+    for (int i = 0; i < cfg.gpus_per_node; ++i) gpus.push_back(i);
+  }
+  double alltoall_goodput(Communicator& c, Bytes b) {
+    return goodput_gbps(b, c.time_alltoall(b));
+  }
+  double allreduce_goodput(Communicator& c, Bytes b) {
+    return goodput_gbps(b, c.time_allreduce(b));
+  }
+};
+
+// --- Fig. 5: alltoall -------------------------------------------------------
+
+TEST(IntraAlltoallTest, CclBestLargeOnAlpsAndLumi) {
+  for (const auto& name : {"alps", "lumi"}) {
+    Fixture f(name);
+    MpiComm mpi(f.cluster, f.gpus, f.opt);
+    CclComm ccl(f.cluster, f.gpus, f.opt);
+    EXPECT_GT(f.alltoall_goodput(ccl, 1_GiB), f.alltoall_goodput(mpi, 1_GiB)) << name;
+  }
+}
+
+TEST(IntraAlltoallTest, LeonardoMpiSlightlyAhead) {
+  // Sec. IV-B: "On Leonardo, *CCL provides slightly lower performance".
+  Fixture f("leonardo");
+  MpiComm mpi(f.cluster, f.gpus, f.opt);
+  CclComm ccl(f.cluster, f.gpus, f.opt);
+  const double ratio = f.alltoall_goodput(mpi, 1_GiB) / f.alltoall_goodput(ccl, 1_GiB);
+  EXPECT_GT(ratio, 1.0);
+  EXPECT_LT(ratio, 1.6);
+}
+
+TEST(IntraAlltoallTest, LumiMpiFasterSmall) {
+  // Sec. IV-B: "on LUMI, for small transfers GPU-Aware MPI is up to 3x
+  // faster than *CCL".
+  Fixture f("lumi");
+  MpiComm mpi(f.cluster, f.gpus, f.opt);
+  CclComm ccl(f.cluster, f.gpus, f.opt);
+  const double ratio =
+      ccl.time_alltoall(8_KiB).micros() / mpi.time_alltoall(8_KiB).micros();
+  EXPECT_GT(ratio, 1.8);
+  EXPECT_LT(ratio, 4.0);
+}
+
+TEST(IntraAlltoallTest, AlpsSmallComparable) {
+  Fixture f("alps");
+  MpiComm mpi(f.cluster, f.gpus, f.opt);
+  CclComm ccl(f.cluster, f.gpus, f.opt);
+  const double ratio =
+      ccl.time_alltoall(8_KiB).micros() / mpi.time_alltoall(8_KiB).micros();
+  EXPECT_LT(ratio, 1.8);
+}
+
+TEST(IntraAlltoallTest, MeasuredBelowExpectedPeak) {
+  // Sec. IV-D: measured stays below the Sec. IV-A expected goodput, with a
+  // visible but not absurd gap.
+  for (const auto& name : all_system_names()) {
+    Fixture f(name);
+    CclComm ccl(f.cluster, f.gpus, f.opt);
+    MpiComm mpi(f.cluster, f.gpus, f.opt);
+    const double expected = intra_node_alltoall_peak(f.cfg) / 1e9;
+    const double best =
+        std::max(f.alltoall_goodput(ccl, 1_GiB), f.alltoall_goodput(mpi, 1_GiB));
+    EXPECT_LT(best, expected) << name;
+    EXPECT_GT(best, 0.2 * expected) << name;
+  }
+}
+
+TEST(IntraAlltoallTest, DevcopyTracksBestLarge) {
+  // The explicit-copy alltoall (all async copies in flight) is competitive.
+  Fixture f("leonardo");
+  DeviceCopyComm dev(f.cluster, f.gpus, f.opt);
+  MpiComm mpi(f.cluster, f.gpus, f.opt);
+  const double ratio = f.alltoall_goodput(mpi, 1_GiB) / f.alltoall_goodput(dev, 1_GiB);
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 2.5);
+}
+
+// --- Fig. 6: allreduce ------------------------------------------------------
+
+TEST(IntraAllreduceTest, CclWinsAllSizesOnAlpsAndLeonardo) {
+  // Observation 4 / Sec. IV-D.
+  for (const auto& name : {"alps", "leonardo"}) {
+    Fixture f(name);
+    MpiComm mpi(f.cluster, f.gpus, f.opt);
+    CclComm ccl(f.cluster, f.gpus, f.opt);
+    for (const Bytes b : {Bytes(8_KiB), Bytes(1_MiB), Bytes(128_MiB), Bytes(1_GiB)}) {
+      EXPECT_LT(ccl.time_allreduce(b).micros(), mpi.time_allreduce(b).micros() * 1.05)
+          << name << " " << format_bytes(b);
+    }
+  }
+}
+
+TEST(IntraAllreduceTest, LumiMpiFastestSmallCclFastestLarge) {
+  Fixture f("lumi");
+  MpiComm mpi(f.cluster, f.gpus, f.opt);
+  CclComm ccl(f.cluster, f.gpus, f.opt);
+  EXPECT_LT(mpi.time_allreduce(8_KiB).micros(), ccl.time_allreduce(8_KiB).micros());
+  EXPECT_GT(f.allreduce_goodput(ccl, 1_GiB), f.allreduce_goodput(mpi, 1_GiB));
+}
+
+TEST(IntraAllreduceTest, LeonardoOpenMpiIsHostStagedSlow) {
+  // Sec. IV-D: Open MPI runs the allreduce on the host, performing like the
+  // staging baseline.
+  Fixture f("leonardo");
+  MpiComm mpi(f.cluster, f.gpus, f.opt);
+  StagingComm stg(f.cluster, f.gpus, f.opt);
+  CclComm ccl(f.cluster, f.gpus, f.opt);
+  const double g_mpi = f.allreduce_goodput(mpi, 1_GiB);
+  const double g_stg = f.allreduce_goodput(stg, 1_GiB);
+  const double g_ccl = f.allreduce_goodput(ccl, 1_GiB);
+  EXPECT_NEAR(g_mpi, g_stg, 0.3 * g_stg);  // "similarly to the baseline"
+  EXPECT_GT(g_ccl / g_mpi, 5.0);           // enormous gap (Fig. 6)
+}
+
+TEST(IntraAllreduceTest, AllreduceGapExceedsAlltoallGap) {
+  // Sec. IV-D: "a higher performance gap between *CCL and GPU-Aware MPI on
+  // the allreduce compared to the alltoall".
+  for (const auto& name : {"alps", "leonardo"}) {
+    Fixture f(name);
+    MpiComm mpi(f.cluster, f.gpus, f.opt);
+    CclComm ccl(f.cluster, f.gpus, f.opt);
+    const Bytes b = 1_GiB;
+    const double ar_gap = f.allreduce_goodput(ccl, b) / f.allreduce_goodput(mpi, b);
+    const double a2a_gap = f.alltoall_goodput(ccl, b) / f.alltoall_goodput(mpi, b);
+    EXPECT_GT(ar_gap, a2a_gap) << name;
+  }
+}
+
+TEST(IntraAllreduceTest, LumiCclClosestToExpectedPeak) {
+  // Sec. IV-D: "Measured goodput on LUMI gets closer to the expected one."
+  double ratios[3];
+  int i = 0;
+  for (const auto& name : {"alps", "leonardo", "lumi"}) {
+    Fixture f(name);
+    CclComm ccl(f.cluster, f.gpus, f.opt);
+    ratios[i++] =
+        f.allreduce_goodput(ccl, 1_GiB) / (intra_node_allreduce_peak(f.cfg) / 1e9);
+  }
+  EXPECT_GT(ratios[2], ratios[0]);  // lumi > alps
+  EXPECT_GT(ratios[2], ratios[1]);  // lumi > leonardo
+  EXPECT_GT(ratios[2], 0.6);
+  EXPECT_LT(ratios[2], 1.0);
+}
+
+TEST(IntraAllreduceTest, DevcopyReferenceIsSlow) {
+  // The unpipelined reduce+broadcast reference shows that efficient
+  // multi-GPU collectives are non-trivial (Sec. IV-D).
+  Fixture f("leonardo");
+  DeviceCopyComm dev(f.cluster, f.gpus, f.opt);
+  CclComm ccl(f.cluster, f.gpus, f.opt);
+  EXPECT_LT(f.allreduce_goodput(dev, 1_GiB), 0.5 * f.allreduce_goodput(ccl, 1_GiB));
+}
+
+// Property sweep: collective runtimes scale sanely with size.
+class CollectiveSizeSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, Bytes>> {};
+
+TEST_P(CollectiveSizeSweep, QuadrupledBufferAtMostSixXTime) {
+  const auto& [name, bytes] = GetParam();
+  Fixture f(name);
+  CclComm ccl(f.cluster, f.gpus, f.opt);
+  const SimTime t1 = ccl.time_allreduce(bytes);
+  const SimTime t4 = ccl.time_allreduce(bytes * 4);
+  EXPECT_GE(t4, t1);
+  EXPECT_LE(t4.seconds(), 6.0 * t1.seconds() + 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, CollectiveSizeSweep,
+    ::testing::Combine(::testing::Values("alps", "leonardo", "lumi"),
+                       ::testing::Values(Bytes(64_KiB), Bytes(4_MiB), Bytes(64_MiB))));
+
+}  // namespace
+}  // namespace gpucomm

@@ -1,0 +1,172 @@
+// Cross-cutting properties over (system x mechanism x operation x size):
+// determinism under a fixed seed, positive and size-monotone runtimes, and
+// goodput never exceeding the physical path nominal.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/cluster/placement.hpp"
+#include "gpucomm/comm/ccl/ccl_comm.hpp"
+#include "gpucomm/comm/devcopy.hpp"
+#include "gpucomm/comm/mpi/mpi_comm.hpp"
+#include "gpucomm/comm/staging.hpp"
+#include "gpucomm/systems/registry.hpp"
+#include "gpucomm/topology/intra_node.hpp"
+
+namespace gpucomm {
+namespace {
+
+std::unique_ptr<Communicator> make(Mechanism m, Cluster& cluster, std::vector<int> gpus,
+                                   CommOptions opt) {
+  switch (m) {
+    case Mechanism::kStaging: return std::make_unique<StagingComm>(cluster, gpus, opt);
+    case Mechanism::kDeviceCopy: return std::make_unique<DeviceCopyComm>(cluster, gpus, opt);
+    case Mechanism::kCcl: return std::make_unique<CclComm>(cluster, gpus, opt);
+    case Mechanism::kMpi: return std::make_unique<MpiComm>(cluster, gpus, opt);
+  }
+  return nullptr;
+}
+
+using Case = std::tuple<std::string, Mechanism>;
+
+class MechanismSweep : public ::testing::TestWithParam<Case> {
+ protected:
+  bool applicable() const {
+    const auto& [name, mech] = GetParam();
+    // Device copies need peer access (absent on Alps).
+    return !(mech == Mechanism::kDeviceCopy && name == "alps");
+  }
+};
+
+TEST_P(MechanismSweep, PingPongDeterministicUnderSeed) {
+  if (!applicable()) GTEST_SKIP();
+  const auto& [name, mech] = GetParam();
+  auto run = [&] {
+    SystemConfig cfg = system_by_name(name);
+    Cluster cluster(cfg, {.nodes = 1, .seed = 123});
+    CommOptions opt;
+    opt.env = cfg.tuned_env();
+    auto comm = make(mech, cluster, {0, 1}, opt);
+    return comm->time_pingpong(0, 1, 4_MiB).ps;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST_P(MechanismSweep, RuntimeMonotoneInSize) {
+  if (!applicable()) GTEST_SKIP();
+  const auto& [name, mech] = GetParam();
+  SystemConfig cfg = system_by_name(name);
+  Cluster cluster(cfg, {.nodes = 1});
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  auto comm = make(mech, cluster, {0, 1}, opt);
+  SimTime prev = SimTime::zero();
+  for (Bytes b = 64; b <= 256_MiB; b *= 64) {
+    const SimTime t = comm->time_send(0, 1, b);
+    EXPECT_GT(t, SimTime::zero()) << format_bytes(b);
+    EXPECT_GE(t + microseconds(0.5), prev) << format_bytes(b);
+    prev = t;
+  }
+}
+
+TEST_P(MechanismSweep, GoodputNeverExceedsPathNominal) {
+  if (!applicable()) GTEST_SKIP();
+  const auto& [name, mech] = GetParam();
+  SystemConfig cfg = system_by_name(name);
+  Cluster cluster(cfg, {.nodes = 1});
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  auto comm = make(mech, cluster, {0, 1}, opt);
+  const Bandwidth nominal =
+      nominal_pair_goodput(cluster.graph(), cluster.gpu_device(0), cluster.gpu_device(1));
+  for (const Bytes b : {Bytes(1_MiB), Bytes(64_MiB), Bytes(1_GiB)}) {
+    const SimTime t = comm->time_send(0, 1, b);
+    EXPECT_LE(goodput_gbps(b, t), nominal / 1e9 * 1.001) << format_bytes(b);
+  }
+}
+
+TEST_P(MechanismSweep, CollectiveTimesExceedP2p) {
+  if (!applicable()) GTEST_SKIP();
+  const auto& [name, mech] = GetParam();
+  SystemConfig cfg = system_by_name(name);
+  Cluster cluster(cfg, {.nodes = 1});
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  std::vector<int> gpus;
+  for (int i = 0; i < cfg.gpus_per_node; ++i) gpus.push_back(i);
+  auto comm = make(mech, cluster, gpus, opt);
+  const Bytes b = 16_MiB;
+  // An allreduce of b bytes moves strictly more data per rank than one send.
+  EXPECT_GT(comm->time_allreduce(b), comm->time_send(0, 1, b / 4));
+}
+
+TEST_P(MechanismSweep, TunedNeverSlowerThanDefault) {
+  if (!applicable()) GTEST_SKIP();
+  const auto& [name, mech] = GetParam();
+  SystemConfig cfg = system_by_name(name);
+  Cluster cluster(cfg, {.nodes = 1});
+  CommOptions tuned, untuned;
+  tuned.env = cfg.tuned_env();
+  untuned.env = cfg.default_env;
+  auto ct = make(mech, cluster, {0, 1}, tuned);
+  auto cu = make(mech, cluster, {0, 1}, untuned);
+  for (const Bytes b : {Bytes(2_KiB), Bytes(8_MiB), Bytes(512_MiB)}) {
+    EXPECT_LE(ct->time_pingpong(0, 1, b).ps, cu->time_pingpong(0, 1, b).ps * 1.001)
+        << format_bytes(b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, MechanismSweep,
+    ::testing::Combine(::testing::Values("alps", "leonardo", "lumi"),
+                       ::testing::Values(Mechanism::kStaging, Mechanism::kDeviceCopy,
+                                         Mechanism::kCcl, Mechanism::kMpi)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" + to_string(std::get<1>(info.param));
+    });
+
+TEST(WindowedAlltoallTest, OverlapsBeatsSerializedBound) {
+  // With windows, the alltoall must finish well before n-1 fully serialized
+  // per-peer transfers would.
+  SystemConfig cfg = system_by_name("alps");
+  Cluster cluster(cfg, {.nodes = 2});
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  const auto gpus = first_n_gpus(cluster, 8);
+  MpiComm mpi(cluster, gpus, opt);
+  const Bytes buffer = 16_MiB;
+  const Bytes per_pair = buffer / 8;
+  const SimTime a2a = mpi.time_alltoall(buffer);
+  SimTime serial = SimTime::zero();
+  for (int k = 1; k < 8; ++k) serial += mpi.time_send(0, k, per_pair);
+  EXPECT_LT(a2a.seconds(), serial.seconds() * 1.2);
+}
+
+TEST(ServiceLevelPropsTest, Sl1MatchesDrainedSystemOnLeonardo) {
+  // Running on a non-default SL should look exactly like disabling noise.
+  SystemConfig cfg = system_by_name("leonardo");
+  ClusterOptions copt;
+  copt.nodes = 4;
+  copt.placement = Placement::kScatterGroups;
+
+  Cluster noisy(cfg, copt);
+  CommOptions sl1;
+  sl1.env = cfg.tuned_env();
+  sl1.env.ucx_ib_sl = 1;
+  MpiComm mpi_sl1(noisy, {0, 4}, sl1);
+  const SimTime t_sl1 = mpi_sl1.time_pingpong(0, 1, 64_MiB);
+
+  ClusterOptions quiet = copt;
+  quiet.enable_noise = false;
+  Cluster drained(cfg, quiet);
+  CommOptions sl0;
+  sl0.env = cfg.tuned_env();
+  MpiComm mpi_clean(drained, {0, 4}, sl0);
+  const SimTime t_clean = mpi_clean.time_pingpong(0, 1, 64_MiB);
+
+  EXPECT_NEAR(t_sl1.micros(), t_clean.micros(), 0.02 * t_clean.micros());
+}
+
+}  // namespace
+}  // namespace gpucomm

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "gpucomm/hw/gpu.hpp"
+#include "gpucomm/mem/buffer.hpp"
+#include "gpucomm/mem/copy_engine.hpp"
+
+namespace gpucomm {
+namespace {
+
+struct Fixture {
+  Engine engine;
+  GpuParams gpu;
+  HostMemParams host;
+  Fixture() {
+    gpu.d2h_bw = gbps(100);
+    gpu.h2d_bw = gbps(200);
+    gpu.hbm_bw = gbps(10000);
+    gpu.reduce_bw = gbps(5000);
+    gpu.copy_issue = microseconds(1);
+    host.h2h_bw = gbps(400);
+    host.h2h_overhead = microseconds(0.5);
+    host.reduce_bw = gbps(100);
+  }
+  CopyEngine make() { return CopyEngine(engine, gpu, host); }
+};
+
+TEST(CopyEngineTest, D2hTime) {
+  Fixture f;
+  const CopyEngine ce = f.make();
+  EXPECT_NEAR(ce.d2h_time(1_MiB).micros(), 1.0 + 1_MiB * 8.0 / 100e9 * 1e6, 0.01);
+}
+
+TEST(CopyEngineTest, H2dUsesItsOwnRate) {
+  Fixture f;
+  const CopyEngine ce = f.make();
+  EXPECT_LT(ce.h2d_time(1_MiB), ce.d2h_time(1_MiB));
+}
+
+TEST(CopyEngineTest, H2hTime) {
+  Fixture f;
+  const CopyEngine ce = f.make();
+  EXPECT_NEAR(ce.h2h_time(1_MiB).micros(), 0.5 + 1_MiB * 8.0 / 400e9 * 1e6, 0.01);
+}
+
+TEST(CopyEngineTest, LocalD2dBoundedByHalfHbm) {
+  Fixture f;
+  const CopyEngine ce = f.make();
+  // Read + write on the same HBM -> effective bandwidth hbm/2.
+  EXPECT_NEAR(ce.local_d2d_time(1_MiB).micros(), 1.0 + 1_MiB * 8.0 / 5000e9 * 1e6, 0.01);
+}
+
+TEST(CopyEngineTest, ReduceTime) {
+  Fixture f;
+  const CopyEngine ce = f.make();
+  EXPECT_NEAR(ce.reduce_time(1_GiB).seconds(), 1_GiB * 8.0 / 5000e9, 1e-6);
+}
+
+TEST(CopyEngineTest, StagingExpectedGoodputIsHarmonicish) {
+  Fixture f;
+  const CopyEngine ce = f.make();
+  // Large buffer: overheads vanish; expected = 1/(1/d2h + 1/h2h) = 80 Gb/s.
+  EXPECT_NEAR(ce.staging_expected_goodput(1_GiB) / 1e9, 80.0, 1.0);
+}
+
+TEST(CopyEngineTest, AsyncCopiesFireOnEngine) {
+  Fixture f;
+  CopyEngine ce = f.make();
+  bool done = false;
+  ce.async_d2h(1_KiB, [&] { done = true; });
+  EXPECT_FALSE(done);
+  f.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.engine.now(), ce.d2h_time(1_KiB));
+}
+
+TEST(BufferTest, Factories) {
+  const Buffer d = device_buffer(3, 1_MiB);
+  EXPECT_EQ(d.space, MemSpace::kDevice);
+  EXPECT_EQ(d.rank, 3);
+  EXPECT_EQ(d.size, 1_MiB);
+  const Buffer h = host_buffer(1, 2_KiB);
+  EXPECT_EQ(h.space, MemSpace::kHost);
+  EXPECT_STREQ(to_string(h.space), "host");
+  EXPECT_STREQ(to_string(d.space), "device");
+}
+
+}  // namespace
+}  // namespace gpucomm

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpucomm/sim/engine.hpp"
+
+namespace gpucomm {
+namespace {
+
+TEST(EngineTest, NowAdvancesToEventTimes) {
+  Engine e;
+  std::vector<std::int64_t> seen;
+  e.at(microseconds(5), [&] { seen.push_back(e.now().ps); });
+  e.at(microseconds(2), [&] { seen.push_back(e.now().ps); });
+  e.run();
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{microseconds(2).ps, microseconds(5).ps}));
+  EXPECT_EQ(e.now(), microseconds(5));
+}
+
+TEST(EngineTest, AfterSchedulesRelative) {
+  Engine e;
+  SimTime fired_at;
+  e.at(microseconds(10), [&] {
+    e.after(microseconds(5), [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(fired_at, microseconds(15));
+}
+
+TEST(EngineTest, RunReturnsEventCount) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) e.after(microseconds(i), [] {});
+  EXPECT_EQ(e.run(), 7u);
+  EXPECT_EQ(e.events_fired(), 7u);
+}
+
+TEST(EngineTest, EventsCanScheduleMoreEvents) {
+  Engine e;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    ++count;
+    if (count < 10) e.after(microseconds(1), chain);
+  };
+  e.after(microseconds(1), chain);
+  e.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(e.now(), microseconds(10));
+}
+
+TEST(EngineTest, RunUntilStopsAtPredicate) {
+  Engine e;
+  int count = 0;
+  for (int i = 1; i <= 100; ++i) e.at(microseconds(i), [&] { ++count; });
+  const bool ok = e.run_until([&] { return count == 42; });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(count, 42);
+  EXPECT_EQ(e.now(), microseconds(42));
+  // Remaining events are still pending.
+  EXPECT_EQ(e.pending_events(), 58u);
+}
+
+TEST(EngineTest, RunUntilReturnsFalseWhenDrained) {
+  Engine e;
+  e.after(microseconds(1), [] {});
+  EXPECT_FALSE(e.run_until([] { return false; }));
+}
+
+TEST(EngineTest, RunUntilImmediatelyTruePredicate) {
+  Engine e;
+  bool fired = false;
+  e.after(microseconds(1), [&] { fired = true; });
+  EXPECT_TRUE(e.run_until([] { return true; }));
+  EXPECT_FALSE(fired);
+}
+
+TEST(EngineTest, RunForAdvancesClockEvenWithoutEvents) {
+  Engine e;
+  e.run_for(microseconds(100));
+  EXPECT_EQ(e.now(), microseconds(100));
+}
+
+TEST(EngineTest, RunForFiresOnlyEventsInWindow) {
+  Engine e;
+  int count = 0;
+  e.at(microseconds(5), [&] { ++count; });
+  e.at(microseconds(15), [&] { ++count; });
+  e.run_for(microseconds(10));
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(e.now(), microseconds(10));
+  e.run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EngineTest, CancelPreventsFiring) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.after(microseconds(1), [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EngineTest, ZeroDelayEventsFireAtCurrentTime) {
+  Engine e;
+  std::vector<int> order;
+  e.at(microseconds(1), [&] {
+    order.push_back(1);
+    e.after(SimTime::zero(), [&] { order.push_back(2); });
+  });
+  e.at(microseconds(1), [&] { order.push_back(3); });
+  e.run();
+  // The zero-delay event lands after already-queued same-time events.
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(e.now(), microseconds(1));
+}
+
+}  // namespace
+}  // namespace gpucomm

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpucomm/sim/event_queue.hpp"
+
+namespace gpucomm {
+namespace {
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(microseconds(3), [&] { order.push_back(3); });
+  q.push(microseconds(1), [&] { order.push_back(1); });
+  q.push(microseconds(2), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, TiesPopInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(microseconds(5), [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueueTest, SizeAndEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  q.push(microseconds(1), [] {});
+  q.push(microseconds(2), [] {});
+  EXPECT_FALSE(q.empty());
+  EXPECT_EQ(q.size(), 2u);
+  q.pop();
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, NextTime) {
+  EventQueue q;
+  EXPECT_TRUE(q.next_time().is_infinite());
+  q.push(microseconds(7), [] {});
+  q.push(microseconds(4), [] {});
+  EXPECT_EQ(q.next_time(), microseconds(4));
+}
+
+TEST(EventQueueTest, CancelPendingEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(microseconds(1), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelIsIdempotent) {
+  EventQueue q;
+  const EventId id = q.push(microseconds(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelFiredEventIsNoop) {
+  EventQueue q;
+  const EventId id = q.push(microseconds(1), [] {});
+  q.pop().fn();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueueTest, CancelledEventSkippedAmongLive) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(microseconds(1), [&] { order.push_back(1); });
+  const EventId id = q.push(microseconds(2), [&] { order.push_back(2); });
+  q.push(microseconds(3), [&] { order.push_back(3); });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.next_time(), microseconds(1));
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelledHead) {
+  EventQueue q;
+  const EventId id = q.push(microseconds(1), [] {});
+  q.push(microseconds(5), [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), microseconds(5));
+}
+
+TEST(EventQueueTest, ManyEventsStressOrder) {
+  EventQueue q;
+  std::int64_t last = -1;
+  // Pseudo-random times, deterministic seed.
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    q.push(SimTime{static_cast<std::int64_t>(x % 100000)}, [] {});
+  }
+  while (!q.empty()) {
+    auto [time, fn] = q.pop();
+    EXPECT_GE(time.ps, last);
+    last = time.ps;
+  }
+}
+
+}  // namespace
+}  // namespace gpucomm

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "gpucomm/net/fairshare.hpp"
+
+namespace gpucomm {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+FairshareProblem make_problem(std::vector<Bandwidth> caps_per_link,
+                              std::vector<std::vector<LinkId>> flows,
+                              std::vector<Bandwidth> flow_caps = {}) {
+  FairshareProblem p;
+  p.capacity = std::move(caps_per_link);
+  p.flows = std::move(flows);
+  p.caps = std::move(flow_caps);
+  return p;
+}
+
+TEST(FairshareTest, SingleFlowGetsFullLink) {
+  const auto r = maxmin_fair_rates(make_problem({gbps(100)}, {{0}}));
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r[0], gbps(100));
+}
+
+TEST(FairshareTest, TwoFlowsShareEqually) {
+  const auto r = maxmin_fair_rates(make_problem({gbps(100)}, {{0}, {0}}));
+  EXPECT_DOUBLE_EQ(r[0], gbps(50));
+  EXPECT_DOUBLE_EQ(r[1], gbps(50));
+}
+
+TEST(FairshareTest, ClassicMaxMinExample) {
+  // Flow A uses links 0 and 1; flow B uses link 0; flow C uses link 1.
+  // Link 0 = 100, link 1 = 300. A and B bottleneck on link 0 at 50 each;
+  // C then gets the rest of link 1 = 250.
+  const auto r = maxmin_fair_rates(make_problem({gbps(100), gbps(300)},
+                                                {{0, 1}, {0}, {1}}));
+  EXPECT_DOUBLE_EQ(r[0], gbps(50));
+  EXPECT_DOUBLE_EQ(r[1], gbps(50));
+  EXPECT_DOUBLE_EQ(r[2], gbps(250));
+}
+
+TEST(FairshareTest, CapacityConservation) {
+  // Random-ish sharing pattern: total allocated on each link <= capacity.
+  FairshareProblem p;
+  p.capacity = {gbps(100), gbps(150), gbps(80), gbps(200)};
+  p.flows = {{0, 1}, {1, 2}, {2, 3}, {0, 3}, {1}, {2}, {0, 1, 2, 3}};
+  const auto r = maxmin_fair_rates(p);
+  std::vector<double> load(4, 0.0);
+  for (std::size_t i = 0; i < p.flows.size(); ++i) {
+    EXPECT_GT(r[i], 0.0);
+    for (const LinkId l : p.flows[i]) load[l] += r[i];
+  }
+  for (int l = 0; l < 4; ++l) EXPECT_LE(load[l], p.capacity[l] * (1 + 1e-9));
+}
+
+TEST(FairshareTest, BottleneckLinkIsSaturated) {
+  FairshareProblem p;
+  p.capacity = {gbps(100), gbps(1000)};
+  p.flows = {{0, 1}, {0, 1}, {0}};
+  const auto r = maxmin_fair_rates(p);
+  EXPECT_NEAR(r[0] + r[1] + r[2], gbps(100), 1);
+}
+
+TEST(FairshareTest, FlowCapFreesBandwidthForOthers) {
+  FairshareProblem p;
+  p.capacity = {gbps(100)};
+  p.flows = {{0}, {0}};
+  p.caps = {gbps(20), kInf};
+  const auto r = maxmin_fair_rates(p);
+  EXPECT_DOUBLE_EQ(r[0], gbps(20));
+  EXPECT_DOUBLE_EQ(r[1], gbps(80));  // slack redistributed
+}
+
+TEST(FairshareTest, CapAboveFairShareIsInert) {
+  FairshareProblem p;
+  p.capacity = {gbps(100)};
+  p.flows = {{0}, {0}};
+  p.caps = {gbps(90), kInf};
+  const auto r = maxmin_fair_rates(p);
+  EXPECT_DOUBLE_EQ(r[0], gbps(50));
+  EXPECT_DOUBLE_EQ(r[1], gbps(50));
+}
+
+TEST(FairshareTest, AllFlowsCapped) {
+  FairshareProblem p;
+  p.capacity = {gbps(1000)};
+  p.flows = {{0}, {0}, {0}};
+  p.caps = {gbps(10), gbps(20), gbps(30)};
+  const auto r = maxmin_fair_rates(p);
+  EXPECT_DOUBLE_EQ(r[0], gbps(10));
+  EXPECT_DOUBLE_EQ(r[1], gbps(20));
+  EXPECT_DOUBLE_EQ(r[2], gbps(30));
+}
+
+TEST(FairshareTest, EmptyRouteFlowUsesCap) {
+  FairshareProblem p;
+  p.capacity = {gbps(100)};
+  p.flows = {{}, {0}};
+  p.caps = {gbps(40), kInf};
+  const auto r = maxmin_fair_rates(p);
+  EXPECT_DOUBLE_EQ(r[0], gbps(40));   // no link constraint -> its cap
+  EXPECT_DOUBLE_EQ(r[1], gbps(100));  // full link
+}
+
+TEST(FairshareTest, NoFlows) {
+  EXPECT_TRUE(maxmin_fair_rates(make_problem({gbps(1)}, {})).empty());
+}
+
+TEST(FairshareTest, ZeroCapacityLinkGivesZeroRate) {
+  const auto r = maxmin_fair_rates(make_problem({0.0}, {{0}}));
+  EXPECT_DOUBLE_EQ(r[0], 0.0);
+}
+
+// Property sweep: on a shared single link, n flows each get capacity/n.
+class FairshareSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FairshareSweep, EqualSharesOnSingleLink) {
+  const int n = GetParam();
+  FairshareProblem p;
+  p.capacity = {gbps(120)};
+  p.flows.assign(n, {0});
+  const auto r = maxmin_fair_rates(p);
+  for (const double rate : r) EXPECT_NEAR(rate, gbps(120) / n, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FairshareSweep, ::testing::Values(1, 2, 3, 7, 16, 64, 256));
+
+// Property: max-min fairness means no flow can be increased without
+// decreasing a flow with a smaller-or-equal rate. Spot-check via pairwise
+// comparison on a mesh problem.
+TEST(FairshareTest, MaxMinProperty) {
+  FairshareProblem p;
+  p.capacity = {gbps(100), gbps(60), gbps(140)};
+  p.flows = {{0}, {0, 1}, {1, 2}, {2}, {0, 2}};
+  const auto r = maxmin_fair_rates(p);
+  std::vector<double> residual = p.capacity;
+  for (std::size_t i = 0; i < p.flows.size(); ++i) {
+    for (const LinkId l : p.flows[i]) residual[l] -= r[i];
+  }
+  for (std::size_t i = 0; i < p.flows.size(); ++i) {
+    // Every flow is bottlenecked: some link on its route has (almost) no
+    // residual capacity AND the flow's rate is >= every co-flow's rate there
+    // is not required; the simple check: residual ~ 0 on at least one link.
+    double min_residual = 1e30;
+    for (const LinkId l : p.flows[i]) min_residual = std::min(min_residual, residual[l]);
+    EXPECT_LT(min_residual, 1.0) << "flow " << i << " not bottlenecked";
+  }
+}
+
+}  // namespace
+}  // namespace gpucomm

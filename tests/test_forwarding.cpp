@@ -1,0 +1,134 @@
+// Pins the paper's Sec. IV-A structural claims: edge forwarding index 1 on
+// the fully connected Alps/Leonardo nodes, index 4 on LUMI's GCD1->GCD5 and
+// GCD3->GCD7 links, and the derived expected collective goodputs.
+#include <gtest/gtest.h>
+
+#include "gpucomm/topology/forwarding.hpp"
+#include "gpucomm/topology/intra_node.hpp"
+
+namespace gpucomm {
+namespace {
+
+struct NodeFixture {
+  Graph g;
+  NodeDevices node;
+  explicit NodeFixture(NodeArch arch) : node(build_node(g, arch, 0)) {}
+};
+
+TEST(ForwardingTest, AlpsNodeFullyConnectedIndexOne) {
+  NodeFixture f(NodeArch::kAlps);
+  EXPECT_TRUE(fully_connected(f.g, f.node.gpus));
+  const auto fwd = analyze_forwarding(f.g, f.node.gpus, gpu_fabric_options());
+  EXPECT_EQ(fwd.edge_forwarding_index, 1);
+}
+
+TEST(ForwardingTest, LeonardoNodeFullyConnectedIndexOne) {
+  NodeFixture f(NodeArch::kLeonardo);
+  EXPECT_TRUE(fully_connected(f.g, f.node.gpus));
+  const auto fwd = analyze_forwarding(f.g, f.node.gpus, gpu_fabric_options());
+  EXPECT_EQ(fwd.edge_forwarding_index, 1);
+}
+
+TEST(ForwardingTest, LumiNodeNotFullyConnected) {
+  NodeFixture f(NodeArch::kLumi);
+  EXPECT_FALSE(fully_connected(f.g, f.node.gpus));
+}
+
+TEST(ForwardingTest, LumiEdgeForwardingIndexIsFour) {
+  // Sec. IV-A: "the most loaded link is the one between GCD 1 and 5 (and
+  // that between GCD 7 and 3), which is used in four separate paths."
+  NodeFixture f(NodeArch::kLumi);
+  const auto fwd = analyze_forwarding(f.g, f.node.gpus, gpu_fabric_options());
+  EXPECT_EQ(fwd.edge_forwarding_index, 4);
+
+  const LinkId l15 = f.g.find_link(f.node.gpus[1], f.node.gpus[5]);
+  const LinkId l37 = f.g.find_link(f.node.gpus[3], f.node.gpus[7]);
+  ASSERT_NE(l15, kInvalidLink);
+  ASSERT_NE(l37, kInvalidLink);
+  EXPECT_EQ(fwd.paths_crossing[l15], 4);
+  EXPECT_EQ(fwd.paths_crossing[l37], 4);
+  // No link carries more.
+  for (LinkId l = 0; l < f.g.link_count(); ++l) {
+    const int mult = f.g.link(l).multiplicity;
+    EXPECT_LE((fwd.paths_crossing[l] + mult - 1) / mult, 4);
+  }
+}
+
+TEST(ForwardingTest, ExpectedAlltoallMatchesPaper) {
+  // Sec. IV-A: Alps 3.6 Tb/s (injection), Leonardo 2.4 Tb/s, LUMI 600 Gb/s
+  // (six IF links at the 100 Gb/s per-pair peak).
+  {
+    NodeFixture f(NodeArch::kAlps);
+    EXPECT_NEAR(expected_alltoall_goodput(f.g, f.node.gpus, gpu_fabric_options()) / 1e9,
+                3600, 1);
+  }
+  {
+    NodeFixture f(NodeArch::kLeonardo);
+    EXPECT_NEAR(expected_alltoall_goodput(f.g, f.node.gpus, gpu_fabric_options()) / 1e9,
+                2400, 1);
+  }
+  {
+    NodeFixture f(NodeArch::kLumi);
+    EXPECT_NEAR(expected_alltoall_goodput(f.g, f.node.gpus, gpu_fabric_options()) / 1e9,
+                600, 1);
+  }
+}
+
+TEST(ForwardingTest, ExpectedAllreduceMatchesPaper) {
+  // Sec. IV-C: Alps/Leonardo = aggregate GPU egress (3.6 / 2.4 Tb/s);
+  // LUMI = Rabenseifner over four directed rings = 800 Gb/s.
+  {
+    NodeFixture f(NodeArch::kAlps);
+    EXPECT_NEAR(expected_allreduce_goodput(f.g, f.node.gpus, gpu_fabric_options()) / 1e9,
+                3600, 1);
+  }
+  {
+    NodeFixture f(NodeArch::kLeonardo);
+    EXPECT_NEAR(expected_allreduce_goodput(f.g, f.node.gpus, gpu_fabric_options()) / 1e9,
+                2400, 1);
+  }
+  {
+    NodeFixture f(NodeArch::kLumi);
+    EXPECT_NEAR(expected_allreduce_goodput(f.g, f.node.gpus, gpu_fabric_options()) / 1e9,
+                800, 1);
+  }
+}
+
+TEST(ForwardingTest, LumiHasTwoDisjointHamiltonianCycles) {
+  // Two edge-disjoint undirected cycles -> four directed rings (Sec. IV-C,
+  // AMD CDNA2 [22]).
+  NodeFixture f(NodeArch::kLumi);
+  const auto cycles = disjoint_hamiltonian_cycles(f.g, f.node.gpus, gpu_fabric_options());
+  ASSERT_EQ(cycles.size(), 2u);
+  for (const auto& cycle : cycles) {
+    EXPECT_EQ(cycle.size(), 8u);
+    // Every consecutive pair must be directly linked.
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      EXPECT_NE(f.g.find_link(cycle[i], cycle[(i + 1) % cycle.size()]), kInvalidLink);
+    }
+  }
+  // Edge-disjointness: the two cycles share no undirected edge beyond the
+  // in-module multiplicity-4 links.
+  std::map<std::pair<DeviceId, DeviceId>, int> used;
+  for (const auto& cycle : cycles) {
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      DeviceId a = cycle[i], b = cycle[(i + 1) % cycle.size()];
+      if (a > b) std::swap(a, b);
+      ++used[{a, b}];
+    }
+  }
+  for (const auto& [edge, count] : used) {
+    const LinkId l = f.g.find_link(edge.first, edge.second);
+    ASSERT_NE(l, kInvalidLink);
+    EXPECT_LE(count, f.g.link(l).multiplicity);
+  }
+}
+
+TEST(ForwardingTest, FullyConnectedHasHamiltonianCycle) {
+  NodeFixture f(NodeArch::kLeonardo);
+  const auto cycles = disjoint_hamiltonian_cycles(f.g, f.node.gpus, gpu_fabric_options());
+  EXPECT_GE(cycles.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gpucomm

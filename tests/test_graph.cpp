@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "gpucomm/topology/graph.hpp"
+
+namespace gpucomm {
+namespace {
+
+Graph two_devices(DeviceId& a, DeviceId& b) {
+  Graph g;
+  a = g.add_device({DeviceKind::kGpu, 0, 0, "gpu0"});
+  b = g.add_device({DeviceKind::kGpu, 0, 1, "gpu1"});
+  return g;
+}
+
+TEST(GraphTest, AddDeviceAssignsSequentialIds) {
+  DeviceId a, b;
+  Graph g = two_devices(a, b);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(g.device_count(), 2u);
+  EXPECT_EQ(g.device(a).label, "gpu0");
+}
+
+TEST(GraphTest, AddLinkDirected) {
+  DeviceId a, b;
+  Graph g = two_devices(a, b);
+  const LinkId l = g.add_link({a, b, gbps(100), nanoseconds(10), LinkType::kNvLink, 1, 1});
+  EXPECT_EQ(g.link_count(), 1u);
+  EXPECT_EQ(g.link(l).src, a);
+  EXPECT_EQ(g.link(l).dst, b);
+  EXPECT_EQ(g.out_links(a).size(), 1u);
+  EXPECT_TRUE(g.out_links(b).empty());
+}
+
+TEST(GraphTest, DuplexLinkCreatesReversePair) {
+  DeviceId a, b;
+  Graph g = two_devices(a, b);
+  const LinkId fwd = g.add_duplex_link(a, b, gbps(100), nanoseconds(10), LinkType::kNvLink);
+  EXPECT_EQ(g.link_count(), 2u);
+  EXPECT_EQ(g.link(fwd).src, a);
+  EXPECT_EQ(g.link(fwd + 1).src, b);
+  EXPECT_EQ(g.link(fwd + 1).dst, a);
+  EXPECT_EQ(g.link(fwd).capacity, g.link(fwd + 1).capacity);
+}
+
+TEST(GraphTest, FindLink) {
+  DeviceId a, b;
+  Graph g = two_devices(a, b);
+  EXPECT_EQ(g.find_link(a, b), kInvalidLink);
+  const LinkId fwd = g.add_duplex_link(a, b, gbps(100), nanoseconds(10), LinkType::kNvLink);
+  EXPECT_EQ(g.find_link(a, b), fwd);
+  EXPECT_EQ(g.find_link(b, a), fwd + 1);
+}
+
+TEST(GraphTest, DevicesOfKindFiltersByKindAndNode) {
+  Graph g;
+  g.add_device({DeviceKind::kGpu, 0, 0, "g0"});
+  g.add_device({DeviceKind::kGpu, 1, 0, "g1"});
+  g.add_device({DeviceKind::kNic, 0, 0, "n0"});
+  g.add_device({DeviceKind::kSwitch, -1, 0, "s0"});
+  EXPECT_EQ(g.devices_of_kind(DeviceKind::kGpu).size(), 2u);
+  EXPECT_EQ(g.devices_of_kind(DeviceKind::kGpu, 0).size(), 1u);
+  EXPECT_EQ(g.devices_of_kind(DeviceKind::kSwitch).size(), 1u);
+}
+
+TEST(GraphTest, RouteLatencyAndBottleneck) {
+  Graph g;
+  const DeviceId a = g.add_device({DeviceKind::kGpu, 0, 0, "a"});
+  const DeviceId b = g.add_device({DeviceKind::kGpu, 0, 1, "b"});
+  const DeviceId c = g.add_device({DeviceKind::kGpu, 0, 2, "c"});
+  const LinkId l1 = g.add_duplex_link(a, b, gbps(100), nanoseconds(10), LinkType::kNvLink);
+  const LinkId l2 = g.add_duplex_link(b, c, gbps(50), nanoseconds(20), LinkType::kNvLink);
+  const Route r{l1, l2};
+  EXPECT_EQ(route_latency(g, r), nanoseconds(30));
+  EXPECT_DOUBLE_EQ(route_bottleneck(g, r), gbps(50));
+  EXPECT_DOUBLE_EQ(route_bottleneck(g, Route{}), 0.0);
+}
+
+TEST(GraphTest, ToStringNames) {
+  EXPECT_STREQ(to_string(DeviceKind::kGpu), "gpu");
+  EXPECT_STREQ(to_string(DeviceKind::kSwitch), "switch");
+  EXPECT_STREQ(to_string(LinkType::kNvLink), "nvlink");
+  EXPECT_STREQ(to_string(LinkType::kGlobal), "global");
+}
+
+}  // namespace
+}  // namespace gpucomm

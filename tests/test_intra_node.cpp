@@ -1,0 +1,141 @@
+// Structural tests of the three node builders against Table I / Fig. 1-2.
+#include <gtest/gtest.h>
+
+#include "gpucomm/topology/intra_node.hpp"
+#include "gpucomm/topology/routing.hpp"
+
+namespace gpucomm {
+namespace {
+
+struct NodeFixture {
+  Graph g;
+  NodeDevices node;
+  explicit NodeFixture(NodeArch arch) : node(build_node(g, arch, 0)) {}
+};
+
+TEST(IntraNodeTest, AlpsDeviceCounts) {
+  NodeFixture f(NodeArch::kAlps);
+  EXPECT_EQ(f.node.gpus.size(), 4u);
+  EXPECT_EQ(f.node.nics.size(), 4u);
+  EXPECT_EQ(f.node.numas.size(), 4u);  // one LPDDR domain per superchip
+}
+
+TEST(IntraNodeTest, AlpsNvlinkPairBandwidth) {
+  // Six 200 Gb/s NVLink4 links per pair = 1.2 Tb/s (Sec. II-A).
+  NodeFixture f(NodeArch::kAlps);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      const LinkId l = f.g.find_link(f.node.gpus[i], f.node.gpus[j]);
+      ASSERT_NE(l, kInvalidLink);
+      EXPECT_DOUBLE_EQ(f.g.link(l).capacity, gbps(1200));
+      EXPECT_EQ(f.g.link(l).multiplicity, 6);
+    }
+  }
+}
+
+TEST(IntraNodeTest, LeonardoNvlinkPairBandwidth) {
+  // Four 200 Gb/s NVLink3 links per pair = 800 Gb/s (Sec. II-B).
+  NodeFixture f(NodeArch::kLeonardo);
+  EXPECT_EQ(f.node.gpus.size(), 4u);
+  EXPECT_EQ(f.node.numas.size(), 1u);  // single-socket node
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      const LinkId l = f.g.find_link(f.node.gpus[i], f.node.gpus[j]);
+      ASSERT_NE(l, kInvalidLink);
+      EXPECT_DOUBLE_EQ(f.g.link(l).capacity, gbps(800));
+      EXPECT_EQ(f.g.link(l).multiplicity, 4);
+    }
+  }
+}
+
+TEST(IntraNodeTest, LumiEightGcds) {
+  NodeFixture f(NodeArch::kLumi);
+  EXPECT_EQ(f.node.gpus.size(), 8u);  // "a LUMI node is an 8 GPU node"
+  EXPECT_EQ(f.node.nics.size(), 4u);  // one Cassini per MI250X module
+  EXPECT_EQ(f.node.numas.size(), 4u);
+}
+
+TEST(IntraNodeTest, LumiLinkMultiplicityRange) {
+  // Fig. 2: between one and four 400 Gb/s IF links per connected pair.
+  NodeFixture f(NodeArch::kLumi);
+  int in_module = 0, external = 0;
+  for (const LumiLinkSpec& spec : lumi_gcd_links()) {
+    const LinkId l = f.g.find_link(f.node.gpus[spec.gcd_a], f.node.gpus[spec.gcd_b]);
+    ASSERT_NE(l, kInvalidLink);
+    EXPECT_EQ(f.g.link(l).multiplicity, spec.physical_links);
+    EXPECT_DOUBLE_EQ(f.g.link(l).capacity, gbps(400.0 * spec.physical_links));
+    EXPECT_GE(spec.physical_links, 1);
+    EXPECT_LE(spec.physical_links, 4);
+    (spec.physical_links == 4 ? in_module : external) += 1;
+  }
+  EXPECT_EQ(in_module, 4);  // (0,1) (2,3) (4,5) (6,7)
+  EXPECT_EQ(external, 8);
+}
+
+TEST(IntraNodeTest, LumiEveryGcdHasSixIfLinks) {
+  // Sec. IV-A: "any GCD can send data on six different IF links".
+  NodeFixture f(NodeArch::kLumi);
+  for (const DeviceId gpu : f.node.gpus) {
+    int physical = 0;
+    for (const LinkId l : f.g.out_links(gpu)) {
+      if (f.g.link(l).type == LinkType::kInfinityFabric) physical += f.g.link(l).multiplicity;
+    }
+    EXPECT_EQ(physical, 6);
+  }
+}
+
+TEST(IntraNodeTest, LumiInterModuleHopStructure) {
+  // GCD0 reaches 1, 2, 6 directly; 3, 4, 5, 7 in two hops (Fig. 2 wiring).
+  NodeFixture f(NodeArch::kLumi);
+  const RouteOptions opts = gpu_fabric_options();
+  EXPECT_EQ(hop_distance(f.g, f.node.gpus[0], f.node.gpus[1], opts), 1);
+  EXPECT_EQ(hop_distance(f.g, f.node.gpus[0], f.node.gpus[2], opts), 1);
+  EXPECT_EQ(hop_distance(f.g, f.node.gpus[0], f.node.gpus[6], opts), 1);
+  for (const int two_hop : {3, 4, 5, 7}) {
+    EXPECT_EQ(hop_distance(f.g, f.node.gpus[0], f.node.gpus[two_hop], opts), 2)
+        << "gcd " << two_hop;
+  }
+}
+
+TEST(IntraNodeTest, NominalPairGoodputFig4) {
+  // Dashed lines of Fig. 4: 1.6 Tb/s to the in-module sibling, 400 Gb/s to
+  // every other GCD (best single path).
+  NodeFixture f(NodeArch::kLumi);
+  EXPECT_DOUBLE_EQ(nominal_pair_goodput(f.g, f.node.gpus[0], f.node.gpus[1]), gbps(1600));
+  for (const int peer : {2, 3, 4, 5, 6, 7}) {
+    EXPECT_DOUBLE_EQ(nominal_pair_goodput(f.g, f.node.gpus[0], f.node.gpus[peer]), gbps(400))
+        << "gcd " << peer;
+  }
+}
+
+TEST(IntraNodeTest, AffinityMapsConsistent) {
+  for (const NodeArch arch : {NodeArch::kAlps, NodeArch::kLeonardo, NodeArch::kLumi}) {
+    NodeFixture f(arch);
+    ASSERT_EQ(f.node.closest_nic.size(), f.node.gpus.size());
+    ASSERT_EQ(f.node.closest_numa.size(), f.node.gpus.size());
+    for (std::size_t i = 0; i < f.node.gpus.size(); ++i) {
+      // The rank's GPU must have a direct attach path to its NIC.
+      EXPECT_NE(f.g.find_link(f.node.gpus[i], f.node.closest_nic[i]), kInvalidLink);
+      EXPECT_NE(f.g.find_link(f.node.closest_numa[i], f.node.closest_nic[i]), kInvalidLink);
+    }
+  }
+}
+
+TEST(IntraNodeTest, LumiGcdsShareModuleNic) {
+  NodeFixture f(NodeArch::kLumi);
+  for (int m = 0; m < 4; ++m) {
+    EXPECT_EQ(f.node.closest_nic[2 * m], f.node.closest_nic[2 * m + 1]);
+  }
+}
+
+TEST(IntraNodeTest, MultipleNodesDoNotInterconnect) {
+  Graph g;
+  const NodeDevices n0 = build_node(g, NodeArch::kAlps, 0);
+  const NodeDevices n1 = build_node(g, NodeArch::kAlps, 1);
+  const RouteOptions opts = gpu_fabric_options();
+  EXPECT_EQ(hop_distance(g, n0.gpus[0], n1.gpus[0], opts), -1);
+}
+
+}  // namespace
+}  // namespace gpucomm

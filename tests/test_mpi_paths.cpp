@@ -1,0 +1,96 @@
+// GPU-aware MPI path selection (Sec. III-B/III-C): which software path a
+// message takes on each system, per size and tuning environment.
+#include <gtest/gtest.h>
+
+#include "gpucomm/comm/mpi/p2p.hpp"
+#include "gpucomm/systems/registry.hpp"
+
+namespace gpucomm {
+namespace {
+
+MpiP2pPath path(const SystemConfig& sys, const SoftwareEnv& env, MemSpace space,
+                bool same_node, Bytes bytes) {
+  return select_mpi_path(sys, resolve_mpi(sys.mpi, env), space, same_node, bytes);
+}
+
+TEST(MpiPathTest, HostBuffersUseHostPaths) {
+  const SystemConfig sys = alps_config();
+  EXPECT_EQ(path(sys, sys.default_env, MemSpace::kHost, true, 1_KiB),
+            MpiP2pPath::kHostShared);
+  EXPECT_EQ(path(sys, sys.default_env, MemSpace::kHost, false, 1_GiB),
+            MpiP2pPath::kHostNetwork);
+}
+
+TEST(MpiPathTest, InterNodeDeviceUsesGdrRdma) {
+  for (const SystemConfig& sys : all_systems()) {
+    EXPECT_EQ(path(sys, sys.tuned_env(), MemSpace::kDevice, false, 1_MiB),
+              MpiP2pPath::kGdrRdma);
+  }
+}
+
+TEST(MpiPathTest, AlpsDefaultStagesSmallMessages) {
+  // Untuned Cray MPICH bounces sub-threshold GPU messages through the host;
+  // MPICH_GPU_IPC_THRESHOLD=1 forces IPC always (2x gain < 4 KiB, Sec. III-B).
+  const SystemConfig sys = alps_config();
+  EXPECT_EQ(path(sys, sys.default_env, MemSpace::kDevice, true, 2_KiB),
+            MpiP2pPath::kStagedBounce);
+  EXPECT_EQ(path(sys, sys.default_env, MemSpace::kDevice, true, 64_KiB), MpiP2pPath::kIpc);
+  EXPECT_EQ(path(sys, sys.tuned_env(), MemSpace::kDevice, true, 2_KiB), MpiP2pPath::kIpc);
+}
+
+TEST(MpiPathTest, LumiSmallMessagesUseCpuHbmMemcpy) {
+  // Sec. III-C: Cray MPICH on LUMI copies small GPU buffers with CPU
+  // load/stores straight to HBM.
+  const SystemConfig sys = lumi_config();
+  EXPECT_EQ(path(sys, sys.default_env, MemSpace::kDevice, true, 1_KiB), MpiP2pPath::kCpuHbm);
+  EXPECT_EQ(path(sys, sys.default_env, MemSpace::kDevice, true, 64_KiB), MpiP2pPath::kCpuHbm);
+  EXPECT_EQ(path(sys, sys.default_env, MemSpace::kDevice, true, 1_MiB), MpiP2pPath::kIpc);
+}
+
+TEST(MpiPathTest, LeonardoGdrCopyRequiresTheEnvFix) {
+  // Sec. III-B: GDRCopy was silently unloaded until the LD_LIBRARY_PATH fix.
+  const SystemConfig sys = leonardo_config();
+  EXPECT_EQ(path(sys, sys.default_env, MemSpace::kDevice, true, 4_KiB), MpiP2pPath::kIpc);
+  EXPECT_EQ(path(sys, sys.tuned_env(), MemSpace::kDevice, true, 4_KiB), MpiP2pPath::kGdrCopy);
+  // Above the GDRCopy window, IPC either way.
+  EXPECT_EQ(path(sys, sys.tuned_env(), MemSpace::kDevice, true, 1_MiB), MpiP2pPath::kIpc);
+}
+
+TEST(MpiPathTest, PathNames) {
+  EXPECT_STREQ(to_string(MpiP2pPath::kGdrCopy), "gdrcopy");
+  EXPECT_STREQ(to_string(MpiP2pPath::kCpuHbm), "cpu-hbm");
+  EXPECT_STREQ(to_string(MpiP2pPath::kStagedBounce), "staged-bounce");
+  EXPECT_STREQ(to_string(MpiP2pPath::kIpc), "ipc");
+  EXPECT_STREQ(to_string(MpiP2pPath::kGdrRdma), "gdr-rdma");
+}
+
+TEST(MpiEffectiveTest, EnvOverridesDefaults) {
+  const SystemConfig sys = alps_config();
+  SoftwareEnv env;
+  env.mpich_gpu_ipc_threshold = 1;
+  env.mpich_gpu_allreduce_blk = 128_MiB;
+  const MpiEffective eff = resolve_mpi(sys.mpi, env);
+  EXPECT_EQ(eff.ipc_threshold, 1u);
+  EXPECT_EQ(eff.allreduce_blk, 128_MiB);
+  const MpiEffective def = resolve_mpi(sys.mpi, SoftwareEnv{});
+  EXPECT_EQ(def.ipc_threshold, sys.mpi.ipc_threshold_default);
+  EXPECT_EQ(def.allreduce_blk, sys.mpi.allreduce_blk_default);
+}
+
+TEST(MpiEffectiveTest, SdmaOnlyBindsOnLumi) {
+  SoftwareEnv on;  // default: HSA_ENABLE_SDMA=1
+  SoftwareEnv off;
+  off.hsa_enable_sdma = false;
+  EXPECT_TRUE(resolve_mpi(lumi_config().mpi, on).sdma_single_link);
+  EXPECT_FALSE(resolve_mpi(lumi_config().mpi, off).sdma_single_link);
+  EXPECT_FALSE(resolve_mpi(alps_config().mpi, on).sdma_single_link);
+}
+
+TEST(MpiEffectiveTest, ServiceLevelPassthrough) {
+  SoftwareEnv env;
+  env.ucx_ib_sl = 3;
+  EXPECT_EQ(resolve_mpi(leonardo_config().mpi, env).service_level, 3);
+}
+
+}  // namespace
+}  // namespace gpucomm

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "gpucomm/net/network.hpp"
+
+namespace gpucomm {
+namespace {
+
+struct Fixture {
+  Graph g;
+  Engine engine;
+  DeviceId a, b, c;
+  LinkId ab, bc;
+  std::unique_ptr<Network> net;
+
+  Fixture() {
+    a = g.add_device({DeviceKind::kGpu, 0, 0, "a"});
+    b = g.add_device({DeviceKind::kGpu, 0, 1, "b"});
+    c = g.add_device({DeviceKind::kGpu, 0, 2, "c"});
+    ab = g.add_duplex_link(a, b, gbps(100), microseconds(1), LinkType::kNvLink);
+    bc = g.add_duplex_link(b, c, gbps(100), microseconds(2), LinkType::kNvLink);
+    net = std::make_unique<Network>(engine, g);
+  }
+};
+
+TEST(NetworkTest, SingleFlowSerializationPlusLatency) {
+  Fixture f;
+  SimTime done = SimTime::infinity();
+  f.net->start_flow({{f.ab}, 1_MiB, 0, 0}, [&](SimTime t) { done = t; });
+  f.engine.run();
+  // 1 MiB at 100 Gb/s = 83.886 us + 1 us latency.
+  EXPECT_NEAR(done.micros(), 83.886 + 1.0, 0.05);
+}
+
+TEST(NetworkTest, MultiHopLatencyAccumulates) {
+  Fixture f;
+  SimTime done = SimTime::infinity();
+  f.net->start_flow({{f.ab, f.bc}, 1_KiB, 0, 0}, [&](SimTime t) { done = t; });
+  f.engine.run();
+  EXPECT_NEAR(done.micros(), 1_KiB * 8.0 / 100e9 * 1e6 + 3.0, 0.05);
+}
+
+TEST(NetworkTest, TwoFlowsShareThenSpeedUp) {
+  // Two equal flows on one link: both finish at 2x the solo time; a flow
+  // started after the first finishes gets the full rate.
+  Fixture f;
+  SimTime d1, d2;
+  f.net->start_flow({{f.ab}, 1_MiB, 0, 0}, [&](SimTime t) { d1 = t; });
+  f.net->start_flow({{f.ab}, 1_MiB, 0, 0}, [&](SimTime t) { d2 = t; });
+  f.engine.run();
+  const double solo_us = 1_MiB * 8.0 / 100e9 * 1e6;
+  EXPECT_NEAR(d1.micros(), 2 * solo_us + 1.0, 0.1);
+  EXPECT_NEAR(d2.micros(), 2 * solo_us + 1.0, 0.1);
+}
+
+TEST(NetworkTest, UnequalFlowsExhibitWorkConservation) {
+  // Small flow finishes first; the large one then accelerates. Total time
+  // for the large flow: share phase + solo phase.
+  Fixture f;
+  SimTime small_done, large_done;
+  f.net->start_flow({{f.ab}, 1_MiB, 0, 0}, [&](SimTime t) { small_done = t; });
+  f.net->start_flow({{f.ab}, 3_MiB, 0, 0}, [&](SimTime t) { large_done = t; });
+  f.engine.run();
+  const double mib_us = 1_MiB * 8.0 / 100e9 * 1e6;  // 1 MiB at full rate
+  // Small: 1 MiB at 50 Gb/s = 2*mib_us (+1us). Large: 1 MiB during sharing
+  // + 2 MiB solo = 2*mib_us + 2*mib_us = 4*mib_us (+1us).
+  EXPECT_NEAR(small_done.micros(), 2 * mib_us + 1, 0.2);
+  EXPECT_NEAR(large_done.micros(), 4 * mib_us + 1, 0.2);
+}
+
+TEST(NetworkTest, RateCapLimitsFlow) {
+  Fixture f;
+  SimTime done;
+  f.net->start_flow({{f.ab}, 1_MiB, 0, gbps(10)}, [&](SimTime t) { done = t; });
+  f.engine.run();
+  EXPECT_NEAR(done.micros(), 10 * (1_MiB * 8.0 / 100e9 * 1e6) + 1.0, 0.5);
+}
+
+TEST(NetworkTest, CapWithoutRouteActsAsPrivateLink) {
+  Fixture f;
+  SimTime done;
+  f.net->start_flow({{}, 1_MiB, 0, gbps(50)}, [&](SimTime t) { done = t; });
+  f.engine.run();
+  EXPECT_NEAR(done.micros(), 2 * (1_MiB * 8.0 / 100e9 * 1e6), 0.5);
+}
+
+TEST(NetworkTest, ZeroByteFlowDeliversAfterLatencyOnly) {
+  Fixture f;
+  SimTime done = SimTime::infinity();
+  f.net->start_flow({{f.ab}, 0, 0, 0}, [&](SimTime t) { done = t; });
+  f.engine.run();
+  EXPECT_LE(done.micros(), 1.1);
+}
+
+TEST(NetworkTest, DisjointFlowsDoNotInterfere) {
+  Fixture f;
+  SimTime d1, d2;
+  f.net->start_flow({{f.ab}, 1_MiB, 0, 0}, [&](SimTime t) { d1 = t; });
+  f.net->start_flow({{f.bc}, 1_MiB, 0, 0}, [&](SimTime t) { d2 = t; });
+  f.engine.run();
+  const double solo_us = 1_MiB * 8.0 / 100e9 * 1e6;
+  EXPECT_NEAR(d1.micros(), solo_us + 1, 0.1);
+  EXPECT_NEAR(d2.micros(), solo_us + 2, 0.1);
+}
+
+TEST(NetworkTest, BitsDeliveredAccumulates) {
+  Fixture f;
+  f.net->start_flow({{f.ab}, 1_MiB, 0, 0}, nullptr);
+  f.net->start_flow({{f.bc}, 2_MiB, 0, 0}, nullptr);
+  f.engine.run();
+  EXPECT_DOUBLE_EQ(f.net->total_bits_delivered(), 3.0 * 1_MiB * 8);
+}
+
+TEST(NetworkTest, ActiveFlowCountTracks) {
+  Fixture f;
+  f.net->start_flow({{f.ab}, 1_MiB, 0, 0}, nullptr);
+  f.net->start_flow({{f.ab}, 1_MiB, 0, 0}, nullptr);
+  EXPECT_EQ(f.net->active_flows(), 2u);
+  f.engine.run();
+  EXPECT_EQ(f.net->active_flows(), 0u);
+}
+
+/// Noise field that occupies half of every link and adds a fixed delay.
+class HalfNoise final : public NoiseField {
+ public:
+  double background_utilization(LinkId) const override { return 0.5; }
+  SimTime queueing_delay(LinkId) override { return microseconds(10); }
+  void resample() override {}
+};
+
+TEST(NetworkTest, NoiseReducesCapacityOnNoisyVl) {
+  Fixture f;
+  HalfNoise noise;
+  f.net->set_noise(&noise);
+  SimTime done;
+  f.net->start_flow({{f.ab}, 1_MiB, /*vl=*/0, 0}, [&](SimTime t) { done = t; });
+  f.engine.run();
+  const double solo_us = 1_MiB * 8.0 / 100e9 * 1e6;
+  // Half capacity + 10 us queueing on the single hop.
+  EXPECT_NEAR(done.micros(), 2 * solo_us + 1 + 10, 0.5);
+}
+
+TEST(NetworkTest, OtherServiceLevelIsolatedFromNoise) {
+  Fixture f;
+  HalfNoise noise;
+  f.net->set_noise(&noise);
+  SimTime done;
+  f.net->start_flow({{f.ab}, 1_MiB, /*vl=*/1, 0}, [&](SimTime t) { done = t; });
+  f.engine.run();
+  const double solo_us = 1_MiB * 8.0 / 100e9 * 1e6;
+  EXPECT_NEAR(done.micros(), solo_us + 1, 0.5);
+}
+
+TEST(NetworkTest, ManySequentialFlowsDeterministic) {
+  // Two identical runs produce bit-identical completion times.
+  auto run = [] {
+    Fixture f;
+    std::vector<std::int64_t> times;
+    for (int i = 0; i < 50; ++i) {
+      f.net->start_flow({{f.ab, f.bc}, static_cast<Bytes>(1_KiB * (i + 1)), 0, 0},
+                        [&](SimTime t) { times.push_back(t.ps); });
+    }
+    f.engine.run();
+    return times;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace gpucomm

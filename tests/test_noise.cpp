@@ -1,0 +1,140 @@
+// Production-noise field behaviour (Sec. VI).
+#include <gtest/gtest.h>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/noise/noise_model.hpp"
+#include "gpucomm/systems/registry.hpp"
+
+namespace gpucomm {
+namespace {
+
+struct Fixture {
+  SystemConfig cfg = leonardo_config();
+  Cluster cluster{cfg, {.nodes = 4, .placement = Placement::kScatterGroups}};
+  ProductionNoise* noise() {
+    return dynamic_cast<ProductionNoise*>(cluster.noise_field());
+  }
+};
+
+TEST(NoiseTest, FieldExistsOnLeonardo) {
+  Fixture f;
+  ASSERT_NE(f.noise(), nullptr);
+  EXPECT_EQ(f.noise()->noisy_vl(), 0);
+}
+
+TEST(NoiseTest, OnlyFabricLinksCarryBackground) {
+  Fixture f;
+  const Graph& g = f.cluster.graph();
+  for (LinkId l = 0; l < g.link_count(); ++l) {
+    const LinkType t = g.link(l).type;
+    const bool fabric =
+        t == LinkType::kGlobal || t == LinkType::kLeafSpine || t == LinkType::kIntraGroup;
+    if (!fabric) {
+      EXPECT_EQ(f.noise()->background_utilization(l), 0.0);
+    }
+  }
+}
+
+TEST(NoiseTest, UtilizationBounded) {
+  Fixture f;
+  for (int iter = 0; iter < 20; ++iter) {
+    f.noise()->resample();
+    const Graph& g = f.cluster.graph();
+    for (LinkId l = 0; l < g.link_count(); ++l) {
+      const double u = f.noise()->background_utilization(l);
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 0.9);
+    }
+  }
+}
+
+TEST(NoiseTest, ResampleChangesTheField) {
+  Fixture f;
+  const double before = f.noise()->mean_utilization();
+  double changed = 0;
+  for (int i = 0; i < 5; ++i) {
+    f.noise()->resample();
+    changed += std::abs(f.noise()->mean_utilization() - before);
+  }
+  EXPECT_GT(changed, 0.0);
+}
+
+TEST(NoiseTest, MeanUtilizationInCalibratedBand) {
+  // With the hotspot process, global links average well above the calm mean.
+  Fixture f;
+  double total = 0;
+  const int iters = 50;
+  for (int i = 0; i < iters; ++i) {
+    f.noise()->resample();
+    total += f.noise()->mean_utilization();
+  }
+  const double mean = total / iters;
+  EXPECT_GT(mean, 0.10);
+  EXPECT_LT(mean, 0.50);
+}
+
+TEST(NoiseTest, QueueingDelayOnlyOnLoadedLinks) {
+  Fixture f;
+  const Graph& g = f.cluster.graph();
+  f.noise()->resample();
+  for (LinkId l = 0; l < g.link_count(); ++l) {
+    if (f.noise()->background_utilization(l) == 0.0) {
+      EXPECT_EQ(f.noise()->queueing_delay(l), SimTime::zero());
+    }
+  }
+}
+
+TEST(NoiseTest, QueueingDelayHasHeavyTail) {
+  Fixture f;
+  const Graph& g = f.cluster.graph();
+  // Find a loaded global link.
+  f.noise()->resample();
+  LinkId loaded = kInvalidLink;
+  for (LinkId l = 0; l < g.link_count(); ++l) {
+    if (g.link(l).type == LinkType::kGlobal && f.noise()->background_utilization(l) > 0.3) {
+      loaded = l;
+      break;
+    }
+  }
+  ASSERT_NE(loaded, kInvalidLink);
+  double max_us = 0, sum = 0;
+  const int n = 3000;
+  for (int i = 0; i < n; ++i) {
+    const double d = f.noise()->queueing_delay(loaded).micros();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 45.0 + 1e-9);  // per-hop cap (132 us over a 3-hop path)
+    max_us = std::max(max_us, d);
+    sum += d;
+  }
+  EXPECT_GT(max_us, 8.0 * (sum / n));  // heavy tail: max >> mean
+}
+
+TEST(NoiseTest, DeterministicUnderSeed) {
+  SystemConfig cfg = leonardo_config();
+  auto sample = [&cfg] {
+    Cluster c(cfg, {.nodes = 2});
+    auto* noise = dynamic_cast<ProductionNoise*>(c.noise_field());
+    std::vector<double> out;
+    for (int i = 0; i < 3; ++i) {
+      noise->resample();
+      out.push_back(noise->mean_utilization());
+    }
+    return out;
+  };
+  EXPECT_EQ(sample(), sample());
+}
+
+TEST(NoiseTest, DisabledParamsProduceSilence) {
+  // Alps' config has production noise off: a hand-built field stays at zero.
+  Graph g;
+  const DeviceId a = g.add_device({DeviceKind::kSwitch, -1, 0, "a"});
+  const DeviceId b = g.add_device({DeviceKind::kSwitch, -1, 1, "b"});
+  const LinkId l = g.add_duplex_link(a, b, gbps(200), nanoseconds(100), LinkType::kGlobal);
+  ProductionNoise noise(g, alps_config().noise, Rng(1));
+  noise.resample();
+  EXPECT_EQ(noise.background_utilization(l), 0.0);
+  EXPECT_EQ(noise.queueing_delay(l), SimTime::zero());
+}
+
+}  // namespace
+}  // namespace gpucomm

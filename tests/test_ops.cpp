@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpucomm/runtime/ops.hpp"
+
+namespace gpucomm {
+namespace {
+
+TEST(JoinCounterTest, FiresAfterExpectedArrivals) {
+  bool done = false;
+  auto join = JoinCounter::create(3, [&] { done = true; });
+  join->arrive();
+  join->arrive();
+  EXPECT_FALSE(done);
+  join->arrive();
+  EXPECT_TRUE(done);
+}
+
+TEST(JoinCounterTest, ZeroExpectedFiresImmediately) {
+  bool done = false;
+  JoinCounter::create(0, [&] { done = true; });
+  EXPECT_TRUE(done);
+}
+
+TEST(JoinCounterTest, FiresExactlyOnce) {
+  int count = 0;
+  auto join = JoinCounter::create(1, [&] { ++count; });
+  join->arrive();
+  join->arrive();  // extra arrival must not re-fire
+  EXPECT_EQ(count, 1);
+}
+
+TEST(JoinCounterTest, ExpectMoreRaisesThreshold) {
+  bool done = false;
+  auto join = JoinCounter::create(1, [&] { done = true; });
+  join->expect_more(2);
+  join->arrive();
+  join->arrive();
+  EXPECT_FALSE(done);
+  join->arrive();
+  EXPECT_TRUE(done);
+}
+
+TEST(RunStagesTest, RunsSequentially) {
+  std::vector<int> order;
+  run_stages(
+      {
+          [&](EventFn next) { order.push_back(1); next(); },
+          [&](EventFn next) { order.push_back(2); next(); },
+          [&](EventFn next) { order.push_back(3); next(); },
+      },
+      [&] { order.push_back(99); });
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 99}));
+}
+
+TEST(RunStagesTest, EmptyStagesCallsDone) {
+  bool done = false;
+  run_stages({}, [&] { done = true; });
+  EXPECT_TRUE(done);
+}
+
+TEST(RunStagesTest, DeferredContinuationsWork) {
+  // A stage may stash its continuation and call it later (as engine events
+  // do); the runner must survive the stage function returning first.
+  EventFn stashed;
+  std::vector<int> order;
+  run_stages(
+      {
+          [&](EventFn next) {
+            order.push_back(1);
+            stashed = std::move(next);
+          },
+          [&](EventFn next) {
+            order.push_back(2);
+            next();
+          },
+      },
+      [&] { order.push_back(3); });
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  stashed();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(RunStagesTest, NoDoneCallbackIsFine) {
+  run_stages({[](EventFn next) { next(); }}, nullptr);
+}
+
+}  // namespace
+}  // namespace gpucomm

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "gpucomm/cluster/placement.hpp"
+#include "gpucomm/systems/registry.hpp"
+
+namespace gpucomm {
+namespace {
+
+TEST(PlacementTest, FindsPairsAtEveryDistance) {
+  for (const SystemConfig& cfg : all_systems()) {
+    {
+      Cluster c(cfg, {.nodes = 4});
+      EXPECT_TRUE(find_node_pair(c, NetworkDistance::kSameSwitch).has_value()) << cfg.name;
+    }
+    {
+      ClusterOptions o;
+      o.nodes = 4;
+      o.placement = Placement::kScatterSwitches;
+      Cluster c(cfg, o);
+      EXPECT_TRUE(find_node_pair(c, NetworkDistance::kSameGroup).has_value()) << cfg.name;
+    }
+    {
+      ClusterOptions o;
+      o.nodes = 4;
+      o.placement = Placement::kScatterGroups;
+      Cluster c(cfg, o);
+      EXPECT_TRUE(find_node_pair(c, NetworkDistance::kDiffGroup).has_value()) << cfg.name;
+    }
+  }
+}
+
+TEST(PlacementTest, PairDistanceIsCorrect) {
+  ClusterOptions o;
+  o.nodes = 6;
+  o.placement = Placement::kScatterGroups;
+  Cluster c(alps_config(), o);
+  const auto pair = find_node_pair(c, NetworkDistance::kDiffGroup);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(c.distance(pair->first * 4, pair->second * 4), NetworkDistance::kDiffGroup);
+}
+
+TEST(PlacementTest, GpusOfNodes) {
+  Cluster c(leonardo_config(), {.nodes = 3});
+  const auto gpus = gpus_of_nodes(c, {0, 2});
+  EXPECT_EQ(gpus, (std::vector<int>{0, 1, 2, 3, 8, 9, 10, 11}));
+}
+
+TEST(PlacementTest, FirstNGpus) {
+  Cluster c(lumi_config(), {.nodes = 2});
+  const auto gpus = first_n_gpus(c, 10);
+  ASSERT_EQ(gpus.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(gpus[i], i);
+}
+
+TEST(PlacementTest, SplitRandomDisjoint) {
+  Cluster c(alps_config(), {.nodes = 32});
+  Rng rng(5);
+  const auto [a, b] = split_random_nodes(c, 10, 12, rng);
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_EQ(b.size(), 12u);
+  std::set<int> seen(a.begin(), a.end());
+  for (const int n : b) EXPECT_FALSE(seen.contains(n)) << n;
+  for (const int n : a) EXPECT_LT(n, 32);
+  for (const int n : b) EXPECT_LT(n, 32);
+}
+
+TEST(PlacementTest, SplitRandomIsSeedDeterministic) {
+  Cluster c(alps_config(), {.nodes = 16});
+  Rng r1(9), r2(9);
+  EXPECT_EQ(split_random_nodes(c, 4, 4, r1), split_random_nodes(c, 4, 4, r2));
+}
+
+TEST(PlacementTest, SplitDisjointSwitchesSharesNothing) {
+  Cluster c(alps_config(), {.nodes = 16});  // 4 nodes per switch packed
+  const auto split = split_disjoint_switches(c, 6, 6);
+  ASSERT_TRUE(split.has_value());
+  std::set<int> switches_a, switches_b;
+  for (const int n : split->first)
+    switches_a.insert(c.fabric().switch_of(c.nic_of_gpu(n * 4)));
+  for (const int n : split->second)
+    switches_b.insert(c.fabric().switch_of(c.nic_of_gpu(n * 4)));
+  for (const int s : switches_b) EXPECT_FALSE(switches_a.contains(s));
+}
+
+TEST(PlacementTest, SplitDisjointSwitchesFailsWhenImpossible) {
+  Cluster c(alps_config(), {.nodes = 4});  // everyone on one switch
+  EXPECT_FALSE(split_disjoint_switches(c, 2, 2).has_value());
+}
+
+}  // namespace
+}  // namespace gpucomm

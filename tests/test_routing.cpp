@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "gpucomm/topology/routing.hpp"
+
+namespace gpucomm {
+namespace {
+
+/// Line graph 0-1-2-3 plus a shortcut 0-3 of low bandwidth.
+struct LineFixture {
+  Graph g;
+  DeviceId d[4];
+  LineFixture() {
+    for (int i = 0; i < 4; ++i)
+      d[i] = g.add_device({DeviceKind::kGpu, 0, i, "d" + std::to_string(i)});
+    for (int i = 0; i < 3; ++i)
+      g.add_duplex_link(d[i], d[i + 1], gbps(100), nanoseconds(10), LinkType::kNvLink);
+  }
+};
+
+TEST(RoutingTest, TrivialSelfRoute) {
+  LineFixture f;
+  const auto r = shortest_route(f.g, f.d[1], f.d[1]);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(RoutingTest, DirectNeighbor) {
+  LineFixture f;
+  const auto r = shortest_route(f.g, f.d[0], f.d[1]);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ(f.g.link((*r)[0]).dst, f.d[1]);
+}
+
+TEST(RoutingTest, MultiHopPathIsMinimal) {
+  LineFixture f;
+  const auto r = shortest_route(f.g, f.d[0], f.d[3]);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->size(), 3u);
+  // Route is contiguous: each link starts where the previous ended.
+  DeviceId cur = f.d[0];
+  for (const LinkId l : *r) {
+    EXPECT_EQ(f.g.link(l).src, cur);
+    cur = f.g.link(l).dst;
+  }
+  EXPECT_EQ(cur, f.d[3]);
+}
+
+TEST(RoutingTest, ShortcutPreferredWhenShorter) {
+  LineFixture f;
+  f.g.add_duplex_link(f.d[0], f.d[3], gbps(10), nanoseconds(10), LinkType::kNvLink);
+  const auto r = shortest_route(f.g, f.d[0], f.d[3]);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->size(), 1u);  // hop count wins over bandwidth
+}
+
+TEST(RoutingTest, LexicographicTieBreak) {
+  // Diamond: 0 -> {1, 2} -> 3; both 2-hop. The smaller next device id wins.
+  Graph g;
+  DeviceId d[4];
+  for (int i = 0; i < 4; ++i)
+    g.add_device({DeviceKind::kGpu, 0, i, ""});
+  for (int i = 0; i < 4; ++i) d[i] = static_cast<DeviceId>(i);
+  g.add_duplex_link(d[0], d[2], gbps(100), nanoseconds(10), LinkType::kNvLink);
+  g.add_duplex_link(d[0], d[1], gbps(100), nanoseconds(10), LinkType::kNvLink);
+  g.add_duplex_link(d[1], d[3], gbps(100), nanoseconds(10), LinkType::kNvLink);
+  g.add_duplex_link(d[2], d[3], gbps(100), nanoseconds(10), LinkType::kNvLink);
+  const auto r = shortest_route(g, d[0], d[3]);
+  ASSERT_TRUE(r.has_value());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ(g.link((*r)[0]).dst, d[1]);  // via device 1, not 2
+}
+
+TEST(RoutingTest, LinkFilterRestrictsPaths) {
+  LineFixture f;
+  f.g.add_duplex_link(f.d[0], f.d[3], gbps(10), nanoseconds(10), LinkType::kPcie);
+  RouteOptions opts;
+  opts.link_filter = [](const Link& l) { return l.type == LinkType::kNvLink; };
+  const auto r = shortest_route(f.g, f.d[0], f.d[3], opts);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->size(), 3u);  // the PCIe shortcut is filtered out
+}
+
+TEST(RoutingTest, UnreachableReturnsNullopt) {
+  Graph g;
+  const DeviceId a = g.add_device({DeviceKind::kGpu, 0, 0, ""});
+  const DeviceId b = g.add_device({DeviceKind::kGpu, 1, 0, ""});
+  EXPECT_FALSE(shortest_route(g, a, b).has_value());
+  EXPECT_EQ(hop_distance(g, a, b), -1);
+}
+
+TEST(RoutingTest, HopDistance) {
+  LineFixture f;
+  EXPECT_EQ(hop_distance(f.g, f.d[0], f.d[0]), 0);
+  EXPECT_EQ(hop_distance(f.g, f.d[0], f.d[1]), 1);
+  EXPECT_EQ(hop_distance(f.g, f.d[0], f.d[3]), 3);
+}
+
+TEST(RoutingTest, MaxHopsLimits) {
+  LineFixture f;
+  RouteOptions opts;
+  opts.max_hops = 2;
+  EXPECT_FALSE(shortest_route(f.g, f.d[0], f.d[3], opts).has_value());
+  opts.max_hops = 3;
+  EXPECT_TRUE(shortest_route(f.g, f.d[0], f.d[3], opts).has_value());
+}
+
+}  // namespace
+}  // namespace gpucomm

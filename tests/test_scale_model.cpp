@@ -1,0 +1,170 @@
+// The analytic large-scale model (Figs. 9/10/13): paper-trend assertions and
+// cross-validation against the exact flow simulation at overlapping scales.
+#include <gtest/gtest.h>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/cluster/placement.hpp"
+#include "gpucomm/comm/ccl/ccl_comm.hpp"
+#include "gpucomm/comm/mpi/mpi_comm.hpp"
+#include "gpucomm/scale/scale_model.hpp"
+#include "gpucomm/systems/registry.hpp"
+
+namespace gpucomm {
+namespace {
+
+TEST(ScaleModelTest, CclBeatsMpiEverywhere) {
+  // Figs. 9 and 10.
+  for (const SystemConfig& sys : all_systems()) {
+    for (const int gpus : {16, 64, 256, 1024}) {
+      const auto c = alltoall_at_scale(sys, Library::kCcl, 2_MiB, gpus);
+      const auto m = alltoall_at_scale(sys, Library::kMpi, 2_MiB, gpus);
+      if (!c.stalled) {
+        EXPECT_GT(c.goodput_gbps, m.goodput_gbps) << sys.name << " " << gpus;
+      }
+      const auto car = allreduce_at_scale(sys, Library::kCcl, 1_GiB, gpus);
+      const auto mar = allreduce_at_scale(sys, Library::kMpi, 1_GiB, gpus);
+      EXPECT_GT(car.goodput_gbps, mar.goodput_gbps) << sys.name << " " << gpus;
+    }
+  }
+}
+
+TEST(ScaleModelTest, AlltoallGoodputDecaysWithScale) {
+  for (const SystemConfig& sys : all_systems()) {
+    double prev = 1e18;
+    for (const int gpus : {16, 64, 256, 1024, 4096}) {
+      const auto r = alltoall_at_scale(sys, Library::kMpi, 2_MiB, gpus);
+      EXPECT_LT(r.goodput_gbps, prev) << sys.name << " " << gpus;
+      prev = r.goodput_gbps;
+    }
+  }
+}
+
+TEST(ScaleModelTest, CclAlltoallEfficiencyAboutSeventyFivePercent) {
+  // Sec. V-C: ~75% of the asymptotic expectation at 1,024 GPUs on Alps and
+  // Leonardo (ignoring noise).
+  for (const auto& name : {"alps", "leonardo"}) {
+    const SystemConfig sys = system_by_name(name);
+    ScaleOptions opts;
+    opts.default_sl_noise = false;
+    // Use a large buffer so the latency rounds do not dominate; efficiency
+    // is goodput / nic_bw_per_gpu.
+    const auto r = alltoall_at_scale(sys, Library::kCcl, 256_MiB, 1024, opts);
+    if (r.stalled) continue;  // Alps NCCL stalls before 1,024 (still checked below)
+    const double eff = r.goodput_gbps / (sys.nic_bw_per_gpu / 1e9);
+    EXPECT_GT(eff, 0.60) << name;
+    EXPECT_LT(eff, 0.90) << name;
+  }
+}
+
+TEST(ScaleModelTest, StallsMirrorTheBenchmarkHangs) {
+  EXPECT_TRUE(alltoall_at_scale(alps_config(), Library::kCcl, 2_MiB, 512).stalled);
+  EXPECT_FALSE(alltoall_at_scale(alps_config(), Library::kCcl, 2_MiB, 256).stalled);
+  EXPECT_TRUE(alltoall_at_scale(lumi_config(), Library::kCcl, 2_MiB, 1024).stalled);
+  EXPECT_FALSE(alltoall_at_scale(lumi_config(), Library::kCcl, 2_MiB, 512).stalled);
+  EXPECT_FALSE(alltoall_at_scale(leonardo_config(), Library::kCcl, 2_MiB, 1024).stalled);
+  EXPECT_FALSE(alltoall_at_scale(alps_config(), Library::kMpi, 2_MiB, 2048).stalled);
+}
+
+TEST(ScaleModelTest, AllreduceKneeAt512) {
+  // Sec. V-D: sharp *CCL drop from 256 to 512 GPUs on Alps and LUMI; absent
+  // on Leonardo.
+  for (const auto& name : {"alps", "lumi"}) {
+    const SystemConfig sys = system_by_name(name);
+    ScaleOptions opts;
+    opts.default_sl_noise = false;
+    const double g256 = allreduce_at_scale(sys, Library::kCcl, 1_GiB, 256, opts).goodput_gbps;
+    const double g512 = allreduce_at_scale(sys, Library::kCcl, 1_GiB, 512, opts).goodput_gbps;
+    EXPECT_LT(g512, 0.75 * g256) << name;
+  }
+  const SystemConfig leo = leonardo_config();
+  ScaleOptions opts;
+  opts.default_sl_noise = false;
+  const double g256 = allreduce_at_scale(leo, Library::kCcl, 1_GiB, 256, opts).goodput_gbps;
+  const double g512 = allreduce_at_scale(leo, Library::kCcl, 1_GiB, 512, opts).goodput_gbps;
+  EXPECT_GT(g512, 0.8 * g256);
+}
+
+TEST(ScaleModelTest, LeonardoMpiAllreduceFlatAndLow) {
+  // Fig. 10: Open MPI's host-staged allreduce.
+  const SystemConfig leo = leonardo_config();
+  const double g64 = allreduce_at_scale(leo, Library::kMpi, 1_GiB, 64).goodput_gbps;
+  const double g1024 = allreduce_at_scale(leo, Library::kMpi, 1_GiB, 1024).goodput_gbps;
+  EXPECT_LT(g64, 30.0);
+  EXPECT_NEAR(g64, g1024, 0.5 * g64);  // staging-bound, nearly flat
+  const double ccl = allreduce_at_scale(leo, Library::kCcl, 1_GiB, 64).goodput_gbps;
+  EXPECT_GT(ccl / g64, 4.0);
+}
+
+TEST(ScaleModelTest, NoiseImpactMatchesFig13) {
+  // Sec. VI-B: at 1,024 GPUs production noise costs ~20% on the 2 MiB
+  // alltoall and ~50% on the 1 GiB allreduce; nothing at small scale; zero
+  // on the Slingshot systems.
+  const SystemConfig leo = leonardo_config();
+  EXPECT_NEAR(noise_impact_at_scale(leo, CollKind::kAlltoall, 1024), 0.20, 0.02);
+  EXPECT_NEAR(noise_impact_at_scale(leo, CollKind::kAllreduce, 1024), 0.50, 0.05);
+  EXPECT_EQ(noise_impact_at_scale(leo, CollKind::kAllreduce, 8), 0.0);
+  EXPECT_LT(noise_impact_at_scale(leo, CollKind::kAlltoall, 64), 0.12);
+  EXPECT_EQ(noise_impact_at_scale(alps_config(), CollKind::kAllreduce, 1024), 0.0);
+  EXPECT_EQ(noise_impact_at_scale(lumi_config(), CollKind::kAlltoall, 1024), 0.0);
+}
+
+TEST(ScaleModelTest, DefaultSlLosesToNonDefaultSl) {
+  const SystemConfig leo = leonardo_config();
+  ScaleOptions noisy, quiet;
+  noisy.default_sl_noise = true;
+  quiet.default_sl_noise = false;
+  const double g_noisy =
+      allreduce_at_scale(leo, Library::kCcl, 1_GiB, 1024, noisy).goodput_gbps;
+  const double g_quiet =
+      allreduce_at_scale(leo, Library::kCcl, 1_GiB, 1024, quiet).goodput_gbps;
+  EXPECT_NEAR(1.0 - g_noisy / g_quiet, 0.5, 0.07);
+}
+
+TEST(ScaleModelTest, IntraNodePeaksMatchForwardingAnalysis) {
+  EXPECT_NEAR(intra_node_alltoall_peak(alps_config()) / 1e9, 3600, 1);
+  EXPECT_NEAR(intra_node_alltoall_peak(leonardo_config()) / 1e9, 2400, 1);
+  EXPECT_NEAR(intra_node_alltoall_peak(lumi_config()) / 1e9, 600, 1);
+  EXPECT_NEAR(intra_node_allreduce_peak(lumi_config()) / 1e9, 800, 1);
+}
+
+// Cross-validation: at overlapping scales, the analytic model and the exact
+// flow simulation agree on the alltoall goodput within a factor.
+class CrossValidation : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+TEST_P(CrossValidation, ExactSimWithinBandOfModel) {
+  const auto& [name, nodes] = GetParam();
+  const SystemConfig cfg = system_by_name(name);
+  ClusterOptions copt;
+  copt.nodes = nodes;
+  copt.enable_noise = false;
+  Cluster cluster(cfg, copt);
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  CclComm ccl(cluster, first_n_gpus(cluster, nodes * cfg.gpus_per_node), opt);
+  const Bytes buffer = 8_MiB;
+  const double exact = goodput_gbps(buffer, ccl.time_alltoall(buffer));
+  ScaleOptions sopt;
+  sopt.default_sl_noise = false;
+  const double model =
+      alltoall_at_scale(cfg, Library::kCcl, buffer, nodes * cfg.gpus_per_node, sopt)
+          .goodput_gbps;
+  // The exact simulation serializes pairwise rounds while the model uses a
+  // fluid bound, so agreement is within a small factor, not exact. LUMI's
+  // round serialization is harsher (two GCDs share each NIC and the GCD mesh
+  // loads unevenly per round), so its band is wider.
+  const double lo = name == std::string("lumi") ? 0.08 : 0.2;
+  EXPECT_GT(exact / model, lo) << name;
+  EXPECT_LT(exact / model, 3.0) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallScale, CrossValidation,
+                         ::testing::Combine(::testing::Values("alps", "leonardo", "lumi"),
+                                            ::testing::Values(2, 4)));
+
+TEST(ScaleModelTest, LibraryNames) {
+  EXPECT_STREQ(to_string(Library::kCcl), "ccl");
+  EXPECT_STREQ(to_string(Library::kMpi), "mpi");
+}
+
+}  // namespace
+}  // namespace gpucomm

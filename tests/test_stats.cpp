@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpucomm/harness/stats.hpp"
+
+namespace gpucomm {
+namespace {
+
+TEST(StatsTest, EmptySample) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, SingleValue) {
+  const Summary s = summarize({7.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_EQ(s.mean, 7.0);
+  EXPECT_EQ(s.median, 7.0);
+  EXPECT_EQ(s.min, 7.0);
+  EXPECT_EQ(s.max, 7.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(StatsTest, KnownSample) {
+  // 1..9: mean 5, median 5, q1 3, q3 7.
+  const Summary s = summarize({9, 1, 8, 2, 7, 3, 6, 4, 5});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.q1, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 7.0);
+  EXPECT_DOUBLE_EQ(s.iqr, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(StatsTest, PercentileInterpolates) {
+  const std::vector<double> sorted{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(sorted, 25), 2.5);
+}
+
+TEST(StatsTest, PercentilesOrdered) {
+  std::vector<double> v;
+  std::uint64_t x = 99;
+  for (int i = 0; i < 500; ++i) {
+    x = x * 6364136223846793005ull + 1;
+    v.push_back(static_cast<double>(x % 1000));
+  }
+  const Summary s = summarize(v);
+  EXPECT_LE(s.min, s.p5);
+  EXPECT_LE(s.p5, s.q1);
+  EXPECT_LE(s.q1, s.median);
+  EXPECT_LE(s.median, s.q3);
+  EXPECT_LE(s.q3, s.p95);
+  EXPECT_LE(s.p95, s.max);
+}
+
+TEST(StatsTest, StddevOfKnownSample) {
+  // Sample stddev of {2, 4, 4, 4, 5, 5, 7, 9} = sqrt(32/7).
+  const Summary s = summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(StatsTest, MedianCiShrinksWithN) {
+  std::vector<double> small, large;
+  std::uint64_t x = 7;
+  for (int i = 0; i < 2000; ++i) {
+    x = x * 2862933555777941757ull + 3037000493ull;
+    const double v = static_cast<double>(x % 100);
+    if (i < 50) small.push_back(v);
+    large.push_back(v);
+  }
+  EXPECT_GT(summarize(small).median_ci, summarize(large).median_ci);
+}
+
+TEST(StatsTest, UnaffectedByInputOrder) {
+  std::vector<double> a{5, 3, 8, 1, 9, 2};
+  std::vector<double> b{9, 8, 5, 3, 2, 1};
+  const Summary sa = summarize(a);
+  const Summary sb = summarize(b);
+  EXPECT_EQ(sa.median, sb.median);
+  EXPECT_EQ(sa.mean, sb.mean);
+  EXPECT_EQ(sa.p95, sb.p95);
+}
+
+}  // namespace
+}  // namespace gpucomm

@@ -1,0 +1,139 @@
+// Stress/invariant tests of the flow network under randomized workloads:
+// byte conservation, quiescence, determinism, and bounded completion times.
+#include <gtest/gtest.h>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/cluster/placement.hpp"
+#include "gpucomm/systems/registry.hpp"
+
+namespace gpucomm {
+namespace {
+
+struct Workload {
+  int flows = 200;
+  Bytes min_bytes = 1_KiB;
+  Bytes max_bytes = 8_MiB;
+  std::uint64_t seed = 7;
+};
+
+/// Drives `w.flows` random GPU-to-GPU transfers (intra and inter node) and
+/// returns (total bytes injected, completion time of the last flow).
+std::pair<double, SimTime> drive(Cluster& cluster, const Workload& w) {
+  Rng rng(w.seed);
+  const int gpus = cluster.total_gpus();
+  int remaining = 0;
+  bool done = false;
+  double injected = 0;
+  for (int i = 0; i < w.flows; ++i) {
+    int a = static_cast<int>(rng.uniform_int(gpus));
+    int b = static_cast<int>(rng.uniform_int(gpus));
+    if (a == b) b = (b + 1) % gpus;
+    const Bytes bytes = w.min_bytes + rng.uniform_int(w.max_bytes - w.min_bytes);
+    Route route;
+    if (cluster.same_node(a, b)) {
+      route = cluster.intra_node_route(a, b);
+    } else {
+      route = cluster.inter_node_route(cluster.gpu_device(a), a, cluster.gpu_device(b), b);
+    }
+    ++remaining;
+    injected += static_cast<double>(bytes) * 8.0;
+    cluster.network().start_flow({std::move(route), bytes, 0, 0}, [&](SimTime) {
+      if (--remaining == 0) done = true;
+    });
+  }
+  EXPECT_TRUE(cluster.engine().run_until([&done] { return done; }));
+  return {injected, cluster.engine().now()};
+}
+
+TEST(StressTest, ByteConservation) {
+  for (const auto& name : {"alps", "lumi"}) {
+    SystemConfig cfg = system_by_name(name);
+    Cluster cluster(cfg, {.nodes = 8, .enable_noise = false});
+    const auto [injected, when] = drive(cluster, Workload{});
+    EXPECT_DOUBLE_EQ(cluster.network().total_bits_delivered(), injected) << name;
+    EXPECT_EQ(cluster.network().active_flows(), 0u) << name;
+  }
+}
+
+TEST(StressTest, QueueQuiescesAfterCompletion) {
+  SystemConfig cfg = system_by_name("leonardo");
+  Cluster cluster(cfg, {.nodes = 4, .enable_noise = false});
+  drive(cluster, Workload{.flows = 100});
+  cluster.engine().run();  // drain any residual zero-work events
+  EXPECT_EQ(cluster.engine().pending_events(), 0u);
+}
+
+TEST(StressTest, DeterministicAcrossIdenticalRuns) {
+  auto run = [](std::uint64_t seed) {
+    SystemConfig cfg = system_by_name("lumi");
+    Cluster cluster(cfg, {.nodes = 4, .enable_noise = false, .seed = 9});
+    Workload w;
+    w.seed = seed;
+    return drive(cluster, w).second.ps;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));  // different workload -> different trace
+}
+
+TEST(StressTest, CompletionBoundedByBandwidthAndLatency) {
+  // The slowest possible finish: all bytes through the single slowest link.
+  SystemConfig cfg = system_by_name("alps");
+  Cluster cluster(cfg, {.nodes = 2, .enable_noise = false});
+  Workload w{.flows = 50, .min_bytes = 64_KiB, .max_bytes = 1_MiB, .seed = 3};
+  const auto [injected, when] = drive(cluster, w);
+  const double worst_seconds = injected / gbps(100) + 1e-3;  // serial over 100 Gb/s
+  EXPECT_LT(when.seconds(), worst_seconds);
+  EXPECT_GT(when.ps, 0);
+}
+
+TEST(StressTest, HeavyFanInStaysStable) {
+  // 500 flows into one GPU: the engine must not thrash and rates must be
+  // sane (every flow eventually completes; no negative/NaN times).
+  SystemConfig cfg = system_by_name("leonardo");
+  Cluster cluster(cfg, {.nodes = 8, .enable_noise = false});
+  int remaining = 0;
+  bool done = false;
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const int src = 1 + static_cast<int>(rng.uniform_int(cluster.total_gpus() - 1));
+    Route route = cluster.same_node(src, 0)
+                      ? cluster.intra_node_route(src, 0)
+                      : cluster.inter_node_route(cluster.gpu_device(src), src,
+                                                 cluster.gpu_device(0), 0);
+    ++remaining;
+    cluster.network().start_flow({std::move(route), 256_KiB, 0, 0}, [&](SimTime) {
+      if (--remaining == 0) done = true;
+    });
+  }
+  EXPECT_TRUE(cluster.engine().run_until([&done] { return done; }));
+  EXPECT_EQ(cluster.network().active_flows(), 0u);
+}
+
+TEST(StressTest, MixedServiceLevelsConserveBytes) {
+  SystemConfig cfg = system_by_name("leonardo");
+  Cluster cluster(cfg, {.nodes = 4});  // production noise ON
+  Rng rng(13);
+  int remaining = 0;
+  bool done = false;
+  double injected = 0;
+  for (int i = 0; i < 120; ++i) {
+    const int a = static_cast<int>(rng.uniform_int(cluster.total_gpus()));
+    int b = static_cast<int>(rng.uniform_int(cluster.total_gpus()));
+    if (a == b) b = (b + 1) % cluster.total_gpus();
+    Route route = cluster.same_node(a, b)
+                      ? cluster.intra_node_route(a, b)
+                      : cluster.inter_node_route(cluster.gpu_device(a), a,
+                                                 cluster.gpu_device(b), b);
+    const int vl = static_cast<int>(rng.uniform_int(2));
+    ++remaining;
+    injected += 512_KiB * 8.0;
+    cluster.network().start_flow({std::move(route), 512_KiB, vl, 0}, [&](SimTime) {
+      if (--remaining == 0) done = true;
+    });
+  }
+  EXPECT_TRUE(cluster.engine().run_until([&done] { return done; }));
+  EXPECT_DOUBLE_EQ(cluster.network().total_bits_delivered(), injected);
+}
+
+}  // namespace
+}  // namespace gpucomm

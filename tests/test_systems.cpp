@@ -1,0 +1,124 @@
+// Table I invariants for the three system configurations.
+#include <gtest/gtest.h>
+
+#include "gpucomm/systems/registry.hpp"
+
+namespace gpucomm {
+namespace {
+
+TEST(SystemsTest, RegistryKnowsAllThree) {
+  EXPECT_EQ(all_system_names().size(), 3u);
+  EXPECT_EQ(system_by_name("alps").name, "alps");
+  EXPECT_EQ(system_by_name("leonardo").name, "leonardo");
+  EXPECT_EQ(system_by_name("lumi").name, "lumi");
+  EXPECT_THROW(system_by_name("frontier"), std::invalid_argument);
+  EXPECT_EQ(all_systems().size(), 3u);
+}
+
+TEST(SystemsTest, TableOneBasics) {
+  const SystemConfig alps = alps_config();
+  EXPECT_EQ(alps.arch, NodeArch::kAlps);
+  EXPECT_EQ(alps.gpus_per_node, 4);
+  EXPECT_EQ(alps.nics_per_node, 4);
+  EXPECT_DOUBLE_EQ(alps.nic.rate, gbps(200));       // Cassini-1
+  EXPECT_DOUBLE_EQ(alps.nic_bw_per_gpu, gbps(200)); // one NIC per GH200
+  EXPECT_EQ(alps.fabric.kind, FabricKind::kDragonfly);
+
+  const SystemConfig leo = leonardo_config();
+  EXPECT_EQ(leo.gpus_per_node, 4);
+  EXPECT_DOUBLE_EQ(leo.nic.rate, gbps(100));        // ConnectX-6 port
+  EXPECT_DOUBLE_EQ(leo.nic_bw_per_gpu, gbps(100));
+  EXPECT_EQ(leo.fabric.kind, FabricKind::kDragonflyPlus);
+  EXPECT_EQ(leo.fabric.dragonfly_plus.groups, 23);  // Sec. II-B
+  EXPECT_EQ(leo.mpi.flavor, MpiFlavor::kOpenMpiUcx);
+
+  const SystemConfig lumi = lumi_config();
+  EXPECT_EQ(lumi.gpus_per_node, 8);                 // 8 GCDs
+  EXPECT_EQ(lumi.nics_per_node, 4);
+  EXPECT_DOUBLE_EQ(lumi.nic_bw_per_gpu, gbps(100)); // Cassini shared by 2 GCDs
+  EXPECT_EQ(lumi.fabric.dragonfly.groups, 24);      // Sec. II-C
+  EXPECT_EQ(lumi.fabric.dragonfly.switch_span, 2);  // two switches per node
+  EXPECT_EQ(lumi.mpi.flavor, MpiFlavor::kCrayMpich);
+}
+
+TEST(SystemsTest, TimerResolutionsMatchPaper) {
+  EXPECT_EQ(alps_config().timer_resolution, nanoseconds(30));
+  EXPECT_EQ(leonardo_config().timer_resolution, nanoseconds(25));
+  EXPECT_EQ(lumi_config().timer_resolution, nanoseconds(25));
+}
+
+TEST(SystemsTest, ArchitecturalCapabilities) {
+  // Alps: GPU peer access disabled at the time (Sec. III-C); CPU stores to
+  // HBM only on AMD (LUMI); GDRCopy only meaningful on NVIDIA + IB (Leonardo).
+  EXPECT_FALSE(alps_config().gpu.peer_access);
+  EXPECT_TRUE(leonardo_config().gpu.peer_access);
+  EXPECT_TRUE(lumi_config().gpu.peer_access);
+  EXPECT_FALSE(alps_config().gpu.cpu_access_hbm);
+  EXPECT_TRUE(lumi_config().gpu.cpu_access_hbm);
+  EXPECT_TRUE(leonardo_config().gpu.gdrcopy_capable);
+}
+
+TEST(SystemsTest, OnlyLeonardoHasProductionNoise) {
+  EXPECT_FALSE(alps_config().noise.production_noise);  // Slingshot, Sec. VI
+  EXPECT_TRUE(leonardo_config().noise.production_noise);
+  EXPECT_FALSE(lumi_config().noise.production_noise);
+}
+
+TEST(SystemsTest, CclStallThresholds) {
+  // Sec. V-C: NCCL alltoall stalls at 512 GPUs on Alps; RCCL at 1,024 on
+  // LUMI; Leonardo showed no stall up to its 1,024-GPU cap.
+  EXPECT_EQ(alps_config().ccl.alltoall_stall_ranks, 512);
+  EXPECT_EQ(lumi_config().ccl.alltoall_stall_ranks, 1024);
+  EXPECT_EQ(leonardo_config().ccl.alltoall_stall_ranks, 0);
+}
+
+TEST(SystemsTest, RcclHopCountBugOnlyOnLumi) {
+  EXPECT_FALSE(alps_config().ccl.hop_count_bw_bug);
+  EXPECT_FALSE(leonardo_config().ccl.hop_count_bw_bug);
+  EXPECT_TRUE(lumi_config().ccl.hop_count_bw_bug);  // Obs. 3
+}
+
+TEST(SystemsTest, OnlyLeonardoHostStagesAllreduce) {
+  EXPECT_FALSE(alps_config().mpi.host_staged_allreduce);
+  EXPECT_TRUE(leonardo_config().mpi.host_staged_allreduce);  // Open MPI [34]
+  EXPECT_FALSE(lumi_config().mpi.host_staged_allreduce);
+}
+
+TEST(SystemsTest, TunedEnvAppliesPaperKnobs) {
+  for (const SystemConfig& sys : all_systems()) {
+    const SoftwareEnv env = sys.tuned_env();
+    EXPECT_TRUE(env.ccl_ignore_cpu_affinity);        // NCCL_IGNORE_CPU_AFFINITY=1
+    EXPECT_EQ(env.ccl_net_gdr_level, 3);             // NCCL_NET_GDR_LEVEL=3
+    EXPECT_EQ(env.mpich_gpu_ipc_threshold, 1u);      // MPICH_GPU_IPC_THRESHOLD=1
+    EXPECT_EQ(env.mpich_gpu_allreduce_blk, 128_MiB); // MPICH_GPU_ALLREDUCE_BLK_SIZE
+    EXPECT_FALSE(env.hsa_enable_sdma);               // HSA_ENABLE_SDMA=0
+    EXPECT_TRUE(env.gdrcopy_loaded);                 // LD_LIBRARY_PATH fix
+    EXPECT_EQ(env.ccl_nchannels_per_peer, sys.ccl.max_nchannels);
+  }
+}
+
+TEST(SystemsTest, DefaultEnvIsUntuned) {
+  for (const SystemConfig& sys : all_systems()) {
+    EXPECT_FALSE(sys.default_env.ccl_ignore_cpu_affinity);
+    EXPECT_EQ(sys.default_env.ccl_net_gdr_level, -1);
+    EXPECT_TRUE(sys.default_env.hsa_enable_sdma);
+    EXPECT_FALSE(sys.default_env.gdrcopy_loaded);
+  }
+}
+
+TEST(SystemsTest, EfficienciesAreFractions) {
+  for (const SystemConfig& sys : all_systems()) {
+    for (const double e :
+         {sys.mpi.intra_p2p_efficiency, sys.mpi.intra_coll_efficiency,
+          sys.mpi.net_p2p_efficiency, sys.mpi.net_coll_efficiency,
+          sys.ccl.intra_p2p_efficiency, sys.ccl.intra_coll_efficiency,
+          sys.ccl.net_p2p_efficiency, sys.ccl.net_coll_efficiency,
+          sys.nic.protocol_efficiency, sys.gpu.ipc_copy_efficiency}) {
+      EXPECT_GT(e, 0.0);
+      EXPECT_LE(e, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpucomm

@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "gpucomm/harness/table.hpp"
+
+namespace gpucomm {
+namespace {
+
+TEST(TableTest, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22222"), std::string::npos);
+  // Every line has the same column start for "value" data: check header
+  // separator exists.
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TableTest, WritesCsv) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  const std::string path = testing::TempDir() + "/gpucomm_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+  std::getline(in, line);
+  EXPECT_EQ(line, "3,4");
+  std::remove(path.c_str());
+}
+
+TEST(FmtTest, FixedPrecision) {
+  EXPECT_EQ(fmt(12.345, 2), "12.35");
+  EXPECT_EQ(fmt(1.0, 0), "1");
+  EXPECT_EQ(fmt(0.5, 3), "0.500");
+  EXPECT_EQ(fmt(std::nan(""), 2), "n/a");
+}
+
+}  // namespace
+}  // namespace gpucomm

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "gpucomm/sim/time.hpp"
+#include "gpucomm/sim/units.hpp"
+
+namespace gpucomm {
+namespace {
+
+TEST(SimTimeTest, ConstructionAndConversion) {
+  EXPECT_EQ(SimTime::zero().ps, 0);
+  EXPECT_EQ(nanoseconds(1).ps, 1000);
+  EXPECT_EQ(microseconds(1).ps, 1'000'000);
+  EXPECT_EQ(milliseconds(1).ps, 1'000'000'000);
+  EXPECT_EQ(seconds(1).ps, 1'000'000'000'000);
+  EXPECT_DOUBLE_EQ(microseconds(2.5).micros(), 2.5);
+  EXPECT_DOUBLE_EQ(seconds(0.25).seconds(), 0.25);
+}
+
+TEST(SimTimeTest, Ordering) {
+  EXPECT_LT(nanoseconds(999), microseconds(1));
+  EXPECT_LE(microseconds(1), microseconds(1));
+  EXPECT_GT(milliseconds(1), microseconds(999));
+  EXPECT_EQ(microseconds(1), nanoseconds(1000));
+}
+
+TEST(SimTimeTest, Arithmetic) {
+  EXPECT_EQ(microseconds(1) + microseconds(2), microseconds(3));
+  EXPECT_EQ(microseconds(3) - microseconds(1), microseconds(2));
+  SimTime t = microseconds(1);
+  t += microseconds(4);
+  EXPECT_EQ(t, microseconds(5));
+}
+
+TEST(SimTimeTest, InfinitySaturates) {
+  EXPECT_TRUE(SimTime::infinity().is_infinite());
+  EXPECT_TRUE((SimTime::infinity() + microseconds(1)).is_infinite());
+  EXPECT_TRUE((microseconds(1) + SimTime::infinity()).is_infinite());
+  EXPECT_LT(seconds(1e6), SimTime::infinity());
+}
+
+TEST(SimTimeTest, ToStringPicksUnit) {
+  EXPECT_EQ(to_string(picoseconds(500)), "500 ps");
+  EXPECT_EQ(to_string(nanoseconds(1.5)), "1.50 ns");
+  EXPECT_EQ(to_string(microseconds(12.25)), "12.25 us");
+  EXPECT_EQ(to_string(milliseconds(3)), "3.00 ms");
+  EXPECT_EQ(to_string(seconds(2)), "2.000 s");
+  EXPECT_EQ(to_string(SimTime::infinity()), "inf");
+}
+
+TEST(UnitsTest, ByteLiterals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(1_MiB, 1024u * 1024u);
+  EXPECT_EQ(1_GiB, 1024u * 1024u * 1024u);
+  EXPECT_EQ(3_B, 3u);
+}
+
+TEST(UnitsTest, TransferTime) {
+  // 1 GiB at 100 Gb/s: 2^30 * 8 / 100e9 s = 85.899... ms.
+  const SimTime t = transfer_time(1_GiB, gbps(100));
+  EXPECT_NEAR(t.seconds(), 0.0858993, 1e-6);
+  EXPECT_TRUE(transfer_time(1_GiB, 0.0).is_infinite());
+  EXPECT_EQ(transfer_time(0, gbps(100)).ps, 0);
+}
+
+TEST(UnitsTest, GoodputInverseOfTransferTime) {
+  for (const Bytes b : {Bytes(1_KiB), Bytes(1_MiB), Bytes(1_GiB)}) {
+    const SimTime t = transfer_time(b, gbps(200));
+    EXPECT_NEAR(goodput_gbps(b, t), 200.0, 0.5);
+  }
+  EXPECT_EQ(goodput_gbps(1_MiB, SimTime::zero()), 0.0);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(format_bytes(1), "1 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2_KiB), "2 KiB");
+  EXPECT_EQ(format_bytes(3_MiB), "3 MiB");
+  EXPECT_EQ(format_bytes(1_GiB), "1 GiB");
+  EXPECT_EQ(format_bytes(1_KiB + 1), "1025 B");
+}
+
+}  // namespace
+}  // namespace gpucomm

@@ -1,0 +1,151 @@
+// Observation 1: the Sec. III-B tuning knobs and their measured impact.
+// Each test toggles one knob and checks the gain direction and rough factor.
+#include <gtest/gtest.h>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/cluster/placement.hpp"
+#include "gpucomm/comm/ccl/ccl_comm.hpp"
+#include "gpucomm/comm/mpi/mpi_comm.hpp"
+#include "gpucomm/systems/registry.hpp"
+
+namespace gpucomm {
+namespace {
+
+double mpi_halfpingpong_us(Cluster& cluster, const std::vector<int>& pair,
+                           const SoftwareEnv& env, Bytes bytes,
+                           MemSpace space = MemSpace::kDevice) {
+  CommOptions opt;
+  opt.env = env;
+  opt.space = space;
+  MpiComm mpi(cluster, pair, opt);
+  return mpi.time_pingpong(0, 1, bytes).micros() / 2;
+}
+
+TEST(TuningTest, AlpsIpcThresholdHalvesSmallMessageRuntime) {
+  // MPICH_GPU_IPC_THRESHOLD=1: ~2x for transfers < 4 KiB (Sec. III-B).
+  const SystemConfig cfg = system_by_name("alps");
+  Cluster cluster(cfg, {.nodes = 1});
+  SoftwareEnv tuned = cfg.tuned_env();
+  SoftwareEnv untuned = tuned;
+  untuned.mpich_gpu_ipc_threshold = 0;  // back to the 8 KiB default
+  const double t_def = mpi_halfpingpong_us(cluster, {0, 1}, untuned, 2_KiB);
+  const double t_tuned = mpi_halfpingpong_us(cluster, {0, 1}, tuned, 2_KiB);
+  EXPECT_GT(t_def / t_tuned, 1.5);
+  EXPECT_LT(t_def / t_tuned, 3.0);
+}
+
+TEST(TuningTest, LeonardoGdrCopySpeedsSmallMessagesUpToSixX) {
+  const SystemConfig cfg = system_by_name("leonardo");
+  Cluster cluster(cfg, {.nodes = 1});
+  SoftwareEnv tuned = cfg.tuned_env();
+  SoftwareEnv untuned = tuned;
+  untuned.gdrcopy_loaded = false;
+  const double t_def = mpi_halfpingpong_us(cluster, {0, 1}, untuned, 1);
+  const double t_tuned = mpi_halfpingpong_us(cluster, {0, 1}, tuned, 1);
+  EXPECT_GT(t_def / t_tuned, 1.3);
+  EXPECT_LT(t_def / t_tuned, 7.0);
+}
+
+TEST(TuningTest, LumiSdmaDisableUnlocksMultiLinkStriping) {
+  // HSA_ENABLE_SDMA=0: up to 3x on transfers that can stripe (Sec. III-B).
+  const SystemConfig cfg = system_by_name("lumi");
+  Cluster cluster(cfg, {.nodes = 1});
+  SoftwareEnv tuned = cfg.tuned_env();  // sdma off
+  SoftwareEnv untuned = tuned;
+  untuned.hsa_enable_sdma = true;
+  const double t_on = mpi_halfpingpong_us(cluster, {0, 1}, untuned, 1_GiB);
+  const double t_off = mpi_halfpingpong_us(cluster, {0, 1}, tuned, 1_GiB);
+  EXPECT_GT(t_on / t_off, 2.0);  // GCD0-1 pair: 1.6 Tb/s vs one 400 Gb/s link
+  EXPECT_LT(t_on / t_off, 4.5);
+}
+
+TEST(TuningTest, LumiNchannelsPerPeerGivesAboutThreeAndAHalfX) {
+  const SystemConfig cfg = system_by_name("lumi");
+  Cluster cluster(cfg, {.nodes = 1});
+  CommOptions tuned_opt, untuned_opt;
+  tuned_opt.env = cfg.tuned_env();
+  untuned_opt.env = tuned_opt.env;
+  untuned_opt.env.ccl_nchannels_per_peer = -1;  // default channel count
+  CclComm tuned(cluster, {0, 1}, tuned_opt);
+  CclComm untuned(cluster, {0, 1}, untuned_opt);
+  const double t_def = untuned.time_pingpong(0, 1, 1_GiB).micros();
+  const double t_tuned = tuned.time_pingpong(0, 1, 1_GiB).micros();
+  EXPECT_GT(t_def / t_tuned, 2.5);
+  EXPECT_LT(t_def / t_tuned, 4.5);
+}
+
+TEST(TuningTest, GdrLevelImprovesInterNodeCcl) {
+  // NCCL_NET_GDR_LEVEL=3: 2x alltoall / 3x allreduce from two nodes up.
+  const SystemConfig cfg = system_by_name("alps");
+  Cluster cluster(cfg, {.nodes = 2});
+  CommOptions tuned_opt, untuned_opt;
+  tuned_opt.env = cfg.tuned_env();
+  untuned_opt.env = tuned_opt.env;
+  untuned_opt.env.ccl_net_gdr_level = -1;  // default level: host bounce
+  const auto gpus = first_n_gpus(cluster, 8);
+  CclComm tuned(cluster, gpus, tuned_opt);
+  CclComm untuned(cluster, gpus, untuned_opt);
+  const double t_def = untuned.time_alltoall(16_MiB).micros();
+  const double t_tuned = tuned.time_alltoall(16_MiB).micros();
+  EXPECT_GT(t_def / t_tuned, 1.4);
+  EXPECT_LT(t_def / t_tuned, 3.5);
+}
+
+TEST(TuningTest, CpuAffinityDominatesUntunedAllreduce) {
+  // NCCL_IGNORE_CPU_AFFINITY=1: up to 6x on allreduce from two nodes
+  // (Sec. III-B); no effect on a single node.
+  const SystemConfig cfg = system_by_name("lumi");
+  Cluster cluster(cfg, {.nodes = 2});
+  CommOptions good, bad;
+  good.env = cfg.tuned_env();
+  bad.env = good.env;
+  bad.env.ccl_ignore_cpu_affinity = false;
+  const auto gpus = first_n_gpus(cluster, 16);
+  CclComm tuned(cluster, gpus, good);
+  CclComm untuned(cluster, gpus, bad);
+  const double ratio =
+      untuned.time_allreduce(256_MiB).seconds() / tuned.time_allreduce(256_MiB).seconds();
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(TuningTest, AllreduceBlockSizeGivesFiftyPercent) {
+  // MPICH_GPU_ALLREDUCE_BLK_SIZE 32 MiB -> 128 MiB: +50% on single-node
+  // allreduce (Sec. III-B).
+  const SystemConfig cfg = system_by_name("alps");
+  Cluster cluster(cfg, {.nodes = 1});
+  CommOptions big, small;
+  big.env = cfg.tuned_env();  // 128 MiB
+  small.env = big.env;
+  small.env.mpich_gpu_allreduce_blk = 32_MiB;
+  const auto gpus = first_n_gpus(cluster, 4);
+  MpiComm tuned(cluster, gpus, big);
+  MpiComm untuned(cluster, gpus, small);
+  const double ratio =
+      untuned.time_allreduce(1_GiB).seconds() / tuned.time_allreduce(1_GiB).seconds();
+  EXPECT_GT(ratio, 1.25);
+  EXPECT_LT(ratio, 1.9);
+}
+
+TEST(TuningTest, FullyTunedBeatsFullyDefaultEverywhere) {
+  // Observation 1, aggregated: the tuned environment never loses.
+  for (const auto& name : all_system_names()) {
+    const SystemConfig cfg = system_by_name(name);
+    Cluster cluster(cfg, {.nodes = 2});
+    CommOptions tuned, untuned;
+    tuned.env = cfg.tuned_env();
+    untuned.env = cfg.default_env;
+    const auto gpus = first_n_gpus(cluster, 2 * cfg.gpus_per_node);
+    CclComm ct(cluster, gpus, tuned);
+    CclComm cu(cluster, gpus, untuned);
+    EXPECT_LE(ct.time_allreduce(64_MiB).seconds(), cu.time_allreduce(64_MiB).seconds())
+        << name;
+    MpiComm mt(cluster, gpus, tuned);
+    MpiComm mu(cluster, gpus, untuned);
+    EXPECT_LE(mt.time_alltoall(8_MiB).seconds(), mu.time_alltoall(8_MiB).seconds() * 1.001)
+        << name;
+  }
+}
+
+}  // namespace
+}  // namespace gpucomm

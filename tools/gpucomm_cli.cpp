@@ -1,0 +1,160 @@
+// Command-line microbenchmark driver, mirroring the paper artifact's
+// src/microbench binaries: one invocation = one experiment, human-readable
+// table on stdout.
+//
+// Usage:
+//   gpucomm_cli --system leonardo --op allreduce --mechanism ccl
+//               --gpus 16 --min 1024 --max 1073741824 [--space host]
+//               [--untuned] [--sl N] [--placement packed|switches|groups]
+//               [--iters N]
+//
+// op: pingpong | alltoall | allreduce | broadcast | allgather | reducescatter
+// mechanism: staging | devcopy | ccl | mpi
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "gpucomm/gpucomm.hpp"
+
+using namespace gpucomm;
+
+namespace {
+
+struct Args {
+  std::string system = "leonardo";
+  std::string op = "pingpong";
+  std::string mechanism = "mpi";
+  int gpus = 2;
+  Bytes min_bytes = 1;
+  Bytes max_bytes = 1_GiB;
+  MemSpace space = MemSpace::kDevice;
+  bool tuned = true;
+  int service_level = 0;
+  Placement placement = Placement::kPacked;
+  int iters = 0;  // 0 = auto per size
+};
+
+bool parse(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--system") {
+      a.system = next();
+    } else if (flag == "--op") {
+      a.op = next();
+    } else if (flag == "--mechanism") {
+      a.mechanism = next();
+    } else if (flag == "--gpus") {
+      a.gpus = std::atoi(next());
+    } else if (flag == "--min") {
+      a.min_bytes = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--max") {
+      a.max_bytes = std::strtoull(next(), nullptr, 10);
+    } else if (flag == "--space") {
+      a.space = std::string(next()) == "host" ? MemSpace::kHost : MemSpace::kDevice;
+    } else if (flag == "--untuned") {
+      a.tuned = false;
+    } else if (flag == "--sl") {
+      a.service_level = std::atoi(next());
+    } else if (flag == "--iters") {
+      a.iters = std::atoi(next());
+    } else if (flag == "--placement") {
+      const std::string p = next();
+      a.placement = p == "switches" ? Placement::kScatterSwitches
+                    : p == "groups" ? Placement::kScatterGroups
+                                    : Placement::kPacked;
+    } else if (flag == "--help" || flag == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+Mechanism mechanism_of(const std::string& name) {
+  static const std::map<std::string, Mechanism> kMap{
+      {"staging", Mechanism::kStaging},
+      {"devcopy", Mechanism::kDeviceCopy},
+      {"ccl", Mechanism::kCcl},
+      {"mpi", Mechanism::kMpi}};
+  const auto it = kMap.find(name);
+  if (it == kMap.end()) throw std::invalid_argument("unknown mechanism: " + name);
+  return it->second;
+}
+
+std::unique_ptr<Communicator> build(Mechanism m, Cluster& c, std::vector<int> gpus,
+                                    CommOptions opt) {
+  switch (m) {
+    case Mechanism::kStaging: return std::make_unique<StagingComm>(c, gpus, opt);
+    case Mechanism::kDeviceCopy: return std::make_unique<DeviceCopyComm>(c, gpus, opt);
+    case Mechanism::kCcl: return std::make_unique<CclComm>(c, gpus, opt);
+    case Mechanism::kMpi: return std::make_unique<MpiComm>(c, gpus, opt);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse(argc, argv, a)) {
+    std::fprintf(stderr,
+                 "usage: %s --system S --op OP --mechanism M --gpus N "
+                 "[--min B --max B --space host --untuned --sl N --iters N "
+                 "--placement packed|switches|groups]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  const SystemConfig cfg = system_by_name(a.system);
+  const int nodes = std::max(1, (a.gpus + cfg.gpus_per_node - 1) / cfg.gpus_per_node);
+  ClusterOptions copt;
+  copt.nodes = nodes;
+  copt.placement = a.placement;
+  Cluster cluster(cfg, copt);
+  CommOptions opt;
+  opt.env = a.tuned ? cfg.tuned_env() : cfg.default_env;
+  opt.space = a.space;
+  opt.service_level = a.service_level;
+  if (a.service_level != 0) {
+    opt.env.ccl_ib_sl = a.service_level;
+    opt.env.ucx_ib_sl = a.service_level;
+  }
+
+  auto comm = build(mechanism_of(a.mechanism), cluster, first_n_gpus(cluster, a.gpus), opt);
+  std::printf("# %s %s %s, %d GPUs (%d nodes), %s buffers, %s\n", a.system.c_str(),
+              a.mechanism.c_str(), a.op.c_str(), a.gpus, nodes,
+              a.space == MemSpace::kHost ? "host" : "gpu", a.tuned ? "tuned" : "default env");
+
+  Table t({"size", "iters", "median_us", "mean_us", "p95_us", "goodput_gbps"});
+  for (Bytes b = a.min_bytes; b <= a.max_bytes; b *= 4) {
+    RunConfig rc = run_config_for(b);
+    if (a.iters > 0) rc.iterations = a.iters;
+    const auto iteration = [&]() -> SimTime {
+      if (a.op == "pingpong") return SimTime{comm->time_pingpong(0, comm->size() - 1, b).ps / 2};
+      if (a.op == "alltoall") return comm->time_alltoall(b);
+      if (a.op == "allreduce") return comm->time_allreduce(b);
+      if (a.op == "broadcast") return comm->time_broadcast(0, b);
+      if (a.op == "allgather") return comm->time_allgather(b);
+      if (a.op == "reducescatter") return comm->time_reduce_scatter(b);
+      throw std::invalid_argument("unknown op: " + a.op);
+    };
+    if ((a.op == "alltoall" && !comm->available(CollectiveOp::kAlltoall))) {
+      t.add_row({format_bytes(b), "-", "stall", "stall", "stall", "-"});
+      continue;
+    }
+    const Samples s = run_iterations(cluster, rc, iteration);
+    const Summary lat = s.summary();
+    const Summary gp = s.goodput_summary(b);
+    t.add_row({format_bytes(b), std::to_string(rc.iterations), fmt(lat.median),
+               fmt(lat.mean), fmt(lat.p95), fmt(gp.median, 1)});
+  }
+  t.print(std::cout);
+  return 0;
+}
