@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_allreduce_algo.dir/ablation_allreduce_algo.cpp.o"
+  "CMakeFiles/ablation_allreduce_algo.dir/ablation_allreduce_algo.cpp.o.d"
+  "ablation_allreduce_algo"
+  "ablation_allreduce_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_allreduce_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discussion_fat_tree.dir/discussion_fat_tree.cpp.o"
+  "CMakeFiles/discussion_fat_tree.dir/discussion_fat_tree.cpp.o.d"
+  "discussion_fat_tree"
+  "discussion_fat_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discussion_fat_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

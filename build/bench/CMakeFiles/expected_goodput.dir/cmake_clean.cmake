@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expected_goodput.dir/expected_goodput.cpp.o"
+  "CMakeFiles/expected_goodput.dir/expected_goodput.cpp.o.d"
+  "expected_goodput"
+  "expected_goodput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expected_goodput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

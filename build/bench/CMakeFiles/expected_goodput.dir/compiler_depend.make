@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for expected_goodput.
+# This may be replaced when dependencies are built.

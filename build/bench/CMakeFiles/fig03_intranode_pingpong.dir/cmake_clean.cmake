@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_intranode_pingpong.dir/fig03_intranode_pingpong.cpp.o"
+  "CMakeFiles/fig03_intranode_pingpong.dir/fig03_intranode_pingpong.cpp.o.d"
+  "fig03_intranode_pingpong"
+  "fig03_intranode_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_intranode_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_lumi_gpu_pairs.dir/fig04_lumi_gpu_pairs.cpp.o"
+  "CMakeFiles/fig04_lumi_gpu_pairs.dir/fig04_lumi_gpu_pairs.cpp.o.d"
+  "fig04_lumi_gpu_pairs"
+  "fig04_lumi_gpu_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_lumi_gpu_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

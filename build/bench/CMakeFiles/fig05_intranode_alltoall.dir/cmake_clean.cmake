@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_intranode_alltoall.dir/fig05_intranode_alltoall.cpp.o"
+  "CMakeFiles/fig05_intranode_alltoall.dir/fig05_intranode_alltoall.cpp.o.d"
+  "fig05_intranode_alltoall"
+  "fig05_intranode_alltoall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_intranode_alltoall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

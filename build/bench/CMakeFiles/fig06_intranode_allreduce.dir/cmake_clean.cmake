@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_intranode_allreduce.dir/fig06_intranode_allreduce.cpp.o"
+  "CMakeFiles/fig06_intranode_allreduce.dir/fig06_intranode_allreduce.cpp.o.d"
+  "fig06_intranode_allreduce"
+  "fig06_intranode_allreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_intranode_allreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_internode_pingpong.dir/fig07_internode_pingpong.cpp.o"
+  "CMakeFiles/fig07_internode_pingpong.dir/fig07_internode_pingpong.cpp.o.d"
+  "fig07_internode_pingpong"
+  "fig07_internode_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_internode_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

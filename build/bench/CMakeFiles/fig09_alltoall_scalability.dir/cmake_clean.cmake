@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_alltoall_scalability.dir/fig09_alltoall_scalability.cpp.o"
+  "CMakeFiles/fig09_alltoall_scalability.dir/fig09_alltoall_scalability.cpp.o.d"
+  "fig09_alltoall_scalability"
+  "fig09_alltoall_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_alltoall_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_rccl_vs_mpi_ratio.dir/fig11_rccl_vs_mpi_ratio.cpp.o"
+  "CMakeFiles/fig11_rccl_vs_mpi_ratio.dir/fig11_rccl_vs_mpi_ratio.cpp.o.d"
+  "fig11_rccl_vs_mpi_ratio"
+  "fig11_rccl_vs_mpi_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_rccl_vs_mpi_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

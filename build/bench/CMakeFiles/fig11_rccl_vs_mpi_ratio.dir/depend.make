@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_rccl_vs_mpi_ratio.
+# This may be replaced when dependencies are built.

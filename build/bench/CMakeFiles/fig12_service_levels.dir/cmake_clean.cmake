@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_service_levels.dir/fig12_service_levels.cpp.o"
+  "CMakeFiles/fig12_service_levels.dir/fig12_service_levels.cpp.o.d"
+  "fig12_service_levels"
+  "fig12_service_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_service_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

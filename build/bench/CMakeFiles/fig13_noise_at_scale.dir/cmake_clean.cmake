@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_noise_at_scale.dir/fig13_noise_at_scale.cpp.o"
+  "CMakeFiles/fig13_noise_at_scale.dir/fig13_noise_at_scale.cpp.o.d"
+  "fig13_noise_at_scale"
+  "fig13_noise_at_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_noise_at_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

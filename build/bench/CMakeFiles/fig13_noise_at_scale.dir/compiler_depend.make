@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig13_noise_at_scale.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpcnet_style.dir/gpcnet_style.cpp.o"
+  "CMakeFiles/gpcnet_style.dir/gpcnet_style.cpp.o.d"
+  "gpcnet_style"
+  "gpcnet_style.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpcnet_style.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

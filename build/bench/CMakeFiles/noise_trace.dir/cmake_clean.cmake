@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_trace.dir/noise_trace.cpp.o"
+  "CMakeFiles/noise_trace.dir/noise_trace.cpp.o.d"
+  "noise_trace"
+  "noise_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

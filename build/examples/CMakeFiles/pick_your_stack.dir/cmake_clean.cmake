@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pick_your_stack.dir/pick_your_stack.cpp.o"
+  "CMakeFiles/pick_your_stack.dir/pick_your_stack.cpp.o.d"
+  "pick_your_stack"
+  "pick_your_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pick_your_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

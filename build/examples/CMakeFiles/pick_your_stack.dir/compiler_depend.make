@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pick_your_stack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpucomm/cluster/cluster.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/cluster/cluster.cpp.o.d"
+  "/root/repo/src/gpucomm/cluster/placement.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/cluster/placement.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/cluster/placement.cpp.o.d"
+  "/root/repo/src/gpucomm/comm/ccl/ccl_comm.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/ccl/ccl_comm.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/ccl/ccl_comm.cpp.o.d"
+  "/root/repo/src/gpucomm/comm/ccl/ccl_config.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/ccl/ccl_config.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/ccl/ccl_config.cpp.o.d"
+  "/root/repo/src/gpucomm/comm/ccl/channels.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/ccl/channels.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/ccl/channels.cpp.o.d"
+  "/root/repo/src/gpucomm/comm/ccl/topo_detect.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/ccl/topo_detect.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/ccl/topo_detect.cpp.o.d"
+  "/root/repo/src/gpucomm/comm/communicator.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/communicator.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/communicator.cpp.o.d"
+  "/root/repo/src/gpucomm/comm/dataplane.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/dataplane.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/dataplane.cpp.o.d"
+  "/root/repo/src/gpucomm/comm/devcopy.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/devcopy.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/devcopy.cpp.o.d"
+  "/root/repo/src/gpucomm/comm/host_path.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/host_path.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/host_path.cpp.o.d"
+  "/root/repo/src/gpucomm/comm/mpi/mpi_comm.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/mpi/mpi_comm.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/mpi/mpi_comm.cpp.o.d"
+  "/root/repo/src/gpucomm/comm/mpi/mpi_config.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/mpi/mpi_config.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/mpi/mpi_config.cpp.o.d"
+  "/root/repo/src/gpucomm/comm/mpi/p2p.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/mpi/p2p.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/mpi/p2p.cpp.o.d"
+  "/root/repo/src/gpucomm/comm/staging.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/staging.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/comm/staging.cpp.o.d"
+  "/root/repo/src/gpucomm/harness/runner.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/harness/runner.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/harness/runner.cpp.o.d"
+  "/root/repo/src/gpucomm/harness/stats.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/harness/stats.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/harness/stats.cpp.o.d"
+  "/root/repo/src/gpucomm/harness/table.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/harness/table.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/harness/table.cpp.o.d"
+  "/root/repo/src/gpucomm/hw/gpu.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/hw/gpu.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/hw/gpu.cpp.o.d"
+  "/root/repo/src/gpucomm/hw/link.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/hw/link.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/hw/link.cpp.o.d"
+  "/root/repo/src/gpucomm/hw/nic.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/hw/nic.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/hw/nic.cpp.o.d"
+  "/root/repo/src/gpucomm/hw/node.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/hw/node.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/hw/node.cpp.o.d"
+  "/root/repo/src/gpucomm/hw/switch.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/hw/switch.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/hw/switch.cpp.o.d"
+  "/root/repo/src/gpucomm/mem/buffer.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/mem/buffer.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/mem/buffer.cpp.o.d"
+  "/root/repo/src/gpucomm/mem/copy_engine.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/mem/copy_engine.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/mem/copy_engine.cpp.o.d"
+  "/root/repo/src/gpucomm/net/fairshare.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/net/fairshare.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/net/fairshare.cpp.o.d"
+  "/root/repo/src/gpucomm/net/network.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/net/network.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/net/network.cpp.o.d"
+  "/root/repo/src/gpucomm/noise/background.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/noise/background.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/noise/background.cpp.o.d"
+  "/root/repo/src/gpucomm/noise/noise_model.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/noise/noise_model.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/noise/noise_model.cpp.o.d"
+  "/root/repo/src/gpucomm/runtime/clock.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/runtime/clock.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/runtime/clock.cpp.o.d"
+  "/root/repo/src/gpucomm/runtime/ops.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/runtime/ops.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/runtime/ops.cpp.o.d"
+  "/root/repo/src/gpucomm/runtime/rank.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/runtime/rank.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/runtime/rank.cpp.o.d"
+  "/root/repo/src/gpucomm/scale/scale_model.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/scale/scale_model.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/scale/scale_model.cpp.o.d"
+  "/root/repo/src/gpucomm/sim/engine.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/sim/engine.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/sim/engine.cpp.o.d"
+  "/root/repo/src/gpucomm/sim/event_queue.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/sim/event_queue.cpp.o.d"
+  "/root/repo/src/gpucomm/sim/log.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/sim/log.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/sim/log.cpp.o.d"
+  "/root/repo/src/gpucomm/sim/random.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/sim/random.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/sim/random.cpp.o.d"
+  "/root/repo/src/gpucomm/sim/units.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/sim/units.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/sim/units.cpp.o.d"
+  "/root/repo/src/gpucomm/systems/alps.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/systems/alps.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/systems/alps.cpp.o.d"
+  "/root/repo/src/gpucomm/systems/leonardo.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/systems/leonardo.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/systems/leonardo.cpp.o.d"
+  "/root/repo/src/gpucomm/systems/lumi.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/systems/lumi.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/systems/lumi.cpp.o.d"
+  "/root/repo/src/gpucomm/systems/registry.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/systems/registry.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/systems/registry.cpp.o.d"
+  "/root/repo/src/gpucomm/systems/system_config.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/systems/system_config.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/systems/system_config.cpp.o.d"
+  "/root/repo/src/gpucomm/topology/dragonfly.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/topology/dragonfly.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/topology/dragonfly.cpp.o.d"
+  "/root/repo/src/gpucomm/topology/dragonfly_plus.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/topology/dragonfly_plus.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/topology/dragonfly_plus.cpp.o.d"
+  "/root/repo/src/gpucomm/topology/fat_tree.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/topology/fat_tree.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/topology/fat_tree.cpp.o.d"
+  "/root/repo/src/gpucomm/topology/forwarding.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/topology/forwarding.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/topology/forwarding.cpp.o.d"
+  "/root/repo/src/gpucomm/topology/graph.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/topology/graph.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/topology/graph.cpp.o.d"
+  "/root/repo/src/gpucomm/topology/intra_node.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/topology/intra_node.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/topology/intra_node.cpp.o.d"
+  "/root/repo/src/gpucomm/topology/routing.cpp" "src/CMakeFiles/gpucomm.dir/gpucomm/topology/routing.cpp.o" "gcc" "src/CMakeFiles/gpucomm.dir/gpucomm/topology/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_allreduce_algos.dir/test_allreduce_algos.cpp.o"
+  "CMakeFiles/test_allreduce_algos.dir/test_allreduce_algos.cpp.o.d"
+  "test_allreduce_algos"
+  "test_allreduce_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_allreduce_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

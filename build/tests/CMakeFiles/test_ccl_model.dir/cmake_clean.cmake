@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ccl_model.dir/test_ccl_model.cpp.o"
+  "CMakeFiles/test_ccl_model.dir/test_ccl_model.cpp.o.d"
+  "test_ccl_model"
+  "test_ccl_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ccl_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

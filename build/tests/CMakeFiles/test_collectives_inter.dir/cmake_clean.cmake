@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collectives_inter.dir/test_collectives_inter.cpp.o"
+  "CMakeFiles/test_collectives_inter.dir/test_collectives_inter.cpp.o.d"
+  "test_collectives_inter"
+  "test_collectives_inter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collectives_inter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

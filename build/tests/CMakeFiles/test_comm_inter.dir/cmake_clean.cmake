@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_inter.dir/test_comm_inter.cpp.o"
+  "CMakeFiles/test_comm_inter.dir/test_comm_inter.cpp.o.d"
+  "test_comm_inter"
+  "test_comm_inter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_inter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

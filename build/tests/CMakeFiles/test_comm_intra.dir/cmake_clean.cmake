@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_intra.dir/test_comm_intra.cpp.o"
+  "CMakeFiles/test_comm_intra.dir/test_comm_intra.cpp.o.d"
+  "test_comm_intra"
+  "test_comm_intra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_intra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

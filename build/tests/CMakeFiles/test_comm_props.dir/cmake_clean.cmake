@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_props.dir/test_comm_props.cpp.o"
+  "CMakeFiles/test_comm_props.dir/test_comm_props.cpp.o.d"
+  "test_comm_props"
+  "test_comm_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_copy_engine.dir/test_copy_engine.cpp.o"
+  "CMakeFiles/test_copy_engine.dir/test_copy_engine.cpp.o.d"
+  "test_copy_engine"
+  "test_copy_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_copy_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

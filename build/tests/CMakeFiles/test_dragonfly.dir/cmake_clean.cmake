@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dragonfly.dir/test_dragonfly.cpp.o"
+  "CMakeFiles/test_dragonfly.dir/test_dragonfly.cpp.o.d"
+  "test_dragonfly"
+  "test_dragonfly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dragonfly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

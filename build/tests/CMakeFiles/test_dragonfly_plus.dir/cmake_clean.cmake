@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dragonfly_plus.dir/test_dragonfly_plus.cpp.o"
+  "CMakeFiles/test_dragonfly_plus.dir/test_dragonfly_plus.cpp.o.d"
+  "test_dragonfly_plus"
+  "test_dragonfly_plus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dragonfly_plus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_path.dir/test_host_path.cpp.o"
+  "CMakeFiles/test_host_path.dir/test_host_path.cpp.o.d"
+  "test_host_path"
+  "test_host_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intra_node.dir/test_intra_node.cpp.o"
+  "CMakeFiles/test_intra_node.dir/test_intra_node.cpp.o.d"
+  "test_intra_node"
+  "test_intra_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intra_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

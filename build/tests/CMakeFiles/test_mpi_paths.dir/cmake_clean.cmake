@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_paths.dir/test_mpi_paths.cpp.o"
+  "CMakeFiles/test_mpi_paths.dir/test_mpi_paths.cpp.o.d"
+  "test_mpi_paths"
+  "test_mpi_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scale_model.dir/test_scale_model.cpp.o"
+  "CMakeFiles/test_scale_model.dir/test_scale_model.cpp.o.d"
+  "test_scale_model"
+  "test_scale_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scale_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpucomm_cli.dir/gpucomm_cli.cpp.o"
+  "CMakeFiles/gpucomm_cli.dir/gpucomm_cli.cpp.o.d"
+  "gpucomm_cli"
+  "gpucomm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpucomm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
