@@ -78,6 +78,15 @@ class Cluster {
   /// The production-noise field, if instantiated (nullptr otherwise).
   NoiseField* noise_field() { return noise_.get(); }
 
+  /// Attach a telemetry sink (nullptr detaches). Forwards to the network and
+  /// is picked up lazily by communicators, so it can be set any time before
+  /// the traffic of interest is posted. Non-owning.
+  void set_telemetry(telemetry::Sink* sink) {
+    telemetry_ = sink;
+    network_->set_telemetry(sink);
+  }
+  telemetry::Sink* telemetry() const { return telemetry_; }
+
  private:
   SystemConfig config_;
   Engine engine_;
@@ -87,6 +96,7 @@ class Cluster {
   std::unique_ptr<NoiseField> noise_;
   std::vector<NodeDevices> nodes_;
   Rng rng_;
+  telemetry::Sink* telemetry_ = nullptr;
 };
 
 }  // namespace gpucomm

@@ -7,6 +7,7 @@
 
 #include "gpucomm/comm/ccl/channels.hpp"
 #include "gpucomm/comm/ccl/topo_detect.hpp"
+#include "gpucomm/hw/nic.hpp"
 #include "gpucomm/sim/log.hpp"
 #include "gpucomm/topology/forwarding.hpp"
 #include "gpucomm/topology/intra_node.hpp"
@@ -102,6 +103,10 @@ double CclComm::coll_intra_eff(Bytes buffer) const {
 void CclComm::coll_transfer(int src, int dst, Bytes bytes, double simple_eff_intra,
                             SimTime pre, EventFn done) {
   const CclParams& p = sys().ccl;
+  telemetry::FlowTag tag;
+  tag.stage = "coll";
+  tag.src_rank = src;
+  tag.dst_rank = dst;
   if (same_node(src, dst)) {
     // Collectives build channel rings with correct topology awareness; the
     // hop-count estimate defect only affects the p2p transport (Obs. 3), so
@@ -114,9 +119,9 @@ void CclComm::coll_transfer(int src, int dst, Bytes bytes, double simple_eff_int
     const double ll_rate = std::min(p.ll_bw, nominal);
     const double simple_rate = simple_eff_intra * nominal;
     if (bytes < p.ll_threshold || ll_rate >= simple_rate) {
-      post_flow(route, bytes, 1.0, std::min(cap, p.ll_bw), pre, std::move(done));
+      post_flow(route, bytes, 1.0, std::min(cap, p.ll_bw), pre, std::move(done), tag);
     } else {
-      post_flow(route, bytes, simple_eff_intra, cap, pre, std::move(done));
+      post_flow(route, bytes, simple_eff_intra, cap, pre, std::move(done), tag);
     }
     return;
   }
@@ -125,7 +130,7 @@ void CclComm::coll_transfer(int src, int dst, Bytes bytes, double simple_eff_int
   if (!eff_.gdr_ok) pre += p.gdr_disabled_latency;
   const Route route = cluster_.inter_node_route(s.gpu_dev, s.gpu, d.gpu_dev, d.gpu);
   // The net proxy pipelines chunks across peers; no per-segment ramp.
-  post_flow(route, bytes, inter_efficiency(false), 0, pre, std::move(done));
+  post_flow(route, bytes, inter_efficiency(false), 0, pre, std::move(done), tag);
 }
 
 void CclComm::coll_message(int src, int dst, Bytes bytes, Bytes op_bytes, EventFn done) {
@@ -136,13 +141,17 @@ SimTime CclComm::coll_launch() const { return sys().ccl.group_launch; }
 
 void CclComm::send(int src, int dst, Bytes bytes, EventFn done) {
   const CclParams& p = sys().ccl;
+  telemetry::FlowTag tag;
+  tag.stage = "p2p";
+  tag.src_rank = src;
+  tag.dst_rank = dst;
   if (same_node(src, dst)) {
     const Route route = cluster_.intra_node_route(ranks_[src].gpu, ranks_[dst].gpu);
     const Bandwidth cap = ccl_p2p_rate_cap(cluster_.graph(), ranks_[src].gpu_dev,
                                            ranks_[dst].gpu_dev, p, eff_);
     const FlowShape fs = shape(bytes, cap, p.intra_p2p_efficiency,
                                route_bottleneck(cluster_.graph(), route));
-    post_flow(route, bytes, fs.efficiency, fs.rate_cap, p.p2p_launch, std::move(done));
+    post_flow(route, bytes, fs.efficiency, fs.rate_cap, p.p2p_launch, std::move(done), tag);
     return;
   }
   const Rank& s = ranks_[src];
@@ -153,9 +162,13 @@ void CclComm::send(int src, int dst, Bytes bytes, EventFn done) {
   if (!eff_.gdr_ok) pre += p.gdr_disabled_latency;
   double eff = p.net_p2p_efficiency * sys().nic.protocol_efficiency;
   if (!eff_.gdr_ok) eff *= p.gdr_disabled_bw_factor;
+  if (telemetry::Sink* sink = telemetry()) {
+    sink->nic_message(s.nic_dev, /*send=*/true, bytes, engine().now(),
+                      engine().now() + nic_message_overhead(sys().nic, /*send=*/true));
+  }
   const Route route = cluster_.inter_node_route(s.gpu_dev, s.gpu, d.gpu_dev, d.gpu);
   const FlowShape fs = shape(bytes, 0, eff, sys().nic.rate);
-  post_flow(route, bytes, fs.efficiency, fs.rate_cap, pre, std::move(done));
+  post_flow(route, bytes, fs.efficiency, fs.rate_cap, pre, std::move(done), tag);
 }
 
 void CclComm::alltoall(Bytes buffer, EventFn done) {

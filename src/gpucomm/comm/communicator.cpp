@@ -49,13 +49,17 @@ void Communicator::windowed_alltoall(
   // Per-rank cursor: post the next message when one completes.
   auto cursors = std::make_shared<std::vector<int>>(n, 0);
   auto post_next = std::make_shared<std::function<void(int)>>();
-  *post_next = [st, cursors, post_next](int rank) {
+  // The function object holds only a weak reference to itself; pending
+  // completions pin it with a locked copy, so it is freed once the window
+  // drains instead of cycling forever.
+  *post_next = [st, cursors, weak = std::weak_ptr(post_next)](int rank) {
     int& k = (*cursors)[rank];
     if (k >= st->n - 1) return;
     const int msg = ++k;  // messages 1 .. n-1
-    st->transfer(rank, msg, [st, post_next, rank] {
+    auto self = weak.lock();
+    st->transfer(rank, msg, [st, self, rank] {
       st->join->arrive();
-      (*post_next)(rank);
+      (*self)(rank);
     });
   };
   const int w = std::min(window, n - 1);
@@ -76,8 +80,14 @@ FlowSpec Communicator::make_flow(const Route& route, Bytes bytes, double efficie
 }
 
 void Communicator::post_flow(const Route& route, Bytes bytes, double efficiency,
-                             Bandwidth rate_cap, SimTime pre_delay, EventFn done) {
+                             Bandwidth rate_cap, SimTime pre_delay, EventFn done,
+                             telemetry::FlowTag tag) {
   FlowSpec spec = make_flow(route, bytes, efficiency, rate_cap);
+  if (telemetry::Sink* sink = telemetry()) {
+    tag.mechanism = to_string(mechanism());
+    spec.tag = tag;
+    spec.token = sink->issue(tag, spec.bytes, engine().now());
+  }
   auto start = [this, spec = std::move(spec), done = std::move(done)]() mutable {
     network().start_flow(std::move(spec), [done = std::move(done)](SimTime) {
       if (done) done();
@@ -90,25 +100,39 @@ void Communicator::post_flow(const Route& route, Bytes bytes, double efficiency,
   }
 }
 
-namespace {
-SimTime run_blocking(Engine& engine, const std::function<void(EventFn)>& op) {
-  const SimTime start = engine.now();
-  bool finished = false;
-  op([&finished] { finished = true; });
-  const bool ok = engine.run_until([&finished] { return finished; });
-  if (!ok) throw std::runtime_error("operation deadlocked: engine drained before completion");
-  return engine.now() - start;
+void Communicator::record_local(const char* stage, int src, int dst, Bytes bytes,
+                                SimTime duration) {
+  telemetry::Sink* sink = telemetry();
+  if (sink == nullptr) return;
+  telemetry::FlowTag tag;
+  tag.mechanism = to_string(mechanism());
+  tag.stage = stage;
+  tag.src_rank = src;
+  tag.dst_rank = dst;
+  sink->local_op(tag, bytes, engine().now(), engine().now() + duration);
 }
-}  // namespace
+
+SimTime Communicator::run_op(const char* op, Bytes bytes,
+                             const std::function<void(EventFn)>& fn) {
+  const SimTime start = engine().now();
+  bool finished = false;
+  fn([&finished] { finished = true; });
+  const bool ok = engine().run_until([&finished] { return finished; });
+  if (!ok) throw std::runtime_error("operation deadlocked: engine drained before completion");
+  if (telemetry::Sink* sink = telemetry()) {
+    sink->op_span(to_string(mechanism()), op, bytes, start, engine().now());
+  }
+  return engine().now() - start;
+}
 
 SimTime Communicator::time_send(int src, int dst, Bytes bytes) {
   assert(src >= 0 && src < size() && dst >= 0 && dst < size());
-  return run_blocking(engine(), [&](EventFn done) { send(src, dst, bytes, std::move(done)); });
+  return run_op("send", bytes, [&](EventFn done) { send(src, dst, bytes, std::move(done)); });
 }
 
 SimTime Communicator::time_pingpong(int a, int b, Bytes bytes) {
   assert(a >= 0 && a < size() && b >= 0 && b < size());
-  return run_blocking(engine(), [&](EventFn done) {
+  return run_op("pingpong", bytes, [&](EventFn done) {
     send(a, b, bytes, [this, a, b, bytes, done = std::move(done)]() mutable {
       send(b, a, bytes, std::move(done));
     });
@@ -116,24 +140,26 @@ SimTime Communicator::time_pingpong(int a, int b, Bytes bytes) {
 }
 
 SimTime Communicator::time_alltoall(Bytes buffer) {
-  return run_blocking(engine(), [&](EventFn done) { alltoall(buffer, std::move(done)); });
+  return run_op("alltoall", buffer, [&](EventFn done) { alltoall(buffer, std::move(done)); });
 }
 
 SimTime Communicator::time_allreduce(Bytes buffer) {
-  return run_blocking(engine(), [&](EventFn done) { allreduce(buffer, std::move(done)); });
+  return run_op("allreduce", buffer, [&](EventFn done) { allreduce(buffer, std::move(done)); });
 }
 
 SimTime Communicator::time_broadcast(int root, Bytes buffer) {
-  return run_blocking(engine(), [&](EventFn done) { broadcast(root, buffer, std::move(done)); });
+  return run_op("broadcast", buffer,
+                [&](EventFn done) { broadcast(root, buffer, std::move(done)); });
 }
 
 SimTime Communicator::time_allgather(Bytes per_rank) {
-  return run_blocking(engine(), [&](EventFn done) { allgather(per_rank, std::move(done)); });
+  return run_op("allgather", per_rank,
+                [&](EventFn done) { allgather(per_rank, std::move(done)); });
 }
 
 SimTime Communicator::time_reduce_scatter(Bytes buffer) {
-  return run_blocking(engine(),
-                      [&](EventFn done) { reduce_scatter(buffer, std::move(done)); });
+  return run_op("reduce_scatter", buffer,
+                [&](EventFn done) { reduce_scatter(buffer, std::move(done)); });
 }
 
 void Communicator::coll_message(int src, int dst, Bytes bytes, Bytes op_bytes, EventFn done) {

@@ -104,9 +104,19 @@ class Communicator {
                          EventFn done);
 
   /// Post a flow after `pre_delay`, inflating bytes by 1/efficiency to model
-  /// protocol overhead, with an optional per-flow rate cap.
+  /// protocol overhead, with an optional per-flow rate cap. `tag` attributes
+  /// the flow for telemetry (the mechanism field is filled in automatically);
+  /// the token is issued at post time, so queueing behind `pre_delay` shows
+  /// up as issue-to-start gap in traces.
   void post_flow(const Route& route, Bytes bytes, double efficiency, Bandwidth rate_cap,
-                 SimTime pre_delay, EventFn done);
+                 SimTime pre_delay, EventFn done, telemetry::FlowTag tag = {});
+
+  /// The cluster's telemetry sink, or nullptr when instrumentation is off.
+  telemetry::Sink* telemetry() const { return cluster_.telemetry(); }
+
+  /// Record a purely local stage (D2H/H2D staging copy, reduction kernel)
+  /// spanning [now, now + duration]. No-op without a sink.
+  void record_local(const char* stage, int src, int dst, Bytes bytes, SimTime duration);
 
   /// Byte-inflated helper applying the communicator's service level.
   FlowSpec make_flow(const Route& route, Bytes bytes, double efficiency,
@@ -123,6 +133,10 @@ class Communicator {
   std::vector<Rank> ranks_;
   CommOptions opts_;
   CopyEngine copy_;
+
+ private:
+  /// Shared body of the time_* helpers; emits a telemetry op_span.
+  SimTime run_op(const char* op, Bytes bytes, const std::function<void(EventFn)>& fn);
 };
 
 /// Size ramp-up factor: pipelines reach peak rate only for large transfers;

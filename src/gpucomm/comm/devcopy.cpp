@@ -27,7 +27,11 @@ void DeviceCopyComm::copy_flow(int src, int dst, Bytes bytes, int concurrent,
   if (concurrent > 1 && sys().gpu.copy_engine_bw > 0) {
     cap = sys().gpu.copy_engine_bw / static_cast<double>(concurrent);
   }
-  post_flow(route, bytes, eff, cap, sys().gpu.copy_issue + issue_delay, std::move(done));
+  telemetry::FlowTag tag;
+  tag.stage = "copy";
+  tag.src_rank = src;
+  tag.dst_rank = dst;
+  post_flow(route, bytes, eff, cap, sys().gpu.copy_issue + issue_delay, std::move(done), tag);
 }
 
 void DeviceCopyComm::send(int src, int dst, Bytes bytes, EventFn done) {
@@ -65,6 +69,7 @@ void DeviceCopyComm::allreduce(Bytes buffer, EventFn done) {
           },
           [this, n, buffer](EventFn next) {
             const Bytes to_reduce = buffer * static_cast<Bytes>(n - 1);
+            record_local("reduce", 0, 0, to_reduce, copy_.reduce_time(to_reduce));
             engine().after(copy_.reduce_time(to_reduce), std::move(next));
           },
           [this, n, buffer](EventFn next) {

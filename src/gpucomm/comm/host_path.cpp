@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "gpucomm/hw/nic.hpp"
+
 namespace gpucomm {
 
 SimTime HostPath::pre_overhead(Bytes bytes) const {
@@ -22,30 +24,56 @@ void HostPath::send(int src, int dst, Bytes bytes, double efficiency, EventFn do
   Engine& engine = cluster_.engine();
   const Rank& s = ranks_[src];
   const Rank& d = ranks_[dst];
+  telemetry::Sink* sink = cluster_.telemetry();
 
   if (s.node == d.node) {
     // Shared-memory path: software overhead + one cross-process memcpy.
     const MpiParams& mpi = cluster_.config().mpi;
     const SimTime t = mpi.o_send + copy_.h2h_time(bytes) + mpi.o_recv;
+    if (sink != nullptr) {
+      telemetry::FlowTag tag;
+      tag.mechanism = owner_;
+      tag.stage = "shm";
+      tag.src_rank = src;
+      tag.dst_rank = dst;
+      sink->local_op(tag, bytes, engine.now(), engine.now() + t);
+    }
     engine.after(t, std::move(done));
     return;
   }
 
   // `efficiency` carries the MPI path efficiency (p2p or collective); the
   // NIC's protocol framing overhead applies to every wire transfer.
-  const double wire_eff = efficiency * cluster_.config().nic.protocol_efficiency;
+  const NicParams& nic = cluster_.config().nic;
+  const double wire_eff = efficiency * nic.protocol_efficiency;
   FlowSpec spec;
   spec.route = cluster_.inter_node_route(s.numa_dev, s.gpu, d.numa_dev, d.gpu);
   spec.bytes = static_cast<Bytes>(static_cast<double>(bytes) / wire_eff);
   spec.vl = service_level_;
+  if (sink != nullptr) {
+    spec.tag.mechanism = owner_;
+    spec.tag.stage = "wire";
+    spec.tag.src_rank = src;
+    spec.tag.dst_rank = dst;
+    spec.token = sink->issue(spec.tag, spec.bytes, engine.now());
+    sink->nic_message(s.nic_dev, /*send=*/true, bytes, engine.now(),
+                      engine.now() + nic_message_overhead(nic, /*send=*/true));
+  }
   const SimTime pre = pre_overhead(bytes);
   const SimTime post = post_overhead();
-  engine.after(pre, [this, &engine, spec = std::move(spec), post,
+  const DeviceId dst_nic = d.nic_dev;
+  engine.after(pre, [this, &engine, spec = std::move(spec), post, dst_nic, bytes,
                      done = std::move(done)]() mutable {
-    cluster_.network().start_flow(std::move(spec), [&engine, post, done = std::move(done)](
-                                                       SimTime) mutable {
-      engine.after(post, std::move(done));
-    });
+    cluster_.network().start_flow(
+        std::move(spec), [this, &engine, post, dst_nic, bytes,
+                          done = std::move(done)](SimTime) mutable {
+          if (telemetry::Sink* rx_sink = cluster_.telemetry()) {
+            const NicParams& rx_nic = cluster_.config().nic;
+            rx_sink->nic_message(dst_nic, /*send=*/false, bytes, engine.now(),
+                                 engine.now() + nic_message_overhead(rx_nic, /*send=*/false));
+          }
+          engine.after(post, std::move(done));
+        });
   });
 }
 

@@ -17,10 +17,14 @@ namespace gpucomm {
 
 class HostPath {
  public:
-  HostPath(Cluster& cluster, const std::vector<Rank>& ranks, int service_level)
+  /// `owner` names the mechanism this path serves in telemetry attribution
+  /// ("staging", "mpi", ...); the string must outlive the HostPath.
+  HostPath(Cluster& cluster, const std::vector<Rank>& ranks, int service_level,
+           const char* owner = "host")
       : cluster_(cluster),
         ranks_(ranks),
         service_level_(service_level),
+        owner_(owner),
         copy_(make_copy_engine(cluster)) {}
 
   /// One-way host-buffer transfer between two ranks. `efficiency` inflates
@@ -38,6 +42,7 @@ class HostPath {
   Cluster& cluster_;
   const std::vector<Rank>& ranks_;
   int service_level_;
+  const char* owner_;
   CopyEngine copy_;
 };
 

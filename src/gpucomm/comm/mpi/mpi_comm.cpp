@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "gpucomm/hw/link.hpp"
+#include "gpucomm/hw/nic.hpp"
 
 namespace gpucomm {
 
@@ -11,7 +12,8 @@ MpiComm::MpiComm(Cluster& cluster, std::vector<int> gpus, CommOptions options)
     : Communicator(cluster, std::move(gpus), std::move(options)),
       eff_(resolve_mpi(cluster.config().mpi, opts_.env)),
       host_(cluster, ranks_, opts_.env.ucx_ib_sl != 0 ? opts_.env.ucx_ib_sl
-                                                      : opts_.service_level) {
+                                                      : opts_.service_level,
+            "mpi") {
   if (opts_.env.ucx_ib_sl != 0) opts_.service_level = opts_.env.ucx_ib_sl;
 }
 
@@ -42,12 +44,14 @@ void MpiComm::transfer(int src, int dst, Bytes bytes, bool collective, Bytes ram
     case MpiP2pPath::kGdrCopy: {
       // CPU writes through the BAR window: flat latency, modest bandwidth.
       const SimTime t = o + mpi.gdrcopy_latency + transfer_time(bytes, mpi.gdrcopy_bw);
+      record_local("gdrcopy", src, dst, bytes, t);
       engine().after(t, std::move(done));
       return;
     }
 
     case MpiP2pPath::kCpuHbm: {
       const SimTime t = o + mpi.cpu_hbm_latency + transfer_time(bytes, mpi.cpu_hbm_bw);
+      record_local("cpu_hbm", src, dst, bytes, t);
       engine().after(t, std::move(done));
       return;
     }
@@ -55,6 +59,7 @@ void MpiComm::transfer(int src, int dst, Bytes bytes, bool collective, Bytes ram
     case MpiP2pPath::kStagedBounce: {
       const SimTime t = o + copy_.d2h_time(bytes) + copy_.h2h_time(bytes) +
                         copy_.h2d_time(bytes);
+      record_local("bounce", src, dst, bytes, t);
       engine().after(t, std::move(done));
       return;
     }
@@ -62,16 +67,20 @@ void MpiComm::transfer(int src, int dst, Bytes bytes, bool collective, Bytes ram
     case MpiP2pPath::kIpc: {
       const Route route = cluster_.intra_node_route(ranks_[src].gpu, ranks_[dst].gpu);
       SimTime pre = o + mpi.ipc_setup;
+      telemetry::FlowTag tag;
+      tag.stage = "ipc";
+      tag.src_rank = src;
+      tag.dst_rank = dst;
       if (bytes <= mpi.eager_threshold) {
         // Eager IPC: a direct small copy, no pipelined rendezvous machinery.
-        post_flow(route, bytes, 1.0, mpi.ipc_eager_bw, pre, std::move(done));
+        post_flow(route, bytes, 1.0, mpi.ipc_eager_bw, pre, std::move(done), tag);
         return;
       }
       const double eff =
           (collective ? mpi.intra_coll_efficiency : mpi.intra_p2p_efficiency) *
           ramp_factor(ramp_ref, mpi.p2p_rampup);
       pre += mpi.rndv_handshake;
-      post_flow(route, bytes, eff, intra_rate_cap(), pre, std::move(done));
+      post_flow(route, bytes, eff, intra_rate_cap(), pre, std::move(done), tag);
       return;
     }
 
@@ -82,10 +91,25 @@ void MpiComm::transfer(int src, int dst, Bytes bytes, bool collective, Bytes ram
       const Route route = cluster_.inter_node_route(s.gpu_dev, s.gpu, d.gpu_dev, d.gpu);
       const double eff = wire_eff_p2p * sys().nic.protocol_efficiency;
       const SimTime post = host_.post_overhead();
+      telemetry::FlowTag tag;
+      tag.stage = "rdma";
+      tag.src_rank = src;
+      tag.dst_rank = dst;
+      const DeviceId dst_nic = d.nic_dev;
+      if (telemetry::Sink* sink = telemetry()) {
+        sink->nic_message(s.nic_dev, /*send=*/true, bytes, engine().now(),
+                          engine().now() + nic_message_overhead(sys().nic, /*send=*/true));
+      }
       post_flow(route, bytes, eff, /*rate_cap=*/0, pre,
-                [this, post, done = std::move(done)]() mutable {
+                [this, post, dst_nic, bytes, done = std::move(done)]() mutable {
+                  if (telemetry::Sink* sink = telemetry()) {
+                    sink->nic_message(dst_nic, /*send=*/false, bytes, engine().now(),
+                                      engine().now() +
+                                          nic_message_overhead(sys().nic, /*send=*/false));
+                  }
                   engine().after(post, std::move(done));
-                });
+                },
+                tag);
       return;
     }
   }

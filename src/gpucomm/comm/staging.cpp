@@ -6,7 +6,7 @@ namespace gpucomm {
 
 StagingComm::StagingComm(Cluster& cluster, std::vector<int> gpus, CommOptions options)
     : Communicator(cluster, std::move(gpus), std::move(options)),
-      host_(cluster, ranks_, opts_.service_level) {}
+      host_(cluster, ranks_, opts_.service_level, "staging") {}
 
 void StagingComm::send(int src, int dst, Bytes bytes, EventFn done) {
   if (opts_.space == MemSpace::kHost) {
@@ -16,11 +16,17 @@ void StagingComm::send(int src, int dst, Bytes bytes, EventFn done) {
   // Store-and-forward: D2H, host transfer, H2D — strictly sequential.
   run_stages(
       {
-          [this, bytes](EventFn next) { copy_.async_d2h(bytes, std::move(next)); },
+          [this, src, bytes](EventFn next) {
+            record_local("d2h", src, src, bytes, copy_.d2h_time(bytes));
+            copy_.async_d2h(bytes, std::move(next));
+          },
           [this, src, dst, bytes](EventFn next) {
             host_.send(src, dst, bytes, sys().mpi.net_p2p_efficiency, std::move(next));
           },
-          [this, bytes](EventFn next) { copy_.async_h2d(bytes, std::move(next)); },
+          [this, dst, bytes](EventFn next) {
+            record_local("h2d", dst, dst, bytes, copy_.h2d_time(bytes));
+            copy_.async_h2d(bytes, std::move(next));
+          },
       },
       std::move(done));
 }
@@ -30,8 +36,10 @@ void StagingComm::stage_all(bool to_host, Bytes bytes_per_rank, EventFn done) {
   for (int r = 0; r < size(); ++r) {
     auto arrive = [join] { join->arrive(); };
     if (to_host) {
+      record_local("d2h", r, r, bytes_per_rank, copy_.d2h_time(bytes_per_rank));
       copy_.async_d2h(bytes_per_rank, std::move(arrive));
     } else {
+      record_local("h2d", r, r, bytes_per_rank, copy_.h2d_time(bytes_per_rank));
       copy_.async_h2d(bytes_per_rank, std::move(arrive));
     }
   }
@@ -75,9 +83,11 @@ void StagingComm::allreduce(Bytes buffer, EventFn done) {
       for (const RingStep& step : round) {
         const SimTime reduce =
             step.reduce ? transfer_time(segment, sys().host.reduce_bw) : SimTime::zero();
-        host_.send(step.src, step.dst, segment, sys().mpi.net_coll_efficiency,
-                   [this, reduce, join] {
+        const int dst = step.dst;
+        host_.send(step.src, dst, segment, sys().mpi.net_coll_efficiency,
+                   [this, dst, segment, reduce, join] {
                      if (reduce > SimTime::zero()) {
+                       record_local("reduce", dst, dst, segment, reduce);
                        engine().after(reduce, [join] { join->arrive(); });
                      } else {
                        join->arrive();

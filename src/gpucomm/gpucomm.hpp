@@ -25,4 +25,8 @@
 #include "gpucomm/noise/noise_model.hpp"
 #include "gpucomm/scale/scale_model.hpp"
 #include "gpucomm/systems/registry.hpp"
+#include "gpucomm/telemetry/counters.hpp"
+#include "gpucomm/telemetry/report.hpp"
+#include "gpucomm/telemetry/sink.hpp"
+#include "gpucomm/telemetry/trace_export.hpp"
 #include "gpucomm/topology/forwarding.hpp"

@@ -1,5 +1,23 @@
 #include "gpucomm/hw/link.hpp"
 
+namespace gpucomm {
+
+bool is_intra_node(LinkType type) {
+  switch (type) {
+    case LinkType::kNvLink:
+    case LinkType::kInfinityFabric:
+    case LinkType::kPcie:
+    case LinkType::kHostBus: return true;
+    case LinkType::kNicWire:
+    case LinkType::kIntraGroup:
+    case LinkType::kGlobal:
+    case LinkType::kLeafSpine: return false;
+  }
+  return false;
+}
+
+}  // namespace gpucomm
+
 namespace gpucomm::links {
 
 // Latencies are one-hop traversal times (serdes + wire + forwarding). They

@@ -16,6 +16,11 @@ struct LinkPreset {
   LinkType type = LinkType::kNvLink;
 };
 
+/// Whether a link type lives inside a node (GPU fabric / PCIe / host bus)
+/// as opposed to the NIC wire and switch fabric. Telemetry reports group
+/// link rows by this split.
+bool is_intra_node(LinkType type);
+
 namespace links {
 
 /// NVLink 4.0 (Alps GH200): 200 Gb/s per link, 6 links per GPU pair.

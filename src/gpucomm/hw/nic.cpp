@@ -1,5 +1,13 @@
 #include "gpucomm/hw/nic.hpp"
 
+namespace gpucomm {
+
+SimTime nic_message_overhead(const NicParams& nic, bool send) {
+  return send ? nic.send_overhead : nic.recv_overhead;
+}
+
+}  // namespace gpucomm
+
 namespace gpucomm::nics {
 
 NicParams cassini1() {

@@ -21,6 +21,10 @@ struct NicParams {
   double protocol_efficiency = 1.0;
 };
 
+/// Per-message processing time on one side of a transfer; what telemetry
+/// attributes to the NIC as overhead busy-time.
+SimTime nic_message_overhead(const NicParams& nic, bool send);
+
 namespace nics {
 /// HPE Cray Cassini-1, 200 Gb/s (Alps, LUMI).
 NicParams cassini1();

@@ -8,10 +8,15 @@
 
 namespace gpucomm {
 
-std::vector<Bandwidth> maxmin_fair_rates(const FairshareProblem& problem) {
+std::vector<Bandwidth> maxmin_fair_rates(const FairshareProblem& problem,
+                                         FairshareTrace* trace) {
   const std::size_t n = problem.flows.size();
   constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<Bandwidth> rate(n, 0.0);
+  if (trace) {
+    trace->bottleneck.assign(n, kInvalidLink);
+    trace->saturated.clear();
+  }
   if (n == 0) return rate;
   assert(problem.caps.empty() || problem.caps.size() == n);
 
@@ -23,16 +28,20 @@ std::vector<Bandwidth> maxmin_fair_rates(const FairshareProblem& problem) {
   std::unordered_map<LinkId, std::size_t> dense;
   std::vector<Bandwidth> remaining;
   std::vector<int> unfrozen_count;
+  std::vector<LinkId> dense_link;
   for (const auto& flow : problem.flows) {
     for (const LinkId l : flow) {
       auto [it, inserted] = dense.try_emplace(l, remaining.size());
       if (inserted) {
         remaining.push_back(std::max(problem.capacity[l], 0.0));
         unfrozen_count.push_back(0);
+        dense_link.push_back(l);
       }
       ++unfrozen_count[it->second];
     }
   }
+  std::vector<int> total_count;
+  if (trace) total_count = unfrozen_count;
 
   std::vector<bool> frozen(n, false);
   std::size_t frozen_total = 0;
@@ -66,6 +75,8 @@ std::vector<Bandwidth> maxmin_fair_rates(const FairshareProblem& problem) {
     for (std::size_t i = 0; i < n; ++i) {
       if (frozen[i]) continue;
       const double cap = cap_of(i);
+      // kInvalidLink marks a private-cap freeze (not a network bottleneck).
+      LinkId bottleneck = kInvalidLink;
       bool at_bottleneck = cap <= s * (1.0 + 1e-12);
       if (!at_bottleneck) {
         for (const LinkId l : problem.flows[i]) {
@@ -73,11 +84,13 @@ std::vector<Bandwidth> maxmin_fair_rates(const FairshareProblem& problem) {
           if (unfrozen_count[li] > 0 &&
               remaining[li] / unfrozen_count[li] <= s * (1.0 + 1e-12)) {
             at_bottleneck = true;
+            bottleneck = l;
             break;
           }
         }
       }
       if (!at_bottleneck) continue;
+      if (trace) trace->bottleneck[i] = bottleneck;
       const double r = std::min(s, cap);
       rate[i] = r;
       frozen[i] = true;
@@ -91,6 +104,14 @@ std::vector<Bandwidth> maxmin_fair_rates(const FairshareProblem& problem) {
     }
     assert(froze_any && "progressive filling must make progress");
     if (!froze_any) break;
+  }
+  if (trace) {
+    for (std::size_t li = 0; li < remaining.size(); ++li) {
+      const Bandwidth cap = std::max(problem.capacity[dense_link[li]], 0.0);
+      if (cap > 0 && remaining[li] <= cap * 1e-9) {
+        trace->saturated.emplace_back(dense_link[li], total_count[li]);
+      }
+    }
   }
   return rate;
 }

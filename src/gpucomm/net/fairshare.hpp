@@ -29,9 +29,22 @@ struct FairshareProblem {
   std::vector<Bandwidth> caps;
 };
 
+/// Diagnostic by-product of an allocation, filled only when requested (the
+/// telemetry hooks are the sole consumer; the solver's hot path is unchanged
+/// when it is not).
+struct FairshareTrace {
+  /// bottleneck[i]: the link whose fair share froze flow i, or kInvalidLink
+  /// when the flow froze at its private cap (or used no links at all).
+  std::vector<LinkId> bottleneck;
+  /// Links the allocation filled to capacity, with the number of flows
+  /// crossing each.
+  std::vector<std::pair<LinkId, int>> saturated;
+};
+
 /// Returns rate[i] in bits/s for each flow. Flows that use no links (pure
 /// local transfers) get an unbounded sentinel rate of 0 meaning "no network
 /// constraint"; callers bound those by device limits.
-std::vector<Bandwidth> maxmin_fair_rates(const FairshareProblem& problem);
+std::vector<Bandwidth> maxmin_fair_rates(const FairshareProblem& problem,
+                                         FairshareTrace* trace = nullptr);
 
 }  // namespace gpucomm

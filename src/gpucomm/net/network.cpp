@@ -37,6 +37,13 @@ FlowId Network::start_flow(FlowSpec spec, std::function<void(SimTime)> on_delive
   flow.residual_bits = flow.total_bits;
   flow.on_delivered = std::move(on_delivered);
 
+  if (telemetry_ != nullptr) {
+    flow.token = spec.token != 0 ? spec.token
+                                 : telemetry_->issue(spec.tag, spec.bytes, engine_.now());
+    telemetry_->flow_started(flow.token, spec.tag, flow.route, flow.vl, spec.bytes,
+                             engine_.now());
+  }
+
   if (flow.residual_bits <= 0 || (flow.route.empty() && flow.rate_cap <= 0)) {
     // No constraint at all: deliver after latency only.
     deliver(std::move(flow));
@@ -104,9 +111,11 @@ void Network::reallocate_and_schedule() {
     problem_.caps.push_back(f.rate_cap > 0 ? f.rate_cap
                                            : std::numeric_limits<double>::infinity());
   }
-  const std::vector<Bandwidth> rates = maxmin_fair_rates(problem_);
+  const std::vector<Bandwidth> rates =
+      maxmin_fair_rates(problem_, telemetry_ != nullptr ? &trace_ : nullptr);
   for (std::size_t i = 0; i < active_.size(); ++i) active_[i].rate = rates[i];
   if (congestion_.rate_factor < 1.0) apply_congestion(rates);
+  if (telemetry_ != nullptr) emit_allocation();
   SimTime earliest = SimTime::infinity();
   for (std::size_t i = 0; i < active_.size(); ++i) {
     if (active_[i].rate > 0) {
@@ -122,6 +131,28 @@ void Network::reallocate_and_schedule() {
       on_completion_event();
     });
     completion_scheduled_ = true;
+  }
+}
+
+void Network::emit_allocation() {
+  const SimTime now = engine_.now();
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const ActiveFlow& f = active_[i];
+    if (f.token == 0) continue;
+    telemetry_->flow_rate(f.token, f.route, f.rate, now);
+    // Throttled = allocated below what the flow would get running alone
+    // (its route bottleneck, or its private cap if tighter).
+    Bandwidth standalone = f.rate_cap > 0 ? f.rate_cap : 0;
+    for (const LinkId l : f.route) {
+      const Bandwidth cap = effective_capacity(l, f.vl);
+      if (standalone <= 0 || cap < standalone) standalone = cap;
+    }
+    if (standalone > 0 && f.rate < standalone * (1.0 - 1e-9)) {
+      telemetry_->flow_throttled(f.token, trace_.bottleneck[i], now);
+    }
+  }
+  for (const auto& [link, flows] : trace_.saturated) {
+    telemetry_->link_saturated(link, flows, now);
   }
 }
 
@@ -231,6 +262,11 @@ void Network::deliver(ActiveFlow&& flow) {
     for (const LinkId l : flow.route) delay += noise_->queueing_delay(l);
   }
   bits_delivered_ += flow.total_bits;
+  if (telemetry_ != nullptr && flow.token != 0) {
+    telemetry_->flow_completed(flow.token, flow.route,
+                               static_cast<Bytes>(flow.total_bits / 8.0), engine_.now(),
+                               engine_.now() + delay);
+  }
   auto cb = std::move(flow.on_delivered);
   if (!cb) return;
   engine_.after(delay, [cb = std::move(cb), this] { cb(engine_.now()); });

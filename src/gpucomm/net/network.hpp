@@ -21,6 +21,7 @@
 #include "gpucomm/net/fairshare.hpp"
 #include "gpucomm/sim/engine.hpp"
 #include "gpucomm/sim/random.hpp"
+#include "gpucomm/telemetry/sink.hpp"
 #include "gpucomm/topology/graph.hpp"
 
 namespace gpucomm {
@@ -28,12 +29,21 @@ namespace gpucomm {
 using FlowId = std::uint64_t;
 
 struct FlowSpec {
+  FlowSpec() = default;
+  FlowSpec(Route r, Bytes b, int vlane = 0, Bandwidth cap = 0)
+      : route(std::move(r)), bytes(b), vl(vlane), rate_cap(cap) {}
+
   Route route;
   Bytes bytes = 0;
   int vl = 0;
   /// Per-flow rate ceiling (implementation limits: *CCL channels, protocol
   /// efficiency). 0 means uncapped.
   Bandwidth rate_cap = 0;
+  /// Telemetry attribution (who posted this flow and why). Ignored when no
+  /// sink is attached.
+  telemetry::FlowTag tag;
+  /// Pre-issued telemetry token; 0 lets the network issue one itself.
+  telemetry::FlowToken token = 0;
 };
 
 /// Stochastic model of interfering production traffic (see noise/).
@@ -70,6 +80,12 @@ class Network {
 
   void set_congestion(SwitchCongestion c) { congestion_ = c; }
 
+  /// Attach a telemetry sink; nullptr (the default) disables instrumentation
+  /// and keeps the simulation path branch-identical to an untraced run.
+  /// Non-owning.
+  void set_telemetry(telemetry::Sink* sink) { telemetry_ = sink; }
+  telemetry::Sink* telemetry() const { return telemetry_; }
+
   /// Begin a transfer. `on_delivered` fires (via the engine) when the last
   /// byte has arrived at the destination.
   FlowId start_flow(FlowSpec spec, std::function<void(SimTime)> on_delivered);
@@ -91,6 +107,7 @@ class Network {
     double total_bits;
     double residual_bits;
     Bandwidth rate = 0;
+    telemetry::FlowToken token = 0;
     std::function<void(SimTime)> on_delivered;
   };
 
@@ -99,6 +116,9 @@ class Network {
 
   void mark_dirty();
   void reallocate_and_schedule();
+  /// Emit flow_rate / flow_throttled / link_saturated for the allocation just
+  /// computed. Only called when a telemetry sink is attached.
+  void emit_allocation();
   /// Post-allocation congestion coupling: degrade flows crossing switches
   /// with an incast-saturated port on their VL.
   void apply_congestion(const std::vector<Bandwidth>& rates);
@@ -109,6 +129,8 @@ class Network {
   Engine& engine_;
   const Graph& graph_;
   NoiseField* noise_ = nullptr;
+  telemetry::Sink* telemetry_ = nullptr;
+  FairshareTrace trace_;  // scratch, only filled when telemetry_ is set
 
   std::vector<ActiveFlow> active_;
   FairshareProblem problem_;  // scratch, reused across reallocations

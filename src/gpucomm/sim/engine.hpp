@@ -38,7 +38,7 @@ class Engine {
   /// max(now, deadline) even if no event fired at the deadline itself.
   void run_for(SimTime duration);
 
-  std::size_t pending_events() { return queue_.size(); }
+  std::size_t pending_events() const { return queue_.size(); }
 
   /// Total events fired over the engine's lifetime (for stats/tests).
   std::uint64_t events_fired() const { return fired_; }

@@ -1,0 +1,105 @@
+#include "gpucomm/telemetry/counters.hpp"
+
+namespace gpucomm::telemetry {
+
+CounterSet::CounterSet(const Graph& graph)
+    : graph_(graph), links_(graph.link_count()), busy_since_(graph.link_count()) {}
+
+void CounterSet::link_active_delta(LinkId link, int delta, SimTime now) {
+  LinkCounters& c = links_[link];
+  if (c.active == 0 && delta > 0) busy_since_[link] = now;
+  if (c.active > 0 && c.active + delta == 0) c.busy += now - busy_since_[link];
+  c.active += delta;
+  if (c.active > c.peak_active) c.peak_active = c.active;
+}
+
+void CounterSet::flow_started(FlowToken token, const FlowTag&, const Route& route, int,
+                              Bytes, SimTime now) {
+  touch(now);
+  in_flight_[token] = FlowState{0, now};
+  for (const LinkId l : route) {
+    ++links_[l].flows_started;
+    link_active_delta(l, +1, now);
+  }
+}
+
+void CounterSet::integrate(FlowToken token, const Route& route, SimTime now) {
+  const auto it = in_flight_.find(token);
+  if (it == in_flight_.end()) return;
+  FlowState& st = it->second;
+  if (st.rate > 0 && now > st.last) {
+    const double dbits = st.rate * (now - st.last).seconds();
+    for (const LinkId l : route) links_[l].bits += dbits;
+  }
+  st.last = now;
+}
+
+void CounterSet::flow_rate(FlowToken token, const Route& route, Bandwidth rate, SimTime now) {
+  touch(now);
+  integrate(token, route, now);
+  const auto it = in_flight_.find(token);
+  if (it != in_flight_.end()) it->second.rate = rate;
+}
+
+void CounterSet::flow_throttled(FlowToken, LinkId bottleneck, SimTime now) {
+  touch(now);
+  if (bottleneck != kInvalidLink) ++links_[bottleneck].throttled_flows;
+}
+
+void CounterSet::flow_completed(FlowToken token, const Route& route, Bytes bytes,
+                                SimTime serialized, SimTime) {
+  touch(serialized);
+  integrate(token, route, serialized);
+  in_flight_.erase(token);
+  for (const LinkId l : route) {
+    links_[l].bytes_completed += bytes;
+    ++links_[l].flows_completed;
+    link_active_delta(l, -1, serialized);
+  }
+}
+
+void CounterSet::link_saturated(LinkId link, int, SimTime now) {
+  touch(now);
+  ++links_[link].saturations;
+}
+
+void CounterSet::nic_message(DeviceId nic, bool send, Bytes bytes, SimTime start,
+                             SimTime end) {
+  touch(end);
+  NicCounters& c = nics_[nic];
+  if (send) {
+    ++c.msgs_tx;
+    c.bytes_tx += bytes;
+  } else {
+    ++c.msgs_rx;
+    c.bytes_rx += bytes;
+  }
+  c.overhead_busy += end - start;
+}
+
+void CounterSet::finalize(SimTime now) {
+  touch(now);
+  for (auto& [token, st] : in_flight_) {
+    (void)token;
+    // Rates of still-active flows are integrated lazily; close them here so
+    // utilization reflects work done up to `now`. Their route is unknown
+    // without the flow map, so rely on the last flow_rate() call instead:
+    // reallocations fire on every start/completion, which bounds the error
+    // to the final open interval of an unfinished run.
+    st.last = now;
+  }
+  for (LinkId l = 0; l < links_.size(); ++l) {
+    if (links_[l].active > 0) {
+      links_[l].busy += now - busy_since_[l];
+      busy_since_[l] = now;
+    }
+  }
+}
+
+Bytes CounterSet::total_link_bytes() const {
+  Bytes total = 0;
+  for (const LinkCounters& c : links_) total += c.bytes_completed;
+  return total;
+}
+
+}  // namespace gpucomm::telemetry

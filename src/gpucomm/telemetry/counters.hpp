@@ -1,0 +1,101 @@
+// Per-resource accounting built from flow lifecycle events.
+//
+// CounterSet is a Sink that maintains one LinkCounters per graph link and
+// one NicCounters per NIC device: busy time (time with at least one active
+// flow), bytes moved, the time-integral of allocated rate (for average
+// utilization), peak concurrent flows, and fair-share throttle/saturation
+// events. Counting is conservative by construction: every completed flow
+// adds its wire bytes to each link it crossed, so
+//
+//   sum over links of bytes_completed == sum over flows of bytes * hops
+//
+// which tests assert. Call finalize() before reading counters so open busy
+// intervals are closed at the final simulation time.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gpucomm/telemetry/sink.hpp"
+
+namespace gpucomm::telemetry {
+
+struct LinkCounters {
+  /// Time with >= 1 active flow on the link.
+  SimTime busy;
+  /// Integral of allocated rate over time (bits actually serialized here).
+  double bits = 0;
+  /// Wire bytes of completed flows that crossed this link.
+  Bytes bytes_completed = 0;
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_completed = 0;
+  int active = 0;
+  int peak_active = 0;
+  /// Reallocations in which this link was a fair-share bottleneck.
+  std::uint64_t saturations = 0;
+  /// Throttle events attributed to this link as the squeezing bottleneck.
+  std::uint64_t throttled_flows = 0;
+};
+
+struct NicCounters {
+  std::uint64_t msgs_tx = 0;
+  std::uint64_t msgs_rx = 0;
+  Bytes bytes_tx = 0;
+  Bytes bytes_rx = 0;
+  /// Per-message processing time (send doorbell/DMA setup + recv delivery).
+  SimTime overhead_busy;
+};
+
+class CounterSet final : public Sink {
+ public:
+  explicit CounterSet(const Graph& graph);
+
+  // Sink interface.
+  void flow_started(FlowToken token, const FlowTag& tag, const Route& route, int vl,
+                    Bytes bytes, SimTime now) override;
+  void flow_rate(FlowToken token, const Route& route, Bandwidth rate, SimTime now) override;
+  void flow_throttled(FlowToken token, LinkId bottleneck, SimTime now) override;
+  void flow_completed(FlowToken token, const Route& route, Bytes bytes, SimTime serialized,
+                      SimTime delivered) override;
+  void link_saturated(LinkId link, int flows, SimTime now) override;
+  void nic_message(DeviceId nic, bool send, Bytes bytes, SimTime start, SimTime end) override;
+
+  /// Close open busy intervals at `now` (idempotent; accounting continues
+  /// normally if more events arrive afterwards).
+  void finalize(SimTime now);
+
+  const Graph& graph() const { return graph_; }
+  const std::vector<LinkCounters>& links() const { return links_; }
+  const LinkCounters& link(LinkId id) const { return links_[id]; }
+  /// NIC device id -> counters; only NICs that processed messages appear.
+  const std::unordered_map<DeviceId, NicCounters>& nics() const { return nics_; }
+
+  /// Latest event timestamp observed (the report's utilization window end).
+  SimTime last_event() const { return last_event_; }
+
+  /// Sum over links of bytes_completed (the conservation-law left side).
+  Bytes total_link_bytes() const;
+
+ private:
+  /// Integrate the flow's current rate into its links up to `now`.
+  void integrate(FlowToken token, const Route& route, SimTime now);
+  void link_active_delta(LinkId link, int delta, SimTime now);
+  void touch(SimTime now) {
+    if (now > last_event_) last_event_ = now;
+  }
+
+  struct FlowState {
+    Bandwidth rate = 0;
+    SimTime last;
+  };
+
+  const Graph& graph_;
+  std::vector<LinkCounters> links_;
+  std::vector<SimTime> busy_since_;  // per link; valid while active > 0
+  std::unordered_map<DeviceId, NicCounters> nics_;
+  std::unordered_map<FlowToken, FlowState> in_flight_;
+  SimTime last_event_;
+};
+
+}  // namespace gpucomm::telemetry

@@ -1,0 +1,83 @@
+#include "gpucomm/telemetry/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "gpucomm/hw/link.hpp"
+
+namespace gpucomm::telemetry {
+
+namespace {
+
+std::string endpoint_label(const Graph& g, DeviceId d) {
+  const std::string& label = g.device(d).label;
+  return label.empty() ? std::to_string(d) : label;
+}
+
+std::string link_label(const Graph& g, LinkId id) {
+  const Link& l = g.link(id);
+  return endpoint_label(g, l.src) + ">" + endpoint_label(g, l.dst);
+}
+
+}  // namespace
+
+Table link_report(const CounterSet& counters, SimTime window) {
+  const Graph& g = counters.graph();
+  Table t({"link", "type", "cap_gbps", "busy_ms", "avg_util%", "MiB", "peak_flows", "flows",
+           "throttled", "saturations"});
+  const double window_s = std::max(window.seconds(), 1e-30);
+  // Fabric links first: the interesting congestion lives there; then the
+  // intra-node fabric (NVLink/IF/PCIe), each sorted by traffic.
+  std::vector<LinkId> ids;
+  for (LinkId id = 0; id < static_cast<LinkId>(g.link_count()); ++id) {
+    if (counters.link(id).flows_started > 0) ids.push_back(id);
+  }
+  std::stable_sort(ids.begin(), ids.end(), [&](LinkId a, LinkId b) {
+    const bool fa = !is_intra_node(g.link(a).type);
+    const bool fb = !is_intra_node(g.link(b).type);
+    if (fa != fb) return fa;
+    return counters.link(a).bits > counters.link(b).bits;
+  });
+  for (const LinkId id : ids) {
+    const LinkCounters& c = counters.link(id);
+    const Link& l = g.link(id);
+    const double util =
+        l.capacity > 0 ? 100.0 * c.bits / (l.capacity * window_s) : 0.0;
+    t.add_row({link_label(g, id), to_string(l.type), fmt(l.capacity / 1e9, 0),
+               fmt(c.busy.seconds() * 1e3, 3), fmt(util, 1),
+               fmt(static_cast<double>(c.bytes_completed) / (1024.0 * 1024.0), 2),
+               std::to_string(c.peak_active), std::to_string(c.flows_completed),
+               std::to_string(c.throttled_flows), std::to_string(c.saturations)});
+  }
+  return t;
+}
+
+Table nic_report(const CounterSet& counters) {
+  const Graph& g = counters.graph();
+  Table t({"nic", "msgs_tx", "msgs_rx", "MiB_tx", "MiB_rx", "overhead_us"});
+  std::vector<DeviceId> ids;
+  for (const auto& [nic, c] : counters.nics()) {
+    (void)c;
+    ids.push_back(nic);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const DeviceId id : ids) {
+    const NicCounters& c = counters.nics().at(id);
+    t.add_row({endpoint_label(g, id), std::to_string(c.msgs_tx), std::to_string(c.msgs_rx),
+               fmt(static_cast<double>(c.bytes_tx) / (1024.0 * 1024.0), 2),
+               fmt(static_cast<double>(c.bytes_rx) / (1024.0 * 1024.0), 2),
+               fmt(c.overhead_busy.micros(), 2)});
+  }
+  return t;
+}
+
+void print_report(std::ostream& os, const CounterSet& counters, SimTime window) {
+  os << "# link utilization over " << to_string(window) << " simulated\n";
+  link_report(counters, window).print(os);
+  if (!counters.nics().empty()) {
+    os << "# NIC message processing\n";
+    nic_report(counters).print(os);
+  }
+}
+
+}  // namespace gpucomm::telemetry

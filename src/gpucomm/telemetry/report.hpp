@@ -1,0 +1,27 @@
+// Human-readable utilization summaries over a CounterSet.
+//
+// link_report() renders one row per link that carried traffic: capacity,
+// busy time, average utilization (rate-integral / capacity over the
+// window), bytes moved, peak concurrent flows, and fair-share throttle /
+// saturation counts. nic_report() summarizes per-NIC message processing.
+#pragma once
+
+#include <iosfwd>
+
+#include "gpucomm/harness/table.hpp"
+#include "gpucomm/telemetry/counters.hpp"
+
+namespace gpucomm::telemetry {
+
+/// Per-link utilization table over [0, window]; links with no started flows
+/// are omitted. Pass the engine's final now() as `window`.
+Table link_report(const CounterSet& counters, SimTime window);
+
+/// Per-NIC message-processing table; NICs that saw no messages are omitted.
+Table nic_report(const CounterSet& counters);
+
+/// Print both tables (plus totals) to `os`; finalizes nothing — call
+/// CounterSet::finalize(now) first.
+void print_report(std::ostream& os, const CounterSet& counters, SimTime window);
+
+}  // namespace gpucomm::telemetry

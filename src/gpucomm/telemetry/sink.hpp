@@ -1,0 +1,162 @@
+// Telemetry hook interface for the simulator's data-moving layers.
+//
+// A single Sink is attached to a Cluster (Cluster::set_telemetry) and
+// receives flow lifecycle events from the network, local-copy and NIC
+// attribution from the comm mechanisms, and fair-share/saturation events
+// from the rate allocator. Every emission site is guarded by a null check,
+// so with no sink attached the instrumentation costs one branch and the
+// simulated timeline is untouched; sinks must never schedule events or
+// otherwise feed back into the simulation.
+//
+// Correlation: flows are identified by a FlowToken issued once per transfer
+// by the non-virtual issue() entry point (the comm layer calls it when the
+// transfer enters the software stack, before launch/protocol delays). The
+// token then appears on every subsequent event for that flow, which lets
+// fan-out sinks (MultiSink) share one token space.
+//
+// FlowTag strings must be string literals (or otherwise outlive the sink);
+// tags are stored by pointer, never copied.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpucomm/sim/time.hpp"
+#include "gpucomm/sim/units.hpp"
+#include "gpucomm/topology/graph.hpp"
+
+namespace gpucomm::telemetry {
+
+/// Attribution a mechanism attaches to one transfer or local operation.
+struct FlowTag {
+  /// Owning mechanism ("staging", "devcopy", "ccl", "mpi", or "net" for
+  /// flows injected directly into the Network, e.g. background noise jobs).
+  const char* mechanism = "net";
+  /// Mechanism-internal phase: "p2p", "coll", "d2h", "h2d", "shm", "wire",
+  /// "reduce", ...
+  const char* stage = "flow";
+  int src_rank = -1;
+  int dst_rank = -1;
+};
+
+/// Correlates the events of one flow; 0 means "untracked".
+using FlowToken = std::uint64_t;
+
+class Sink {
+ public:
+  virtual ~Sink() = default;
+
+  /// Assign a fresh token and report the issue event. Call this (not
+  /// flow_issued) from instrumentation sites so that chained sinks observe
+  /// a single shared token space.
+  FlowToken issue(const FlowTag& tag, Bytes bytes, SimTime now) {
+    const FlowToken token = next_token_++;
+    flow_issued(token, tag, bytes, now);
+    return token;
+  }
+
+  /// A transfer entered the software stack; launch/protocol/queue delays
+  /// begin. `bytes` are wire bytes (payload inflated by protocol overhead).
+  virtual void flow_issued(FlowToken token, const FlowTag& tag, Bytes bytes, SimTime now) {
+    (void)token, (void)tag, (void)bytes, (void)now;
+  }
+
+  /// The flow joined the network's active set and starts serializing.
+  virtual void flow_started(FlowToken token, const FlowTag& tag, const Route& route, int vl,
+                            Bytes bytes, SimTime now) {
+    (void)token, (void)tag, (void)route, (void)vl, (void)bytes, (void)now;
+  }
+
+  /// The fair-share allocator (re)assigned the flow's rate. Emitted for
+  /// every active flow on every reallocation.
+  virtual void flow_rate(FlowToken token, const Route& route, Bandwidth rate, SimTime now) {
+    (void)token, (void)route, (void)rate, (void)now;
+  }
+
+  /// Fair sharing squeezed the flow below its standalone rate;
+  /// `bottleneck` is the saturated link that froze it (kInvalidLink when
+  /// the allocator could not attribute one).
+  virtual void flow_throttled(FlowToken token, LinkId bottleneck, SimTime now) {
+    (void)token, (void)bottleneck, (void)now;
+  }
+
+  /// The flow's last byte serialized at `serialized`; delivery (propagation
+  /// + queueing) completes at `delivered`.
+  virtual void flow_completed(FlowToken token, const Route& route, Bytes bytes,
+                              SimTime serialized, SimTime delivered) {
+    (void)token, (void)route, (void)bytes, (void)serialized, (void)delivered;
+  }
+
+  /// A link was fully allocated by `flows` concurrent flows during a
+  /// reallocation (the fair-share bottleneck of that fill step).
+  virtual void link_saturated(LinkId link, int flows, SimTime now) {
+    (void)link, (void)flows, (void)now;
+  }
+
+  /// A local DMA copy or reduction that never crosses the flow network
+  /// (D2H/H2D staging hops, shared-memory copies, on-GPU reductions).
+  virtual void local_op(const FlowTag& tag, Bytes bytes, SimTime start, SimTime end) {
+    (void)tag, (void)bytes, (void)start, (void)end;
+  }
+
+  /// Per-message NIC processing (doorbell/descriptor on send, completion
+  /// delivery on receive) attributed to a NIC device.
+  virtual void nic_message(DeviceId nic, bool send, Bytes bytes, SimTime start, SimTime end) {
+    (void)nic, (void)send, (void)bytes, (void)start, (void)end;
+  }
+
+  /// A whole timed operation (one time_* harness call) ran in [start, end].
+  virtual void op_span(const char* mechanism, const char* op, Bytes bytes, SimTime start,
+                       SimTime end) {
+    (void)mechanism, (void)op, (void)bytes, (void)start, (void)end;
+  }
+
+ private:
+  FlowToken next_token_ = 1;
+};
+
+/// Fan-out: forwards every event to each registered sink. Tokens are issued
+/// once here, so all children observe the same ids.
+class MultiSink final : public Sink {
+ public:
+  MultiSink() = default;
+  explicit MultiSink(std::vector<Sink*> sinks) : sinks_(std::move(sinks)) {}
+
+  void add(Sink* sink) { sinks_.push_back(sink); }
+
+  void flow_issued(FlowToken t, const FlowTag& tag, Bytes b, SimTime now) override {
+    for (Sink* s : sinks_) s->flow_issued(t, tag, b, now);
+  }
+  void flow_started(FlowToken t, const FlowTag& tag, const Route& r, int vl, Bytes b,
+                    SimTime now) override {
+    for (Sink* s : sinks_) s->flow_started(t, tag, r, vl, b, now);
+  }
+  void flow_rate(FlowToken t, const Route& r, Bandwidth rate, SimTime now) override {
+    for (Sink* s : sinks_) s->flow_rate(t, r, rate, now);
+  }
+  void flow_throttled(FlowToken t, LinkId bottleneck, SimTime now) override {
+    for (Sink* s : sinks_) s->flow_throttled(t, bottleneck, now);
+  }
+  void flow_completed(FlowToken t, const Route& r, Bytes b, SimTime ser,
+                      SimTime del) override {
+    for (Sink* s : sinks_) s->flow_completed(t, r, b, ser, del);
+  }
+  void link_saturated(LinkId link, int flows, SimTime now) override {
+    for (Sink* s : sinks_) s->link_saturated(link, flows, now);
+  }
+  void local_op(const FlowTag& tag, Bytes b, SimTime start, SimTime end) override {
+    for (Sink* s : sinks_) s->local_op(tag, b, start, end);
+  }
+  void nic_message(DeviceId nic, bool send, Bytes b, SimTime start, SimTime end) override {
+    for (Sink* s : sinks_) s->nic_message(nic, send, b, start, end);
+  }
+  void op_span(const char* mech, const char* op, Bytes b, SimTime start,
+               SimTime end) override {
+    for (Sink* s : sinks_) s->op_span(mech, op, b, start, end);
+  }
+
+ private:
+  std::vector<Sink*> sinks_;
+};
+
+}  // namespace gpucomm::telemetry

@@ -1,0 +1,246 @@
+#include "gpucomm/telemetry/trace_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace gpucomm::telemetry {
+
+TraceRecorder::FlowRecord& TraceRecorder::record(FlowToken token) {
+  // Tokens are issued densely from 1 by the attached Sink chain; a flow can
+  // still start/complete out of token order, so grow on demand.
+  if (flows_.size() < token) flows_.resize(token);
+  return flows_[token - 1];
+}
+
+void TraceRecorder::flow_issued(FlowToken token, const FlowTag& tag, Bytes bytes,
+                                SimTime now) {
+  FlowRecord& r = record(token);
+  r.tag = tag;
+  r.bytes = bytes;
+  r.issued = now;
+}
+
+void TraceRecorder::flow_started(FlowToken token, const FlowTag& tag, const Route& route,
+                                 int vl, Bytes bytes, SimTime now) {
+  FlowRecord& r = record(token);
+  r.tag = tag;
+  r.bytes = bytes;
+  r.route = route;
+  r.vl = vl;
+  r.started = now;
+  // Network-issued flows (token given out in start_flow) share the issue
+  // timestamp; keep issued <= started invariant for direct injections.
+  if (r.issued > now) r.issued = now;
+}
+
+void TraceRecorder::flow_rate(FlowToken token, const Route&, Bandwidth rate, SimTime) {
+  record(token).last_rate = rate;
+}
+
+void TraceRecorder::flow_throttled(FlowToken token, LinkId, SimTime) {
+  ++record(token).throttle_events;
+}
+
+void TraceRecorder::flow_completed(FlowToken token, const Route& route, Bytes bytes,
+                                   SimTime serialized, SimTime delivered) {
+  FlowRecord& r = record(token);
+  if (r.route.empty()) r.route = route;
+  if (r.bytes == 0) r.bytes = bytes;
+  r.serialized = serialized;
+  r.delivered = delivered;
+  if (r.started.is_infinite()) r.started = serialized;
+  r.completed = true;
+}
+
+void TraceRecorder::local_op(const FlowTag& tag, Bytes bytes, SimTime start, SimTime end) {
+  local_ops_.push_back({tag, bytes, start, end});
+}
+
+void TraceRecorder::op_span(const char* mechanism, const char* op, Bytes bytes,
+                            SimTime start, SimTime end) {
+  ops_.push_back({mechanism, op, bytes, start, end});
+}
+
+namespace {
+
+/// JSON string escaping for the label fragments we generate.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Microseconds with sub-ps resolution preserved (ts unit of the format).
+std::string us(SimTime t) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6f", t.micros());
+  return buf;
+}
+
+std::string route_string(const Graph* graph, const Route& route) {
+  if (graph == nullptr || route.empty()) return {};
+  std::string out = graph->device(graph->link(route.front()).src).label;
+  for (const LinkId l : route) {
+    out += ">";
+    out += graph->device(graph->link(l).dst).label;
+  }
+  return out;
+}
+
+class EventWriter {
+ public:
+  explicit EventWriter(std::ostream& os) : os_(os) {}
+
+  /// Open one event object; the caller appends fields via field()/raw_field()
+  /// and must call close().
+  void open(const char* name, const char* ph, int pid, std::uint64_t tid) {
+    os_ << (first_ ? "\n  " : ",\n  ");
+    first_ = false;
+    os_ << "{\"name\":\"" << json_escape(name) << "\",\"ph\":\"" << ph << "\",\"pid\":" << pid
+        << ",\"tid\":" << tid;
+  }
+  void open(const std::string& name, const char* ph, int pid, std::uint64_t tid) {
+    open(name.c_str(), ph, pid, tid);
+  }
+  void ts(SimTime t) { os_ << ",\"ts\":" << us(t); }
+  void dur(SimTime start, SimTime end) { os_ << ",\"dur\":" << us(end - start); }
+  void raw_field(const char* key, const std::string& value) {
+    os_ << ",\"" << key << "\":" << value;
+  }
+  void args(const std::string& inner) { os_ << ",\"args\":{" << inner << "}"; }
+  void close() { os_ << "}"; }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+// Process-id layout: harness ops on pid 0, per-rank flow tracks on
+// pid kRankPidBase + rank, unattributed flows on pid kRankPidBase - 1.
+constexpr int kHarnessPid = 0;
+constexpr int kRankPidBase = 10;
+
+int pid_of_rank(int rank) { return kRankPidBase + (rank < 0 ? -1 : rank); }
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder) {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  EventWriter w(os);
+
+  // Metadata: name the processes that will appear.
+  std::vector<int> pids{kHarnessPid};
+  int max_rank = -1;
+  bool unattributed = false;
+  for (const auto& f : recorder.flows()) {
+    if (f.tag.src_rank < 0) unattributed = true;
+    max_rank = std::max(max_rank, f.tag.src_rank);
+  }
+  for (const auto& l : recorder.local_ops()) {
+    if (l.tag.src_rank < 0) unattributed = true;
+    max_rank = std::max(max_rank, l.tag.src_rank);
+  }
+  if (unattributed) pids.push_back(pid_of_rank(-1));
+  for (int r = 0; r <= max_rank; ++r) pids.push_back(pid_of_rank(r));
+  for (const int pid : pids) {
+    w.open("process_name", "M", pid, 0);
+    std::string label = pid == kHarnessPid        ? "harness"
+                        : pid == pid_of_rank(-1) ? "unattributed"
+                                                 : "rank " + std::to_string(pid - kRankPidBase);
+    w.args("\"name\":\"" + json_escape(label) + "\"");
+    w.close();
+  }
+
+  // Whole-operation spans.
+  for (const auto& op : recorder.ops()) {
+    w.open(std::string(op.mechanism) + " " + op.op + " " + format_bytes(op.bytes), "X",
+           kHarnessPid, 0);
+    w.ts(op.start);
+    w.dur(op.start, op.end);
+    w.args("\"bytes\":" + std::to_string(op.bytes));
+    w.close();
+  }
+
+  // Flows: one thread track per flow (tid = token), so the queue span and
+  // the serialization span nest and concurrent flows never collide.
+  for (std::size_t i = 0; i < recorder.flows().size(); ++i) {
+    const auto& f = recorder.flows()[i];
+    if (!f.completed) continue;  // still in flight when the run ended
+    const std::uint64_t tid = i + 1;
+    const int pid = pid_of_rank(f.tag.src_rank);
+    std::string label = std::string(f.tag.mechanism) + ":" + f.tag.stage;
+    if (f.tag.src_rank >= 0) {
+      label += " " + std::to_string(f.tag.src_rank) + ">" + std::to_string(f.tag.dst_rank);
+    }
+
+    w.open("thread_name", "M", pid, tid);
+    w.args("\"name\":\"" + json_escape(label) + "\"");
+    w.close();
+
+    if (f.started > f.issued) {
+      w.open("queue " + label, "X", pid, tid);
+      w.ts(f.issued);
+      w.dur(f.issued, f.started);
+      w.args("\"bytes\":" + std::to_string(f.bytes));
+      w.close();
+    }
+
+    w.open("xfer " + label, "X", pid, tid);
+    w.ts(f.started);
+    w.dur(f.started, f.serialized);
+    std::ostringstream args;
+    args << "\"bytes\":" << f.bytes << ",\"hops\":" << f.route.size() << ",\"vl\":" << f.vl
+         << ",\"rate_gbps\":" << f.last_rate / 1e9
+         << ",\"throttle_events\":" << f.throttle_events << ",\"delivered_us\":"
+         << us(f.delivered);
+    const std::string route = route_string(recorder.graph(), f.route);
+    if (!route.empty()) args << ",\"route\":\"" << json_escape(route) << "\"";
+    w.args(args.str());
+    w.close();
+  }
+
+  // Local copies/reductions, one track per record under the owning rank.
+  std::uint64_t local_tid = recorder.flows().size() + 1;
+  for (const auto& l : recorder.local_ops()) {
+    const int pid = pid_of_rank(l.tag.src_rank);
+    const std::string label = std::string(l.tag.mechanism) + ":" + l.tag.stage;
+    w.open("thread_name", "M", pid, local_tid);
+    w.args("\"name\":\"" + json_escape(label) + "\"");
+    w.close();
+    w.open(label, "X", pid, local_tid);
+    w.ts(l.start);
+    w.dur(l.start, l.end);
+    w.args("\"bytes\":" + std::to_string(l.bytes));
+    w.close();
+    ++local_tid;
+  }
+
+  os << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path, const TraceRecorder& recorder) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, recorder);
+  return static_cast<bool>(out);
+}
+
+}  // namespace gpucomm::telemetry

@@ -6,7 +6,12 @@
 //   gpucomm_cli --system leonardo --op allreduce --mechanism ccl
 //               --gpus 16 --min 1024 --max 1073741824 [--space host]
 //               [--untuned] [--sl N] [--placement packed|switches|groups]
-//               [--iters N]
+//               [--iters N] [--trace out.json] [--counters]
+//
+// --trace writes a Chrome-trace JSON (load in chrome://tracing or Perfetto)
+// of every flow's queue/transfer spans; --counters prints per-link and
+// per-NIC utilization tables after the results. Neither flag changes the
+// simulated timings.
 //
 // op: pingpong | alltoall | allreduce | broadcast | allgather | reducescatter
 // mechanism: staging | devcopy | ccl | mpi
@@ -34,6 +39,8 @@ struct Args {
   int service_level = 0;
   Placement placement = Placement::kPacked;
   int iters = 0;  // 0 = auto per size
+  std::string trace_path;  // empty = no trace
+  bool counters = false;
 };
 
 bool parse(int argc, char** argv, Args& a) {
@@ -62,6 +69,12 @@ bool parse(int argc, char** argv, Args& a) {
       a.service_level = std::atoi(next());
     } else if (flag == "--iters") {
       a.iters = std::atoi(next());
+    } else if (flag == "--trace") {
+      const char* path = next();
+      if (path == nullptr) return false;
+      a.trace_path = path;
+    } else if (flag == "--counters") {
+      a.counters = true;
     } else if (flag == "--placement") {
       const std::string p = next();
       a.placement = p == "switches" ? Placement::kScatterSwitches
@@ -107,7 +120,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s --system S --op OP --mechanism M --gpus N "
                  "[--min B --max B --space host --untuned --sl N --iters N "
-                 "--placement packed|switches|groups]\n",
+                 "--placement packed|switches|groups --trace out.json --counters]\n",
                  argv[0]);
     return 2;
   }
@@ -126,6 +139,21 @@ int main(int argc, char** argv) {
     opt.env.ccl_ib_sl = a.service_level;
     opt.env.ucx_ib_sl = a.service_level;
   }
+
+  // Telemetry is attached before the communicator so constructor-time traffic
+  // (none today) would also be captured; off by default, zero overhead.
+  std::unique_ptr<telemetry::TraceRecorder> recorder;
+  std::unique_ptr<telemetry::CounterSet> counters;
+  telemetry::MultiSink sinks;
+  if (!a.trace_path.empty()) {
+    recorder = std::make_unique<telemetry::TraceRecorder>(&cluster.graph());
+    sinks.add(recorder.get());
+  }
+  if (a.counters) {
+    counters = std::make_unique<telemetry::CounterSet>(cluster.graph());
+    sinks.add(counters.get());
+  }
+  if (recorder || counters) cluster.set_telemetry(&sinks);
 
   auto comm = build(mechanism_of(a.mechanism), cluster, first_n_gpus(cluster, a.gpus), opt);
   std::printf("# %s %s %s, %d GPUs (%d nodes), %s buffers, %s\n", a.system.c_str(),
@@ -156,5 +184,14 @@ int main(int argc, char** argv) {
                fmt(lat.mean), fmt(lat.p95), fmt(gp.median, 1)});
   }
   t.print(std::cout);
+
+  if (counters) {
+    counters->finalize(cluster.engine().now());
+    telemetry::print_report(std::cout, *counters, cluster.engine().now());
+  }
+  if (recorder && !telemetry::write_chrome_trace_file(a.trace_path, *recorder)) {
+    std::fprintf(stderr, "failed to write trace to %s\n", a.trace_path.c_str());
+    return 1;
+  }
   return 0;
 }
