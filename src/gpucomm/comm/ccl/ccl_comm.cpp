@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "gpucomm/comm/ccl/channels.hpp"
+#include "gpucomm/sched/builders.hpp"
 #include "gpucomm/comm/ccl/topo_detect.hpp"
 #include "gpucomm/hw/nic.hpp"
 #include "gpucomm/sim/log.hpp"
@@ -101,12 +102,14 @@ double CclComm::coll_intra_eff(Bytes buffer) const {
 }
 
 void CclComm::coll_transfer(int src, int dst, Bytes bytes, double simple_eff_intra,
-                            SimTime pre, EventFn done) {
+                            SimTime pre, const CollContext& ctx, EventFn done) {
   const CclParams& p = sys().ccl;
   telemetry::FlowTag tag;
   tag.stage = "coll";
   tag.src_rank = src;
   tag.dst_rank = dst;
+  tag.algorithm = ctx.algorithm;
+  tag.round = ctx.round;
   if (same_node(src, dst)) {
     // Collectives build channel rings with correct topology awareness; the
     // hop-count estimate defect only affects the p2p transport (Obs. 3), so
@@ -133,8 +136,10 @@ void CclComm::coll_transfer(int src, int dst, Bytes bytes, double simple_eff_int
   post_flow(route, bytes, inter_efficiency(false), 0, pre, std::move(done), tag);
 }
 
-void CclComm::coll_message(int src, int dst, Bytes bytes, Bytes op_bytes, EventFn done) {
-  coll_transfer(src, dst, bytes, coll_intra_eff(op_bytes), SimTime::zero(), std::move(done));
+void CclComm::coll_message(int src, int dst, Bytes bytes, Bytes op_bytes,
+                           const CollContext& ctx, EventFn done) {
+  coll_transfer(src, dst, bytes, coll_intra_eff(op_bytes), SimTime::zero(), ctx,
+                std::move(done));
 }
 
 SimTime CclComm::coll_launch() const { return sys().ccl.group_launch; }
@@ -171,82 +176,100 @@ void CclComm::send(int src, int dst, Bytes bytes, EventFn done) {
   post_flow(route, bytes, fs.efficiency, fs.rate_cap, pre, std::move(done), tag);
 }
 
-void CclComm::alltoall(Bytes buffer, EventFn done) {
+std::vector<sched::Schedule> CclComm::plan(CollectiveOp op, Bytes bytes, int root) const {
   const int n = size();
-  const Bytes per_pair = buffer / static_cast<Bytes>(n);
-  const double simple_eff = coll_intra_eff(buffer);
-
-  // One grouped launch (ncclGroupStart/End around n-1 send/recv pairs, as
-  // the NCCL documentation suggests [32]); the sends then stream through the
-  // channel FIFOs with several messages in flight per rank.
-  engine().after(sys().ccl.group_launch, [this, n, per_pair, simple_eff,
-                                          done = std::move(done)]() mutable {
-    windowed_alltoall(
-        /*window=*/8,
-        [this, n, per_pair, simple_eff](int src, int k, EventFn msg_done) {
-          coll_transfer(src, pairwise_partner(src, k, n), per_pair, simple_eff,
-                        sys().ccl.per_chunk_overhead, std::move(msg_done));
-        },
-        std::move(done));
-  });
-}
-
-void CclComm::append_ring_stages(std::vector<Stage>& stages, std::vector<int> ring,
-                                 Bytes per_ring, Bytes buffer) {
-  const int n = static_cast<int>(ring.size());
-  const Bytes segment = std::max<Bytes>(per_ring / static_cast<Bytes>(n), 1);
-  const double simple_eff = coll_intra_eff(buffer);
-  const auto schedule = ring_allreduce_schedule(n);
-  for (std::size_t round = 0; round < schedule.size(); ++round) {
-    const bool reduce_round = round + 1 < static_cast<std::size_t>(n);
-    stages.push_back([this, ring, segment, simple_eff, reduce_round](EventFn next) {
-      const SimTime reduce = reduce_round ? copy_.reduce_time(segment) : SimTime::zero();
-      EventFn after_reduce = reduce > SimTime::zero()
-                                 ? EventFn([this, reduce, next = std::move(next)]() mutable {
-                                     engine().after(reduce, std::move(next));
-                                   })
-                                 : std::move(next);
-      auto join = JoinCounter::create(static_cast<int>(ring.size()), std::move(after_reduce));
-      for (std::size_t i = 0; i < ring.size(); ++i) {
-        const int src = ring[i];
-        const int dst = ring[(i + 1) % ring.size()];
-        coll_transfer(src, dst, segment, simple_eff, SimTime::zero(),
-                      [join] { join->arrive(); });
+  switch (op) {
+    case CollectiveOp::kAlltoall:
+      return {sched::pairwise_alltoall(n, bytes)};
+    case CollectiveOp::kAllgather:
+      if (n >= 2 && !intra_rings_.empty()) {
+        // Each ring carries an equal share of every rank's contribution.
+        const Bytes total = bytes * static_cast<Bytes>(n);
+        const Bytes per_ring = std::max<Bytes>(total / intra_rings_.size(), 1);
+        std::vector<sched::Schedule> plans;
+        for (const auto& ring : intra_rings_) {
+          sched::Schedule s = sched::ring_allgather(
+              n, std::max<Bytes>(per_ring / static_cast<Bytes>(n), 1));
+          sched::remap_ranks(s, ring);
+          plans.push_back(std::move(s));
+        }
+        return plans;
       }
-    });
+      return Communicator::plan(op, bytes, root);
+    case CollectiveOp::kReduceScatter:
+      if (n >= 2 && !intra_rings_.empty()) {
+        const Bytes per_ring = std::max<Bytes>(bytes / intra_rings_.size(), 1);
+        std::vector<sched::Schedule> plans;
+        for (const auto& ring : intra_rings_) {
+          sched::Schedule s = sched::ring_reduce_scatter(n, per_ring);
+          sched::remap_ranks(s, ring);
+          plans.push_back(std::move(s));
+        }
+        return plans;
+      }
+      return Communicator::plan(op, bytes, root);
+    case CollectiveOp::kAllreduce: {
+      // The tuner picks the latency-optimal binomial tree only where the
+      // hierarchical ring's 2(nodes-1) rounds dominate: tiny vectors on many
+      // nodes (2 log2 n rounds of the full buffer instead).
+      if (multi_node() && bytes <= 16_KiB && static_cast<int>(node_order_.size()) >= 16) {
+        return {sched::binomial_tree_allreduce(n, bytes)};
+      }
+      if (!multi_node()) {
+        if (!intra_rings_.empty()) {
+          // LUMI: counter-rotating rings over the edge-disjoint Hamiltonian
+          // cycles; each ring carries an equal share and they run
+          // concurrently.
+          const Bytes per_ring = bytes / intra_rings_.size();
+          std::vector<sched::Schedule> plans;
+          for (const auto& ring : intra_rings_) {
+            sched::Schedule s = sched::ring_allreduce(static_cast<int>(ring.size()), per_ring);
+            sched::remap_ranks(s, ring);
+            plans.push_back(std::move(s));
+          }
+          return plans;
+        }
+        // Fully connected: direct reduce-scatter + allgather across all links.
+        return {sched::all_pairs_allreduce(n, bytes)};
+      }
+      // Hierarchical: intra-node reduce-scatter, per-local-index inter-node
+      // rings (each over its own NIC), intra-node allgather.
+      const int n_local = cluster_.gpus_per_node();
+      const int nodes = static_cast<int>(node_order_.size());
+      assert(n == n_local * nodes && "hierarchical allreduce expects whole nodes");
+      return {sched::hierarchical_allreduce(nodes, n_local, bytes)};
+    }
+    default:
+      return Communicator::plan(op, bytes, root);
   }
 }
 
-bool CclComm::run_on_intra_rings(int rounds, Bytes per_ring, Bytes op_bytes, bool reduce,
-                                 EventFn done) {
-  if (intra_rings_.empty()) return false;
-  const double simple_eff = coll_intra_eff(op_bytes);
-  auto outer = JoinCounter::create(static_cast<int>(intra_rings_.size()),
+void CclComm::alltoall(Bytes buffer, EventFn done) {
+  // One grouped launch (ncclGroupStart/End around n-1 send/recv pairs, as
+  // the NCCL documentation suggests [32]); the sends then stream through the
+  // channel FIFOs with several messages in flight per rank.
+  sched::ExecHooks hooks;
+  hooks.engine = &engine();
+  hooks.launch = sys().ccl.group_launch;
+  hooks.message = [this, simple_eff = coll_intra_eff(buffer)](
+                      const sched::Step& step, const sched::StepCtx& ctx, EventFn msg_done) {
+    coll_transfer(step.src, step.dst, step.bytes, simple_eff, sys().ccl.per_chunk_overhead,
+                  coll_ctx(ctx), std::move(msg_done));
+  };
+  sched::execute_windowed(plan(CollectiveOp::kAlltoall, buffer).front(), /*window=*/8, hooks,
+                          std::move(done));
+}
+
+bool CclComm::run_ring_plans(std::vector<sched::Schedule> plans, Bytes op_bytes,
+                             EventFn done) {
+  if (plans.empty()) return false;
+  auto outer = JoinCounter::create(static_cast<int>(plans.size()),
                                    [this, done = std::move(done)]() mutable {
                                      engine().after(SimTime::zero(), std::move(done));
                                    });
-  for (const auto& ring : intra_rings_) {
-    std::vector<Stage> stages;
-    stages.push_back([this](EventFn next) {
-      engine().after(sys().ccl.group_launch, std::move(next));
-    });
-    const Bytes segment = std::max<Bytes>(per_ring / ring.size(), 1);
-    for (int r = 0; r < rounds; ++r) {
-      stages.push_back([this, ring, segment, simple_eff, reduce](EventFn next) {
-        EventFn after = std::move(next);
-        if (reduce) {
-          after = [this, segment, next = std::move(after)]() mutable {
-            engine().after(copy_.reduce_time(segment), std::move(next));
-          };
-        }
-        auto join = JoinCounter::create(static_cast<int>(ring.size()), std::move(after));
-        for (std::size_t i = 0; i < ring.size(); ++i) {
-          coll_transfer(ring[i], ring[(i + 1) % ring.size()], segment, simple_eff,
-                        SimTime::zero(), [join] { join->arrive(); });
-        }
-      });
-    }
-    run_stages(std::move(stages), [outer] { outer->arrive(); });
+  for (sched::Schedule& s : plans) {
+    run_coll_schedule(std::move(s), op_bytes, sys().ccl.group_launch,
+                      [outer] { outer->arrive(); });
   }
   return true;
 }
@@ -254,10 +277,9 @@ bool CclComm::run_on_intra_rings(int rounds, Bytes per_ring, Bytes op_bytes, boo
 void CclComm::allgather(Bytes per_rank, EventFn done) {
   const int n = size();
   if (n >= 2 && !intra_rings_.empty()) {
-    // Each ring carries an equal share of every rank's contribution.
-    const Bytes total = per_rank * static_cast<Bytes>(n);
-    const Bytes per_ring = std::max<Bytes>(total / intra_rings_.size(), 1);
-    if (run_on_intra_rings(n - 1, per_ring, total, /*reduce=*/false, std::move(done))) return;
+    run_ring_plans(plan(CollectiveOp::kAllgather, per_rank),
+                   per_rank * static_cast<Bytes>(n), std::move(done));
+    return;
   }
   Communicator::allgather(per_rank, std::move(done));
 }
@@ -265,192 +287,64 @@ void CclComm::allgather(Bytes per_rank, EventFn done) {
 void CclComm::reduce_scatter(Bytes buffer, EventFn done) {
   const int n = size();
   if (n >= 2 && !intra_rings_.empty()) {
-    const Bytes per_ring = std::max<Bytes>(buffer / intra_rings_.size(), 1);
-    if (run_on_intra_rings(n - 1, per_ring, buffer, /*reduce=*/true, std::move(done))) return;
+    run_ring_plans(plan(CollectiveOp::kReduceScatter, buffer), buffer, std::move(done));
+    return;
   }
   Communicator::reduce_scatter(buffer, std::move(done));
 }
 
-void CclComm::allreduce_tree(Bytes buffer, EventFn done) {
-  const int n = size();
-  const double simple_eff = coll_intra_eff(buffer);
-  std::vector<Stage> stages;
-  stages.push_back([this](EventFn next) {
-    engine().after(sys().ccl.group_launch, std::move(next));
-  });
-  // Reduce: in round k, ranks with bit k set send to their parent.
-  for (int stride = 1; stride < n; stride <<= 1) {
-    stages.push_back([this, n, stride, buffer, simple_eff](EventFn next) {
-      std::vector<std::pair<int, int>> sends;
-      for (int i = 0; i + stride < n; i += 2 * stride) sends.emplace_back(i + stride, i);
-      EventFn after = [this, buffer, next = std::move(next)]() mutable {
-        engine().after(copy_.reduce_time(buffer), std::move(next));
-      };
-      auto join = JoinCounter::create(static_cast<int>(sends.size()), std::move(after));
-      for (const auto& [src, dst] : sends) {
-        coll_transfer(src, dst, buffer, simple_eff, SimTime::zero(),
-                      [join] { join->arrive(); });
-      }
-    });
-  }
-  // Broadcast back down the same tree.
-  int top = 1;
-  while (top < n) top <<= 1;
-  for (int stride = top >> 1; stride >= 1; stride >>= 1) {
-    stages.push_back([this, n, stride, buffer, simple_eff](EventFn next) {
-      std::vector<std::pair<int, int>> sends;
-      for (int i = 0; i + stride < n; i += 2 * stride) sends.emplace_back(i, i + stride);
-      auto join = JoinCounter::create(static_cast<int>(sends.size()), std::move(next));
-      for (const auto& [src, dst] : sends) {
-        coll_transfer(src, dst, buffer, simple_eff, SimTime::zero(),
-                      [join] { join->arrive(); });
-      }
-    });
-  }
-  run_stages(std::move(stages), std::move(done));
+void CclComm::run_hierarchical(sched::Schedule s, Bytes buffer, EventFn done) {
+  // The allreduce-specific affinity penalty applies to the inter-node ring
+  // flows via inter_efficiency(); model the extra cost by inflating those
+  // flows when affinity is bad.
+  const bool bad_affinity = !eff_.good_affinity;
+  const double ratio =
+      sys().ccl.bad_affinity_allreduce_factor / sys().ccl.bad_affinity_alltoall_factor;
+  sched::ExecHooks hooks;
+  hooks.engine = &engine();
+  hooks.launch = sys().ccl.group_launch;
+  hooks.reduce_time = [this](Bytes b) { return copy_.reduce_time(b); };
+  hooks.message = [this, simple_eff = coll_intra_eff(buffer), bad_affinity, ratio](
+                      const sched::Step& step, const sched::StepCtx& ctx, EventFn msg_done) {
+    Bytes wire = step.bytes;
+    if (bad_affinity && !same_node(step.src, step.dst)) {
+      wire = static_cast<Bytes>(static_cast<double>(wire) * ratio);
+    }
+    coll_transfer(step.src, step.dst, wire, simple_eff, SimTime::zero(), coll_ctx(ctx),
+                  std::move(msg_done));
+  };
+  sched::execute(std::move(s), hooks, std::move(done));
 }
 
 void CclComm::allreduce(Bytes buffer, EventFn done) {
-  const int n = size();
+  std::vector<sched::Schedule> plans = plan(CollectiveOp::kAllreduce, buffer);
+  assert(!plans.empty());
+  const sched::Algorithm alg = plans.front().algorithm;
 
-  // The tuner picks the latency-optimal binomial tree only where the
-  // hierarchical ring's 2(nodes-1) rounds dominate: tiny vectors on many
-  // nodes (2 log2 n rounds of the full buffer instead).
-  if (multi_node() && buffer <= 16_KiB && static_cast<int>(node_order_.size()) >= 16) {
-    allreduce_tree(buffer, std::move(done));
+  if (alg == sched::Algorithm::kBinomialTreeAllreduce ||
+      alg == sched::Algorithm::kAllPairsAllreduce) {
+    run_coll_schedule(std::move(plans.front()), buffer, coll_launch(), std::move(done));
     return;
   }
 
-  std::vector<Stage> stages;
-  stages.push_back([this](EventFn next) {
-    engine().after(sys().ccl.group_launch, std::move(next));
-  });
-
-  const auto all_pairs_stage = [this, n, buffer](Bytes per_peer, bool reduce_after) {
-    const double simple_eff = coll_intra_eff(buffer);
-    return Stage([this, n, per_peer, simple_eff, reduce_after](EventFn next) {
-      EventFn after = next;
-      if (reduce_after) {
-        const Bytes reduced = per_peer * static_cast<Bytes>(n - 1);
-        after = [this, reduced, next = std::move(next)]() mutable {
-          engine().after(copy_.reduce_time(reduced), std::move(next));
-        };
-      }
-      auto join = JoinCounter::create(n * (n - 1), std::move(after));
-      for (int src = 0; src < n; ++src) {
-        for (int k = 1; k < n; ++k) {
-          coll_transfer(src, (src + k) % n, per_peer, simple_eff, SimTime::zero(),
-                        [join] { join->arrive(); });
-        }
+  if (alg == sched::Algorithm::kRingAllreduce) {
+    // LUMI: counter-rotating rings over the edge-disjoint Hamiltonian cycles
+    // share one group launch and run concurrently.
+    std::vector<Stage> stages;
+    stages.push_back([this](EventFn next) {
+      engine().after(sys().ccl.group_launch, std::move(next));
+    });
+    stages.push_back([this, plans = std::move(plans), buffer](EventFn next) mutable {
+      auto join = JoinCounter::create(static_cast<int>(plans.size()), std::move(next));
+      for (sched::Schedule& s : plans) {
+        run_coll_schedule(std::move(s), buffer, std::nullopt, [join] { join->arrive(); });
       }
     });
-  };
-
-  if (!multi_node()) {
-    if (!intra_rings_.empty()) {
-      // LUMI: counter-rotating rings over the edge-disjoint Hamiltonian
-      // cycles; each ring carries an equal share and they run concurrently.
-      const Bytes per_ring = buffer / intra_rings_.size();
-      std::vector<std::vector<Stage>> per_ring_stages(intra_rings_.size());
-      for (std::size_t r = 0; r < intra_rings_.size(); ++r)
-        append_ring_stages(per_ring_stages[r], intra_rings_[r], per_ring, buffer);
-      // Run the rings concurrently: one stage that joins all ring pipelines.
-      stages.push_back([this, per_ring_stages = std::move(per_ring_stages)](EventFn next) {
-        auto join = JoinCounter::create(static_cast<int>(per_ring_stages.size()),
-                                        std::move(next));
-        for (const auto& ring_stages : per_ring_stages) {
-          run_stages(ring_stages, [join] { join->arrive(); });
-        }
-      });
-    } else {
-      // Fully connected: direct reduce-scatter + allgather across all links.
-      const Bytes per_peer = std::max<Bytes>(buffer / static_cast<Bytes>(n), 1);
-      stages.push_back(all_pairs_stage(per_peer, /*reduce_after=*/true));
-      stages.push_back(all_pairs_stage(per_peer, /*reduce_after=*/false));
-    }
     run_stages(std::move(stages), std::move(done));
     return;
   }
 
-  // Hierarchical: intra-node reduce-scatter, per-local-index inter-node
-  // rings (each over its own NIC), intra-node allgather.
-  const int n_local = cluster_.gpus_per_node();
-  const int nodes = static_cast<int>(node_order_.size());
-  assert(n == n_local * nodes && "hierarchical allreduce expects whole nodes");
-  const Bytes chunk = std::max<Bytes>(buffer / static_cast<Bytes>(n_local), 1);
-
-  // Phase 1: reduce-scatter inside every node (concurrent across nodes).
-  const double simple_eff = coll_intra_eff(buffer);
-  stages.push_back([this, n_local, nodes, chunk, simple_eff](EventFn next) {
-    const Bytes per_peer = std::max<Bytes>(chunk / static_cast<Bytes>(n_local), 1);
-    EventFn after = [this, chunk, next = std::move(next)]() mutable {
-      engine().after(copy_.reduce_time(chunk), std::move(next));
-    };
-    auto join = JoinCounter::create(nodes * n_local * (n_local - 1), std::move(after));
-    for (int node = 0; node < nodes; ++node) {
-      for (int i = 0; i < n_local; ++i) {
-        for (int k = 1; k < n_local; ++k) {
-          const int src = node * n_local + i;
-          const int dst = node * n_local + (i + k) % n_local;
-          coll_transfer(src, dst, per_peer, simple_eff, SimTime::zero(),
-                        [join] { join->arrive(); });
-        }
-      }
-    }
-  });
-
-  // Phase 2: n_local concurrent inter-node rings (ranks with the same local
-  // index), each reducing its `chunk`. The allreduce-specific affinity
-  // penalty applies to these inter-node flows via inter_efficiency(); model
-  // the extra cost by inflating the ring flows when affinity is bad.
-  {
-    const bool bad_affinity = !eff_.good_affinity;
-    const double ratio = sys().ccl.bad_affinity_allreduce_factor /
-                         sys().ccl.bad_affinity_alltoall_factor;
-    const auto ring_schedule = ring_allreduce_schedule(nodes);
-    const Bytes segment = std::max<Bytes>(chunk / static_cast<Bytes>(nodes), 1);
-    const Bytes wire_segment =
-        bad_affinity ? static_cast<Bytes>(static_cast<double>(segment) * ratio) : segment;
-    for (std::size_t round = 0; round < ring_schedule.size(); ++round) {
-      const bool reduce_round = round + 1 < static_cast<std::size_t>(nodes);
-      stages.push_back([this, n_local, nodes, wire_segment, segment, simple_eff,
-                        reduce_round](EventFn next) {
-        EventFn after = next;
-        if (reduce_round) {
-          after = [this, segment, next = std::move(next)]() mutable {
-            engine().after(copy_.reduce_time(segment), std::move(next));
-          };
-        }
-        auto join = JoinCounter::create(nodes * n_local, std::move(after));
-        for (int node = 0; node < nodes; ++node) {
-          for (int j = 0; j < n_local; ++j) {
-            const int src = node * n_local + j;
-            const int dst = ((node + 1) % nodes) * n_local + j;
-            coll_transfer(src, dst, wire_segment, simple_eff, SimTime::zero(),
-                          [join] { join->arrive(); });
-          }
-        }
-      });
-    }
-  }
-
-  // Phase 3: allgather inside every node.
-  stages.push_back([this, n_local, nodes, chunk, simple_eff](EventFn next) {
-    const Bytes per_peer = std::max<Bytes>(chunk / static_cast<Bytes>(n_local), 1);
-    auto join = JoinCounter::create(nodes * n_local * (n_local - 1), std::move(next));
-    for (int node = 0; node < nodes; ++node) {
-      for (int i = 0; i < n_local; ++i) {
-        for (int k = 1; k < n_local; ++k) {
-          const int src = node * n_local + i;
-          const int dst = node * n_local + (i + k) % n_local;
-          coll_transfer(src, dst, per_peer, simple_eff, SimTime::zero(),
-                        [join] { join->arrive(); });
-        }
-      }
-    }
-  });
-
-  run_stages(std::move(stages), std::move(done));
+  run_hierarchical(std::move(plans.front()), buffer, std::move(done));
 }
 
 }  // namespace gpucomm

@@ -30,10 +30,16 @@ class CclComm final : public Communicator {
   void allgather(Bytes per_rank, EventFn done) override;
   void reduce_scatter(Bytes buffer, EventFn done) override;
 
+  /// *CCL tuner: binomial tree for tiny vectors at scale, counter-rotating
+  /// intra-node rings on mesh nodes (one schedule per ring), all-pairs
+  /// exchange on fully connected nodes, hierarchical rings across nodes.
+  std::vector<sched::Schedule> plan(CollectiveOp op, Bytes bytes, int root = 0) const override;
+
   const CclEffective& effective() const { return eff_; }
 
  protected:
-  void coll_message(int src, int dst, Bytes bytes, Bytes op_bytes, EventFn done) override;
+  void coll_message(int src, int dst, Bytes bytes, Bytes op_bytes, const CollContext& ctx,
+                    EventFn done) override;
   SimTime coll_launch() const override;
 
  private:
@@ -49,9 +55,10 @@ class CclComm final : public Communicator {
   /// One transfer inside a collective (no per-op launch; that is added once).
   /// `simple_eff_intra` is the Simple-protocol efficiency computed from the
   /// *whole* collective buffer (chunks pipeline across rounds, so the ramp
-  /// depends on the operation size, not the per-segment size).
+  /// depends on the operation size, not the per-segment size). `ctx`
+  /// attributes the flow to its schedule round.
   void coll_transfer(int src, int dst, Bytes bytes, double simple_eff_intra, SimTime pre,
-                     EventFn done);
+                     const CollContext& ctx, EventFn done);
 
   /// Simple-protocol intra-node efficiency for a collective of this size.
   double coll_intra_eff(Bytes buffer) const;
@@ -59,21 +66,14 @@ class CclComm final : public Communicator {
   bool multi_node() const;
   double inter_efficiency(bool allreduce) const;
 
-  /// Ring-allreduce rounds as stages appended to `stages`, over the given
-  /// rank sequence, moving `per_ring` bytes of a `buffer`-byte operation.
-  void append_ring_stages(std::vector<Stage>& stages, std::vector<int> ring, Bytes per_ring,
-                          Bytes buffer);
+  /// Run per-ring schedules concurrently, each with its own group launch,
+  /// joining on a trailing zero-delay hop (the intra-ring allgather /
+  /// reduce-scatter shape). Returns false when `plans` is empty.
+  bool run_ring_plans(std::vector<sched::Schedule> plans, Bytes op_bytes, EventFn done);
 
-  /// Binomial-tree allreduce (reduce to rank 0, broadcast back): NCCL's
-  /// latency-optimal choice for small vectors at scale, 2 ceil(log2 n)
-  /// rounds instead of the ring's 2(n-1).
-  void allreduce_tree(Bytes buffer, EventFn done);
-
-  /// Run `rounds` ring rounds concurrently over every detected intra ring,
-  /// moving `per_ring` bytes per ring per round (+ optional reduce). Returns
-  /// false when no topology rings exist (caller falls back to the base).
-  bool run_on_intra_rings(int rounds, Bytes per_ring, Bytes op_bytes, bool reduce,
-                          EventFn done);
+  /// Hierarchical allreduce executor: inflates the inter-node ring flows
+  /// when CPU affinity is bad (the allreduce-specific penalty).
+  void run_hierarchical(sched::Schedule s, Bytes buffer, EventFn done);
 
   CclEffective eff_;
   /// Directed intra-node rings (rank sequences) for non-fully-connected

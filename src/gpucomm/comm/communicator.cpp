@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "gpucomm/sched/builders.hpp"
+
 namespace gpucomm {
 
 const char* to_string(Mechanism m) {
@@ -25,48 +27,6 @@ Communicator::Communicator(Cluster& cluster, std::vector<int> gpus, CommOptions 
 }
 
 bool Communicator::available(CollectiveOp) const { return true; }
-
-namespace {
-struct WindowState {
-  std::function<void(int, int, EventFn)> transfer;
-  std::shared_ptr<JoinCounter> join;
-  int n = 0;
-};
-}  // namespace
-
-void Communicator::windowed_alltoall(
-    int window, const std::function<void(int, int, EventFn)>& transfer_fn, EventFn done) {
-  const int n = size();
-  if (n < 2) {
-    if (done) done();
-    return;
-  }
-  auto st = std::make_shared<WindowState>();
-  st->transfer = transfer_fn;
-  st->n = n;
-  st->join = JoinCounter::create(n * (n - 1), std::move(done));
-
-  // Per-rank cursor: post the next message when one completes.
-  auto cursors = std::make_shared<std::vector<int>>(n, 0);
-  auto post_next = std::make_shared<std::function<void(int)>>();
-  // The function object holds only a weak reference to itself; pending
-  // completions pin it with a locked copy, so it is freed once the window
-  // drains instead of cycling forever.
-  *post_next = [st, cursors, weak = std::weak_ptr(post_next)](int rank) {
-    int& k = (*cursors)[rank];
-    if (k >= st->n - 1) return;
-    const int msg = ++k;  // messages 1 .. n-1
-    auto self = weak.lock();
-    st->transfer(rank, msg, [st, self, rank] {
-      st->join->arrive();
-      (*self)(rank);
-    });
-  };
-  const int w = std::min(window, n - 1);
-  for (int r = 0; r < n; ++r) {
-    for (int i = 0; i < w; ++i) (*post_next)(r);
-  }
-}
 
 FlowSpec Communicator::make_flow(const Route& route, Bytes bytes, double efficiency,
                                  Bandwidth rate_cap) const {
@@ -162,66 +122,56 @@ SimTime Communicator::time_reduce_scatter(Bytes buffer) {
                 [&](EventFn done) { reduce_scatter(buffer, std::move(done)); });
 }
 
-void Communicator::coll_message(int src, int dst, Bytes bytes, Bytes op_bytes, EventFn done) {
-  (void)op_bytes;
+void Communicator::coll_message(int src, int dst, Bytes bytes, Bytes op_bytes,
+                                const CollContext& ctx, EventFn done) {
+  (void)op_bytes, (void)ctx;
   send(src, dst, bytes, std::move(done));
 }
 
-void Communicator::broadcast(int root, Bytes buffer, EventFn done) {
+std::vector<sched::Schedule> Communicator::plan(CollectiveOp op, Bytes bytes, int root) const {
   const int n = size();
-  if (n < 2) {
+  switch (op) {
+    case CollectiveOp::kBroadcast:
+      // Binomial tree for small vectors; ring scatter + allgather for large
+      // ones (the standard 2S-byte pipeline; goodput approaches bw/2).
+      if (bytes <= 64_KiB) return {sched::binomial_broadcast(n, root, bytes)};
+      return {sched::ring_broadcast(n, root, bytes)};
+    case CollectiveOp::kAllgather:
+      // Ring: bandwidth-optimal, (n-1)/n of the result moves per rank.
+      return {sched::ring_allgather(n, bytes)};
+    case CollectiveOp::kReduceScatter:
+      return {sched::ring_reduce_scatter(n, bytes)};
+    case CollectiveOp::kAlltoall:
+      return {sched::pairwise_alltoall(n, bytes)};
+    case CollectiveOp::kAllreduce:
+      return {sched::ring_allreduce(n, bytes)};
+    default:
+      return {};
+  }
+}
+
+void Communicator::run_coll_schedule(sched::Schedule s, Bytes op_bytes,
+                                     std::optional<SimTime> launch, EventFn done) {
+  sched::ExecHooks hooks;
+  hooks.engine = &engine();
+  hooks.launch = launch;
+  hooks.message = [this, op_bytes](const sched::Step& step, const sched::StepCtx& ctx,
+                                   EventFn msg_done) {
+    coll_message(step.src, step.dst, step.bytes, op_bytes,
+                 CollContext{sched::to_string(ctx.schedule->algorithm), ctx.round},
+                 std::move(msg_done));
+  };
+  hooks.reduce_time = [this](Bytes b) { return copy_.reduce_time(b); };
+  sched::execute(std::move(s), hooks, std::move(done));
+}
+
+void Communicator::broadcast(int root, Bytes buffer, EventFn done) {
+  if (size() < 2) {
     if (done) done();
     return;
   }
-  std::vector<Stage> stages;
-  stages.push_back([this](EventFn next) { engine().after(coll_launch(), std::move(next)); });
-
-  if (buffer <= 64_KiB) {
-    // Binomial tree: ceil(log2 n) rounds, the informed set doubles.
-    for (int stride = 1; stride < n; stride <<= 1) {
-      stages.push_back([this, n, root, stride, buffer](EventFn next) {
-        std::vector<std::pair<int, int>> sends;
-        for (int i = 0; i < stride && i + stride < n; ++i) {
-          // Positions are relative to the root.
-          sends.emplace_back((root + i) % n, (root + i + stride) % n);
-        }
-        auto join = JoinCounter::create(static_cast<int>(sends.size()), std::move(next));
-        for (const auto& [src, dst] : sends) {
-          coll_message(src, dst, buffer, buffer, [join] { join->arrive(); });
-        }
-      });
-    }
-    run_stages(std::move(stages), std::move(done));
-    return;
-  }
-
-  // Large vectors: ring scatter from the root followed by a ring allgather
-  // (the standard 2S-byte pipeline; goodput approaches bw/2).
-  const Bytes segment = std::max<Bytes>(buffer / static_cast<Bytes>(n), 1);
-  // Scatter: n-1 rounds; in round r the segment destined farthest travels
-  // one hop (pipelined, so every rank forwards concurrently).
-  for (int r = 0; r < n - 1; ++r) {
-    stages.push_back([this, n, root, segment, buffer, r](EventFn next) {
-      // Ranks root..root+r hold data to forward.
-      const int active = std::min(r + 1, n - 1);
-      auto join = JoinCounter::create(active, std::move(next));
-      for (int i = 0; i < active; ++i) {
-        const int src = (root + i) % n;
-        const int dst = (root + i + 1) % n;
-        coll_message(src, dst, segment, buffer, [join] { join->arrive(); });
-      }
-    });
-  }
-  // Allgather phase: n-1 full rounds.
-  for (int r = 0; r < n - 1; ++r) {
-    stages.push_back([this, n, segment, buffer](EventFn next) {
-      auto join = JoinCounter::create(n, std::move(next));
-      for (int i = 0; i < n; ++i) {
-        coll_message(i, (i + 1) % n, segment, buffer, [join] { join->arrive(); });
-      }
-    });
-  }
-  run_stages(std::move(stages), std::move(done));
+  run_coll_schedule(plan(CollectiveOp::kBroadcast, buffer, root).front(), buffer,
+                    coll_launch(), std::move(done));
 }
 
 void Communicator::allgather(Bytes per_rank, EventFn done) {
@@ -230,81 +180,23 @@ void Communicator::allgather(Bytes per_rank, EventFn done) {
     if (done) done();
     return;
   }
-  const Bytes total = per_rank * static_cast<Bytes>(n);
-  std::vector<Stage> stages;
-  stages.push_back([this](EventFn next) { engine().after(coll_launch(), std::move(next)); });
-  // Ring: n-1 rounds, each rank forwards one per_rank segment to its
-  // successor (bandwidth-optimal: (n-1)/n of the result moves per rank).
-  for (int r = 0; r < n - 1; ++r) {
-    stages.push_back([this, n, per_rank, total](EventFn next) {
-      auto join = JoinCounter::create(n, std::move(next));
-      for (int i = 0; i < n; ++i) {
-        coll_message(i, (i + 1) % n, per_rank, total, [join] { join->arrive(); });
-      }
-    });
-  }
-  run_stages(std::move(stages), std::move(done));
+  run_coll_schedule(plan(CollectiveOp::kAllgather, per_rank).front(),
+                    per_rank * static_cast<Bytes>(n), coll_launch(), std::move(done));
 }
 
 void Communicator::reduce_scatter(Bytes buffer, EventFn done) {
-  const int n = size();
-  if (n < 2) {
+  if (size() < 2) {
     if (done) done();
     return;
   }
-  const Bytes segment = std::max<Bytes>(buffer / static_cast<Bytes>(n), 1);
-  std::vector<Stage> stages;
-  stages.push_back([this](EventFn next) { engine().after(coll_launch(), std::move(next)); });
-  // Ring reduce-scatter: the first half of the ring allreduce.
-  for (int r = 0; r < n - 1; ++r) {
-    stages.push_back([this, n, segment, buffer](EventFn next) {
-      EventFn after = [this, segment, next = std::move(next)]() mutable {
-        engine().after(copy_.reduce_time(segment), std::move(next));
-      };
-      auto join = JoinCounter::create(n, std::move(after));
-      for (int i = 0; i < n; ++i) {
-        coll_message(i, (i + 1) % n, segment, buffer, [join] { join->arrive(); });
-      }
-    });
-  }
-  run_stages(std::move(stages), std::move(done));
+  run_coll_schedule(plan(CollectiveOp::kReduceScatter, buffer).front(), buffer,
+                    coll_launch(), std::move(done));
 }
 
 double ramp_factor(Bytes bytes, Bytes rampup) {
   if (rampup == 0) return 1.0;
   const double b = static_cast<double>(bytes);
   return b / (b + static_cast<double>(rampup));
-}
-
-int pairwise_partner(int rank, int round, int n) {
-  assert(round >= 1 && round < n);
-  return (rank + round) % n;
-}
-
-std::vector<std::vector<RingStep>> ring_allreduce_schedule(int n) {
-  assert(n >= 2);
-  std::vector<std::vector<RingStep>> rounds;
-  rounds.reserve(static_cast<std::size_t>(2 * (n - 1)));
-  // Reduce-scatter: in round r, rank i sends segment (i - r + n) % n to i+1,
-  // which reduces it into its accumulator for that segment.
-  for (int r = 0; r < n - 1; ++r) {
-    std::vector<RingStep> round;
-    round.reserve(n);
-    for (int i = 0; i < n; ++i) {
-      round.push_back(RingStep{i, (i + 1) % n, ((i - r) % n + n) % n, true});
-    }
-    rounds.push_back(std::move(round));
-  }
-  // Allgather: rank i forwards the fully reduced segment (i + 1 - r) % n.
-  for (int r = 0; r < n - 1; ++r) {
-    std::vector<RingStep> round;
-    round.reserve(n);
-    for (int i = 0; i < n; ++i) {
-      round.push_back(RingStep{i, (i + 1) % n, ((i + 1 - r) % n + n) % n, false});
-    }
-    rounds.push_back(std::move(round));
-  }
-  return rounds;
 }
 
 }  // namespace gpucomm

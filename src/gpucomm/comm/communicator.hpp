@@ -16,13 +16,35 @@
 #include "gpucomm/mem/copy_engine.hpp"
 #include "gpucomm/runtime/ops.hpp"
 #include "gpucomm/runtime/rank.hpp"
+#include "gpucomm/sched/executor.hpp"
 
 namespace gpucomm {
 
 enum class Mechanism : std::uint8_t { kStaging, kDeviceCopy, kCcl, kMpi };
 const char* to_string(Mechanism m);
 
-enum class CollectiveOp : std::uint8_t { kSend, kPingPong, kAlltoall, kAllreduce };
+enum class CollectiveOp : std::uint8_t {
+  kSend,
+  kPingPong,
+  kAlltoall,
+  kAllreduce,
+  kBroadcast,
+  kAllgather,
+  kReduceScatter,
+};
+
+/// Schedule identity attached to every message a collective issues, so
+/// mechanisms can tag flows with the algorithm and round they belong to.
+/// Defaults mean "not driven by a schedule" (plain send).
+struct CollContext {
+  const char* algorithm = nullptr;
+  int round = -1;
+};
+
+/// CollContext for a step the schedule executor is issuing.
+inline CollContext coll_ctx(const sched::StepCtx& ctx) {
+  return {sched::to_string(ctx.schedule->algorithm), ctx.round};
+}
 
 struct CommOptions {
   /// Tuning environment; defaults to the paper's tuned configuration.
@@ -75,6 +97,14 @@ class Communicator {
   /// reduced buffer/n segment).
   virtual void reduce_scatter(Bytes buffer, EventFn done);
 
+  /// The schedule(s) this mechanism would run for `op` at this size — the
+  /// single source of algorithm selection, used by the op implementations
+  /// and by `gpucomm_cli --dump-schedule`. Multiple schedules run
+  /// concurrently (*CCL counter-rotating intra-node rings). For kAllgather,
+  /// `bytes` is the per-rank contribution; `root` only applies to
+  /// kBroadcast. Empty for ops without a schedule (kSend, kPingPong).
+  virtual std::vector<sched::Schedule> plan(CollectiveOp op, Bytes bytes, int root = 0) const;
+
   // --- blocking helpers (run the engine until the op completes) ------------
   SimTime time_send(int src, int dst, Bytes bytes);
   /// Full round trip src -> dst -> src (divide by 2 for the paper's numbers).
@@ -89,18 +119,19 @@ class Communicator {
   /// One message inside a collective, in this mechanism's preferred way
   /// (*CCL channel transfer, MPI collective-context transfer, host path,
   /// device copy). `op_bytes` is the whole operation's size (pipeline-ramp
-  /// reference). The base-class collective algorithms are built on this.
-  virtual void coll_message(int src, int dst, Bytes bytes, Bytes op_bytes, EventFn done);
+  /// reference); `ctx` identifies the issuing schedule for telemetry. The
+  /// base-class collective algorithms are built on this.
+  virtual void coll_message(int src, int dst, Bytes bytes, Bytes op_bytes,
+                            const CollContext& ctx, EventFn done);
 
   /// Fixed per-operation launch cost (e.g. *CCL group launch).
   virtual SimTime coll_launch() const { return SimTime::zero(); }
 
-  /// Windowed alltoall driver: every rank streams its n-1 peer messages
-  /// (k-th message of rank r targets (r+k) % n) with at most `window`
-  /// outstanding, modelling the non-blocking pipelines real alltoall
-  /// implementations use; `transfer_fn(src, k, done)` performs one message.
-  void windowed_alltoall(int window,
-                         const std::function<void(int, int, EventFn)>& transfer_fn,
+  /// Drive `s` through coll_message via the shared executor: per-round
+  /// message barrier, then a GPU reduction of the round's reduce_bytes.
+  /// `launch` engaged posts a launch stage first (base collectives always
+  /// engage it, matching the legacy stage even when the cost is zero).
+  void run_coll_schedule(sched::Schedule s, Bytes op_bytes, std::optional<SimTime> launch,
                          EventFn done);
 
   /// Post a flow after `pre_delay`, inflating bytes by 1/efficiency to model
@@ -143,22 +174,7 @@ class Communicator {
 /// effective rate scales by bytes / (bytes + rampup).
 double ramp_factor(Bytes bytes, Bytes rampup);
 
-// --- collective schedules (shared by MPI and *CCL models, and unit-tested
-// --- for data-plane correctness) -------------------------------------------
-
-/// Pairwise-exchange partner of `rank` in `round` (1 <= round < n).
-int pairwise_partner(int rank, int round, int n);
-
-struct RingStep {
-  int src = -1;
-  int dst = -1;
-  int segment = -1;  // buffer segment index in [0, n)
-  bool reduce = false;
-};
-
-/// Ring allreduce schedule over ring positions 0..n-1: n-1 reduce-scatter
-/// rounds followed by n-1 allgather rounds; each rank sends one segment of
-/// size ~ total/n per round.
-std::vector<std::vector<RingStep>> ring_allreduce_schedule(int n);
+// Collective round/partner math lives in gpucomm/sched/builders.hpp; every
+// algorithm's round structure is defined exactly once there.
 
 }  // namespace gpucomm

@@ -2,21 +2,16 @@
 
 #include <cassert>
 #include <cstddef>
+#include <utility>
 
 namespace gpucomm::dataplane {
 
 namespace {
 
-std::size_t segment_size(const State& state) {
-  const std::size_t n = state.size();
-  assert(n > 0);
-  assert(state[0].size() % n == 0 && "buffer must split into n segments");
-  return state[0].size() / n;
-}
-
-/// View of segment `seg` of rank `r`.
-double* seg_ptr(State& state, int r, int seg, std::size_t seg_len) {
-  return state[r].data() + static_cast<std::size_t>(seg) * seg_len;
+/// Span of flat slot `flat` in a buffer of `size` elements, partitioned the
+/// way the schedule partitions its bytes (one element per byte).
+sched::Span span_of(const sched::Schedule& s, std::size_t size, int flat) {
+  return sched::slot_span(static_cast<Bytes>(size), s.outer_slots, s.inner_slots, flat);
 }
 
 }  // namespace
@@ -29,205 +24,87 @@ Vec elementwise_sum(const State& state) {
   return out;
 }
 
-void ring_allreduce(State& state) {
-  const int n = static_cast<int>(state.size());
-  if (n < 2) return;
-  const std::size_t len = segment_size(state);
-
-  // Reduce-scatter: round r, rank i sends segment (i - r) mod n to i+1.
-  for (int r = 0; r < n - 1; ++r) {
-    std::vector<Vec> in_flight(n);
-    for (int i = 0; i < n; ++i) {
-      const int seg = ((i - r) % n + n) % n;
-      in_flight[i].assign(seg_ptr(state, i, seg, len), seg_ptr(state, i, seg, len) + len);
-    }
-    for (int i = 0; i < n; ++i) {
-      const int dst = (i + 1) % n;
-      const int seg = ((i - r) % n + n) % n;
-      double* d = seg_ptr(state, dst, seg, len);
-      for (std::size_t k = 0; k < len; ++k) d[k] += in_flight[i][k];
-    }
-  }
-  // Allgather: round r, rank i forwards its fully-reduced segment (i+1-r).
-  for (int r = 0; r < n - 1; ++r) {
-    std::vector<Vec> in_flight(n);
-    for (int i = 0; i < n; ++i) {
-      const int seg = ((i + 1 - r) % n + n) % n;
-      in_flight[i].assign(seg_ptr(state, i, seg, len), seg_ptr(state, i, seg, len) + len);
-    }
-    for (int i = 0; i < n; ++i) {
-      const int dst = (i + 1) % n;
-      const int seg = ((i + 1 - r) % n + n) % n;
-      double* d = seg_ptr(state, dst, seg, len);
-      for (std::size_t k = 0; k < len; ++k) d[k] = in_flight[i][k];
+void run_schedule(const sched::Schedule& s, State& state) {
+  assert(static_cast<int>(state.size()) == s.n);
+  const State input = state;  // pristine source for from_input steps
+  for (const sched::Round& round : s.rounds) {
+    const State snapshot = state;  // sources within a round are concurrent
+    for (const sched::Step& step : round.steps) {
+      assert(step.src >= 0 && step.src < s.n && step.dst >= 0 && step.dst < s.n);
+      const Vec& src_vec = step.from_input ? input[static_cast<std::size_t>(step.src)]
+                                           : snapshot[static_cast<std::size_t>(step.src)];
+      Vec& dst_vec = state[static_cast<std::size_t>(step.dst)];
+      for (const sched::SlotMove& mv : step.moves) {
+        const sched::Span src_span = span_of(s, src_vec.size(), mv.src_slot);
+        const sched::Span dst_span = span_of(s, dst_vec.size(), mv.dst_slot);
+        assert(src_span.size == dst_span.size && "move spans must match");
+        const std::size_t src_off = static_cast<std::size_t>(src_span.offset);
+        const std::size_t dst_off = static_cast<std::size_t>(dst_span.offset);
+        for (std::size_t k = 0; k < static_cast<std::size_t>(src_span.size); ++k) {
+          if (step.reduce) {
+            dst_vec[dst_off + k] += src_vec[src_off + k];
+          } else {
+            dst_vec[dst_off + k] = src_vec[src_off + k];
+          }
+        }
+      }
     }
   }
 }
 
+void ring_allreduce(State& state) {
+  const int n = static_cast<int>(state.size());
+  if (n < 2) return;
+  run_schedule(sched::ring_allreduce(n, static_cast<Bytes>(state[0].size())), state);
+}
+
 void recursive_doubling_allreduce(State& state) {
   const int n = static_cast<int>(state.size());
-  assert((n & (n - 1)) == 0 && "recursive doubling needs a power of two");
-  for (int stride = 1; stride < n; stride <<= 1) {
-    const State snapshot = state;  // exchanges within a round are concurrent
-    for (int i = 0; i < n; ++i) {
-      const int partner = i ^ stride;
-      for (std::size_t k = 0; k < state[i].size(); ++k) {
-        state[i][k] = snapshot[i][k] + snapshot[partner][k];
-      }
-    }
-  }
+  if (n < 2) return;
+  run_schedule(sched::recursive_doubling_allreduce(n, static_cast<Bytes>(state[0].size())),
+               state);
 }
 
 void hierarchical_allreduce(State& state, int n_local) {
   const int n = static_cast<int>(state.size());
   assert(n % n_local == 0);
   const int nodes = n / n_local;
-  const std::size_t size = state[0].size();
-  assert(size % static_cast<std::size_t>(n_local) == 0);
-  const std::size_t chunk = size / n_local;
-
-  // Phase 1: intra-node reduce-scatter — local rank j accumulates chunk j.
-  State chunks(n);  // chunks[rank] = its owned chunk, reduced within the node
-  for (int node = 0; node < nodes; ++node) {
-    for (int j = 0; j < n_local; ++j) {
-      const int owner = node * n_local + j;
-      chunks[owner].assign(chunk, 0.0);
-      for (int i = 0; i < n_local; ++i) {
-        const Vec& src = state[node * n_local + i];
-        for (std::size_t k = 0; k < chunk; ++k) chunks[owner][k] += src[j * chunk + k];
-      }
-    }
-  }
-  // Phase 2: per-local-index ring allreduce across nodes.
-  for (int j = 0; j < n_local; ++j) {
-    State ring(nodes);
-    for (int node = 0; node < nodes; ++node) ring[node] = chunks[node * n_local + j];
-    if (nodes > 1) {
-      // Chunk may not split by `nodes`; recursive reference: a plain sum.
-      const Vec total = elementwise_sum(ring);
-      for (int node = 0; node < nodes; ++node) ring[node] = total;
-    }
-    for (int node = 0; node < nodes; ++node) chunks[node * n_local + j] = ring[node];
-  }
-  // Phase 3: intra-node allgather of the reduced chunks.
-  for (int node = 0; node < nodes; ++node) {
-    for (int i = 0; i < n_local; ++i) {
-      Vec& dst = state[node * n_local + i];
-      for (int j = 0; j < n_local; ++j) {
-        const Vec& c = chunks[node * n_local + j];
-        for (std::size_t k = 0; k < chunk; ++k) dst[j * chunk + k] = c[k];
-      }
-    }
-  }
+  run_schedule(sched::hierarchical_allreduce(nodes, n_local,
+                                             static_cast<Bytes>(state[0].size())),
+               state);
 }
 
 void pairwise_alltoall(State& state) {
   const int n = static_cast<int>(state.size());
   if (n < 2) return;
-  const std::size_t len = segment_size(state);
-  State out = state;  // block i of rank i stays in place
-  for (int round = 1; round < n; ++round) {
-    for (int i = 0; i < n; ++i) {
-      const int dst = (i + round) % n;
-      // Rank i's block `dst` lands in rank dst's slot `i`.
-      for (std::size_t k = 0; k < len; ++k) {
-        out[dst][static_cast<std::size_t>(i) * len + k] =
-            state[i][static_cast<std::size_t>(dst) * len + k];
-      }
-    }
-  }
-  state = std::move(out);
+  run_schedule(sched::pairwise_alltoall(n, static_cast<Bytes>(state[0].size())), state);
 }
 
 void bruck_alltoall(State& state) {
   const int n = static_cast<int>(state.size());
   if (n < 2) return;
-  const std::size_t len = segment_size(state);
-
-  // Classic Bruck: (1) local rotation so block j holds data for rank i+j,
-  // (2) log rounds exchanging the blocks whose index has bit k set,
-  // (3) final inverse rotation + reversal.
-  State work(n, Vec(state[0].size()));
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < n; ++j) {
-      const int src_block = (i + j) % n;
-      for (std::size_t k = 0; k < len; ++k) {
-        work[i][static_cast<std::size_t>(j) * len + k] =
-            state[i][static_cast<std::size_t>(src_block) * len + k];
-      }
-    }
-  }
-  for (int stride = 1; stride < n; stride <<= 1) {
-    const State snapshot = work;
-    for (int i = 0; i < n; ++i) {
-      const int src = ((i - stride) % n + n) % n;  // bit-set blocks arrive from rank i-2^k
-      for (int j = 0; j < n; ++j) {
-        if ((j & stride) == 0) continue;
-        for (std::size_t k = 0; k < len; ++k) {
-          work[i][static_cast<std::size_t>(j) * len + k] =
-              snapshot[src][static_cast<std::size_t>(j) * len + k];
-        }
-      }
-    }
-  }
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < n; ++j) {
-      const int dst_block = ((i - j) % n + n) % n;
-      for (std::size_t k = 0; k < len; ++k) {
-        state[i][static_cast<std::size_t>(dst_block) * len + k] =
-            work[i][static_cast<std::size_t>(j) * len + k];
-      }
-    }
-  }
+  run_schedule(sched::bruck_alltoall(n, static_cast<Bytes>(state[0].size())), state);
 }
 
 void binomial_broadcast(State& state, int root) {
   const int n = static_cast<int>(state.size());
-  for (int stride = 1; stride < n; stride <<= 1) {
-    for (int i = 0; i < stride && i + stride < n; ++i) {
-      state[(root + i + stride) % n] = state[(root + i) % n];
-    }
-  }
+  if (n < 2) return;
+  run_schedule(sched::binomial_broadcast(n, root, static_cast<Bytes>(state[0].size())),
+               state);
 }
 
 void ring_allgather(State& state) {
   const int n = static_cast<int>(state.size());
   if (n < 2) return;
-  const std::size_t len = segment_size(state);
-  // In round r, rank i forwards the slot it received r rounds ago, i.e.
-  // slot (i - r) mod n, to rank i+1.
-  for (int r = 0; r < n - 1; ++r) {
-    std::vector<Vec> in_flight(n);
-    for (int i = 0; i < n; ++i) {
-      const int slot = ((i - r) % n + n) % n;
-      in_flight[i].assign(seg_ptr(state, i, slot, len), seg_ptr(state, i, slot, len) + len);
-    }
-    for (int i = 0; i < n; ++i) {
-      const int dst = (i + 1) % n;
-      const int slot = ((i - r) % n + n) % n;
-      double* d = seg_ptr(state, dst, slot, len);
-      for (std::size_t k = 0; k < len; ++k) d[k] = in_flight[i][k];
-    }
-  }
+  run_schedule(
+      sched::ring_allgather(n, static_cast<Bytes>(state[0].size() / static_cast<std::size_t>(n))),
+      state);
 }
 
 void ring_reduce_scatter(State& state) {
   const int n = static_cast<int>(state.size());
   if (n < 2) return;
-  const std::size_t len = segment_size(state);
-  for (int r = 0; r < n - 1; ++r) {
-    std::vector<Vec> in_flight(n);
-    for (int i = 0; i < n; ++i) {
-      const int seg = ((i - r) % n + n) % n;
-      in_flight[i].assign(seg_ptr(state, i, seg, len), seg_ptr(state, i, seg, len) + len);
-    }
-    for (int i = 0; i < n; ++i) {
-      const int dst = (i + 1) % n;
-      const int seg = ((i - r) % n + n) % n;
-      double* d = seg_ptr(state, dst, seg, len);
-      for (std::size_t k = 0; k < len; ++k) d[k] += in_flight[i][k];
-    }
-  }
+  run_schedule(sched::ring_reduce_scatter(n, static_cast<Bytes>(state[0].size())), state);
 }
 
 }  // namespace gpucomm::dataplane

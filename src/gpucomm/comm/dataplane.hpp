@@ -1,12 +1,17 @@
-// Executable data-plane semantics for the collective algorithm families the
-// timing models mirror (ring, recursive doubling, Bruck, pairwise, binomial
-// tree, hierarchical). The simulator moves no payload at scale; these
-// reference implementations operate on real per-rank vectors so tests can
-// prove each schedule actually computes the collective it claims to — the
-// correctness companion to the performance models.
+// Executable data-plane semantics for the collective schedules the timing
+// models run. The simulator moves no payload at scale; `run_schedule`
+// interprets the same sched::Schedule objects the executor times, operating
+// on real per-rank vectors so tests can prove each schedule actually
+// computes the collective it claims to — the correctness companion to the
+// performance models. The named wrappers below build the schedule with the
+// sched:: builders (one element per byte) and run it; none of them
+// re-implements an algorithm's round structure.
 #pragma once
 
 #include <vector>
+
+#include "gpucomm/sched/builders.hpp"
+#include "gpucomm/sched/schedule.hpp"
 
 namespace gpucomm::dataplane {
 
@@ -14,8 +19,15 @@ using Vec = std::vector<double>;
 /// state[rank] = that rank's buffer.
 using State = std::vector<Vec>;
 
+/// Execute the schedule's slot moves on real buffers. Rounds are concurrent:
+/// every step reads its source spans as they were at the round barrier (or
+/// from the pristine input for `from_input` steps), then reduces (+=) or
+/// overwrites its destination spans. Slot spans are derived from the actual
+/// buffer length (one element per byte of the exact partition), so any
+/// length works, including ones the remainder distribution splits unevenly.
+void run_schedule(const sched::Schedule& s, State& state);
+
 /// Ring allreduce (reduce-scatter + allgather) over rank order 0..n-1.
-/// Buffers must share a size divisible by n.
 void ring_allreduce(State& state);
 
 /// Recursive-doubling allreduce; n must be a power of two.
@@ -23,7 +35,7 @@ void recursive_doubling_allreduce(State& state);
 
 /// Hierarchical allreduce: intra-group reduce-scatter, per-slot inter-group
 /// ring, intra-group allgather (the *CCL multi-node structure). `n_local`
-/// must divide both the rank count and the buffer size.
+/// must divide the rank count.
 void hierarchical_allreduce(State& state, int n_local);
 
 /// Pairwise-exchange alltoall: state[rank] holds n equal blocks; afterwards

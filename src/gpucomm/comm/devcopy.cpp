@@ -1,6 +1,9 @@
 #include "gpucomm/comm/devcopy.hpp"
 
+#include <algorithm>
 #include <utility>
+
+#include "gpucomm/sched/builders.hpp"
 
 namespace gpucomm {
 
@@ -19,7 +22,7 @@ bool DeviceCopyComm::available(CollectiveOp) const {
 }
 
 void DeviceCopyComm::copy_flow(int src, int dst, Bytes bytes, int concurrent,
-                               SimTime issue_delay, EventFn done) {
+                               SimTime issue_delay, const CollContext& ctx, EventFn done) {
   const Route route = cluster_.intra_node_route(ranks_[src].gpu, ranks_[dst].gpu);
   const double eff =
       sys().gpu.ipc_copy_efficiency * ramp_factor(bytes, sys().gpu.copy_rampup_bytes);
@@ -31,56 +34,64 @@ void DeviceCopyComm::copy_flow(int src, int dst, Bytes bytes, int concurrent,
   tag.stage = "copy";
   tag.src_rank = src;
   tag.dst_rank = dst;
+  tag.algorithm = ctx.algorithm;
+  tag.round = ctx.round;
   post_flow(route, bytes, eff, cap, sys().gpu.copy_issue + issue_delay, std::move(done), tag);
 }
 
 void DeviceCopyComm::send(int src, int dst, Bytes bytes, EventFn done) {
-  copy_flow(src, dst, bytes, /*concurrent=*/1, SimTime::zero(), std::move(done));
+  copy_flow(src, dst, bytes, /*concurrent=*/1, SimTime::zero(), CollContext{},
+            std::move(done));
+}
+
+std::vector<sched::Schedule> DeviceCopyComm::plan(CollectiveOp op, Bytes bytes,
+                                                  int root) const {
+  if (op == CollectiveOp::kAllreduce) return {sched::star_allreduce(size(), bytes)};
+  return Communicator::plan(op, bytes, root);
 }
 
 void DeviceCopyComm::alltoall(Bytes buffer, EventFn done) {
   const int n = size();
-  const Bytes per_pair = buffer / static_cast<Bytes>(n);
-  auto join = JoinCounter::create(n * (n - 1), std::move(done));
-  for (int src = 0; src < n; ++src) {
-    for (int k = 1; k < n; ++k) {
-      const int dst = (src + k) % n;
-      // Async issues queue back-to-back on the source stream before the
-      // copies run concurrently on the fabric.
-      const SimTime issue_delay = SimTime{sys().gpu.copy_issue.ps * (k - 1)};
-      copy_flow(src, dst, per_pair, n - 1, issue_delay, [join] { join->arrive(); });
-    }
-  }
+  sched::ExecHooks hooks;
+  hooks.engine = &engine();
+  hooks.message = [this, n](const sched::Step& step, const sched::StepCtx& ctx,
+                            EventFn msg_done) {
+    // Async issues queue back-to-back on the source stream (one per earlier
+    // round) before the copies run concurrently on the fabric.
+    const SimTime issue_delay = SimTime{sys().gpu.copy_issue.ps * ctx.round};
+    copy_flow(step.src, step.dst, step.bytes, n - 1, issue_delay, coll_ctx(ctx),
+              std::move(msg_done));
+  };
+  // A window the size of each rank's full send list: everything is posted
+  // up front and overlaps, with no barrier between rounds.
+  sched::execute_windowed(plan(CollectiveOp::kAlltoall, buffer).front(),
+                          std::max(n - 1, 1), hooks, std::move(done));
 }
 
 void DeviceCopyComm::allreduce(Bytes buffer, EventFn done) {
   const int n = size();
-  // Phase 1: every rank copies its full buffer to rank 0 (concurrent copies
+  // Round 1: every rank copies its full buffer to rank 0 (concurrent copies
   // share rank 0's ingress links); rank 0 then reduces n-1 buffers.
-  // Phase 2: rank 0 broadcasts the result with n-1 concurrent copies.
-  run_stages(
-      {
-          [this, n, buffer](EventFn next) {
-            auto join = JoinCounter::create(n - 1, std::move(next));
-            for (int src = 1; src < n; ++src) {
-              copy_flow(src, 0, buffer, /*concurrent=*/1, SimTime::zero(),
-                        [join] { join->arrive(); });
-            }
-          },
-          [this, n, buffer](EventFn next) {
-            const Bytes to_reduce = buffer * static_cast<Bytes>(n - 1);
-            record_local("reduce", 0, 0, to_reduce, copy_.reduce_time(to_reduce));
-            engine().after(copy_.reduce_time(to_reduce), std::move(next));
-          },
-          [this, n, buffer](EventFn next) {
-            auto join = JoinCounter::create(n - 1, std::move(next));
-            for (int dst = 1; dst < n; ++dst) {
-              const SimTime issue_delay = SimTime{sys().gpu.copy_issue.ps * (dst - 1)};
-              copy_flow(0, dst, buffer, n - 1, issue_delay, [join] { join->arrive(); });
-            }
-          },
-      },
-      std::move(done));
+  // Round 2: rank 0 broadcasts the result with n-1 concurrent copies.
+  sched::ExecHooks hooks;
+  hooks.engine = &engine();
+  hooks.message = [this, n](const sched::Step& step, const sched::StepCtx& ctx,
+                            EventFn msg_done) {
+    if (step.reduce) {
+      copy_flow(step.src, step.dst, step.bytes, /*concurrent=*/1, SimTime::zero(),
+                coll_ctx(ctx), std::move(msg_done));
+      return;
+    }
+    const SimTime issue_delay = SimTime{sys().gpu.copy_issue.ps * ctx.index};
+    copy_flow(step.src, step.dst, step.bytes, n - 1, issue_delay, coll_ctx(ctx),
+              std::move(msg_done));
+  };
+  hooks.reduce_time = [this](Bytes b) {
+    const SimTime t = copy_.reduce_time(b);
+    record_local("reduce", 0, 0, b, t);
+    return t;
+  };
+  sched::execute(plan(CollectiveOp::kAllreduce, buffer).front(), hooks, std::move(done));
 }
 
 }  // namespace gpucomm

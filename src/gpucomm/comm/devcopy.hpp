@@ -24,12 +24,16 @@ class DeviceCopyComm final : public Communicator {
   /// reference implementation showing multi-GPU collectives are non-trivial).
   void allreduce(Bytes buffer, EventFn done) override;
 
+  /// Pairwise copies for alltoall, star (gather-reduce-broadcast) allreduce.
+  std::vector<sched::Schedule> plan(CollectiveOp op, Bytes bytes, int root = 0) const override;
+
  private:
   /// Issue + flow for one copy src -> dst; per-copy issue costs serialize on
   /// the source rank's stream, and `concurrent` copies in flight from the
-  /// same GPU share its copy-engine budget.
+  /// same GPU share its copy-engine budget. `ctx` attributes the flow to its
+  /// schedule round.
   void copy_flow(int src, int dst, Bytes bytes, int concurrent, SimTime issue_delay,
-                 EventFn done);
+                 const CollContext& ctx, EventFn done);
   bool all_same_node() const;
 };
 

@@ -5,6 +5,7 @@
 
 #include "gpucomm/hw/link.hpp"
 #include "gpucomm/hw/nic.hpp"
+#include "gpucomm/sched/builders.hpp"
 
 namespace gpucomm {
 
@@ -29,7 +30,7 @@ Bandwidth MpiComm::intra_rate_cap() const {
 }
 
 void MpiComm::transfer(int src, int dst, Bytes bytes, bool collective, Bytes ramp_ref,
-                       EventFn done) {
+                       const CollContext& ctx, EventFn done) {
   const MpiParams& mpi = sys().mpi;
   const MpiP2pPath path = path_for(src, dst, bytes);
   const SimTime o = mpi.o_send + mpi.o_recv;
@@ -71,6 +72,8 @@ void MpiComm::transfer(int src, int dst, Bytes bytes, bool collective, Bytes ram
       tag.stage = "ipc";
       tag.src_rank = src;
       tag.dst_rank = dst;
+      tag.algorithm = ctx.algorithm;
+      tag.round = ctx.round;
       if (bytes <= mpi.eager_threshold) {
         // Eager IPC: a direct small copy, no pipelined rendezvous machinery.
         post_flow(route, bytes, 1.0, mpi.ipc_eager_bw, pre, std::move(done), tag);
@@ -95,6 +98,8 @@ void MpiComm::transfer(int src, int dst, Bytes bytes, bool collective, Bytes ram
       tag.stage = "rdma";
       tag.src_rank = src;
       tag.dst_rank = dst;
+      tag.algorithm = ctx.algorithm;
+      tag.round = ctx.round;
       const DeviceId dst_nic = d.nic_dev;
       if (telemetry::Sink* sink = telemetry()) {
         sink->nic_message(s.nic_dev, /*send=*/true, bytes, engine().now(),
@@ -115,44 +120,54 @@ void MpiComm::transfer(int src, int dst, Bytes bytes, bool collective, Bytes ram
   }
 }
 
-void MpiComm::coll_message(int src, int dst, Bytes bytes, Bytes op_bytes, EventFn done) {
-  transfer(src, dst, bytes, /*collective=*/true, op_bytes, std::move(done));
+void MpiComm::coll_message(int src, int dst, Bytes bytes, Bytes op_bytes,
+                           const CollContext& ctx, EventFn done) {
+  transfer(src, dst, bytes, /*collective=*/true, op_bytes, ctx, std::move(done));
 }
 
 void MpiComm::send(int src, int dst, Bytes bytes, EventFn done) {
-  transfer(src, dst, bytes, /*collective=*/false, bytes, std::move(done));
+  transfer(src, dst, bytes, /*collective=*/false, bytes, CollContext{}, std::move(done));
+}
+
+std::vector<sched::Schedule> MpiComm::plan(CollectiveOp op, Bytes bytes, int root) const {
+  const int n = size();
+  switch (op) {
+    case CollectiveOp::kAlltoall:
+      // Small vectors: Bruck's algorithm — ceil(log2 n) blocking rounds, each
+      // moving ~half the buffer to rank + 2^k (latency-optimal; why MPI wins
+      // small collectives, Fig. 11). Larger ones: pairwise exchange.
+      if (bytes <= 32_KiB && n >= 4) return {sched::bruck_alltoall(n, bytes)};
+      return {sched::pairwise_alltoall(n, bytes)};
+    case CollectiveOp::kAllreduce:
+      // Small vectors: recursive doubling (latency-optimal, what Cray
+      // MPICH's selector picks); requires a power-of-two communicator.
+      if (opts_.space != MemSpace::kHost && !sys().mpi.host_staged_allreduce &&
+          bytes <= 64_KiB && (n & (n - 1)) == 0 && n >= 2) {
+        return {sched::recursive_doubling_allreduce(n, bytes)};
+      }
+      return {sched::ring_allreduce(n, bytes)};
+    default:
+      return Communicator::plan(op, bytes, root);
+  }
 }
 
 void MpiComm::alltoall(Bytes buffer, EventFn done) {
-  const int n = size();
-  if (buffer <= 32_KiB && n >= 4) {
-    // Small vectors: Bruck's algorithm — ceil(log2 n) blocking rounds, each
-    // moving ~half the buffer to rank + 2^k (latency-optimal; why MPI wins
-    // small collectives, Fig. 11).
-    const Bytes half = std::max<Bytes>(buffer / 2, 1);
-    std::vector<Stage> stages;
-    for (int stride = 1; stride < n; stride <<= 1) {
-      stages.push_back([this, n, stride, half, buffer](EventFn next) {
-        auto join = JoinCounter::create(n, std::move(next));
-        for (int r = 0; r < n; ++r) {
-          transfer(r, (r + stride) % n, half, /*collective=*/true, buffer,
-                   [join] { join->arrive(); });
-        }
-      });
-    }
-    run_stages(std::move(stages), std::move(done));
+  sched::Schedule s = plan(CollectiveOp::kAlltoall, buffer).front();
+  sched::ExecHooks hooks;
+  hooks.engine = &engine();
+  hooks.message = [this, buffer](const sched::Step& step, const sched::StepCtx& ctx,
+                                 EventFn msg_done) {
+    transfer(step.src, step.dst, step.bytes, /*collective=*/true, buffer, coll_ctx(ctx),
+             std::move(msg_done));
+  };
+  if (s.algorithm == sched::Algorithm::kBruckAlltoall) {
+    // Blocking rounds: every rank joins the barrier before the next stride.
+    sched::execute(std::move(s), hooks, std::move(done));
     return;
   }
   // Non-blocking pairwise exchange with a modest isend/irecv window (the
   // standard MPICH/Open MPI medium-message alltoall structure).
-  const Bytes per_pair = buffer / static_cast<Bytes>(n);
-  windowed_alltoall(
-      /*window=*/4,
-      [this, n, per_pair, buffer](int src, int k, EventFn msg_done) {
-        transfer(src, pairwise_partner(src, k, n), per_pair, /*collective=*/true, buffer,
-                 std::move(msg_done));
-      },
-      std::move(done));
+  sched::execute_windowed(std::move(s), /*window=*/4, hooks, std::move(done));
 }
 
 void MpiComm::allreduce(Bytes buffer, EventFn done) {
@@ -160,10 +175,8 @@ void MpiComm::allreduce(Bytes buffer, EventFn done) {
     allreduce_host_staged(buffer, std::move(done));
     return;
   }
-  // Small vectors: recursive doubling (latency-optimal, what Cray MPICH's
-  // selector picks); requires a power-of-two communicator.
-  if (!sys().mpi.host_staged_allreduce && buffer <= 64_KiB &&
-      (size() & (size() - 1)) == 0 && size() >= 2) {
+  if (plan(CollectiveOp::kAllreduce, buffer).front().algorithm ==
+      sched::Algorithm::kRecursiveDoublingAllreduce) {
     allreduce_recursive_doubling(buffer, std::move(done));
     return;
   }
@@ -189,80 +202,47 @@ void MpiComm::allreduce(Bytes buffer, EventFn done) {
 void MpiComm::allreduce_gpu_staged(Bytes buffer, EventFn done) {
   // Ring allreduce over the rank order; the GPU-kernel staging buffer limits
   // the effective bandwidth by blk / (blk + halfpoint) (Sec. III-B).
-  const int n = size();
   const double blk_factor =
       static_cast<double>(eff_.allreduce_blk) /
       static_cast<double>(eff_.allreduce_blk + sys().mpi.allreduce_blk_halfpoint);
-  const Bytes segment = std::max<Bytes>(buffer / static_cast<Bytes>(n), 1);
-  // Surface the block penalty as extra wire bytes on every ring transfer.
-  const Bytes wire_segment = static_cast<Bytes>(static_cast<double>(segment) / blk_factor);
-
-  const auto schedule = ring_allreduce_schedule(n);
-  std::vector<Stage> stages;
-  stages.reserve(schedule.size());
-  for (std::size_t round = 0; round < schedule.size(); ++round) {
-    const bool reduce_round = round + 1 < static_cast<std::size_t>(n);
-    stages.push_back([this, n, wire_segment, segment, buffer, reduce_round](EventFn next) {
-      EventFn after = std::move(next);
-      if (reduce_round) {
-        after = [this, segment, next = std::move(after)]() mutable {
-          engine().after(copy_.reduce_time(segment), std::move(next));
-        };
-      }
-      auto join = JoinCounter::create(n, std::move(after));
-      for (int i = 0; i < n; ++i) {
-        transfer(i, (i + 1) % n, wire_segment, /*collective=*/true, buffer,
-                 [join] { join->arrive(); });
-      }
-    });
-  }
-  run_stages(std::move(stages), std::move(done));
+  sched::ExecHooks hooks;
+  hooks.engine = &engine();
+  hooks.message = [this, buffer, blk_factor](const sched::Step& step,
+                                             const sched::StepCtx& ctx, EventFn msg_done) {
+    // Surface the block penalty as extra wire bytes on every ring transfer.
+    const Bytes wire = static_cast<Bytes>(static_cast<double>(step.bytes) / blk_factor);
+    transfer(step.src, step.dst, wire, /*collective=*/true, buffer, coll_ctx(ctx),
+             std::move(msg_done));
+  };
+  hooks.reduce_time = [this](Bytes b) { return copy_.reduce_time(b); };
+  sched::execute(sched::ring_allreduce(size(), buffer), hooks, std::move(done));
 }
 
 void MpiComm::allreduce_recursive_doubling(Bytes buffer, EventFn done) {
-  const int n = size();
-  int rounds = 0;
-  for (int m = 1; m < n; m <<= 1) ++rounds;
-  std::vector<Stage> stages;
-  stages.reserve(rounds);
-  for (int k = 0; k < rounds; ++k) {
-    stages.push_back([this, n, k, buffer](EventFn next) {
-      EventFn after = [this, buffer, next = std::move(next)]() mutable {
-        engine().after(copy_.reduce_time(buffer), std::move(next));
-      };
-      auto join = JoinCounter::create(n, std::move(after));
-      for (int i = 0; i < n; ++i) {
-        transfer(i, i ^ (1 << k), buffer, /*collective=*/true, buffer,
-                 [join] { join->arrive(); });
-      }
-    });
-  }
-  run_stages(std::move(stages), std::move(done));
+  sched::ExecHooks hooks;
+  hooks.engine = &engine();
+  hooks.message = [this, buffer](const sched::Step& step, const sched::StepCtx& ctx,
+                                 EventFn msg_done) {
+    transfer(step.src, step.dst, step.bytes, /*collective=*/true, buffer, coll_ctx(ctx),
+             std::move(msg_done));
+  };
+  hooks.reduce_time = [this](Bytes b) { return copy_.reduce_time(b); };
+  sched::execute(sched::recursive_doubling_allreduce(size(), buffer), hooks,
+                 std::move(done));
 }
 
 void MpiComm::allreduce_host_staged(Bytes buffer, EventFn done) {
-  const int n = size();
-  const Bytes segment = std::max<Bytes>(buffer / static_cast<Bytes>(n), 1);
-  const auto schedule = ring_allreduce_schedule(n);
-  std::vector<Stage> stages;
-  stages.reserve(schedule.size());
-  for (std::size_t round = 0; round < schedule.size(); ++round) {
-    const bool reduce_round = round + 1 < static_cast<std::size_t>(n);
-    stages.push_back([this, n, segment, reduce_round](EventFn next) {
-      EventFn after = std::move(next);
-      if (reduce_round) {
-        after = [this, segment, next = std::move(after)]() mutable {
-          engine().after(transfer_time(segment, sys().host.reduce_bw), std::move(next));
-        };
-      }
-      auto join = JoinCounter::create(n, std::move(after));
-      for (int i = 0; i < n; ++i) {
-        host_.send(i, (i + 1) % n, segment, sys().mpi.net_coll_efficiency,
-                   [join] { join->arrive(); });
-      }
-    });
-  }
-  run_stages(std::move(stages), std::move(done));
+  // Host ring: the segments move over the host path and the CPU reduces.
+  sched::ExecHooks hooks;
+  hooks.engine = &engine();
+  hooks.message = [this](const sched::Step& step, const sched::StepCtx& ctx,
+                         EventFn msg_done) {
+    (void)ctx;
+    host_.send(step.src, step.dst, step.bytes, sys().mpi.net_coll_efficiency,
+               std::move(msg_done));
+  };
+  hooks.reduce_time = [this](Bytes b) { return transfer_time(b, sys().host.reduce_bw); };
+  sched::execute(sched::ring_allreduce(size(), buffer), hooks, std::move(done));
 }
 
 }  // namespace gpucomm

@@ -23,18 +23,26 @@ class MpiComm final : public Communicator {
   void alltoall(Bytes buffer, EventFn done) override;
   void allreduce(Bytes buffer, EventFn done) override;
 
+  /// MPI selector: Bruck alltoall for small vectors at n >= 4, recursive
+  /// doubling allreduce for small power-of-two communicators, ring
+  /// allreduce otherwise (staged through GPU or host buffers).
+  std::vector<sched::Schedule> plan(CollectiveOp op, Bytes bytes, int root = 0) const override;
+
   const MpiEffective& effective() const { return eff_; }
   /// Path the next send of this size/pair would take (test/debug hook).
   MpiP2pPath path_for(int src, int dst, Bytes bytes) const;
 
  protected:
-  void coll_message(int src, int dst, Bytes bytes, Bytes op_bytes, EventFn done) override;
+  void coll_message(int src, int dst, Bytes bytes, Bytes op_bytes, const CollContext& ctx,
+                    EventFn done) override;
 
  private:
   /// One transfer with collective-context efficiency (per-message software
   /// overheads included; collectives pass lower wire efficiency and the
-  /// whole-operation size as the pipeline-ramp reference).
-  void transfer(int src, int dst, Bytes bytes, bool collective, Bytes ramp_ref, EventFn done);
+  /// whole-operation size as the pipeline-ramp reference). `ctx` attributes
+  /// the flow to its schedule round.
+  void transfer(int src, int dst, Bytes bytes, bool collective, Bytes ramp_ref,
+                const CollContext& ctx, EventFn done);
 
   /// Cray MPICH GPU-staged ring allreduce.
   void allreduce_gpu_staged(Bytes buffer, EventFn done);

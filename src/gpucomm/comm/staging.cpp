@@ -45,61 +45,53 @@ void StagingComm::stage_all(bool to_host, Bytes bytes_per_rank, EventFn done) {
   }
 }
 
-void StagingComm::alltoall(Bytes buffer, EventFn done) {
-  const int n = size();
-  const Bytes per_pair = buffer / static_cast<Bytes>(n);
-  // D2H all -> host pairwise exchange (n-1 rounds) -> H2D all.
+void StagingComm::run_host_schedule(sched::Schedule s, bool per_step_reduce, Bytes buffer,
+                                    EventFn done) {
+  // D2H all -> host rounds over the shared schedule -> H2D all.
   std::vector<Stage> stages;
   if (opts_.space == MemSpace::kDevice) {
     stages.push_back([this, buffer](EventFn next) { stage_all(true, buffer, std::move(next)); });
   }
-  for (int round = 1; round < n; ++round) {
-    stages.push_back([this, n, round, per_pair](EventFn next) {
-      auto join = JoinCounter::create(n, std::move(next));
-      for (int r = 0; r < n; ++r) {
-        host_.send(r, pairwise_partner(r, round, n), per_pair, sys().mpi.net_coll_efficiency,
-                   [join] { join->arrive(); });
-      }
-    });
-  }
+  stages.push_back([this, s = std::move(s), per_step_reduce](EventFn next) {
+    sched::ExecHooks hooks;
+    hooks.engine = &engine();
+    hooks.message = [this, per_step_reduce](const sched::Step& step, const sched::StepCtx& ctx,
+                                            EventFn msg_done) {
+      (void)ctx;
+      // The CPU reduces each arriving segment before the round can finish
+      // (store-and-forward: no overlap with the next round's sends).
+      const SimTime reduce = per_step_reduce && step.reduce
+                                 ? transfer_time(step.bytes, sys().host.reduce_bw)
+                                 : SimTime::zero();
+      const int dst = step.dst;
+      const Bytes bytes = step.bytes;
+      host_.send(step.src, dst, bytes, sys().mpi.net_coll_efficiency,
+                 [this, dst, bytes, reduce, msg_done = std::move(msg_done)]() mutable {
+                   if (reduce > SimTime::zero()) {
+                     record_local("reduce", dst, dst, bytes, reduce);
+                     engine().after(reduce, std::move(msg_done));
+                   } else {
+                     msg_done();
+                   }
+                 });
+    };
+    sched::execute(s, hooks, std::move(next));
+  });
   if (opts_.space == MemSpace::kDevice) {
     stages.push_back([this, buffer](EventFn next) { stage_all(false, buffer, std::move(next)); });
   }
   run_stages(std::move(stages), std::move(done));
 }
 
-void StagingComm::allreduce(Bytes buffer, EventFn done) {
-  const int n = size();
-  const Bytes segment = buffer / static_cast<Bytes>(n);
-  const auto schedule = ring_allreduce_schedule(n);
+void StagingComm::alltoall(Bytes buffer, EventFn done) {
+  // Blocking pairwise exchange on the host: every round is a full barrier.
+  run_host_schedule(plan(CollectiveOp::kAlltoall, buffer).front(),
+                    /*per_step_reduce=*/false, buffer, std::move(done));
+}
 
-  std::vector<Stage> stages;
-  if (opts_.space == MemSpace::kDevice) {
-    stages.push_back([this, buffer](EventFn next) { stage_all(true, buffer, std::move(next)); });
-  }
-  for (const auto& round : schedule) {
-    stages.push_back([this, round, segment](EventFn next) {
-      auto join = JoinCounter::create(static_cast<int>(round.size()), std::move(next));
-      for (const RingStep& step : round) {
-        const SimTime reduce =
-            step.reduce ? transfer_time(segment, sys().host.reduce_bw) : SimTime::zero();
-        const int dst = step.dst;
-        host_.send(step.src, dst, segment, sys().mpi.net_coll_efficiency,
-                   [this, dst, segment, reduce, join] {
-                     if (reduce > SimTime::zero()) {
-                       record_local("reduce", dst, dst, segment, reduce);
-                       engine().after(reduce, [join] { join->arrive(); });
-                     } else {
-                       join->arrive();
-                     }
-                   });
-      }
-    });
-  }
-  if (opts_.space == MemSpace::kDevice) {
-    stages.push_back([this, buffer](EventFn next) { stage_all(false, buffer, std::move(next)); });
-  }
-  run_stages(std::move(stages), std::move(done));
+void StagingComm::allreduce(Bytes buffer, EventFn done) {
+  run_host_schedule(plan(CollectiveOp::kAllreduce, buffer).front(),
+                    /*per_step_reduce=*/true, buffer, std::move(done));
 }
 
 }  // namespace gpucomm

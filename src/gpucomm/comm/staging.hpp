@@ -24,6 +24,11 @@ class StagingComm final : public Communicator {
   /// D2H on every rank (or H2D), all concurrent; join on completion.
   void stage_all(bool to_host, Bytes bytes_per_rank, EventFn done);
 
+  /// Stage to host (device buffers only), run the schedule's rounds over the
+  /// host path with full round barriers, stage back. With `per_step_reduce`,
+  /// the CPU reduces each arriving segment before it counts as delivered.
+  void run_host_schedule(sched::Schedule s, bool per_step_reduce, Bytes buffer, EventFn done);
+
   HostPath host_;
 };
 

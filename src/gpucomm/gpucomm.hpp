@@ -24,6 +24,9 @@
 #include "gpucomm/noise/background.hpp"
 #include "gpucomm/noise/noise_model.hpp"
 #include "gpucomm/scale/scale_model.hpp"
+#include "gpucomm/sched/builders.hpp"
+#include "gpucomm/sched/executor.hpp"
+#include "gpucomm/sched/schedule.hpp"
 #include "gpucomm/systems/registry.hpp"
 #include "gpucomm/telemetry/counters.hpp"
 #include "gpucomm/telemetry/report.hpp"

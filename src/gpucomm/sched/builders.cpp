@@ -1,0 +1,466 @@
+#include "gpucomm/sched/builders.hpp"
+
+#include <cassert>
+
+namespace gpucomm::sched {
+
+namespace {
+
+/// Wire sizing for one exact buffer partition. Degenerate regime (base
+/// segment zero): every step posts the legacy uniform 1-byte floor.
+struct Partition {
+  Bytes total = 0;
+  int parts = 1;
+  bool degenerate = false;
+
+  Partition(Bytes total_, int parts_)
+      : total(total_), parts(parts_), degenerate(total_ / static_cast<Bytes>(parts_) == 0) {}
+
+  Bytes wire(int idx) const { return degenerate ? 1 : seg_size(total, parts, idx); }
+  /// Largest per-step size in a round where every slot moves once (the
+  /// round-barrier reduction operand).
+  Bytes max_wire() const { return degenerate ? 1 : seg_size(total, parts, 0); }
+};
+
+int mod(int a, int n) { return (a % n + n) % n; }
+
+Step slot_step(int src, int dst, Bytes bytes, int slot, bool reduce) {
+  Step st;
+  st.src = src;
+  st.dst = dst;
+  st.bytes = bytes;
+  st.reduce = reduce;
+  st.moves = {{slot, slot}};
+  return st;
+}
+
+Step whole_step(int src, int dst, Bytes bytes, bool reduce) {
+  Step st;
+  st.src = src;
+  st.dst = dst;
+  st.bytes = bytes;
+  st.reduce = reduce;
+  st.moves = {{kWholeBuffer, kWholeBuffer}};
+  return st;
+}
+
+}  // namespace
+
+int pairwise_partner(int rank, int round, int n) {
+  assert(round >= 1 && round < n);
+  return (rank + round) % n;
+}
+
+Schedule ring_reduce_scatter(int n, Bytes buffer) {
+  assert(n >= 1);
+  Schedule s;
+  s.algorithm = Algorithm::kRingReduceScatter;
+  s.n = n;
+  s.outer_slots = n;
+  s.bytes = buffer;
+  const Partition part(buffer, n);
+  for (int r = 0; r < n - 1; ++r) {
+    Round round;
+    round.wire_exact = !part.degenerate;
+    round.reduce_bytes = part.max_wire();
+    for (int i = 0; i < n; ++i) {
+      const int slot = mod(i - r, n);
+      round.steps.push_back(slot_step(i, (i + 1) % n, part.wire(slot), slot, true));
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  assert(validate(s));
+  return s;
+}
+
+Schedule ring_allgather(int n, Bytes per_rank) {
+  assert(n >= 1);
+  Schedule s;
+  s.algorithm = Algorithm::kRingAllgather;
+  s.n = n;
+  s.outer_slots = n;
+  s.bytes = per_rank * static_cast<Bytes>(n);
+  for (int r = 0; r < n - 1; ++r) {
+    Round round;
+    for (int i = 0; i < n; ++i) {
+      const int slot = mod(i - r, n);
+      round.steps.push_back(slot_step(i, (i + 1) % n, per_rank, slot, false));
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  assert(validate(s));
+  return s;
+}
+
+Schedule ring_allreduce(int n, Bytes buffer) {
+  assert(n >= 1);
+  Schedule s;
+  s.algorithm = Algorithm::kRingAllreduce;
+  s.n = n;
+  s.outer_slots = n;
+  s.bytes = buffer;
+  const Partition part(buffer, n);
+  // Reduce-scatter: round r, rank i sends segment (i - r) mod n to i+1.
+  for (int r = 0; r < n - 1; ++r) {
+    Round round;
+    round.wire_exact = !part.degenerate;
+    round.reduce_bytes = part.max_wire();
+    for (int i = 0; i < n; ++i) {
+      const int slot = mod(i - r, n);
+      round.steps.push_back(slot_step(i, (i + 1) % n, part.wire(slot), slot, true));
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  // Allgather: rank i forwards the fully reduced segment (i + 1 - r) mod n.
+  for (int r = 0; r < n - 1; ++r) {
+    Round round;
+    round.wire_exact = !part.degenerate;
+    for (int i = 0; i < n; ++i) {
+      const int slot = mod(i + 1 - r, n);
+      round.steps.push_back(slot_step(i, (i + 1) % n, part.wire(slot), slot, false));
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  assert(validate(s));
+  return s;
+}
+
+Schedule recursive_doubling_allreduce(int n, Bytes buffer) {
+  assert(n >= 1 && (n & (n - 1)) == 0 && "recursive doubling needs a power of two");
+  Schedule s;
+  s.algorithm = Algorithm::kRecursiveDoublingAllreduce;
+  s.n = n;
+  s.bytes = buffer;
+  for (int stride = 1; stride < n; stride <<= 1) {
+    Round round;
+    round.reduce_bytes = buffer;
+    for (int i = 0; i < n; ++i) {
+      round.steps.push_back(whole_step(i, i ^ stride, buffer, true));
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  assert(validate(s));
+  return s;
+}
+
+Schedule pairwise_alltoall(int n, Bytes buffer) {
+  assert(n >= 1);
+  const Bytes per = buffer / static_cast<Bytes>(n);
+  Schedule s;
+  s.algorithm = Algorithm::kPairwiseAlltoall;
+  s.n = n;
+  s.outer_slots = n;
+  s.bytes = per * static_cast<Bytes>(n);
+  for (int round_idx = 1; round_idx < n; ++round_idx) {
+    Round round;
+    for (int src = 0; src < n; ++src) {
+      const int dst = pairwise_partner(src, round_idx, n);
+      Step st;
+      st.src = src;
+      st.dst = dst;
+      st.bytes = per;
+      st.from_input = true;  // block `src` of `dst` may already be overwritten
+      st.moves = {{dst, src}};
+      round.steps.push_back(std::move(st));
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  assert(validate(s));
+  return s;
+}
+
+Schedule bruck_alltoall(int n, Bytes buffer) {
+  assert(n >= 1);
+  const Bytes per = buffer / static_cast<Bytes>(n);
+  Schedule s;
+  s.algorithm = Algorithm::kBruckAlltoall;
+  s.n = n;
+  s.outer_slots = n;
+  s.bytes = per * static_cast<Bytes>(n);
+  if (n < 2) return s;
+  // Local rotation: slot j takes block (i + j) mod n.
+  {
+    Round round;
+    for (int i = 0; i < n; ++i) {
+      Step st;
+      st.src = i;
+      st.dst = i;
+      for (int j = 0; j < n; ++j) st.moves.push_back({mod(i + j, n), j});
+      round.steps.push_back(std::move(st));
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  // Exchange rounds: blocks whose index has bit k set travel 2^k ranks.
+  for (int stride = 1; stride < n; stride <<= 1) {
+    Round round;
+    round.wire_exact = per > 0;
+    for (int i = 0; i < n; ++i) {
+      Step st;
+      st.src = i;
+      st.dst = (i + stride) % n;
+      for (int j = 0; j < n; ++j) {
+        if ((j & stride) != 0) st.moves.push_back({j, j});
+      }
+      // Degenerate blocks keep the legacy half-buffer floor on the wire.
+      st.bytes = per > 0 ? per * static_cast<Bytes>(st.moves.size())
+                         : std::max<Bytes>(buffer / 2, 1);
+      round.steps.push_back(std::move(st));
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  // Inverse rotation: block for rank i - j lands back in slot (i - j) mod n.
+  {
+    Round round;
+    for (int i = 0; i < n; ++i) {
+      Step st;
+      st.src = i;
+      st.dst = i;
+      for (int j = 0; j < n; ++j) st.moves.push_back({j, mod(i - j, n)});
+      round.steps.push_back(std::move(st));
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  assert(validate(s));
+  return s;
+}
+
+Schedule binomial_broadcast(int n, int root, Bytes buffer) {
+  assert(n >= 1 && root >= 0 && root < n);
+  Schedule s;
+  s.algorithm = Algorithm::kBinomialBroadcast;
+  s.n = n;
+  s.bytes = buffer;
+  for (int stride = 1; stride < n; stride <<= 1) {
+    Round round;
+    for (int i = 0; i < stride && i + stride < n; ++i) {
+      // Positions are relative to the root.
+      round.steps.push_back(
+          whole_step((root + i) % n, (root + i + stride) % n, buffer, false));
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  assert(validate(s));
+  return s;
+}
+
+Schedule ring_broadcast(int n, int root, Bytes buffer) {
+  assert(n >= 1 && root >= 0 && root < n);
+  Schedule s;
+  s.algorithm = Algorithm::kRingBroadcast;
+  s.n = n;
+  s.outer_slots = n;
+  s.bytes = buffer;
+  const Partition part(buffer, n);
+  // Scatter: the root injects segments n-1, n-2, ..., 1; position i forwards
+  // the segment it received the round before (segment n-1-r+i at round r).
+  for (int r = 0; r < n - 1; ++r) {
+    Round round;
+    round.wire_exact = !part.degenerate;
+    const int active = std::min(r + 1, n - 1);
+    for (int i = 0; i < active; ++i) {
+      const int slot = n - 1 - r + i;
+      round.steps.push_back(
+          slot_step((root + i) % n, (root + i + 1) % n, part.wire(slot), slot, false));
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  // Allgather: position j circulates slot (j - r) mod n; after n-1 rounds
+  // every rank holds every segment.
+  for (int r = 0; r < n - 1; ++r) {
+    Round round;
+    round.wire_exact = !part.degenerate;
+    for (int i = 0; i < n; ++i) {
+      const int j = mod(i - root, n);
+      const int slot = mod(j - r, n);
+      round.steps.push_back(slot_step(i, (i + 1) % n, part.wire(slot), slot, false));
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  assert(validate(s));
+  return s;
+}
+
+Schedule binomial_tree_allreduce(int n, Bytes buffer) {
+  assert(n >= 1);
+  Schedule s;
+  s.algorithm = Algorithm::kBinomialTreeAllreduce;
+  s.n = n;
+  s.bytes = buffer;
+  // Reduce: in round k, ranks with bit k set send to their parent.
+  for (int stride = 1; stride < n; stride <<= 1) {
+    Round round;
+    round.reduce_bytes = buffer;
+    for (int i = 0; i + stride < n; i += 2 * stride) {
+      round.steps.push_back(whole_step(i + stride, i, buffer, true));
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  // Broadcast back down the same tree.
+  int top = 1;
+  while (top < n) top <<= 1;
+  for (int stride = top >> 1; stride >= 1; stride >>= 1) {
+    Round round;
+    for (int i = 0; i + stride < n; i += 2 * stride) {
+      round.steps.push_back(whole_step(i, i + stride, buffer, false));
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  assert(validate(s));
+  return s;
+}
+
+Schedule all_pairs_allreduce(int n, Bytes buffer) {
+  assert(n >= 1);
+  Schedule s;
+  s.algorithm = Algorithm::kAllPairsAllreduce;
+  s.n = n;
+  s.outer_slots = n;
+  s.bytes = buffer;
+  const Partition part(buffer, n);
+  // Reduce-scatter: every rank sends each peer that peer's segment.
+  {
+    Round round;
+    round.wire_exact = !part.degenerate;
+    round.reduce_bytes = part.max_wire() * static_cast<Bytes>(n - 1);
+    for (int src = 0; src < n; ++src) {
+      for (int k = 1; k < n; ++k) {
+        const int dst = (src + k) % n;
+        Step st = slot_step(src, dst, part.wire(dst), dst, true);
+        st.from_input = true;  // segment `dst` of `src` is overwritten below
+        round.steps.push_back(std::move(st));
+      }
+    }
+    if (n < 2) round.reduce_bytes = 0;
+    s.rounds.push_back(std::move(round));
+  }
+  // Allgather: every rank sends its reduced segment to each peer.
+  {
+    Round round;
+    round.wire_exact = !part.degenerate;
+    for (int src = 0; src < n; ++src) {
+      for (int k = 1; k < n; ++k) {
+        round.steps.push_back(slot_step(src, (src + k) % n, part.wire(src), src, false));
+      }
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  assert(validate(s));
+  return s;
+}
+
+Schedule star_allreduce(int n, Bytes buffer) {
+  assert(n >= 1);
+  Schedule s;
+  s.algorithm = Algorithm::kStarAllreduce;
+  s.n = n;
+  s.bytes = buffer;
+  {
+    Round round;
+    round.reduce_bytes = buffer * static_cast<Bytes>(n - 1);
+    for (int src = 1; src < n; ++src) round.steps.push_back(whole_step(src, 0, buffer, true));
+    s.rounds.push_back(std::move(round));
+  }
+  {
+    Round round;
+    for (int dst = 1; dst < n; ++dst) round.steps.push_back(whole_step(0, dst, buffer, false));
+    s.rounds.push_back(std::move(round));
+  }
+  assert(validate(s));
+  return s;
+}
+
+Schedule hierarchical_allreduce(int nodes, int n_local, Bytes buffer) {
+  assert(nodes >= 1 && n_local >= 1);
+  const int n = nodes * n_local;
+  Schedule s;
+  s.algorithm = Algorithm::kHierarchicalAllreduce;
+  s.n = n;
+  s.outer_slots = n_local;
+  s.inner_slots = nodes;
+  s.bytes = buffer;
+  // Legacy wire model: uniform floored chunk shares (an intra-node
+  // undercount when the chunk does not split evenly — kept for fidelity
+  // with the measured *CCL behaviour).
+  const Bytes chunk = std::max<Bytes>(buffer / static_cast<Bytes>(n_local), 1);
+  const Bytes per_peer = std::max<Bytes>(chunk / static_cast<Bytes>(n_local), 1);
+  const Bytes segment = std::max<Bytes>(chunk / static_cast<Bytes>(nodes), 1);
+  const bool even_split =
+      buffer > 0 && buffer % static_cast<Bytes>(n_local) == 0 &&
+      (buffer / static_cast<Bytes>(n_local)) % static_cast<Bytes>(nodes) == 0;
+
+  const auto chunk_moves = [&](int local) {
+    std::vector<SlotMove> moves;
+    moves.reserve(static_cast<std::size_t>(nodes));
+    for (int t = 0; t < nodes; ++t) {
+      const int flat = local * nodes + t;
+      moves.push_back({flat, flat});
+    }
+    return moves;
+  };
+
+  // Phase 1: all-pairs reduce-scatter of n_local chunks inside every node.
+  {
+    Round round;
+    round.wire_exact = n_local < 2;
+    round.reduce_bytes = n_local > 1 ? chunk : 0;
+    for (int node = 0; node < nodes; ++node) {
+      for (int i = 0; i < n_local; ++i) {
+        for (int k = 1; k < n_local; ++k) {
+          const int dst_local = (i + k) % n_local;
+          Step st;
+          st.src = node * n_local + i;
+          st.dst = node * n_local + dst_local;
+          st.bytes = per_peer;
+          st.reduce = true;
+          st.moves = chunk_moves(dst_local);
+          round.steps.push_back(std::move(st));
+        }
+      }
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  // Phase 2: per-local-index ring allreduce across nodes, one ring per
+  // local rank, each over its own chunk's inner slots.
+  for (int rr = 0; rr < 2 * (nodes - 1); ++rr) {
+    const bool reduce_phase = rr < nodes - 1;
+    const int r = reduce_phase ? rr : rr - (nodes - 1);
+    Round round;
+    round.wire_exact = even_split;
+    round.reduce_bytes = reduce_phase ? segment : 0;
+    for (int node = 0; node < nodes; ++node) {
+      for (int j = 0; j < n_local; ++j) {
+        const int inner = reduce_phase ? mod(node - r, nodes) : mod(node + 1 - r, nodes);
+        Step st;
+        st.src = node * n_local + j;
+        st.dst = ((node + 1) % nodes) * n_local + j;
+        st.bytes = segment;
+        st.reduce = reduce_phase;
+        st.moves = {{j * nodes + inner, j * nodes + inner}};
+        round.steps.push_back(std::move(st));
+      }
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  // Phase 3: all-pairs allgather of the reduced chunks inside every node.
+  {
+    Round round;
+    round.wire_exact = n_local < 2;
+    for (int node = 0; node < nodes; ++node) {
+      for (int i = 0; i < n_local; ++i) {
+        for (int k = 1; k < n_local; ++k) {
+          Step st;
+          st.src = node * n_local + i;
+          st.dst = node * n_local + (i + k) % n_local;
+          st.bytes = per_peer;
+          st.moves = chunk_moves(i);
+          round.steps.push_back(std::move(st));
+        }
+      }
+    }
+    s.rounds.push_back(std::move(round));
+  }
+  assert(validate(s));
+  return s;
+}
+
+}  // namespace gpucomm::sched

@@ -1,0 +1,73 @@
+// Schedule builders: one per collective algorithm family the timing models
+// mirror. Each builder is the single definition of that algorithm's round
+// structure — the mechanism executors (sched/executor.hpp) and the data
+// plane (comm/dataplane.hpp) both consume the object it returns.
+//
+// Byte accounting: partitioned algorithms (ring family, broadcast,
+// hierarchical, recursive doubling, trees) split the buffer exactly, with
+// the remainder distributed over the leading slots — every payload byte is
+// scheduled. Alltoall algorithms (pairwise, Bruck) keep the operation's
+// n-equal-blocks contract: the block is buffer / n and the schedule's
+// `bytes` records the n * (buffer / n) total actually exchanged.
+// Degenerate regime: when a partition would make the base segment zero
+// (buffer < slot count), builders keep the legacy uniform 1-byte wire
+// segments (`max(x, 1)`) and mark those rounds wire_exact = false.
+#pragma once
+
+#include "gpucomm/sched/schedule.hpp"
+
+namespace gpucomm::sched {
+
+/// Pairwise-exchange partner of `rank` in `round` (1 <= round < n).
+int pairwise_partner(int rank, int round, int n);
+
+/// Ring reduce-scatter: n-1 rounds; in round r, rank i sends segment
+/// (i - r) mod n to i+1, which reduces it. Afterwards segment (rank+1) mod n
+/// is fully reduced on `rank`.
+Schedule ring_reduce_scatter(int n, Bytes buffer);
+
+/// Ring allgather: every rank contributes `per_rank` bytes in slot `rank`;
+/// n-1 rounds, rank i forwards slot (i - r) mod n to i+1.
+Schedule ring_allgather(int n, Bytes per_rank);
+
+/// Ring allreduce: n-1 reduce-scatter rounds then n-1 allgather rounds.
+Schedule ring_allreduce(int n, Bytes buffer);
+
+/// Recursive-doubling allreduce; n must be a power of two.
+Schedule recursive_doubling_allreduce(int n, Bytes buffer);
+
+/// Pairwise-exchange alltoall: n-1 rounds, rank i exchanges block-sized
+/// messages with (i + round) mod n.
+Schedule pairwise_alltoall(int n, Bytes buffer);
+
+/// Bruck alltoall: local rotation, ceil(log2 n) exchange rounds (blocks
+/// whose index has bit k set travel 2^k ranks), inverse rotation. The
+/// rotations are local (src == dst) rounds the timing executor skips.
+Schedule bruck_alltoall(int n, Bytes buffer);
+
+/// Binomial-tree broadcast from `root`: the informed set doubles each round.
+Schedule binomial_broadcast(int n, int root, Bytes buffer);
+
+/// Pipelined ring broadcast from `root`: scatter (n-1 rounds) followed by a
+/// ring allgather (n-1 rounds) — the standard large-vector 2S-byte pipeline.
+Schedule ring_broadcast(int n, int root, Bytes buffer);
+
+/// Binomial-tree allreduce: reduce up to rank 0, broadcast back down.
+Schedule binomial_tree_allreduce(int n, Bytes buffer);
+
+/// Single-round-trip allreduce on a fully connected node: every rank sends
+/// each peer that peer's segment (reduce-scatter), then its own reduced
+/// segment to every peer (allgather).
+Schedule all_pairs_allreduce(int n, Bytes buffer);
+
+/// Reduce-to-rank-0 then broadcast (the device-copy reference allreduce).
+Schedule star_allreduce(int n, Bytes buffer);
+
+/// Hierarchical allreduce over nodes x n_local ranks: intra-node all-pairs
+/// reduce-scatter of n_local chunks, per-local-index inter-node rings over
+/// each chunk, intra-node all-pairs allgather (the *CCL multi-node
+/// structure). Wire bytes replicate the legacy per-peer model (an undercount
+/// of the chunk movement; those rounds are wire_exact = false).
+Schedule hierarchical_allreduce(int nodes, int n_local, Bytes buffer);
+
+}  // namespace gpucomm::sched

@@ -1,0 +1,146 @@
+#include "gpucomm/sched/executor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace gpucomm::sched {
+
+namespace {
+
+/// Owns the schedule for the duration of an asynchronous execution.
+struct ExecState {
+  Schedule schedule;
+  ExecHooks hooks;
+};
+
+struct StepRef {
+  int round = 0;
+  int index = 0;
+};
+
+struct WindowState {
+  Schedule schedule;
+  ExecHooks hooks;
+  std::vector<std::vector<StepRef>> per_rank;
+  std::vector<std::size_t> cursors;
+  std::shared_ptr<JoinCounter> join;
+};
+
+}  // namespace
+
+void execute(Schedule s, const ExecHooks& hooks, EventFn done) {
+  assert(hooks.engine != nullptr && hooks.message != nullptr);
+  auto st = std::make_shared<ExecState>();
+  st->schedule = std::move(s);
+  st->hooks = hooks;
+
+  std::vector<Stage> stages;
+  if (st->hooks.launch) {
+    stages.push_back([st](EventFn next) {
+      st->hooks.engine->after(*st->hooks.launch, std::move(next));
+    });
+  }
+  const int nrounds = static_cast<int>(st->schedule.rounds.size());
+  for (int r = 0; r < nrounds; ++r) {
+    stages.push_back([st, r](EventFn next) {
+      const Round& round = st->schedule.rounds[r];
+      EventFn barrier_done;
+      if (round.reduce_bytes > 0 && st->hooks.reduce_time) {
+        barrier_done = [st, r, next = std::move(next)]() mutable {
+          const SimTime t = st->hooks.reduce_time(st->schedule.rounds[r].reduce_bytes);
+          if (t > SimTime::zero()) {
+            st->hooks.engine->after(t, std::move(next));
+          } else {
+            next();
+          }
+        };
+      } else {
+        barrier_done = std::move(next);
+      }
+      int network = 0;
+      for (const Step& step : round.steps) network += step.src != step.dst ? 1 : 0;
+      if (network == 0) {
+        barrier_done();
+        return;
+      }
+      auto join = JoinCounter::create(network, std::move(barrier_done));
+      const int nsteps = static_cast<int>(round.steps.size());
+      for (int i = 0; i < nsteps; ++i) {
+        const Step& step = round.steps[i];
+        if (step.src == step.dst) continue;
+        st->hooks.message(step, StepCtx{&st->schedule, r, i}, [join] { join->arrive(); });
+      }
+    });
+  }
+  run_stages(std::move(stages), std::move(done));
+}
+
+void execute_windowed(Schedule s, int window, const ExecHooks& hooks, EventFn done) {
+  assert(hooks.engine != nullptr && hooks.message != nullptr && window >= 1);
+  auto st = std::make_shared<WindowState>();
+  st->schedule = std::move(s);
+  st->hooks = hooks;
+  const int n = st->schedule.n;
+  st->per_rank.resize(static_cast<std::size_t>(n));
+  int total = 0;
+  const int nrounds = static_cast<int>(st->schedule.rounds.size());
+  for (int r = 0; r < nrounds; ++r) {
+    const Round& round = st->schedule.rounds[r];
+    const int nsteps = static_cast<int>(round.steps.size());
+    for (int i = 0; i < nsteps; ++i) {
+      const Step& step = round.steps[i];
+      if (step.src == step.dst) continue;
+      st->per_rank[static_cast<std::size_t>(step.src)].push_back({r, i});
+      ++total;
+    }
+  }
+  if (total == 0) {
+    if (st->hooks.launch) {
+      st->hooks.engine->after(*st->hooks.launch, std::move(done));
+    } else if (done) {
+      done();
+    }
+    return;
+  }
+  st->cursors.assign(static_cast<std::size_t>(n), 0);
+  st->join = JoinCounter::create(total, std::move(done));
+
+  // Per-rank cursor: post the next message when one completes. The function
+  // object holds only a weak reference to itself; pending completions pin it
+  // with a locked copy, so it is freed once the window drains.
+  auto post_next = std::make_shared<std::function<void(int)>>();
+  *post_next = [st, weak = std::weak_ptr(post_next)](int rank) {
+    const auto& list = st->per_rank[static_cast<std::size_t>(rank)];
+    std::size_t& k = st->cursors[static_cast<std::size_t>(rank)];
+    if (k >= list.size()) return;
+    const StepRef ref = list[k++];
+    const Step& step = st->schedule.rounds[static_cast<std::size_t>(ref.round)]
+                           .steps[static_cast<std::size_t>(ref.index)];
+    auto self = weak.lock();
+    st->hooks.message(step, StepCtx{&st->schedule, ref.round, ref.index},
+                      [st, self, rank] {
+                        st->join->arrive();
+                        (*self)(rank);
+                      });
+  };
+  auto start = [st, post_next, window] {
+    std::size_t longest = 0;
+    for (const auto& list : st->per_rank) longest = std::max(longest, list.size());
+    const int w = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(window), longest));
+    const int nranks = st->schedule.n;
+    for (int r = 0; r < nranks; ++r) {
+      for (int i = 0; i < w; ++i) (*post_next)(r);
+    }
+  };
+  if (st->hooks.launch) {
+    st->hooks.engine->after(*st->hooks.launch, std::move(start));
+  } else {
+    start();
+  }
+}
+
+}  // namespace gpucomm::sched

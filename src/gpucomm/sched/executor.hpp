@@ -1,0 +1,52 @@
+// Shared schedule executor: drives any sched::Schedule through a mechanism's
+// narrow hooks, so CCL/MPI/staging/device-copy timing models all replay the
+// same round structure the builders define (and the data plane verifies).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "gpucomm/runtime/ops.hpp"
+#include "gpucomm/sched/schedule.hpp"
+#include "gpucomm/sim/engine.hpp"
+
+namespace gpucomm::sched {
+
+/// Identity of the step being issued, passed to the message hook so the
+/// mechanism can attribute flows (algorithm name, round index) and apply
+/// per-position costs (issue staggering, per-chunk overheads).
+struct StepCtx {
+  const Schedule* schedule = nullptr;
+  /// Index into schedule->rounds.
+  int round = 0;
+  /// Index of the step within its round.
+  int index = 0;
+};
+
+struct ExecHooks {
+  Engine* engine = nullptr;
+  /// Issue one network message for `step`; must call `done` exactly once when
+  /// the receiver holds the payload. Required.
+  std::function<void(const Step&, const StepCtx&, EventFn)> message;
+  /// Duration of the post-barrier reduction of `bytes` (round.reduce_bytes).
+  /// Leave null when the mechanism folds reduction into `message` itself.
+  /// Called whenever a round reduces (even if it returns zero), so hooks may
+  /// emit telemetry as a side effect; a zero result skips the engine event.
+  std::function<SimTime(Bytes)> reduce_time;
+  /// Fixed launch delay posted before the first round. Engaged-but-zero still
+  /// posts an engine event (the legacy launch stage); nullopt posts nothing.
+  std::optional<SimTime> launch;
+};
+
+/// Drive `s` round by round: each round's network steps (src != dst) post
+/// concurrently, a barrier joins them, then the optional reduction delay runs
+/// before the next round starts. Purely local rounds pass through instantly.
+void execute(Schedule s, const ExecHooks& hooks, EventFn done);
+
+/// Drive `s` without round barriers: every rank streams its own sends in
+/// round-major order with at most `window` outstanding, modelling the
+/// non-blocking pipelines real alltoall implementations use. Reduction hooks
+/// are ignored; `launch` still delays the initial fill.
+void execute_windowed(Schedule s, int window, const ExecHooks& hooks, EventFn done);
+
+}  // namespace gpucomm::sched

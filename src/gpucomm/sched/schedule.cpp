@@ -1,0 +1,124 @@
+#include "gpucomm/sched/schedule.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace gpucomm::sched {
+
+const char* to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kRingReduceScatter: return "ring-reduce-scatter";
+    case Algorithm::kRingAllgather: return "ring-allgather";
+    case Algorithm::kRingAllreduce: return "ring-allreduce";
+    case Algorithm::kRecursiveDoublingAllreduce: return "recursive-doubling";
+    case Algorithm::kPairwiseAlltoall: return "pairwise-alltoall";
+    case Algorithm::kBruckAlltoall: return "bruck-alltoall";
+    case Algorithm::kBinomialBroadcast: return "binomial-broadcast";
+    case Algorithm::kRingBroadcast: return "ring-broadcast";
+    case Algorithm::kBinomialTreeAllreduce: return "binomial-tree-allreduce";
+    case Algorithm::kAllPairsAllreduce: return "all-pairs-allreduce";
+    case Algorithm::kHierarchicalAllreduce: return "hierarchical-allreduce";
+    case Algorithm::kStarAllreduce: return "star-allreduce";
+  }
+  return "?";
+}
+
+Bytes seg_size(Bytes total, int parts, int idx) {
+  assert(parts > 0 && idx >= 0 && idx < parts);
+  const Bytes base = total / static_cast<Bytes>(parts);
+  const Bytes rem = total % static_cast<Bytes>(parts);
+  return base + (static_cast<Bytes>(idx) < rem ? 1 : 0);
+}
+
+Bytes seg_offset(Bytes total, int parts, int idx) {
+  assert(parts > 0 && idx >= 0 && idx <= parts);
+  const Bytes base = total / static_cast<Bytes>(parts);
+  const Bytes rem = total % static_cast<Bytes>(parts);
+  const Bytes i = static_cast<Bytes>(idx);
+  return i * base + (i < rem ? i : rem);
+}
+
+Span slot_span(Bytes total, int outer, int inner, int flat) {
+  if (flat == kWholeBuffer) return {0, total};
+  assert(flat >= 0 && flat < outer * inner);
+  const int o = flat / inner;
+  const int i = flat % inner;
+  const Bytes chunk_off = seg_offset(total, outer, o);
+  const Bytes chunk = seg_size(total, outer, o);
+  return {chunk_off + seg_offset(chunk, inner, i), seg_size(chunk, inner, i)};
+}
+
+Span slot_span(const Schedule& s, int flat) {
+  return slot_span(s.bytes, s.outer_slots, s.inner_slots, flat);
+}
+
+Bytes step_data_bytes(const Schedule& s, const Step& step) {
+  Bytes sum = 0;
+  for (const SlotMove& m : step.moves) sum += slot_span(s, m.src_slot).size;
+  return sum;
+}
+
+Bytes round_wire_bytes(const Round& r) {
+  Bytes sum = 0;
+  for (const Step& st : r.steps) {
+    if (st.src != st.dst) sum += st.bytes;
+  }
+  return sum;
+}
+
+Bytes round_data_bytes(const Schedule& s, const Round& r) {
+  Bytes sum = 0;
+  for (const Step& st : r.steps) {
+    if (st.src != st.dst) sum += step_data_bytes(s, st);
+  }
+  return sum;
+}
+
+bool validate(const Schedule& s) {
+  if (s.n < 1 || s.outer_slots < 1 || s.inner_slots < 1) return false;
+  const int nslots = s.slots();
+  for (const Round& round : s.rounds) {
+    for (const Step& st : round.steps) {
+      if (st.src < 0 || st.src >= s.n || st.dst < 0 || st.dst >= s.n) return false;
+      for (const SlotMove& m : st.moves) {
+        if (m.src_slot != kWholeBuffer && (m.src_slot < 0 || m.src_slot >= nslots)) return false;
+        if (m.dst_slot != kWholeBuffer && (m.dst_slot < 0 || m.dst_slot >= nslots)) return false;
+        if (slot_span(s, m.src_slot).size != slot_span(s, m.dst_slot).size) return false;
+      }
+    }
+    if (round.wire_exact && round_wire_bytes(round) != round_data_bytes(s, round)) return false;
+  }
+  return true;
+}
+
+void remap_ranks(Schedule& s, const std::vector<int>& order) {
+  assert(static_cast<int>(order.size()) == s.n);
+  for (Round& round : s.rounds) {
+    for (Step& st : round.steps) {
+      st.src = order[static_cast<std::size_t>(st.src)];
+      st.dst = order[static_cast<std::size_t>(st.dst)];
+    }
+  }
+}
+
+std::string describe(const Schedule& s) {
+  std::ostringstream os;
+  os << to_string(s.algorithm) << ": n=" << s.n << " bytes=" << s.bytes << " slots="
+     << s.outer_slots << "x" << s.inner_slots << " rounds=" << s.rounds.size() << "\n";
+  for (std::size_t r = 0; r < s.rounds.size(); ++r) {
+    const Round& round = s.rounds[r];
+    os << "  round " << r;
+    if (round.reduce_bytes > 0) os << " [reduce " << round.reduce_bytes << " B]";
+    if (!round.wire_exact) os << " [wire!=data]";
+    os << ":";
+    for (const Step& st : round.steps) {
+      os << " " << st.src << (st.src == st.dst ? "~" : "->") << st.dst << ":" << st.bytes
+         << "B";
+      if (st.reduce) os << "+";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gpucomm::sched

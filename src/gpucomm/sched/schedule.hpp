@@ -1,0 +1,135 @@
+// Mechanism-agnostic Schedule IR for collective algorithms.
+//
+// A Schedule is an ordered list of rounds; each round is a set of Steps that
+// run concurrently and must all complete before the next round starts (a
+// barrier). A Step posts `bytes` on the wire from `src` to `dst` and carries
+// the slot-level data movement (`moves`) that the data plane executes on
+// real vectors, so the timing model and its correctness companion derive
+// from exactly the same object (see comm/dataplane.hpp and sched/executor.hpp).
+//
+// Slots partition each rank's buffer into outer_slots x inner_slots
+// contiguous segments with the remainder distributed one byte at a time over
+// the leading segments (no bytes dropped). A flat slot index addresses
+// outer part `flat / inner_slots`, inner part `flat % inner_slots`;
+// kWholeBuffer addresses the entire buffer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpucomm/sim/units.hpp"
+
+namespace gpucomm::sched {
+
+enum class Algorithm : std::uint8_t {
+  kRingReduceScatter,
+  kRingAllgather,
+  kRingAllreduce,
+  kRecursiveDoublingAllreduce,
+  kPairwiseAlltoall,
+  kBruckAlltoall,
+  kBinomialBroadcast,
+  kRingBroadcast,
+  kBinomialTreeAllreduce,
+  kAllPairsAllreduce,
+  kHierarchicalAllreduce,
+  kStarAllreduce,
+};
+
+/// Stable lowercase name ("ring-allreduce", ...); a string literal, safe to
+/// store in telemetry::FlowTag.
+const char* to_string(Algorithm a);
+
+/// Flat slot index meaning "the whole buffer".
+inline constexpr int kWholeBuffer = -1;
+
+/// One slot-to-slot payload movement carried by a Step.
+struct SlotMove {
+  int src_slot = kWholeBuffer;
+  int dst_slot = kWholeBuffer;
+};
+
+struct Step {
+  int src = -1;
+  int dst = -1;
+  /// Bytes this step puts on the wire (mechanism hooks may inflate further).
+  Bytes bytes = 0;
+  /// Receiver accumulates (reduction) instead of overwriting.
+  bool reduce = false;
+  /// Payload is read from the sender's pristine *input* buffer rather than
+  /// its working buffer (in-place algorithms whose early rounds would
+  /// otherwise overwrite data still needed later).
+  bool from_input = false;
+  std::vector<SlotMove> moves;
+};
+
+struct Round {
+  std::vector<Step> steps;
+  /// Post-barrier reduction size: once all of the round's messages have
+  /// arrived, each receiver reduces this many bytes (0 = no reduction
+  /// barrier; per-step `reduce` flags still describe the data plane).
+  Bytes reduce_bytes = 0;
+  /// Wire bytes equal data bytes for every network step. False in degenerate
+  /// regimes (buffer smaller than the slot count, where legacy 1-byte floor
+  /// segments are kept) and for wire models that intentionally under- or
+  /// over-count (hierarchical intra-node phases).
+  bool wire_exact = true;
+};
+
+struct Schedule {
+  Algorithm algorithm{};
+  /// Participating ranks 0..n-1 (step src/dst are indices into this range).
+  int n = 0;
+  /// Per-rank slot partition: outer_slots parts, each split inner_slots ways.
+  int outer_slots = 1;
+  int inner_slots = 1;
+  /// Total payload bytes per rank the slots partition.
+  Bytes bytes = 0;
+  std::vector<Round> rounds;
+
+  int slots() const { return outer_slots * inner_slots; }
+};
+
+// --- exact partition helpers ------------------------------------------------
+
+/// Size of part `idx` when `total` splits into `parts` contiguous pieces with
+/// the remainder spread over the leading parts.
+Bytes seg_size(Bytes total, int parts, int idx);
+/// Byte offset of part `idx` under the same split.
+Bytes seg_offset(Bytes total, int parts, int idx);
+
+struct Span {
+  Bytes offset = 0;
+  Bytes size = 0;
+};
+
+/// Span of flat slot `flat` in a buffer of `total` bytes partitioned
+/// outer x inner; kWholeBuffer yields {0, total}.
+Span slot_span(Bytes total, int outer, int inner, int flat);
+
+/// Span of `flat` within schedule `s` (uses s.bytes and s.*_slots).
+Span slot_span(const Schedule& s, int flat);
+
+// --- whole-schedule queries -------------------------------------------------
+
+/// Payload bytes a step moves (sum of its moves' source-slot sizes).
+Bytes step_data_bytes(const Schedule& s, const Step& step);
+/// Wire bytes the round posts on the network (src != dst steps only).
+Bytes round_wire_bytes(const Round& r);
+/// Payload bytes the round moves across the network (src != dst steps only).
+Bytes round_data_bytes(const Schedule& s, const Round& r);
+
+/// Structural invariants: rank/slot indices in range, move spans of matching
+/// size, and posted wire bytes == moved data bytes on every wire_exact round.
+/// Returns true when all hold (builders assert this).
+bool validate(const Schedule& s);
+
+/// Re-express a schedule built over positions 0..n-1 onto concrete rank ids:
+/// position p becomes order[p] (CCL intra-node rings).
+void remap_ranks(Schedule& s, const std::vector<int>& order);
+
+/// Human-readable dump (one line per step) for gpucomm_cli --dump-schedule.
+std::string describe(const Schedule& s);
+
+}  // namespace gpucomm::sched

@@ -37,6 +37,11 @@ struct FlowTag {
   const char* stage = "flow";
   int src_rank = -1;
   int dst_rank = -1;
+  /// Collective schedule identity: the algorithm that issued this flow
+  /// (sched::to_string literal) and the round it belongs to. Defaults mean
+  /// "not part of a scheduled collective" (point-to-point, noise, ...).
+  const char* algorithm = nullptr;
+  int round = -1;
 };
 
 /// Correlates the events of one flow; 0 means "untracked".

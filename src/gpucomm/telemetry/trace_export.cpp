@@ -187,6 +187,9 @@ void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder) {
     const std::uint64_t tid = i + 1;
     const int pid = pid_of_rank(f.tag.src_rank);
     std::string label = std::string(f.tag.mechanism) + ":" + f.tag.stage;
+    if (f.tag.algorithm != nullptr) {
+      label += ":" + std::string(f.tag.algorithm) + "/r" + std::to_string(f.tag.round);
+    }
     if (f.tag.src_rank >= 0) {
       label += " " + std::to_string(f.tag.src_rank) + ">" + std::to_string(f.tag.dst_rank);
     }
@@ -211,6 +214,10 @@ void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder) {
          << ",\"rate_gbps\":" << f.last_rate / 1e9
          << ",\"throttle_events\":" << f.throttle_events << ",\"delivered_us\":"
          << us(f.delivered);
+    if (f.tag.algorithm != nullptr) {
+      args << ",\"algorithm\":\"" << json_escape(f.tag.algorithm)
+           << "\",\"round\":" << f.tag.round;
+    }
     const std::string route = route_string(recorder.graph(), f.route);
     if (!route.empty()) args << ",\"route\":\"" << json_escape(route) << "\"";
     w.args(args.str());
@@ -221,7 +228,10 @@ void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder) {
   std::uint64_t local_tid = recorder.flows().size() + 1;
   for (const auto& l : recorder.local_ops()) {
     const int pid = pid_of_rank(l.tag.src_rank);
-    const std::string label = std::string(l.tag.mechanism) + ":" + l.tag.stage;
+    std::string label = std::string(l.tag.mechanism) + ":" + l.tag.stage;
+    if (l.tag.algorithm != nullptr) {
+      label += ":" + std::string(l.tag.algorithm) + "/r" + std::to_string(l.tag.round);
+    }
     w.open("thread_name", "M", pid, local_tid);
     w.args("\"name\":\"" + json_escape(label) + "\"");
     w.close();

@@ -1,0 +1,146 @@
+// Cross-layer byte conservation: the bytes the schedule executor posts on
+// the (mock) wire each round must equal the round's declared wire bytes,
+// and — on wire_exact rounds — the payload bytes the data plane actually
+// moves for that round. One check per builder, across rank counts and
+// sizes including non-divisible and degenerate (buffer < slots) regimes.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "gpucomm/comm/dataplane.hpp"
+#include "gpucomm/sched/builders.hpp"
+#include "gpucomm/sched/executor.hpp"
+#include "gpucomm/sim/engine.hpp"
+
+namespace gpucomm {
+namespace {
+
+struct ExecTrace {
+  std::vector<Bytes> posted;  // wire bytes the message hook saw, per round
+  bool done = false;
+};
+
+/// Payload bytes the data plane moves across ranks in round `r`: the sum of
+/// the source-slot spans of every network step's moves, resolved through the
+/// same slot_span the vector interpreter uses.
+Bytes dataplane_moved(const sched::Schedule& s, std::size_t r) {
+  Bytes total = 0;
+  for (const sched::Step& step : s.rounds[r].steps) {
+    if (step.src == step.dst) continue;
+    for (const sched::SlotMove& mv : step.moves) {
+      total += sched::slot_span(s, mv.src_slot).size;
+    }
+  }
+  return total;
+}
+
+void check_conservation(const sched::Schedule& s) {
+  SCOPED_TRACE(sched::describe(s));
+  ASSERT_TRUE(sched::validate(s));
+  Engine engine;
+  ExecTrace trace;
+  trace.posted.assign(s.rounds.size(), 0);
+  sched::ExecHooks hooks;
+  hooks.engine = &engine;
+  hooks.message = [&](const sched::Step& step, const sched::StepCtx& ctx, EventFn done) {
+    EXPECT_NE(step.src, step.dst) << "executor must skip local steps";
+    trace.posted[static_cast<std::size_t>(ctx.round)] += step.bytes;
+    engine.after(SimTime{1000}, std::move(done));
+  };
+  hooks.reduce_time = [](Bytes) { return SimTime{500}; };
+  sched::execute(s, hooks, [&] { trace.done = true; });
+  engine.run();
+  ASSERT_TRUE(trace.done) << "executor never completed";
+
+  for (std::size_t r = 0; r < s.rounds.size(); ++r) {
+    EXPECT_EQ(trace.posted[r], sched::round_wire_bytes(s.rounds[r])) << "round " << r;
+    if (s.rounds[r].wire_exact) {
+      EXPECT_EQ(trace.posted[r], dataplane_moved(s, r))
+          << "round " << r << ": wire bytes diverge from data-plane movement";
+    }
+  }
+}
+
+TEST(ExecutorConservationTest, EveryBuilderEveryRankCount) {
+  for (const int n : {2, 3, 4, 7, 8, 16}) {
+    // Divisible, non-divisible, and degenerate (smaller than the slot grid).
+    for (const Bytes b : {static_cast<Bytes>(n) * 64, Bytes(1000), Bytes(3)}) {
+      check_conservation(sched::ring_reduce_scatter(n, b));
+      check_conservation(sched::ring_allgather(n, b));
+      check_conservation(sched::ring_allreduce(n, b));
+      check_conservation(sched::pairwise_alltoall(n, b));
+      check_conservation(sched::bruck_alltoall(n, b));
+      check_conservation(sched::binomial_broadcast(n, 0, b));
+      check_conservation(sched::binomial_broadcast(n, n - 1, b));
+      check_conservation(sched::ring_broadcast(n, 0, b));
+      check_conservation(sched::binomial_tree_allreduce(n, b));
+      check_conservation(sched::all_pairs_allreduce(n, b));
+      check_conservation(sched::star_allreduce(n, b));
+      if ((n & (n - 1)) == 0) {
+        check_conservation(sched::recursive_doubling_allreduce(n, b));
+      }
+    }
+  }
+}
+
+TEST(ExecutorConservationTest, HierarchicalShapes) {
+  for (const auto [nodes, n_local] :
+       {std::pair{2, 2}, {2, 4}, {4, 4}, {3, 8}, {8, 2}}) {
+    for (const Bytes b : {static_cast<Bytes>(nodes * n_local) * 32, Bytes(1000)}) {
+      check_conservation(sched::hierarchical_allreduce(nodes, n_local, b));
+    }
+  }
+}
+
+/// The windowed (barrier-free) executor must post exactly the same wire
+/// bytes per round as the blocking one — only the timing differs.
+TEST(ExecutorConservationTest, WindowedMatchesBlocking) {
+  for (const int n : {2, 4, 7, 16}) {
+    const sched::Schedule s = sched::pairwise_alltoall(n, static_cast<Bytes>(n) * 96 + 5);
+    for (const int window : {1, 2, 4, n}) {
+      Engine engine;
+      std::vector<Bytes> posted(s.rounds.size(), 0);
+      bool done = false;
+      sched::ExecHooks hooks;
+      hooks.engine = &engine;
+      hooks.message = [&](const sched::Step& step, const sched::StepCtx& ctx,
+                          EventFn msg_done) {
+        posted[static_cast<std::size_t>(ctx.round)] += step.bytes;
+        engine.after(SimTime{1000}, std::move(msg_done));
+      };
+      sched::execute_windowed(s, window, hooks, [&] { done = true; });
+      engine.run();
+      ASSERT_TRUE(done) << "n=" << n << " window=" << window;
+      for (std::size_t r = 0; r < s.rounds.size(); ++r) {
+        EXPECT_EQ(posted[r], sched::round_wire_bytes(s.rounds[r]))
+            << "n=" << n << " window=" << window << " round " << r;
+      }
+    }
+  }
+}
+
+/// The same Schedule object the executor timed must compute the collective
+/// when interpreted on real vectors — allreduce as the canonical case.
+TEST(ExecutorConservationTest, TimedScheduleComputesAllreduce) {
+  for (const int n : {2, 3, 4, 7, 8, 16}) {
+    const sched::Schedule s = sched::ring_allreduce(n, 1000);
+    check_conservation(s);
+
+    dataplane::State state(static_cast<std::size_t>(n), dataplane::Vec(1000));
+    for (int r = 0; r < n; ++r) {
+      for (std::size_t i = 0; i < 1000; ++i) {
+        state[static_cast<std::size_t>(r)][i] = r * 2000.0 + static_cast<double>(i);
+      }
+    }
+    const dataplane::Vec expected = dataplane::elementwise_sum(state);
+    dataplane::run_schedule(s, state);
+    for (int r = 0; r < n; ++r) {
+      ASSERT_EQ(state[static_cast<std::size_t>(r)], expected) << "n=" << n << " rank " << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gpucomm

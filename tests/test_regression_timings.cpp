@@ -1,0 +1,119 @@
+// Differential timing regression: a sample of end-to-end collective timings
+// pinned to the exact picosecond values the model produced before the
+// Schedule-IR refactor. The simulator is deterministic, so any drift here
+// means an algorithm's event structure changed — these rows cover every
+// mechanism, every collective, and the interesting algorithm-selection
+// corners (Bruck vs pairwise, recursive doubling, intra-node rings,
+// hierarchical multi-node, the 16-node small-vector tree path).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "gpucomm/gpucomm.hpp"
+
+namespace gpucomm {
+namespace {
+
+struct GoldenRow {
+  const char* system;
+  int gpus;
+  const char* mechanism;
+  const char* op;
+  Bytes bytes;
+  std::int64_t ps;
+};
+
+// Values recorded from the pre-refactor model (one run; the engine is
+// deterministic, so equality is exact).
+constexpr GoldenRow kGolden[] = {
+    // Point-to-point baselines.
+    {"leonardo", 2, "mpi", "pingpong", 1024, 2909600},
+    {"leonardo", 2, "staging", "pingpong", 1024, 7999838},
+    {"lumi", 2, "ccl", "pingpong", 1048576, 99701170},
+    {"alps", 2, "ccl", "pingpong", 67108864, 1326069028},
+    // Device-copy (peer access) collectives.
+    {"leonardo", 4, "devcopy", "alltoall", 8192, 33634000},
+    {"leonardo", 4, "devcopy", "broadcast", 16777216, 446806620},
+    // Host-staging collectives.
+    {"leonardo", 4, "staging", "broadcast", 4096, 8599342},
+    {"leonardo", 4, "staging", "alltoall", 8192, 6885690},
+    {"leonardo", 4, "staging", "allreduce", 8192, 10431453},
+    {"lumi", 8, "staging", "alltoall", 8192, 16753873},
+    {"lumi", 8, "staging", "allreduce", 2097152, 287361087},
+    {"alps", 4, "staging", "allreduce", 67108864, 7004306669},
+    // MPI: Bruck (small alltoall), pairwise (large), recursive doubling
+    // (small pow2 allreduce), staged ring, host path, RDMA multi-node.
+    {"leonardo", 4, "mpi", "broadcast", 4096, 4138400},
+    {"leonardo", 4, "mpi", "alltoall", 8192, 4138400},
+    {"lumi", 8, "mpi", "alltoall", 8192, 7394400},
+    {"alps", 4, "mpi", "alltoall", 2097152, 12722047},
+    {"lumi", 8, "mpi", "allreduce", 8192, 8039520},
+    {"leonardo", 8, "mpi", "allreduce", 8192, 21079826},
+    {"leonardo", 8, "mpi", "allreduce", 16777216, 5360331965},
+    {"lumi", 8, "mpi", "reducescatter", 16777216, 771166060},
+    {"alps", 8, "mpi", "reducescatter", 8192, 28597541},
+    {"alps", 4, "mpi", "reducescatter", 16777216, 187709211},
+    {"lumi", 16, "mpi", "allgather", 8192, 78433200},
+    {"leonardo", 16, "mpi", "allreduce", 8192, 39131133},
+    {"alps", 16, "mpi", "allreduce", 8192, 14725226},
+    {"alps", 16, "mpi", "allreduce", 16777216, 2285898165},
+    {"lumi", 128, "mpi", "allreduce", 8192, 30878161},
+    // CCL: intra-node counter-rotating rings, all-pairs, hierarchical
+    // multi-node, and the >=16-node small-vector tree.
+    {"leonardo", 4, "ccl", "allreduce", 2097152, 52444867},
+    {"alps", 4, "ccl", "allreduce", 8192, 4590230},
+    {"alps", 4, "ccl", "reducescatter", 4096, 4671651},
+    {"lumi", 8, "ccl", "allreduce", 8192, 19795132},
+    {"lumi", 8, "ccl", "alltoall", 2097152, 106277920},
+    {"lumi", 8, "ccl", "allgather", 4096, 19285784},
+    {"lumi", 8, "ccl", "reducescatter", 16777216, 151759440},
+    {"leonardo", 8, "ccl", "broadcast", 8192, 11200668},
+    {"alps", 8, "ccl", "allreduce", 16777216, 247432093},
+    {"alps", 8, "ccl", "alltoall", 16777216, 431150400},
+    {"lumi", 16, "ccl", "allreduce", 8192, 17224978},
+    {"lumi", 16, "ccl", "allreduce", 16777216, 319884960},
+    {"leonardo", 16, "ccl", "allreduce", 16777216, 698319353},
+    {"alps", 16, "ccl", "allreduce", 8192, 9734926},
+    {"lumi", 32, "ccl", "allreduce", 16777216, 436167360},
+    {"leonardo", 64, "ccl", "allreduce", 8192, 28377966},
+    {"lumi", 128, "ccl", "allreduce", 8192, 50417814},
+    {"alps", 64, "ccl", "allreduce", 8192, 22211760},
+};
+
+std::unique_ptr<Communicator> build(const std::string& mech, Cluster& c,
+                                    std::vector<int> gpus, CommOptions opt) {
+  if (mech == "staging") return std::make_unique<StagingComm>(c, std::move(gpus), opt);
+  if (mech == "devcopy") return std::make_unique<DeviceCopyComm>(c, std::move(gpus), opt);
+  if (mech == "ccl") return std::make_unique<CclComm>(c, std::move(gpus), opt);
+  return std::make_unique<MpiComm>(c, std::move(gpus), opt);
+}
+
+SimTime run_row(const GoldenRow& row) {
+  const SystemConfig cfg = system_by_name(row.system);
+  ClusterOptions copt;
+  copt.nodes = std::max(1, (row.gpus + cfg.gpus_per_node - 1) / cfg.gpus_per_node);
+  Cluster cluster(cfg, copt);
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  auto comm = build(row.mechanism, cluster, first_n_gpus(cluster, row.gpus), opt);
+  const std::string op = row.op;
+  if (op == "pingpong") return comm->time_pingpong(0, comm->size() - 1, row.bytes);
+  if (op == "alltoall") return comm->time_alltoall(row.bytes);
+  if (op == "allreduce") return comm->time_allreduce(row.bytes);
+  if (op == "broadcast") return comm->time_broadcast(0, row.bytes);
+  if (op == "allgather") return comm->time_allgather(row.bytes);
+  return comm->time_reduce_scatter(row.bytes);
+}
+
+TEST(TimingRegressionTest, MatchesPreRefactorPicosecondTimings) {
+  for (const GoldenRow& row : kGolden) {
+    SCOPED_TRACE(std::string(row.system) + " " + std::to_string(row.gpus) + " " +
+                 row.mechanism + " " + row.op + " " + std::to_string(row.bytes));
+    EXPECT_EQ(run_row(row).ps, row.ps);
+  }
+}
+
+}  // namespace
+}  // namespace gpucomm

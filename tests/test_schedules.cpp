@@ -1,13 +1,13 @@
-// Data-plane verification of the collective schedules: executing the
-// generated rounds on real vectors must produce correct alltoall/allreduce
-// results, and the invariants (per-round permutation, byte counts) must hold.
+// Structural invariants of the Schedule IR and its builders: exact byte
+// partition, slot spans, per-round permutation/round-count structure, rank
+// remapping, validation, and the describe() dump.
 #include <gtest/gtest.h>
 
-#include <numeric>
 #include <set>
 #include <vector>
 
 #include "gpucomm/comm/communicator.hpp"
+#include "gpucomm/sched/builders.hpp"
 
 namespace gpucomm {
 namespace {
@@ -17,7 +17,7 @@ TEST(PairwisePartnerTest, IsSymmetricPermutationEachRound) {
     for (int round = 1; round < n; ++round) {
       std::set<int> targets;
       for (int r = 0; r < n; ++r) {
-        const int p = pairwise_partner(r, round, n);
+        const int p = sched::pairwise_partner(r, round, n);
         ASSERT_GE(p, 0);
         ASSERT_LT(p, n);
         ASSERT_NE(p, r);
@@ -33,84 +33,142 @@ TEST(PairwisePartnerTest, CoversAllPeers) {
   const int n = 8;
   for (int r = 0; r < n; ++r) {
     std::set<int> peers;
-    for (int round = 1; round < n; ++round) peers.insert(pairwise_partner(r, round, n));
+    for (int round = 1; round < n; ++round) {
+      peers.insert(sched::pairwise_partner(r, round, n));
+    }
     EXPECT_EQ(peers.size(), static_cast<std::size_t>(n - 1));
     EXPECT_FALSE(peers.contains(r));
   }
 }
 
+TEST(ExactPartitionTest, SegmentsCoverTotalExactly) {
+  for (const Bytes total : {Bytes(1), Bytes(7), Bytes(1000), Bytes(4096), Bytes(1_MiB + 3)}) {
+    for (const int parts : {1, 2, 3, 7, 16}) {
+      Bytes sum = 0;
+      for (int i = 0; i < parts; ++i) {
+        const Bytes sz = sched::seg_size(total, parts, i);
+        EXPECT_EQ(sched::seg_offset(total, parts, i), sum)
+            << "total=" << total << " parts=" << parts << " i=" << i;
+        sum += sz;
+      }
+      // No byte dropped, no byte duplicated — the fix for the legacy
+      // max(buffer / n, 1) segment model that discarded the remainder.
+      EXPECT_EQ(sum, total) << "total=" << total << " parts=" << parts;
+    }
+  }
+}
+
+TEST(ExactPartitionTest, RemainderGoesToLeadingSegments) {
+  // 1000 = 7 * 142 + 6: the first six parts get 143 bytes, the last 142.
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(sched::seg_size(1000, 7, i), i < 6 ? 143u : 142u);
+  }
+}
+
+TEST(SlotSpanTest, WholeBufferAndTiling) {
+  const Bytes total = 1003;
+  const int outer = 4;
+  const int inner = 3;
+  const sched::Span whole = sched::slot_span(total, outer, inner, sched::kWholeBuffer);
+  EXPECT_EQ(whole.offset, 0u);
+  EXPECT_EQ(whole.size, total);
+
+  // Flat slots tile the buffer contiguously in flat-index order.
+  Bytes cursor = 0;
+  for (int flat = 0; flat < outer * inner; ++flat) {
+    const sched::Span s = sched::slot_span(total, outer, inner, flat);
+    EXPECT_EQ(s.offset, cursor) << "flat=" << flat;
+    cursor += s.size;
+  }
+  EXPECT_EQ(cursor, total);
+}
+
 TEST(RingScheduleTest, RoundAndStepCounts) {
   for (const int n : {2, 4, 8, 16}) {
-    const auto rounds = ring_allreduce_schedule(n);
-    EXPECT_EQ(rounds.size(), static_cast<std::size_t>(2 * (n - 1)));
-    for (const auto& round : rounds) {
-      EXPECT_EQ(round.size(), static_cast<std::size_t>(n));
-      for (const RingStep& s : round) {
-        EXPECT_EQ(s.dst, (s.src + 1) % n);
-        EXPECT_GE(s.segment, 0);
-        EXPECT_LT(s.segment, n);
-      }
-    }
-    // First n-1 rounds reduce, the rest copy.
-    for (std::size_t r = 0; r < rounds.size(); ++r) {
-      for (const RingStep& s : rounds[r]) {
-        EXPECT_EQ(s.reduce, r < static_cast<std::size_t>(n - 1));
-      }
-    }
-  }
-}
-
-/// Execute the ring schedule on real data: rank i holds vector of n segment
-/// values; verify the allreduce sum lands everywhere.
-TEST(RingScheduleTest, DataPlaneProducesAllreduceSum) {
-  for (const int n : {2, 3, 4, 8}) {
-    // state[rank][segment] starts as rank-specific value.
-    std::vector<std::vector<double>> state(n, std::vector<double>(n));
-    for (int r = 0; r < n; ++r) {
-      for (int s = 0; s < n; ++s) state[r][s] = 100.0 * r + s;
-    }
-    std::vector<double> expected(n);
-    for (int s = 0; s < n; ++s) {
-      for (int r = 0; r < n; ++r) expected[s] += state[r][s];
-    }
-
-    for (const auto& round : ring_allreduce_schedule(n)) {
-      // All sends in a round read the *pre-round* state.
-      std::vector<double> in_flight(n);
-      for (const RingStep& s : round) in_flight[s.src] = state[s.src][s.segment];
-      for (const RingStep& s : round) {
-        if (s.reduce) {
-          state[s.dst][s.segment] += in_flight[s.src];
-        } else {
-          state[s.dst][s.segment] = in_flight[s.src];
-        }
-      }
-    }
-    for (int r = 0; r < n; ++r) {
-      for (int s = 0; s < n; ++s) {
-        EXPECT_DOUBLE_EQ(state[r][s], expected[s]) << "n=" << n << " rank " << r << " seg " << s;
+    const sched::Schedule s = sched::ring_allreduce(n, static_cast<Bytes>(64 * n));
+    ASSERT_TRUE(sched::validate(s));
+    EXPECT_EQ(s.algorithm, sched::Algorithm::kRingAllreduce);
+    EXPECT_EQ(s.rounds.size(), static_cast<std::size_t>(2 * (n - 1)));
+    for (std::size_t r = 0; r < s.rounds.size(); ++r) {
+      const sched::Round& round = s.rounds[r];
+      EXPECT_EQ(round.steps.size(), static_cast<std::size_t>(n));
+      const bool reduce_phase = r < static_cast<std::size_t>(n - 1);
+      EXPECT_EQ(round.reduce_bytes > 0, reduce_phase);
+      for (const sched::Step& step : round.steps) {
+        EXPECT_EQ(step.dst, (step.src + 1) % n);
+        EXPECT_EQ(step.reduce, reduce_phase);
+        ASSERT_EQ(step.moves.size(), 1u);
+        EXPECT_GE(step.moves.front().src_slot, 0);
+        EXPECT_LT(step.moves.front().src_slot, n);
       }
     }
   }
 }
 
-/// Data-plane alltoall over the pairwise schedule: every rank ends with
-/// exactly one block from every peer.
-TEST(PairwiseScheduleTest, DataPlaneProducesAlltoall) {
-  const int n = 8;
-  // send[r][d] = value rank r sends to d; recv[d][r] should equal it.
-  std::vector<std::vector<int>> recv(n, std::vector<int>(n, -1));
-  for (int r = 0; r < n; ++r) recv[r][r] = r * 1000 + r;  // self block stays
-  for (int round = 1; round < n; ++round) {
-    for (int r = 0; r < n; ++r) {
-      const int d = pairwise_partner(r, round, n);
-      ASSERT_EQ(recv[d][r], -1) << "duplicate delivery";
-      recv[d][r] = r * 1000 + d;
+TEST(BuilderValidationTest, EveryBuilderValidates) {
+  for (const int n : {2, 3, 4, 7, 8, 16}) {
+    const Bytes b = static_cast<Bytes>(64 * n + 7);
+    EXPECT_TRUE(sched::validate(sched::ring_reduce_scatter(n, b))) << n;
+    EXPECT_TRUE(sched::validate(sched::ring_allgather(n, b))) << n;
+    EXPECT_TRUE(sched::validate(sched::ring_allreduce(n, b))) << n;
+    EXPECT_TRUE(sched::validate(sched::pairwise_alltoall(n, b))) << n;
+    EXPECT_TRUE(sched::validate(sched::bruck_alltoall(n, b))) << n;
+    EXPECT_TRUE(sched::validate(sched::binomial_broadcast(n, n - 1, b))) << n;
+    EXPECT_TRUE(sched::validate(sched::ring_broadcast(n, 0, b))) << n;
+    EXPECT_TRUE(sched::validate(sched::binomial_tree_allreduce(n, b))) << n;
+    EXPECT_TRUE(sched::validate(sched::all_pairs_allreduce(n, b))) << n;
+    EXPECT_TRUE(sched::validate(sched::star_allreduce(n, b))) << n;
+    if ((n & (n - 1)) == 0) {
+      EXPECT_TRUE(sched::validate(sched::recursive_doubling_allreduce(n, b))) << n;
     }
   }
-  for (int d = 0; d < n; ++d) {
-    for (int r = 0; r < n; ++r) EXPECT_EQ(recv[d][r], r * 1000 + d);
+  for (const auto [nodes, n_local] : {std::pair{2, 2}, {2, 4}, {3, 4}, {4, 8}}) {
+    EXPECT_TRUE(sched::validate(
+        sched::hierarchical_allreduce(nodes, n_local, 4096)));
   }
+}
+
+TEST(ValidateTest, RejectsMalformedSchedules) {
+  sched::Schedule s = sched::ring_allreduce(4, 256);
+  ASSERT_TRUE(sched::validate(s));
+
+  sched::Schedule bad_rank = s;
+  bad_rank.rounds.front().steps.front().src = 99;
+  EXPECT_FALSE(sched::validate(bad_rank));
+
+  sched::Schedule bad_slot = s;
+  bad_slot.rounds.front().steps.front().moves.front().src_slot = 99;
+  EXPECT_FALSE(sched::validate(bad_slot));
+
+  // A wire_exact round whose posted bytes disagree with its data movement.
+  sched::Schedule bad_bytes = s;
+  bad_bytes.rounds.front().steps.front().bytes += 1;
+  EXPECT_FALSE(sched::validate(bad_bytes));
+}
+
+TEST(RemapRanksTest, RewritesStepEndpoints) {
+  sched::Schedule s = sched::ring_allreduce(4, 256);
+  const std::vector<int> order{2, 0, 3, 1};
+  sched::remap_ranks(s, order);
+  for (const sched::Round& round : s.rounds) {
+    for (const sched::Step& step : round.steps) {
+      // dst was (src + 1) % 4 in position space; still consistent after the
+      // position -> rank substitution.
+      int src_pos = -1;
+      for (int p = 0; p < 4; ++p) {
+        if (order[static_cast<std::size_t>(p)] == step.src) src_pos = p;
+      }
+      ASSERT_GE(src_pos, 0);
+      EXPECT_EQ(step.dst, order[static_cast<std::size_t>((src_pos + 1) % 4)]);
+    }
+  }
+}
+
+TEST(DescribeTest, NamesAlgorithmAndRounds) {
+  const sched::Schedule s = sched::ring_allreduce(4, 256);
+  const std::string text = sched::describe(s);
+  EXPECT_NE(text.find("ring-allreduce"), std::string::npos);
+  EXPECT_NE(text.find("round"), std::string::npos);
 }
 
 TEST(RampFactorTest, MonotoneAndBounded) {

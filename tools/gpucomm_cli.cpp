@@ -6,12 +6,16 @@
 //   gpucomm_cli --system leonardo --op allreduce --mechanism ccl
 //               --gpus 16 --min 1024 --max 1073741824 [--space host]
 //               [--untuned] [--sl N] [--placement packed|switches|groups]
-//               [--iters N] [--trace out.json] [--counters]
+//               [--iters N] [--trace out.json] [--counters] [--dump-schedule]
 //
 // --trace writes a Chrome-trace JSON (load in chrome://tracing or Perfetto)
 // of every flow's queue/transfer spans; --counters prints per-link and
 // per-NIC utilization tables after the results. Neither flag changes the
 // simulated timings.
+//
+// --dump-schedule prints, instead of timings, the Schedule IR the mechanism
+// would execute for the op at each size in the sweep — the output of the
+// same plan() the implementations run, so what you see is what is timed.
 //
 // op: pingpong | alltoall | allreduce | broadcast | allgather | reducescatter
 // mechanism: staging | devcopy | ccl | mpi
@@ -41,6 +45,7 @@ struct Args {
   int iters = 0;  // 0 = auto per size
   std::string trace_path;  // empty = no trace
   bool counters = false;
+  bool dump_schedule = false;
 };
 
 bool parse(int argc, char** argv, Args& a) {
@@ -75,6 +80,8 @@ bool parse(int argc, char** argv, Args& a) {
       a.trace_path = path;
     } else if (flag == "--counters") {
       a.counters = true;
+    } else if (flag == "--dump-schedule") {
+      a.dump_schedule = true;
     } else if (flag == "--placement") {
       const std::string p = next();
       a.placement = p == "switches" ? Placement::kScatterSwitches
@@ -112,6 +119,38 @@ std::unique_ptr<Communicator> build(Mechanism m, Cluster& c, std::vector<int> gp
   return nullptr;
 }
 
+CollectiveOp op_of(const std::string& name) {
+  static const std::map<std::string, CollectiveOp> kMap{
+      {"pingpong", CollectiveOp::kPingPong},
+      {"alltoall", CollectiveOp::kAlltoall},
+      {"allreduce", CollectiveOp::kAllreduce},
+      {"broadcast", CollectiveOp::kBroadcast},
+      {"allgather", CollectiveOp::kAllgather},
+      {"reducescatter", CollectiveOp::kReduceScatter}};
+  const auto it = kMap.find(name);
+  if (it == kMap.end()) throw std::invalid_argument("unknown op: " + name);
+  return it->second;
+}
+
+/// Print the schedule(s) the communicator's plan() selects at each size in
+/// the sweep. For allgather the sweep size is the per-rank contribution,
+/// matching time_allgather.
+void dump_schedules(Communicator& comm, const Args& a) {
+  const CollectiveOp op = op_of(a.op);
+  for (Bytes b = a.min_bytes; b <= a.max_bytes; b *= 4) {
+    const auto plans = comm.plan(op, b);
+    std::printf("-- %s @ %s --\n", a.op.c_str(), format_bytes(b).c_str());
+    if (plans.empty()) {
+      std::printf("(no schedule: point-to-point or unsupported op)\n");
+      continue;
+    }
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      if (plans.size() > 1) std::printf("[concurrent schedule %zu]\n", i);
+      std::fputs(sched::describe(plans[i]).c_str(), stdout);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -120,7 +159,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s --system S --op OP --mechanism M --gpus N "
                  "[--min B --max B --space host --untuned --sl N --iters N "
-                 "--placement packed|switches|groups --trace out.json --counters]\n",
+                 "--placement packed|switches|groups --trace out.json --counters "
+                 "--dump-schedule]\n",
                  argv[0]);
     return 2;
   }
@@ -156,6 +196,12 @@ int main(int argc, char** argv) {
   if (recorder || counters) cluster.set_telemetry(&sinks);
 
   auto comm = build(mechanism_of(a.mechanism), cluster, first_n_gpus(cluster, a.gpus), opt);
+  if (a.dump_schedule) {
+    std::printf("# %s %s %s, %d GPUs (%d nodes): schedule dump\n", a.system.c_str(),
+                a.mechanism.c_str(), a.op.c_str(), a.gpus, nodes);
+    dump_schedules(*comm, a);
+    return 0;
+  }
   std::printf("# %s %s %s, %d GPUs (%d nodes), %s buffers, %s\n", a.system.c_str(),
               a.mechanism.c_str(), a.op.c_str(), a.gpus, nodes,
               a.space == MemSpace::kHost ? "host" : "gpu", a.tuned ? "tuned" : "default env");
