@@ -1,0 +1,67 @@
+// Fault-degradation sweep: goodput vs number of failed NIC-wire link pairs.
+//
+// For each system, a two-node job runs a 64 MiB allreduce (CCL and MPI)
+// while k of node 0's four NIC wires are down from t=0. Routing fails the
+// node's traffic over to the surviving NICs, so the inter-node bandwidth
+// shrinks roughly in proportion: goodput must degrade monotonically in k.
+// The last NIC is never failed — the job stays connected and completes.
+//
+// Expected shape: *CCL stripes its inter-node rings across all four NICs and
+// loses ~half its goodput at k=1; MPI's two-rank ring uses one NIC at a time,
+// so it merely fails over at equal capacity and stays flat until k=3.
+#include "bench_common.hpp"
+#include "gpucomm/fault/fault_injector.hpp"
+#include "gpucomm/fault/fault_schedule.hpp"
+
+using namespace gpucomm;
+using namespace gpucomm::bench;
+
+namespace {
+
+constexpr Bytes kBuffer = 64_MiB;
+
+double degraded_goodput(const SystemConfig& cfg, Mechanism mech, int failed_nics) {
+  ClusterOptions copt;
+  copt.nodes = 2;
+  copt.placement = Placement::kScatterGroups;
+  copt.enable_noise = false;  // isolate the fault effect
+  Cluster cluster(cfg, copt);
+
+  fault::FaultSchedule sched;
+  const std::vector<DeviceId>& nics = cluster.node(0).nics;
+  for (int i = 0; i < failed_nics && i + 1 < static_cast<int>(nics.size()); ++i) {
+    fault::FaultEvent e;
+    e.kind = fault::FaultKind::kNicFail;
+    e.time = SimTime::zero();
+    e.dev_a = nics[static_cast<std::size_t>(i)];
+    sched.events.push_back(e);
+  }
+  fault::FaultInjector inj(cluster, sched);
+
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  auto comm = make_comm(mech, cluster, first_n_gpus(cluster, cluster.total_gpus()), opt);
+  return goodput_gbps(kBuffer, comm->time_allreduce(kBuffer));
+}
+
+}  // namespace
+
+int main() {
+  header("Fault degradation", "64 MiB allreduce goodput vs failed NIC wires (node 0)");
+
+  for (const SystemConfig& cfg : all_systems()) {
+    std::cout << "\n--- " << cfg.name << " ---\n";
+    Table t({"failed_nics", "mechanism", "goodput_gbps", "vs_healthy"});
+    for (const Mechanism mech : {Mechanism::kCcl, Mechanism::kMpi}) {
+      double healthy = 0.0;
+      for (int k = 0; k < static_cast<int>(cfg.nics_per_node); ++k) {
+        const double gp = degraded_goodput(cfg, mech, k);
+        if (k == 0) healthy = gp;
+        t.add_row({std::to_string(k), to_string(mech), fmt(gp, 2),
+                   fmt(healthy > 0.0 ? gp / healthy : 0.0, 3)});
+      }
+    }
+    emit(t, "fault_degradation_" + cfg.name + ".csv");
+  }
+  return 0;
+}

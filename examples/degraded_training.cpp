@@ -1,0 +1,91 @@
+// Training through a fault — what the fault-injection subsystem is for.
+// Runs the gradient sync of one data-parallel training step three times on
+// the same two-node job:
+//
+//   healthy    no faults
+//   degraded   one of node 0's NICs dead from t=0 (routing fails over,
+//              surviving NICs carry the striped rings at reduced bandwidth)
+//   mid-step   the same NIC dies *during* the sync: in-flight transfers are
+//              killed, detected, and retried over a rerouted path, so the
+//              step pays detection + backoff + recovery on top of the
+//              bandwidth loss
+//
+//   $ ./degraded_training [alps|leonardo|lumi]
+#include <cstdio>
+#include <string>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/cluster/placement.hpp"
+#include "gpucomm/comm/ccl/ccl_comm.hpp"
+#include "gpucomm/fault/fault_injector.hpp"
+#include "gpucomm/fault/fault_schedule.hpp"
+#include "gpucomm/systems/registry.hpp"
+
+using namespace gpucomm;
+
+namespace {
+
+SimTime gradient_sync(Cluster& cluster, const SystemConfig& cfg, Bytes gradient_bytes,
+                      int buckets) {
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  CclComm comm(cluster, first_n_gpus(cluster, cluster.total_gpus()), opt);
+  SimTime total;
+  const Bytes bucket = gradient_bytes / static_cast<Bytes>(buckets);
+  for (int b = 0; b < buckets; ++b) total += comm.time_allreduce(bucket);
+  if (comm.last_op_failed()) std::printf("  (an allreduce exhausted its retries)\n");
+  return total;
+}
+
+Cluster make_cluster(const SystemConfig& cfg) {
+  ClusterOptions copt;
+  copt.nodes = 2;
+  copt.placement = Placement::kScatterGroups;
+  copt.enable_noise = false;
+  return Cluster(cfg, copt);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string system = argc > 1 ? argv[1] : "leonardo";
+  const SystemConfig cfg = system_by_name(system);
+  const Bytes gradient_bytes = 2_GiB / 8;  // 1.3B params would be ~2.6 GB fp16
+  const int buckets = 8;
+
+  std::printf("gradient sync on %s, 2 nodes, %d buckets of %.0f MiB\n\n", cfg.name.c_str(),
+              buckets, static_cast<double>(gradient_bytes / buckets) / (1 << 20));
+
+  Cluster healthy = make_cluster(cfg);
+  const SimTime t_healthy = gradient_sync(healthy, cfg, gradient_bytes, buckets);
+
+  // A NIC dead before the job starts: pure bandwidth loss, no recovery cost.
+  Cluster degraded = make_cluster(cfg);
+  fault::FaultEvent nic_dead;
+  nic_dead.kind = fault::FaultKind::kNicFail;
+  nic_dead.time = SimTime::zero();
+  nic_dead.dev_a = degraded.node(0).nics[0];
+  fault::FaultInjector inj_degraded(degraded, fault::FaultSchedule{{nic_dead}});
+  const SimTime t_degraded = gradient_sync(degraded, cfg, gradient_bytes, buckets);
+
+  // The same NIC dying mid-sync: in-flight flows are interrupted and must be
+  // detected and re-posted over the surviving NICs.
+  Cluster midstep = make_cluster(cfg);
+  fault::FaultEvent nic_dies = nic_dead;
+  nic_dies.dev_a = midstep.node(0).nics[0];
+  nic_dies.time = SimTime{t_healthy.ps / 4};
+  fault::FaultInjector inj_midstep(midstep, fault::FaultSchedule{{nic_dies}});
+  const SimTime t_midstep = gradient_sync(midstep, cfg, gradient_bytes, buckets);
+
+  std::printf("%-28s %10.2f ms\n", "healthy", t_healthy.seconds() * 1e3);
+  std::printf("%-28s %10.2f ms  (%.2fx)\n", "nic dead from t=0",
+              t_degraded.seconds() * 1e3, t_degraded.seconds() / t_healthy.seconds());
+  std::printf("%-28s %10.2f ms  (%.2fx)\n", "nic dies mid-sync",
+              t_midstep.seconds() * 1e3, t_midstep.seconds() / t_healthy.seconds());
+  std::printf("\nthe mid-sync run lands between healthy and fully degraded — the\n"
+              "early buckets ran at full bandwidth — but above the time-weighted\n"
+              "blend: every transfer in flight at the failure pays detection\n"
+              "timeout, backoff, and a re-post over the rerouted path on top of\n"
+              "the bandwidth loss.\n");
+  return 0;
+}

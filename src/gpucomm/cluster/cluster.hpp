@@ -64,12 +64,17 @@ class Cluster {
   DeviceId numa_of_gpu(int gpu) const;
   bool same_node(int gpu_a, int gpu_b) const { return node_of_gpu(gpu_a) == node_of_gpu(gpu_b); }
 
-  /// Shortest GPU-fabric route between two GPUs on the same node.
+  /// Shortest GPU-fabric route between two GPUs on the same node. With a
+  /// fault provider attached, downed links are routed around; an empty route
+  /// means every GPU-fabric path is currently cut.
   Route intra_node_route(int gpu_a, int gpu_b) const;
 
   /// Inter-node route endpoint->NIC->fabric->NIC->endpoint. Endpoints are
   /// the GPUs (GDR path) or the NUMA domains (host buffers); each rank uses
-  /// its closest NIC. Adaptive fabric choices consume the cluster RNG.
+  /// its closest NIC. Adaptive fabric choices consume the cluster RNG. With
+  /// a fault provider attached, dead links are avoided — including failing
+  /// over to another NIC of the node when the nominal one is unreachable —
+  /// and an empty route means the destination is currently unreachable.
   Route inter_node_route(DeviceId src_endpoint, int src_gpu, DeviceId dst_endpoint, int dst_gpu);
 
   /// Network distance between the NICs of two GPUs (Fig. 8 classes).
@@ -77,6 +82,17 @@ class Cluster {
 
   /// The production-noise field, if instantiated (nullptr otherwise).
   NoiseField* noise_field() { return noise_.get(); }
+
+  /// Attach the fault subsystem's state provider (nullptr detaches; the
+  /// FaultInjector registers itself here). Forwards to the network and makes
+  /// every route the cluster hands out avoid downed links, failing over to a
+  /// peer NIC of the node when a rank's nominal NIC is dead. With no provider
+  /// attached all routing paths are branch-identical to a healthy machine.
+  void set_faults(const fault::FaultModel* faults);
+  const fault::FaultModel* faults() const { return faults_; }
+
+  /// True when `link` is currently usable (always true without a provider).
+  bool link_usable(LinkId link) const { return faults_ == nullptr || faults_->link_up(link); }
 
   /// Attach a telemetry sink (nullptr detaches). Forwards to the network and
   /// is picked up lazily by communicators, so it can be set any time before
@@ -97,6 +113,7 @@ class Cluster {
   std::vector<NodeDevices> nodes_;
   Rng rng_;
   telemetry::Sink* telemetry_ = nullptr;
+  const fault::FaultModel* faults_ = nullptr;
 };
 
 }  // namespace gpucomm

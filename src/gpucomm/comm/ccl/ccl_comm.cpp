@@ -115,6 +115,9 @@ void CclComm::coll_transfer(int src, int dst, Bytes bytes, double simple_eff_int
     // hop-count estimate defect only affects the p2p transport (Obs. 3), so
     // only the channel-count ceiling applies here.
     const Route route = cluster_.intra_node_route(ranks_[src].gpu, ranks_[dst].gpu);
+    const auto reroute = [this, sg = ranks_[src].gpu, dg = ranks_[dst].gpu] {
+      return cluster_.intra_node_route(sg, dg);
+    };
     const Bandwidth cap = static_cast<double>(eff_.nchannels) * p.per_channel_bw;
     const Bandwidth nominal = std::min(cap, route_bottleneck(cluster_.graph(), route));
     // LL vs Simple on the *segment* size, with the Simple efficiency coming
@@ -122,9 +125,9 @@ void CclComm::coll_transfer(int src, int dst, Bytes bytes, double simple_eff_int
     const double ll_rate = std::min(p.ll_bw, nominal);
     const double simple_rate = simple_eff_intra * nominal;
     if (bytes < p.ll_threshold || ll_rate >= simple_rate) {
-      post_flow(route, bytes, 1.0, std::min(cap, p.ll_bw), pre, std::move(done), tag);
+      post_flow(route, bytes, 1.0, std::min(cap, p.ll_bw), pre, std::move(done), tag, reroute);
     } else {
-      post_flow(route, bytes, simple_eff_intra, cap, pre, std::move(done), tag);
+      post_flow(route, bytes, simple_eff_intra, cap, pre, std::move(done), tag, reroute);
     }
     return;
   }
@@ -133,7 +136,8 @@ void CclComm::coll_transfer(int src, int dst, Bytes bytes, double simple_eff_int
   if (!eff_.gdr_ok) pre += p.gdr_disabled_latency;
   const Route route = cluster_.inter_node_route(s.gpu_dev, s.gpu, d.gpu_dev, d.gpu);
   // The net proxy pipelines chunks across peers; no per-segment ramp.
-  post_flow(route, bytes, inter_efficiency(false), 0, pre, std::move(done), tag);
+  post_flow(route, bytes, inter_efficiency(false), 0, pre, std::move(done), tag,
+            [this, s, d] { return cluster_.inter_node_route(s.gpu_dev, s.gpu, d.gpu_dev, d.gpu); });
 }
 
 void CclComm::coll_message(int src, int dst, Bytes bytes, Bytes op_bytes,
@@ -156,7 +160,10 @@ void CclComm::send(int src, int dst, Bytes bytes, EventFn done) {
                                            ranks_[dst].gpu_dev, p, eff_);
     const FlowShape fs = shape(bytes, cap, p.intra_p2p_efficiency,
                                route_bottleneck(cluster_.graph(), route));
-    post_flow(route, bytes, fs.efficiency, fs.rate_cap, p.p2p_launch, std::move(done), tag);
+    post_flow(route, bytes, fs.efficiency, fs.rate_cap, p.p2p_launch, std::move(done), tag,
+              [this, sg = ranks_[src].gpu, dg = ranks_[dst].gpu] {
+                return cluster_.intra_node_route(sg, dg);
+              });
     return;
   }
   const Rank& s = ranks_[src];
@@ -173,7 +180,8 @@ void CclComm::send(int src, int dst, Bytes bytes, EventFn done) {
   }
   const Route route = cluster_.inter_node_route(s.gpu_dev, s.gpu, d.gpu_dev, d.gpu);
   const FlowShape fs = shape(bytes, 0, eff, sys().nic.rate);
-  post_flow(route, bytes, fs.efficiency, fs.rate_cap, pre, std::move(done), tag);
+  post_flow(route, bytes, fs.efficiency, fs.rate_cap, pre, std::move(done), tag,
+            [this, s, d] { return cluster_.inter_node_route(s.gpu_dev, s.gpu, d.gpu_dev, d.gpu); });
 }
 
 std::vector<sched::Schedule> CclComm::plan(CollectiveOp op, Bytes bytes, int root) const {
@@ -250,7 +258,7 @@ void CclComm::alltoall(Bytes buffer, EventFn done) {
   // channel FIFOs with several messages in flight per rank.
   sched::ExecHooks hooks;
   hooks.engine = &engine();
-  hooks.launch = sys().ccl.group_launch;
+  hooks.launch = straggle(sys().ccl.group_launch);
   hooks.message = [this, simple_eff = coll_intra_eff(buffer)](
                       const sched::Step& step, const sched::StepCtx& ctx, EventFn msg_done) {
     coll_transfer(step.src, step.dst, step.bytes, simple_eff, sys().ccl.per_chunk_overhead,
@@ -302,7 +310,7 @@ void CclComm::run_hierarchical(sched::Schedule s, Bytes buffer, EventFn done) {
       sys().ccl.bad_affinity_allreduce_factor / sys().ccl.bad_affinity_alltoall_factor;
   sched::ExecHooks hooks;
   hooks.engine = &engine();
-  hooks.launch = sys().ccl.group_launch;
+  hooks.launch = straggle(sys().ccl.group_launch);
   hooks.reduce_time = [this](Bytes b) { return copy_.reduce_time(b); };
   hooks.message = [this, simple_eff = coll_intra_eff(buffer), bad_affinity, ratio](
                       const sched::Step& step, const sched::StepCtx& ctx, EventFn msg_done) {
@@ -332,7 +340,7 @@ void CclComm::allreduce(Bytes buffer, EventFn done) {
     // share one group launch and run concurrently.
     std::vector<Stage> stages;
     stages.push_back([this](EventFn next) {
-      engine().after(sys().ccl.group_launch, std::move(next));
+      engine().after(straggle(sys().ccl.group_launch), std::move(next));
     });
     stages.push_back([this, plans = std::move(plans), buffer](EventFn next) mutable {
       auto join = JoinCounter::create(static_cast<int>(plans.size()), std::move(next));

@@ -41,6 +41,9 @@ class CclComm final : public Communicator {
   void coll_message(int src, int dst, Bytes bytes, Bytes op_bytes, const CollContext& ctx,
                     EventFn done) override;
   SimTime coll_launch() const override;
+  /// *CCL has no transparent message retry: a dead transfer aborts the
+  /// communicator, and recovery re-initializes it before the retransmission.
+  SimTime recovery_cost() const override { return sys().recovery.ccl_reinit; }
 
  private:
   struct FlowShape {

@@ -1,6 +1,8 @@
 #include "gpucomm/comm/communicator.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -39,25 +41,102 @@ FlowSpec Communicator::make_flow(const Route& route, Bytes bytes, double efficie
   return spec;
 }
 
+struct Communicator::RetryCtx {
+  Route route;
+  Bytes bytes = 0;
+  double efficiency = 1.0;
+  Bandwidth rate_cap = 0;
+  telemetry::FlowTag tag;
+  RouteFn reroute;
+  EventFn done;
+  int attempt = 0;  // 0 = original post, >= 1 = retransmissions
+};
+
 void Communicator::post_flow(const Route& route, Bytes bytes, double efficiency,
                              Bandwidth rate_cap, SimTime pre_delay, EventFn done,
-                             telemetry::FlowTag tag) {
-  FlowSpec spec = make_flow(route, bytes, efficiency, rate_cap);
-  if (telemetry::Sink* sink = telemetry()) {
-    tag.mechanism = to_string(mechanism());
-    spec.tag = tag;
-    spec.token = sink->issue(tag, spec.bytes, engine().now());
+                             telemetry::FlowTag tag, RouteFn reroute) {
+  if (cluster_.faults() == nullptr) {
+    FlowSpec spec = make_flow(route, bytes, efficiency, rate_cap);
+    if (telemetry::Sink* sink = telemetry()) {
+      tag.mechanism = to_string(mechanism());
+      spec.tag = tag;
+      spec.token = sink->issue(tag, spec.bytes, engine().now());
+    }
+    auto start = [this, spec = std::move(spec), done = std::move(done)]() mutable {
+      network().start_flow(std::move(spec), [done = std::move(done)](SimTime) {
+        if (done) done();
+      });
+    };
+    if (pre_delay > SimTime::zero()) {
+      engine().after(pre_delay, std::move(start));
+    } else {
+      start();
+    }
+    return;
   }
-  auto start = [this, spec = std::move(spec), done = std::move(done)]() mutable {
-    network().start_flow(std::move(spec), [done = std::move(done)](SimTime) {
-      if (done) done();
-    });
-  };
+
+  tag.mechanism = to_string(mechanism());
+  auto ctx = std::make_shared<RetryCtx>();
+  ctx->route = route;
+  ctx->bytes = bytes;
+  ctx->efficiency = efficiency;
+  ctx->rate_cap = rate_cap;
+  ctx->tag = tag;
+  ctx->reroute = std::move(reroute);
+  ctx->done = std::move(done);
   if (pre_delay > SimTime::zero()) {
-    engine().after(pre_delay, std::move(start));
+    engine().after(pre_delay, [this, ctx] { post_attempt(ctx); });
   } else {
-    start();
+    post_attempt(ctx);
   }
+}
+
+void Communicator::post_attempt(const std::shared_ptr<RetryCtx>& ctx) {
+  if (ctx->attempt > 0 && ctx->reroute) ctx->route = ctx->reroute();
+  // An empty re-resolved route means every path is cut right now: wait out
+  // another backoff period and ask again. (An empty route on the original
+  // post with no reroute fn is a deliberately routeless flow — rate-capped
+  // local pipe — and is posted as-is.)
+  if (ctx->route.empty() && ctx->reroute) {
+    schedule_retry(ctx);
+    return;
+  }
+  FlowSpec spec = make_flow(ctx->route, ctx->bytes, ctx->efficiency, ctx->rate_cap);
+  ctx->tag.attempt = ctx->attempt;
+  if (telemetry::Sink* sink = telemetry()) {
+    spec.tag = ctx->tag;
+    spec.token = sink->issue(ctx->tag, spec.bytes, engine().now());
+  }
+  spec.on_interrupted = [this, ctx](Bytes, SimTime) { schedule_retry(ctx); };
+  network().start_flow(std::move(spec), [ctx](SimTime) {
+    if (ctx->done) ctx->done();
+  });
+}
+
+void Communicator::schedule_retry(const std::shared_ptr<RetryCtx>& ctx) {
+  const RecoveryParams& rec = sys().recovery;
+  ++ctx->attempt;
+  if (ctx->attempt > rec.max_retries) {
+    // Retries exhausted: the operation is abandoned but still completes, so
+    // schedule barriers and harness loops keep draining.
+    op_failed_ = true;
+    if (ctx->done) engine().after(SimTime::zero(), [ctx] { ctx->done(); });
+    return;
+  }
+  const int shift = std::min(ctx->attempt - 1, 20);
+  const SimTime backoff{
+      std::min(rec.backoff_base.ps << shift, rec.backoff_max.ps)};
+  engine().after(rec.detect + backoff + recovery_cost(),
+                 [this, ctx] { post_attempt(ctx); });
+}
+
+SimTime Communicator::straggle(SimTime launch) const {
+  const fault::FaultModel* faults = cluster_.faults();
+  if (faults == nullptr || launch <= SimTime::zero()) return launch;
+  double factor = 1.0;
+  for (const Rank& r : ranks_) factor = std::max(factor, faults->straggler_factor(r.gpu));
+  if (factor == 1.0) return launch;
+  return SimTime{static_cast<std::int64_t>(static_cast<double>(launch.ps) * factor)};
 }
 
 void Communicator::record_local(const char* stage, int src, int dst, Bytes bytes,
@@ -75,6 +154,7 @@ void Communicator::record_local(const char* stage, int src, int dst, Bytes bytes
 SimTime Communicator::run_op(const char* op, Bytes bytes,
                              const std::function<void(EventFn)>& fn) {
   const SimTime start = engine().now();
+  op_failed_ = false;
   bool finished = false;
   fn([&finished] { finished = true; });
   const bool ok = engine().run_until([&finished] { return finished; });
@@ -154,6 +234,7 @@ void Communicator::run_coll_schedule(sched::Schedule s, Bytes op_bytes,
                                      std::optional<SimTime> launch, EventFn done) {
   sched::ExecHooks hooks;
   hooks.engine = &engine();
+  if (launch.has_value()) launch = straggle(*launch);
   hooks.launch = launch;
   hooks.message = [this, op_bytes](const sched::Step& step, const sched::StepCtx& ctx,
                                    EventFn msg_done) {

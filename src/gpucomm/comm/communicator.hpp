@@ -105,6 +105,12 @@ class Communicator {
   /// kBroadcast. Empty for ops without a schedule (kSend, kPingPong).
   virtual std::vector<sched::Schedule> plan(CollectiveOp op, Bytes bytes, int root = 0) const;
 
+  /// True when the most recent time_* operation was abandoned by the
+  /// recovery model (a fault outlived every retry). The operation still
+  /// completes — its elapsed time covers the attempts made — so harness
+  /// loops keep running; they record the iteration as failed instead.
+  bool last_op_failed() const { return op_failed_; }
+
   // --- blocking helpers (run the engine until the op completes) ------------
   SimTime time_send(int src, int dst, Bytes bytes);
   /// Full round trip src -> dst -> src (divide by 2 for the paper's numbers).
@@ -134,13 +140,39 @@ class Communicator {
   void run_coll_schedule(sched::Schedule s, Bytes op_bytes, std::optional<SimTime> launch,
                          EventFn done);
 
+  /// Re-resolves a transfer's route for a retry attempt (fault recovery).
+  /// An empty result means the destination is currently unreachable and the
+  /// retry waits out another backoff period before asking again.
+  using RouteFn = std::function<Route()>;
+
   /// Post a flow after `pre_delay`, inflating bytes by 1/efficiency to model
   /// protocol overhead, with an optional per-flow rate cap. `tag` attributes
   /// the flow for telemetry (the mechanism field is filled in automatically);
   /// the token is issued at post time, so queueing behind `pre_delay` shows
   /// up as issue-to-start gap in traces.
+  ///
+  /// With a fault provider attached to the cluster, an interrupted flow is
+  /// retried with exponential backoff plus this mechanism's recovery_cost();
+  /// `reroute` (when given) re-resolves the route before each attempt so the
+  /// retry avoids the links that killed the original. Retries exhausted
+  /// marks the operation failed (last_op_failed) but still fires `done`.
   void post_flow(const Route& route, Bytes bytes, double efficiency, Bandwidth rate_cap,
-                 SimTime pre_delay, EventFn done, telemetry::FlowTag tag = {});
+                 SimTime pre_delay, EventFn done, telemetry::FlowTag tag = {},
+                 RouteFn reroute = {});
+
+  /// Extra cost of one recovery action, on top of fault detection and
+  /// backoff (RecoveryParams): the staging/devcopy host paths repost from
+  /// the host; *CCL aborts and re-initializes the communicator; MPI
+  /// retransmits the message inside the transport.
+  virtual SimTime recovery_cost() const { return sys().recovery.host_retry; }
+
+  /// Launch delay inflated by the worst straggler factor among this
+  /// communicator's GPUs (fault injection; identity without a provider).
+  SimTime straggle(SimTime launch) const;
+
+  /// Record that the in-flight operation was abandoned by fault recovery
+  /// (for helper paths outside post_flow, e.g. HostPath wire transfers).
+  void mark_op_failed() { op_failed_ = true; }
 
   /// The cluster's telemetry sink, or nullptr when instrumentation is off.
   telemetry::Sink* telemetry() const { return cluster_.telemetry(); }
@@ -166,8 +198,16 @@ class Communicator {
   CopyEngine copy_;
 
  private:
+  struct RetryCtx;
+  /// Post one attempt of a fault-aware flow (ctx->attempt retries so far).
+  void post_attempt(const std::shared_ptr<RetryCtx>& ctx);
+  /// Arm the next retry of an interrupted flow, or give up and fail the op.
+  void schedule_retry(const std::shared_ptr<RetryCtx>& ctx);
+
   /// Shared body of the time_* helpers; emits a telemetry op_span.
   SimTime run_op(const char* op, Bytes bytes, const std::function<void(EventFn)>& fn);
+
+  bool op_failed_ = false;
 };
 
 /// Size ramp-up factor: pipelines reach peak rate only for large transfers;

@@ -36,7 +36,10 @@ void DeviceCopyComm::copy_flow(int src, int dst, Bytes bytes, int concurrent,
   tag.dst_rank = dst;
   tag.algorithm = ctx.algorithm;
   tag.round = ctx.round;
-  post_flow(route, bytes, eff, cap, sys().gpu.copy_issue + issue_delay, std::move(done), tag);
+  post_flow(route, bytes, eff, cap, sys().gpu.copy_issue + issue_delay, std::move(done), tag,
+            [this, sg = ranks_[src].gpu, dg = ranks_[dst].gpu] {
+              return cluster_.intra_node_route(sg, dg);
+            });
 }
 
 void DeviceCopyComm::send(int src, int dst, Bytes bytes, EventFn done) {

@@ -1,10 +1,22 @@
 #include "gpucomm/comm/host_path.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "gpucomm/hw/nic.hpp"
 
 namespace gpucomm {
+
+struct HostPath::WireCtx {
+  int src = -1;
+  int dst = -1;
+  Bytes payload = 0;     // pre-inflation bytes (NIC telemetry)
+  Bytes wire_bytes = 0;  // protocol-inflated bytes actually serialized
+  Route route;           // attempt 0 uses the route resolved at send time
+  SimTime post;
+  EventFn done;
+  int attempt = 0;
+};
 
 SimTime HostPath::pre_overhead(Bytes bytes) const {
   const MpiParams& mpi = cluster_.config().mpi;
@@ -55,13 +67,38 @@ void HostPath::send(int src, int dst, Bytes bytes, double efficiency, EventFn do
     spec.tag.stage = "wire";
     spec.tag.src_rank = src;
     spec.tag.dst_rank = dst;
-    spec.token = sink->issue(spec.tag, spec.bytes, engine.now());
+    // Under a fault model post_wire issues one token per attempt instead.
+    if (cluster_.faults() == nullptr) spec.token = sink->issue(spec.tag, spec.bytes, engine.now());
     sink->nic_message(s.nic_dev, /*send=*/true, bytes, engine.now(),
                       engine.now() + nic_message_overhead(nic, /*send=*/true));
   }
   const SimTime pre = pre_overhead(bytes);
   const SimTime post = post_overhead();
   const DeviceId dst_nic = d.nic_dev;
+
+  if (cluster_.faults() != nullptr) {
+    // Host-mediated recovery: the host notices a fault-killed wire transfer
+    // (detection timeout), re-resolves the route and reposts with backoff.
+    auto ctx = std::make_shared<WireCtx>();
+    ctx->src = src;
+    ctx->dst = dst;
+    ctx->payload = bytes;
+    ctx->wire_bytes = spec.bytes;
+    ctx->route = std::move(spec.route);
+    ctx->post = post;
+    ctx->done = [this, dst_nic, post, bytes, done = std::move(done)]() mutable {
+      Engine& eng = cluster_.engine();
+      if (telemetry::Sink* rx_sink = cluster_.telemetry()) {
+        const NicParams& rx_nic = cluster_.config().nic;
+        rx_sink->nic_message(dst_nic, /*send=*/false, bytes, eng.now(),
+                             eng.now() + nic_message_overhead(rx_nic, /*send=*/false));
+      }
+      eng.after(post, std::move(done));
+    };
+    engine.after(pre, [this, ctx] { post_wire(ctx); });
+    return;
+  }
+
   engine.after(pre, [this, &engine, spec = std::move(spec), post, dst_nic, bytes,
                      done = std::move(done)]() mutable {
     cluster_.network().start_flow(
@@ -75,6 +112,52 @@ void HostPath::send(int src, int dst, Bytes bytes, double efficiency, EventFn do
           engine.after(post, std::move(done));
         });
   });
+}
+
+void HostPath::post_wire(const std::shared_ptr<WireCtx>& ctx) {
+  if (ctx->attempt > 0) {
+    const Rank& s = ranks_[ctx->src];
+    const Rank& d = ranks_[ctx->dst];
+    ctx->route = cluster_.inter_node_route(s.numa_dev, s.gpu, d.numa_dev, d.gpu);
+  }
+  if (ctx->route.empty()) {
+    // Destination unreachable right now (an inter-node wire route is never
+    // legitimately empty); wait out another backoff period.
+    retry_wire(ctx);
+    return;
+  }
+  FlowSpec spec;
+  spec.route = ctx->route;
+  spec.bytes = ctx->wire_bytes;
+  spec.vl = service_level_;
+  if (telemetry::Sink* sink = cluster_.telemetry()) {
+    spec.tag.mechanism = owner_;
+    spec.tag.stage = "wire";
+    spec.tag.src_rank = ctx->src;
+    spec.tag.dst_rank = ctx->dst;
+    spec.tag.attempt = ctx->attempt;
+    spec.token = sink->issue(spec.tag, spec.bytes, cluster_.engine().now());
+  }
+  spec.on_interrupted = [this, ctx](Bytes, SimTime) { retry_wire(ctx); };
+  cluster_.network().start_flow(std::move(spec), [ctx](SimTime) {
+    if (ctx->done) ctx->done();
+  });
+}
+
+void HostPath::retry_wire(const std::shared_ptr<WireCtx>& ctx) {
+  const RecoveryParams& rec = cluster_.config().recovery;
+  ++ctx->attempt;
+  if (ctx->attempt > rec.max_retries) {
+    // Retries exhausted: report upward, but still complete the send so the
+    // collective's barriers drain.
+    if (on_abandoned_) on_abandoned_();
+    if (ctx->done) cluster_.engine().after(SimTime::zero(), [ctx] { ctx->done(); });
+    return;
+  }
+  const int shift = std::min(ctx->attempt - 1, 20);
+  const SimTime backoff{std::min(rec.backoff_base.ps << shift, rec.backoff_max.ps)};
+  cluster_.engine().after(rec.detect + backoff + rec.host_retry,
+                          [this, ctx] { post_wire(ctx); });
 }
 
 }  // namespace gpucomm

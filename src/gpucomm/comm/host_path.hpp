@@ -6,6 +6,8 @@
 // software per-message overheads from the system config.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "gpucomm/cluster/cluster.hpp"
@@ -36,14 +38,26 @@ class HostPath {
   /// Receive-side overhead after delivery.
   SimTime post_overhead() const;
 
+  /// Invoked when a wire transfer exhausts its fault-recovery retries (the
+  /// send still completes so barriers drain); lets the owning mechanism mark
+  /// its operation failed.
+  void set_on_abandoned(std::function<void()> cb) { on_abandoned_ = std::move(cb); }
+
   const CopyEngine& copy() const { return copy_; }
 
  private:
+  struct WireCtx;
+  /// Post one attempt of a fault-aware wire transfer (host-mediated retry:
+  /// the host notices the dead transfer, re-resolves the route and reposts).
+  void post_wire(const std::shared_ptr<WireCtx>& ctx);
+  void retry_wire(const std::shared_ptr<WireCtx>& ctx);
+
   Cluster& cluster_;
   const std::vector<Rank>& ranks_;
   int service_level_;
   const char* owner_;
   CopyEngine copy_;
+  std::function<void()> on_abandoned_;
 };
 
 }  // namespace gpucomm

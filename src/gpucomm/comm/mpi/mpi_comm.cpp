@@ -16,6 +16,7 @@ MpiComm::MpiComm(Cluster& cluster, std::vector<int> gpus, CommOptions options)
                                                       : opts_.service_level,
             "mpi") {
   if (opts_.env.ucx_ib_sl != 0) opts_.service_level = opts_.env.ucx_ib_sl;
+  host_.set_on_abandoned([this] { mark_op_failed(); });
 }
 
 MpiP2pPath MpiComm::path_for(int src, int dst, Bytes bytes) const {
@@ -67,6 +68,9 @@ void MpiComm::transfer(int src, int dst, Bytes bytes, bool collective, Bytes ram
 
     case MpiP2pPath::kIpc: {
       const Route route = cluster_.intra_node_route(ranks_[src].gpu, ranks_[dst].gpu);
+      const auto reroute = [this, sg = ranks_[src].gpu, dg = ranks_[dst].gpu] {
+        return cluster_.intra_node_route(sg, dg);
+      };
       SimTime pre = o + mpi.ipc_setup;
       telemetry::FlowTag tag;
       tag.stage = "ipc";
@@ -76,14 +80,14 @@ void MpiComm::transfer(int src, int dst, Bytes bytes, bool collective, Bytes ram
       tag.round = ctx.round;
       if (bytes <= mpi.eager_threshold) {
         // Eager IPC: a direct small copy, no pipelined rendezvous machinery.
-        post_flow(route, bytes, 1.0, mpi.ipc_eager_bw, pre, std::move(done), tag);
+        post_flow(route, bytes, 1.0, mpi.ipc_eager_bw, pre, std::move(done), tag, reroute);
         return;
       }
       const double eff =
           (collective ? mpi.intra_coll_efficiency : mpi.intra_p2p_efficiency) *
           ramp_factor(ramp_ref, mpi.p2p_rampup);
       pre += mpi.rndv_handshake;
-      post_flow(route, bytes, eff, intra_rate_cap(), pre, std::move(done), tag);
+      post_flow(route, bytes, eff, intra_rate_cap(), pre, std::move(done), tag, reroute);
       return;
     }
 
@@ -114,7 +118,10 @@ void MpiComm::transfer(int src, int dst, Bytes bytes, bool collective, Bytes ram
                   }
                   engine().after(post, std::move(done));
                 },
-                tag);
+                tag,
+                [this, s, d] {
+                  return cluster_.inter_node_route(s.gpu_dev, s.gpu, d.gpu_dev, d.gpu);
+                });
       return;
     }
   }

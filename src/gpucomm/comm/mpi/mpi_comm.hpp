@@ -35,6 +35,9 @@ class MpiComm final : public Communicator {
  protected:
   void coll_message(int src, int dst, Bytes bytes, Bytes op_bytes, const CollContext& ctx,
                     EventFn done) override;
+  /// MPI retransmits inside the transport at the message level — no
+  /// communicator teardown, just the retransmission bookkeeping.
+  SimTime recovery_cost() const override { return sys().recovery.mpi_retransmit; }
 
  private:
   /// One transfer with collective-context efficiency (per-message software

@@ -6,7 +6,9 @@ namespace gpucomm {
 
 StagingComm::StagingComm(Cluster& cluster, std::vector<int> gpus, CommOptions options)
     : Communicator(cluster, std::move(gpus), std::move(options)),
-      host_(cluster, ranks_, opts_.service_level, "staging") {}
+      host_(cluster, ranks_, opts_.service_level, "staging") {
+  host_.set_on_abandoned([this] { mark_op_failed(); });
+}
 
 void StagingComm::send(int src, int dst, Bytes bytes, EventFn done) {
   if (opts_.space == MemSpace::kHost) {

@@ -1,0 +1,148 @@
+#include "gpucomm/fault/fault_injector.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace gpucomm::fault {
+
+namespace {
+
+[[noreturn]] void bad_event(const FaultEvent& e, const std::string& what) {
+  throw std::invalid_argument(std::string("fault schedule: ") + to_string(e.kind) + ": " + what);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(Cluster& cluster, FaultSchedule schedule)
+    : cluster_(cluster),
+      schedule_(std::move(schedule)),
+      down_(cluster.graph().link_count(), 0),
+      degrade_(cluster.graph().link_count(), 1.0),
+      straggle_(static_cast<std::size_t>(cluster.total_gpus()), 1.0) {
+  // Validate every event up front so a bad schedule throws before the
+  // cluster is touched (the dtor never runs when the ctor throws).
+  std::vector<std::vector<LinkId>> resolved;
+  resolved.reserve(schedule_.events.size());
+  for (const FaultEvent& e : schedule_.events) resolved.push_back(resolve(e));
+
+  // Register before applying: re-rating triggered by an immediate event
+  // consults cluster_.faults().
+  cluster_.set_faults(this);
+  armed_.reserve(schedule_.events.size());
+  for (std::size_t i = 0; i < schedule_.events.size(); ++i) {
+    const FaultEvent& e = schedule_.events[i];
+    if (e.time <= cluster_.engine().now()) {
+      // A fault stamped at or before "now" already holds — including for
+      // code that queries the model synchronously, before the engine runs
+      // its next event (e.g. a straggled launch issued at t=0).
+      apply(e, resolved[i]);
+    } else {
+      armed_.push_back(cluster_.engine().at(
+          e.time, [this, e, links = std::move(resolved[i])] { apply(e, links); }));
+    }
+  }
+}
+
+FaultInjector::~FaultInjector() {
+  for (const EventId id : armed_) cluster_.engine().cancel(id);
+  cluster_.set_faults(nullptr);
+}
+
+std::vector<LinkId> FaultInjector::resolve(const FaultEvent& e) const {
+  const Graph& g = cluster_.graph();
+  switch (e.kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kLinkUp:
+    case FaultKind::kLinkDegrade: {
+      if (e.link != kInvalidLink) {
+        if (e.link >= g.link_count())
+          bad_event(e, "no such link " + std::to_string(e.link));
+        return {e.link};
+      }
+      if (e.dev_a >= g.device_count() || e.dev_b >= g.device_count())
+        bad_event(e, "no such device pair " + std::to_string(e.dev_a) + "-" +
+                         std::to_string(e.dev_b));
+      // Every directed link between the pair, both directions — including
+      // parallel links (Dragonfly global bundles).
+      std::vector<LinkId> links;
+      for (LinkId l = 0; l < g.link_count(); ++l) {
+        const Link& lk = g.link(l);
+        if ((lk.src == e.dev_a && lk.dst == e.dev_b) ||
+            (lk.src == e.dev_b && lk.dst == e.dev_a)) {
+          links.push_back(l);
+        }
+      }
+      if (links.empty())
+        bad_event(e, "no link between devices " + std::to_string(e.dev_a) + " and " +
+                         std::to_string(e.dev_b));
+      return links;
+    }
+    case FaultKind::kNicFail:
+    case FaultKind::kSwitchFail: {
+      if (e.dev_a >= g.device_count())
+        bad_event(e, "no such device " + std::to_string(e.dev_a));
+      const DeviceKind want =
+          e.kind == FaultKind::kNicFail ? DeviceKind::kNic : DeviceKind::kSwitch;
+      if (g.device(e.dev_a).kind != want)
+        bad_event(e, "device " + std::to_string(e.dev_a) + " is a " +
+                         to_string(g.device(e.dev_a).kind));
+      std::vector<LinkId> links;
+      for (LinkId l = 0; l < g.link_count(); ++l) {
+        const Link& lk = g.link(l);
+        if (lk.src == e.dev_a || lk.dst == e.dev_a) links.push_back(l);
+      }
+      return links;
+    }
+    case FaultKind::kStraggler:
+      if (e.gpu < 0 || e.gpu >= cluster_.total_gpus())
+        bad_event(e, "no such gpu " + std::to_string(e.gpu));
+      if (e.factor < 1.0) bad_event(e, "straggle factor must be >= 1");
+      return {};
+  }
+  bad_event(e, "unknown kind");
+}
+
+void FaultInjector::apply(const FaultEvent& e, const std::vector<LinkId>& links) {
+  bool changed = false;
+  switch (e.kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kNicFail:
+    case FaultKind::kSwitchFail: {
+      const char* cause = to_string(e.kind);
+      for (const LinkId l : links) changed |= set_link(l, false, cause);
+      if (e.kind == FaultKind::kLinkDown && e.duration > SimTime::zero()) {
+        armed_.push_back(cluster_.engine().after(e.duration, [this, links] {
+          bool restored = false;
+          for (const LinkId l : links) restored |= set_link(l, true, "link-up");
+          if (restored) cluster_.network().on_link_state_change();
+        }));
+      }
+      break;
+    }
+    case FaultKind::kLinkUp:
+      for (const LinkId l : links) changed |= set_link(l, true, "link-up");
+      break;
+    case FaultKind::kLinkDegrade:
+      for (const LinkId l : links) degrade_[l] = e.factor;
+      changed = !links.empty();  // survivors need re-rating
+      break;
+    case FaultKind::kStraggler:
+      straggle_[static_cast<std::size_t>(e.gpu)] = e.factor;
+      break;
+  }
+  if (changed) cluster_.network().on_link_state_change();
+}
+
+bool FaultInjector::set_link(LinkId link, bool up, const char* cause) {
+  const std::uint8_t want = up ? 0 : 1;
+  if (down_[link] == want) return false;
+  down_[link] = want;
+  links_down_ += up ? -1 : 1;
+  if (telemetry::Sink* sink = cluster_.telemetry(); sink != nullptr) {
+    sink->link_state(link, up, cause, cluster_.engine().now());
+  }
+  return true;
+}
+
+}  // namespace gpucomm::fault

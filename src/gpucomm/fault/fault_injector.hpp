@@ -1,0 +1,63 @@
+// Applies a declarative FaultSchedule to a live cluster.
+//
+// Construction validates every event against the cluster's graph (throwing
+// std::invalid_argument for ids that don't exist or devices of the wrong
+// kind), arms one engine event per schedule entry, and registers itself as
+// the cluster's FaultModel. From then on the injector is passive: the engine
+// fires its events in timeline order; each one flips link/GPU state, tells
+// the network to re-evaluate in-flight flows (interrupting any that cross a
+// now-dead link) and reports the transition to the telemetry sink.
+//
+// Determinism: the injector draws no randomness. The same schedule applied
+// to the same cluster yields a picosecond-identical timeline, and an empty
+// schedule leaves every code path branch-identical to an uninstrumented run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/fault/fault_model.hpp"
+#include "gpucomm/fault/fault_schedule.hpp"
+
+namespace gpucomm::fault {
+
+class FaultInjector final : public FaultModel {
+ public:
+  /// Arms `schedule` on the cluster's engine and attaches to the cluster.
+  /// Event times must be >= the engine's current time.
+  FaultInjector(Cluster& cluster, FaultSchedule schedule);
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  bool link_up(LinkId link) const override { return down_[link] == 0; }
+  double capacity_factor(LinkId link) const override { return degrade_[link]; }
+  double straggler_factor(int gpu) const override {
+    return gpu >= 0 && gpu < static_cast<int>(straggle_.size()) ? straggle_[gpu] : 1.0;
+  }
+
+  /// Directed links currently down. Test hook.
+  int links_down() const { return links_down_; }
+  const FaultSchedule& schedule() const { return schedule_; }
+
+ private:
+  /// Expand an event's target into the directed links it touches, validating
+  /// ids against the graph (throws std::invalid_argument). Empty for
+  /// straggler events.
+  std::vector<LinkId> resolve(const FaultEvent& e) const;
+  void apply(const FaultEvent& e, const std::vector<LinkId>& links);
+  /// Flip one link; returns true when the state actually changed.
+  bool set_link(LinkId link, bool up, const char* cause);
+
+  Cluster& cluster_;
+  FaultSchedule schedule_;
+  std::vector<std::uint8_t> down_;    // by LinkId; 1 = failed
+  std::vector<double> degrade_;       // by LinkId; capacity factor, 1 = nominal
+  std::vector<double> straggle_;      // by global GPU index; >= 1
+  std::vector<EventId> armed_;        // cancelled on destruction
+  int links_down_ = 0;
+};
+
+}  // namespace gpucomm::fault

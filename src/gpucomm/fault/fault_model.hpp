@@ -1,0 +1,32 @@
+// Interface the simulator core queries for dynamic fault state.
+//
+// Implemented by fault::FaultInjector (fault_injector.hpp); declared apart
+// from it so net/ and cluster/ can depend on the queries without a dependency
+// cycle. All queries must be pure reads of the injector's current state:
+// they are consulted on every routing decision and rate reallocation, and a
+// null provider must be byte-for-byte equivalent to "every link up, nominal
+// capacity, no stragglers" (the zero-fault determinism guarantee).
+#pragma once
+
+#include "gpucomm/topology/graph.hpp"
+
+namespace gpucomm::fault {
+
+class FaultModel {
+ public:
+  virtual ~FaultModel() = default;
+
+  /// False while the directed link is failed: in-flight flows crossing it
+  /// are interrupted and new routes must avoid it.
+  virtual bool link_up(LinkId link) const = 0;
+
+  /// Fraction of nominal capacity available on the link (permanent
+  /// degradation), in (0, 1]. Only meaningful for links that are up.
+  virtual double capacity_factor(LinkId link) const = 0;
+
+  /// Launch-delay inflation factor for a global GPU index (straggler model);
+  /// 1.0 for healthy GPUs.
+  virtual double straggler_factor(int gpu) const = 0;
+};
+
+}  // namespace gpucomm::fault

@@ -18,6 +18,9 @@
 #include "gpucomm/comm/devcopy.hpp"
 #include "gpucomm/comm/mpi/mpi_comm.hpp"
 #include "gpucomm/comm/staging.hpp"
+#include "gpucomm/fault/fault_injector.hpp"
+#include "gpucomm/fault/fault_schedule.hpp"
+#include "gpucomm/harness/cli_args.hpp"
 #include "gpucomm/harness/runner.hpp"
 #include "gpucomm/harness/stats.hpp"
 #include "gpucomm/harness/table.hpp"

@@ -1,0 +1,135 @@
+#include "gpucomm/harness/cli_args.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+
+#include "gpucomm/systems/registry.hpp"
+
+namespace gpucomm::cli {
+
+namespace {
+
+bool parse_int(const std::string& s, long long min, long long max, long long& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  if (v < min || v > max) return false;
+  out = v;
+  return true;
+}
+
+const char* const kOps[] = {"pingpong",  "alltoall",  "allreduce",
+                            "broadcast", "allgather", "reducescatter"};
+const char* const kMechanisms[] = {"staging", "devcopy", "ccl", "mpi"};
+
+template <typename Names>
+bool known(const Names& names, const std::string& value) {
+  return std::find(std::begin(names), std::end(names), value) != std::end(names);
+}
+
+}  // namespace
+
+std::optional<CliArgs> parse_cli(int argc, const char* const* argv, std::string& error) {
+  CliArgs a;
+  const auto fail = [&error](std::string msg) {
+    error = std::move(msg);
+    return std::nullopt;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    // Flags taking a value all funnel through `need` so a trailing
+    // "--gpus" with nothing after it is a parse error, not a crash.
+    const auto need = [&](std::string& out) {
+      const char* v = value();
+      if (v == nullptr) return false;
+      out = v;
+      return true;
+    };
+    std::string v;
+    long long n = 0;
+    if (flag == "--help" || flag == "-h") {
+      a.help = true;
+      return a;
+    } else if (flag == "--system") {
+      if (!need(a.system)) return fail(flag + " requires a system name");
+      if (!known(all_system_names(), a.system)) {
+        return fail("unknown system '" + a.system + "'");
+      }
+    } else if (flag == "--op") {
+      if (!need(a.op)) return fail(flag + " requires an operation name");
+      if (!known(kOps, a.op)) return fail("unknown op '" + a.op + "'");
+    } else if (flag == "--mechanism") {
+      if (!need(a.mechanism)) return fail(flag + " requires a mechanism name");
+      if (!known(kMechanisms, a.mechanism)) {
+        return fail("unknown mechanism '" + a.mechanism + "'");
+      }
+    } else if (flag == "--gpus") {
+      if (!need(v) || !parse_int(v, 1, 1 << 20, n)) {
+        return fail(flag + " requires a positive integer");
+      }
+      a.gpus = static_cast<int>(n);
+    } else if (flag == "--min") {
+      if (!need(v) || !parse_int(v, 1, INT64_MAX, n)) {
+        return fail(flag + " requires a positive byte count");
+      }
+      a.min_bytes = static_cast<Bytes>(n);
+    } else if (flag == "--max") {
+      if (!need(v) || !parse_int(v, 1, INT64_MAX, n)) {
+        return fail(flag + " requires a positive byte count");
+      }
+      a.max_bytes = static_cast<Bytes>(n);
+    } else if (flag == "--space") {
+      if (!need(v)) return fail(flag + " requires 'host' or 'device'");
+      if (v == "host") {
+        a.space = MemSpace::kHost;
+      } else if (v == "device") {
+        a.space = MemSpace::kDevice;
+      } else {
+        return fail("unknown space '" + v + "' (host|device)");
+      }
+    } else if (flag == "--untuned") {
+      a.tuned = false;
+    } else if (flag == "--sl") {
+      if (!need(v) || !parse_int(v, 0, 15, n)) {
+        return fail(flag + " requires a service level in [0, 15]");
+      }
+      a.service_level = static_cast<int>(n);
+    } else if (flag == "--iters") {
+      if (!need(v) || !parse_int(v, 1, 1'000'000, n)) {
+        return fail(flag + " requires a positive iteration count");
+      }
+      a.iters = static_cast<int>(n);
+    } else if (flag == "--trace") {
+      if (!need(a.trace_path)) return fail(flag + " requires an output path");
+    } else if (flag == "--counters") {
+      a.counters = true;
+    } else if (flag == "--dump-schedule") {
+      a.dump_schedule = true;
+    } else if (flag == "--placement") {
+      if (!need(v)) return fail(flag + " requires packed|switches|groups");
+      if (v == "packed") {
+        a.placement = Placement::kPacked;
+      } else if (v == "switches") {
+        a.placement = Placement::kScatterSwitches;
+      } else if (v == "groups") {
+        a.placement = Placement::kScatterGroups;
+      } else {
+        return fail("unknown placement '" + v + "' (packed|switches|groups)");
+      }
+    } else if (flag == "--faults") {
+      if (!need(a.faults)) return fail(flag + " requires a path or inline spec");
+    } else {
+      return fail("unknown flag '" + flag + "'");
+    }
+  }
+  if (a.min_bytes > a.max_bytes) return fail("--min exceeds --max");
+  return a;
+}
+
+}  // namespace gpucomm::cli

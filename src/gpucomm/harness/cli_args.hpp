@@ -1,0 +1,47 @@
+// Strict command-line parsing for the microbenchmark driver.
+//
+// parse_cli validates every flag up front — unknown flags, missing values,
+// non-numeric or out-of-range numbers, and unknown system/op/mechanism/
+// placement names all fail with a single-line diagnostic instead of being
+// silently coerced (std::atoi("abc") == 0) into a bogus experiment. The
+// driver prints the diagnostic and exits non-zero; tests drive the parser
+// directly with argv arrays.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/comm/communicator.hpp"
+#include "gpucomm/mem/buffer.hpp"
+#include "gpucomm/sim/units.hpp"
+
+namespace gpucomm::cli {
+
+struct CliArgs {
+  std::string system = "leonardo";
+  std::string op = "pingpong";
+  std::string mechanism = "mpi";
+  int gpus = 2;
+  Bytes min_bytes = 1;
+  Bytes max_bytes = 1_GiB;
+  MemSpace space = MemSpace::kDevice;
+  bool tuned = true;
+  int service_level = 0;
+  Placement placement = Placement::kPacked;
+  int iters = 0;  // 0 = auto per size
+  std::string trace_path;  // empty = no trace
+  bool counters = false;
+  bool dump_schedule = false;
+  /// Fault schedule: a file path, or an inline spec with ';' separating
+  /// events ("at 100us down link 4; at 300us up link 4"). Empty = no faults.
+  std::string faults;
+  bool help = false;  // --help/-h seen; caller prints usage, exits 0
+};
+
+/// Parse and validate argv. Returns the arguments on success; on failure
+/// returns nullopt with a one-line description of the first problem in
+/// `error`. A --help/-h flag succeeds with CliArgs::help set.
+std::optional<CliArgs> parse_cli(int argc, const char* const* argv, std::string& error);
+
+}  // namespace gpucomm::cli

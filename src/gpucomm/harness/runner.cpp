@@ -22,7 +22,8 @@ RunConfig run_config_for(Bytes bytes) {
 }
 
 Samples run_iterations(Cluster& cluster, const RunConfig& cfg,
-                       const std::function<SimTime()>& iteration) {
+                       const std::function<SimTime()>& iteration,
+                       const std::function<bool()>& iteration_failed) {
   const MeasurementClock clock(cluster.config().timer_resolution);
   Samples samples;
   samples.us.reserve(cfg.iterations);
@@ -30,7 +31,12 @@ Samples run_iterations(Cluster& cluster, const RunConfig& cfg,
     if (NoiseField* noise = cluster.noise_field()) noise->resample();
     const SimTime t = iteration();
     if (i < cfg.warmup) continue;
-    samples.us.push_back(clock.measure(SimTime::zero(), t).micros());
+    const double t_us = clock.measure(SimTime::zero(), t).micros();
+    if (iteration_failed && iteration_failed()) {
+      samples.aborted_us.push_back(t_us);
+    } else {
+      samples.us.push_back(t_us);
+    }
   }
   return samples;
 }

@@ -23,16 +23,29 @@ struct RunConfig {
 RunConfig run_config_for(Bytes bytes);
 
 struct Samples {
-  /// Per-iteration durations in microseconds (quantized to the timer).
+  /// Per-iteration durations in microseconds (quantized to the timer),
+  /// completed iterations only.
   std::vector<double> us;
-  Summary summary() const { return summarize(us); }
-  /// Goodput summary in Gb/s for `bytes` moved per iteration.
+  /// Durations of iterations that aborted (e.g. fault recovery exhausted);
+  /// kept separate so they never skew the completed-sample statistics.
+  std::vector<double> aborted_us;
+  std::size_t failed() const { return aborted_us.size(); }
+  Summary summary() const {
+    Summary s = summarize(us);
+    s.failed = aborted_us.size();
+    return s;
+  }
+  /// Goodput summary in Gb/s for `bytes` moved per iteration (completed
+  /// iterations only; aborted ones moved an unknown fraction).
   Summary goodput_summary(Bytes bytes) const;
 };
 
 /// Run `iteration` repeatedly; it must advance the cluster engine and return
-/// the measured duration of one iteration.
+/// the measured duration of one iteration. If `iteration_failed` is set it is
+/// consulted after each measured iteration (Communicator::last_op_failed is
+/// the intended source); failed iterations land in Samples::aborted_us.
 Samples run_iterations(Cluster& cluster, const RunConfig& cfg,
-                       const std::function<SimTime()>& iteration);
+                       const std::function<SimTime()>& iteration,
+                       const std::function<bool()>& iteration_failed = {});
 
 }  // namespace gpucomm

@@ -23,6 +23,9 @@ struct Summary {
   /// 95% CI half-width of the median (1.57 * IQR / sqrt(n), the standard
   /// notch formula).
   double median_ci = 0;
+  /// Iterations that aborted (fault recovery exhausted its retries) and are
+  /// therefore excluded from the n completed samples above.
+  std::size_t failed = 0;
 };
 
 /// Linear-interpolation percentile of a sorted sample, p in [0, 100].

@@ -19,11 +19,19 @@ Network::Network(Engine& engine, const Graph& graph)
 
 Bandwidth Network::effective_capacity(LinkId link, int vl) const {
   Bandwidth cap = graph_.link(link).capacity;
+  if (faults_ != nullptr) cap *= faults_->capacity_factor(link);
   if (noise_ != nullptr && vl == noise_->noisy_vl()) {
     const double bg = std::clamp(noise_->background_utilization(link), 0.0, 0.95);
     cap *= (1.0 - bg);
   }
   return cap;
+}
+
+bool Network::route_has_down_link(const Route& route) const {
+  for (const LinkId l : route) {
+    if (!faults_->link_up(l)) return true;
+  }
+  return false;
 }
 
 FlowId Network::start_flow(FlowSpec spec, std::function<void(SimTime)> on_delivered) {
@@ -36,12 +44,22 @@ FlowId Network::start_flow(FlowSpec spec, std::function<void(SimTime)> on_delive
   flow.total_bits = static_cast<double>(spec.bytes) * 8.0;
   flow.residual_bits = flow.total_bits;
   flow.on_delivered = std::move(on_delivered);
+  flow.on_interrupted = std::move(spec.on_interrupted);
+  bits_posted_ += flow.total_bits;
 
   if (telemetry_ != nullptr) {
     flow.token = spec.token != 0 ? spec.token
                                  : telemetry_->issue(spec.tag, spec.bytes, engine_.now());
     telemetry_->flow_started(flow.token, spec.tag, flow.route, flow.vl, spec.bytes,
                              engine_.now());
+  }
+
+  // A flow posted onto a route with a downed link dies immediately (zero
+  // bytes serialized) instead of joining the active set: no traffic ever
+  // crosses a dead link.
+  if (faults_ != nullptr && route_has_down_link(flow.route)) {
+    interrupt(std::move(flow));
+    return id;
   }
 
   if (flow.residual_bits <= 0 || (flow.route.empty() && flow.rate_cap <= 0)) {
@@ -254,6 +272,39 @@ void Network::on_completion_event() {
   }
   for (ActiveFlow& f : done) deliver(std::move(f));
   mark_dirty();
+}
+
+void Network::on_link_state_change() {
+  if (faults_ == nullptr) return;
+  advance_residuals();
+  std::vector<ActiveFlow> dead;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (route_has_down_link(it->route)) {
+      dead.push_back(std::move(*it));
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (ActiveFlow& f : dead) interrupt(std::move(f));
+  // Survivors are re-rated against the new capacities (degraded or restored
+  // links) at the same coalesced zero-delay event starts/completions use.
+  mark_dirty();
+}
+
+void Network::interrupt(ActiveFlow&& flow) {
+  const double sent_bits = flow.total_bits - flow.residual_bits;
+  bits_interrupted_ += sent_bits;
+  ++flows_interrupted_;
+  const Bytes sent = static_cast<Bytes>(sent_bits / 8.0);
+  if (telemetry_ != nullptr && flow.token != 0) {
+    telemetry_->flow_interrupted(flow.token, flow.route, sent, engine_.now());
+  }
+  if (flow.on_interrupted) {
+    engine_.after(SimTime::zero(), [cb = std::move(flow.on_interrupted), sent, this] {
+      cb(sent, engine_.now());
+    });
+  }
 }
 
 void Network::deliver(ActiveFlow&& flow) {

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "gpucomm/fault/fault_model.hpp"
 #include "gpucomm/net/fairshare.hpp"
 #include "gpucomm/sim/engine.hpp"
 #include "gpucomm/sim/random.hpp"
@@ -44,6 +45,12 @@ struct FlowSpec {
   telemetry::FlowTag tag;
   /// Pre-issued telemetry token; 0 lets the network issue one itself.
   telemetry::FlowToken token = 0;
+  /// Invoked (via the engine, zero delay) if a fault kills a link on the
+  /// route before delivery: `serialized` counts the wire bytes already sent.
+  /// The flow's on_delivered callback will never fire. Unset = the payload
+  /// is silently lost (fire-and-forget traffic like background noise must
+  /// set this to keep its stream alive).
+  std::function<void(Bytes serialized, SimTime now)> on_interrupted;
 };
 
 /// Stochastic model of interfering production traffic (see noise/).
@@ -78,6 +85,12 @@ class Network {
   void set_noise(NoiseField* noise) { noise_ = noise; }
   NoiseField* noise() const { return noise_; }
 
+  /// Attach the fault subsystem's link-state provider; nullptr (the default)
+  /// keeps every code path branch-identical to a machine that never breaks.
+  /// Non-owning.
+  void set_faults(const fault::FaultModel* faults) { faults_ = faults; }
+  const fault::FaultModel* faults() const { return faults_; }
+
   void set_congestion(SwitchCongestion c) { congestion_ = c; }
 
   /// Attach a telemetry sink; nullptr (the default) disables instrumentation
@@ -98,6 +111,22 @@ class Network {
   /// Bits delivered since construction (all flows). Test hook.
   double total_bits_delivered() const { return bits_delivered_; }
 
+  /// Bits posted since construction (payload of every started flow). Under
+  /// interruption, posted = delivered + interrupted-partials + in-flight
+  /// residual, the conservation law tests check.
+  double total_bits_posted() const { return bits_posted_; }
+
+  /// Wire bits that had serialized on flows later killed by a fault.
+  double total_bits_interrupted() const { return bits_interrupted_; }
+  std::uint64_t flows_interrupted() const { return flows_interrupted_; }
+
+  /// Re-evaluate every active flow against the fault provider: flows
+  /// crossing a downed link are interrupted (partial bytes accounted, the
+  /// spec's on_interrupted fired via the engine), and surviving flows are
+  /// re-rated against the new capacities. Called by the fault injector after
+  /// it flips link state; a no-op without a provider.
+  void on_link_state_change();
+
  private:
   struct ActiveFlow {
     FlowId id;
@@ -109,6 +138,7 @@ class Network {
     Bandwidth rate = 0;
     telemetry::FlowToken token = 0;
     std::function<void(SimTime)> on_delivered;
+    std::function<void(Bytes, SimTime)> on_interrupted;
   };
 
   /// Effective capacity of a link for traffic on `vl`, net of noise.
@@ -125,10 +155,15 @@ class Network {
   void on_completion_event();
   void advance_residuals();
   void deliver(ActiveFlow&& flow);
+  /// Account + report a fault-killed flow and fire its on_interrupted.
+  void interrupt(ActiveFlow&& flow);
+  /// True when any link of `route` is currently down.
+  bool route_has_down_link(const Route& route) const;
 
   Engine& engine_;
   const Graph& graph_;
   NoiseField* noise_ = nullptr;
+  const fault::FaultModel* faults_ = nullptr;
   telemetry::Sink* telemetry_ = nullptr;
   FairshareTrace trace_;  // scratch, only filled when telemetry_ is set
 
@@ -141,6 +176,9 @@ class Network {
   EventId completion_event_ = 0;
   bool completion_scheduled_ = false;
   double bits_delivered_ = 0;
+  double bits_posted_ = 0;
+  double bits_interrupted_ = 0;
+  std::uint64_t flows_interrupted_ = 0;
 };
 
 }  // namespace gpucomm

@@ -53,8 +53,18 @@ void BackgroundJob::post_next(int rank_idx) {
   } else {
     spec.route = cluster_.inter_node_route(s.gpu_dev, s.gpu, d.gpu_dev, d.gpu);
   }
+  if (spec.route.empty() && cluster_.faults() != nullptr) {
+    // Peer currently unreachable: back off for one detection period instead
+    // of spinning on instant zero-route deliveries.
+    cluster_.engine().after(cluster_.config().recovery.detect,
+                            [this, rank_idx] { post_next(rank_idx); });
+    return;
+  }
   spec.bytes = message_bytes_;
   spec.vl = service_level_;
+  // Fire-and-forget traffic: a fault-killed message is simply lost, but the
+  // stream itself must keep flowing or the job silently dies with the link.
+  spec.on_interrupted = [this, rank_idx](Bytes, SimTime) { post_next(rank_idx); };
   bytes_injected_ += static_cast<double>(message_bytes_);
   cluster_.network().start_flow(std::move(spec), [this, rank_idx](SimTime) {
     post_next(rank_idx);

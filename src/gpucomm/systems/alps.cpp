@@ -80,6 +80,15 @@ SystemConfig alps_config() {
   s.congestion.flow_threshold = 12;
   s.congestion.rate_factor = 0.85;
 
+  // Slingshot link-level retry detects dead lanes fast (hardware CRC retry
+  // escalating to a link-down event well under a millisecond).
+  s.recovery.detect = microseconds(120.0);
+  s.recovery.backoff_base = microseconds(50.0);
+  s.recovery.backoff_max = milliseconds(5.0);
+  s.recovery.ccl_reinit = milliseconds(25.0);
+  s.recovery.mpi_retransmit = microseconds(30.0);
+  s.recovery.host_retry = microseconds(150.0);
+
   s.noise.production_noise = false;
 
   return s;

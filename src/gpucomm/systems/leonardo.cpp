@@ -84,6 +84,15 @@ SystemConfig leonardo_config() {
   s.congestion.flow_threshold = 12;
   s.congestion.rate_factor = 0.35;
 
+  // InfiniBand transport timeouts are the slow part of detection (the IB
+  // timeout/retry state machine, not a hardware link-retry escalation).
+  s.recovery.detect = milliseconds(2.0);
+  s.recovery.backoff_base = microseconds(200.0);
+  s.recovery.backoff_max = milliseconds(20.0);
+  s.recovery.ccl_reinit = milliseconds(30.0);
+  s.recovery.mpi_retransmit = microseconds(60.0);
+  s.recovery.host_retry = microseconds(250.0);
+
   // --- Production network noise (Sec. VI) ----------------------------------
   // All traffic defaults to service level 0; inter-switch links carry real
   // background load. Calibrated against Fig. 8: diff-group mean latency 2x

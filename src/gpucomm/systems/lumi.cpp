@@ -89,6 +89,15 @@ SystemConfig lumi_config() {
   s.congestion.flow_threshold = 12;
   s.congestion.rate_factor = 0.85;
 
+  // Slingshot link-level retry, as on Alps; RCCL re-init is slower (HIP
+  // launch overheads compound the bootstrap, Sec. III-C).
+  s.recovery.detect = microseconds(120.0);
+  s.recovery.backoff_base = microseconds(50.0);
+  s.recovery.backoff_max = milliseconds(5.0);
+  s.recovery.ccl_reinit = milliseconds(40.0);
+  s.recovery.mpi_retransmit = microseconds(30.0);
+  s.recovery.host_retry = microseconds(200.0);
+
   s.noise.production_noise = false;  // Slingshot; Sec. VI
 
   return s;

@@ -207,6 +207,32 @@ struct CongestionParams {
   double rate_factor = 1.0;  // 1.0 = ideal congestion isolation
 };
 
+/// Failure detection and recovery costs (fault-injection subsystem, fault/).
+/// When a fault kills an in-flight transfer, the owning mechanism retries it;
+/// the delay before attempt k (1-based) is
+///   detect + min(backoff_base * 2^(k-1), backoff_max) + mechanism cost,
+/// where the mechanism cost is Communicator::recovery_cost(): a host-mediated
+/// repost for the staging/devcopy paths, a communicator abort +
+/// re-initialization for *CCL, and message-level retransmission for MPI.
+struct RecoveryParams {
+  /// Link death -> the transport declares the in-flight transfer lost
+  /// (retransmission / completion timeout).
+  SimTime detect = microseconds(500.0);
+  /// Exponential backoff between attempts.
+  SimTime backoff_base = microseconds(100.0);
+  SimTime backoff_max = milliseconds(10.0);
+  /// Retries after the original post before the operation is abandoned
+  /// (the op completes with Communicator::last_op_failed() set).
+  int max_retries = 8;
+  /// *CCL communicator abort + re-init: bootstrap all ranks, re-detect
+  /// topology, rebuild channels. Dominates *CCL recovery.
+  SimTime ccl_reinit = milliseconds(30.0);
+  /// MPI retransmits at the message level (transport-level bookkeeping only).
+  SimTime mpi_retransmit = microseconds(50.0);
+  /// Staging/devcopy: the host notices the failed transfer and reposts.
+  SimTime host_retry = microseconds(200.0);
+};
+
 struct SystemConfig {
   std::string name;
   NodeArch arch = NodeArch::kAlps;
@@ -225,6 +251,7 @@ struct SystemConfig {
 
   FabricSpec fabric;
   CongestionParams congestion;
+  RecoveryParams recovery;
   MpiParams mpi;
   CclParams ccl;
   NoiseParams noise;

@@ -3,7 +3,11 @@
 namespace gpucomm::telemetry {
 
 CounterSet::CounterSet(const Graph& graph)
-    : graph_(graph), links_(graph.link_count()), busy_since_(graph.link_count()) {}
+    : graph_(graph),
+      links_(graph.link_count()),
+      busy_since_(graph.link_count()),
+      down_since_(graph.link_count()),
+      is_down_(graph.link_count(), 0) {}
 
 void CounterSet::link_active_delta(LinkId link, int delta, SimTime now) {
   LinkCounters& c = links_[link];
@@ -77,6 +81,34 @@ void CounterSet::nic_message(DeviceId nic, bool send, Bytes bytes, SimTime start
   c.overhead_busy += end - start;
 }
 
+void CounterSet::link_state(LinkId link, bool up, const char*, SimTime now) {
+  touch(now);
+  if (up == (is_down_[link] == 0)) return;  // redundant transition
+  if (up) {
+    links_[link].downtime += now - down_since_[link];
+    is_down_[link] = 0;
+  } else {
+    down_since_[link] = now;
+    is_down_[link] = 1;
+    ++links_[link].failures;
+  }
+}
+
+void CounterSet::flow_interrupted(FlowToken token, const Route& route, Bytes serialized,
+                                  SimTime now) {
+  touch(now);
+  // The flow will never complete: integrate the rate it got, close its
+  // active interval on each link it crossed, and account the partial bytes
+  // separately from bytes_completed (conservation tests sum both).
+  integrate(token, route, now);
+  in_flight_.erase(token);
+  for (const LinkId l : route) {
+    ++links_[l].flows_interrupted;
+    links_[l].bytes_interrupted += serialized;
+    link_active_delta(l, -1, now);
+  }
+}
+
 void CounterSet::finalize(SimTime now) {
   touch(now);
   for (auto& [token, st] : in_flight_) {
@@ -92,6 +124,10 @@ void CounterSet::finalize(SimTime now) {
     if (links_[l].active > 0) {
       links_[l].busy += now - busy_since_[l];
       busy_since_[l] = now;
+    }
+    if (is_down_[l] != 0) {
+      links_[l].downtime += now - down_since_[l];
+      down_since_[l] = now;
     }
   }
 }

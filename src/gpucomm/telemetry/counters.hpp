@@ -36,6 +36,14 @@ struct LinkCounters {
   std::uint64_t saturations = 0;
   /// Throttle events attributed to this link as the squeezing bottleneck.
   std::uint64_t throttled_flows = 0;
+  /// Accumulated time the link spent administratively down (fault model).
+  SimTime downtime;
+  /// Down transitions (link-down / nic-fail / switch-fail events).
+  std::uint64_t failures = 0;
+  /// Flows crossing this link that a fault killed mid-serialization.
+  std::uint64_t flows_interrupted = 0;
+  /// Partial wire bytes those interrupted flows had already serialized.
+  Bytes bytes_interrupted = 0;
 };
 
 struct NicCounters {
@@ -60,6 +68,9 @@ class CounterSet final : public Sink {
                       SimTime delivered) override;
   void link_saturated(LinkId link, int flows, SimTime now) override;
   void nic_message(DeviceId nic, bool send, Bytes bytes, SimTime start, SimTime end) override;
+  void link_state(LinkId link, bool up, const char* cause, SimTime now) override;
+  void flow_interrupted(FlowToken token, const Route& route, Bytes serialized,
+                        SimTime now) override;
 
   /// Close open busy intervals at `now` (idempotent; accounting continues
   /// normally if more events arrive afterwards).
@@ -93,6 +104,8 @@ class CounterSet final : public Sink {
   const Graph& graph_;
   std::vector<LinkCounters> links_;
   std::vector<SimTime> busy_since_;  // per link; valid while active > 0
+  std::vector<SimTime> down_since_;  // per link; valid while is_down_
+  std::vector<std::uint8_t> is_down_;
   std::unordered_map<DeviceId, NicCounters> nics_;
   std::unordered_map<FlowToken, FlowState> in_flight_;
   SimTime last_event_;

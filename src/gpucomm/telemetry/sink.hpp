@@ -42,6 +42,9 @@ struct FlowTag {
   /// "not part of a scheduled collective" (point-to-point, noise, ...).
   const char* algorithm = nullptr;
   int round = -1;
+  /// Fault-recovery attempt this flow belongs to: 0 for the original post,
+  /// >= 1 for retransmissions after an interruption.
+  int attempt = 0;
 };
 
 /// Correlates the events of one flow; 0 means "untracked".
@@ -116,6 +119,21 @@ class Sink {
     (void)mechanism, (void)op, (void)bytes, (void)start, (void)end;
   }
 
+  /// A fault changed a link's availability. `cause` names the fault that
+  /// flipped it ("link-down", "link-up", "nic-fail", "switch-fail").
+  virtual void link_state(LinkId link, bool up, const char* cause, SimTime now) {
+    (void)link, (void)up, (void)cause, (void)now;
+  }
+
+  /// A fault interrupted an in-flight flow; `serialized` counts the wire
+  /// bytes already sent when it died. The flow will never complete — the
+  /// mechanism's recovery model decides whether to retransmit (as a new
+  /// flow, correlated by FlowTag::attempt).
+  virtual void flow_interrupted(FlowToken token, const Route& route, Bytes serialized,
+                                SimTime now) {
+    (void)token, (void)route, (void)serialized, (void)now;
+  }
+
  private:
   FlowToken next_token_ = 1;
 };
@@ -158,6 +176,12 @@ class MultiSink final : public Sink {
   void op_span(const char* mech, const char* op, Bytes b, SimTime start,
                SimTime end) override {
     for (Sink* s : sinks_) s->op_span(mech, op, b, start, end);
+  }
+  void link_state(LinkId link, bool up, const char* cause, SimTime now) override {
+    for (Sink* s : sinks_) s->link_state(link, up, cause, now);
+  }
+  void flow_interrupted(FlowToken t, const Route& r, Bytes serialized, SimTime now) override {
+    for (Sink* s : sinks_) s->flow_interrupted(t, r, serialized, now);
   }
 
  private:

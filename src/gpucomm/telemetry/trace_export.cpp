@@ -63,6 +63,20 @@ void TraceRecorder::op_span(const char* mechanism, const char* op, Bytes bytes,
   ops_.push_back({mechanism, op, bytes, start, end});
 }
 
+void TraceRecorder::link_state(LinkId link, bool up, const char* cause, SimTime now) {
+  faults_.push_back({link, up, cause, now});
+}
+
+void TraceRecorder::flow_interrupted(FlowToken token, const Route& route, Bytes serialized,
+                                     SimTime now) {
+  FlowRecord& r = record(token);
+  if (r.route.empty()) r.route = route;
+  r.interrupted = true;
+  r.partial_bytes = serialized;
+  r.interrupted_at = now;
+  if (r.started.is_infinite()) r.started = now;
+}
+
 namespace {
 
 /// JSON string escaping for the label fragments we generate.
@@ -179,11 +193,30 @@ void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder) {
     w.close();
   }
 
+  // Fault transitions: global instant events so link failures and recoveries
+  // line up visually with the flows they killed.
+  for (const auto& fr : recorder.faults()) {
+    std::string label = std::string(fr.cause) + " link " + std::to_string(fr.link);
+    w.open(label, "i", kHarnessPid, 0);
+    w.ts(fr.at);
+    w.raw_field("s", "\"g\"");
+    std::ostringstream args;
+    args << "\"link\":" << fr.link << ",\"up\":" << (fr.up ? "true" : "false");
+    if (recorder.graph() != nullptr) {
+      const Link& l = recorder.graph()->link(fr.link);
+      args << ",\"span\":\"" << json_escape(recorder.graph()->device(l.src).label) << ">"
+           << json_escape(recorder.graph()->device(l.dst).label) << "\"";
+    }
+    w.args(args.str());
+    w.close();
+  }
+
   // Flows: one thread track per flow (tid = token), so the queue span and
   // the serialization span nest and concurrent flows never collide.
+  // Fault-interrupted flows render as truncated spans ending at the kill.
   for (std::size_t i = 0; i < recorder.flows().size(); ++i) {
     const auto& f = recorder.flows()[i];
-    if (!f.completed) continue;  // still in flight when the run ended
+    if (!f.completed && !f.interrupted) continue;  // in flight when run ended
     const std::uint64_t tid = i + 1;
     const int pid = pid_of_rank(f.tag.src_rank);
     std::string label = std::string(f.tag.mechanism) + ":" + f.tag.stage;
@@ -193,6 +226,8 @@ void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder) {
     if (f.tag.src_rank >= 0) {
       label += " " + std::to_string(f.tag.src_rank) + ">" + std::to_string(f.tag.dst_rank);
     }
+    if (f.tag.attempt > 0) label += " retry#" + std::to_string(f.tag.attempt);
+    if (f.interrupted) label += " [killed]";
 
     w.open("thread_name", "M", pid, tid);
     w.args("\"name\":\"" + json_escape(label) + "\"");
@@ -206,14 +241,20 @@ void write_chrome_trace(std::ostream& os, const TraceRecorder& recorder) {
       w.close();
     }
 
+    const SimTime wire_end = f.completed ? f.serialized : f.interrupted_at;
     w.open("xfer " + label, "X", pid, tid);
     w.ts(f.started);
-    w.dur(f.started, f.serialized);
+    w.dur(f.started, wire_end);
     std::ostringstream args;
     args << "\"bytes\":" << f.bytes << ",\"hops\":" << f.route.size() << ",\"vl\":" << f.vl
          << ",\"rate_gbps\":" << f.last_rate / 1e9
-         << ",\"throttle_events\":" << f.throttle_events << ",\"delivered_us\":"
-         << us(f.delivered);
+         << ",\"throttle_events\":" << f.throttle_events;
+    if (f.completed) {
+      args << ",\"delivered_us\":" << us(f.delivered);
+    } else {
+      args << ",\"interrupted\":true,\"partial_bytes\":" << f.partial_bytes;
+    }
+    if (f.tag.attempt > 0) args << ",\"attempt\":" << f.tag.attempt;
     if (f.tag.algorithm != nullptr) {
       args << ",\"algorithm\":\"" << json_escape(f.tag.algorithm)
            << "\",\"round\":" << f.tag.round;

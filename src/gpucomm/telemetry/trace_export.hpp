@@ -34,6 +34,9 @@ class TraceRecorder final : public Sink {
   void local_op(const FlowTag& tag, Bytes bytes, SimTime start, SimTime end) override;
   void op_span(const char* mechanism, const char* op, Bytes bytes, SimTime start,
                SimTime end) override;
+  void link_state(LinkId link, bool up, const char* cause, SimTime now) override;
+  void flow_interrupted(FlowToken token, const Route& route, Bytes serialized,
+                        SimTime now) override;
 
   /// One recorded flow's full lifecycle (test/analysis hook).
   struct FlowRecord {
@@ -48,6 +51,11 @@ class TraceRecorder final : public Sink {
     Bandwidth last_rate = 0;
     int throttle_events = 0;
     bool completed = false;
+    /// A fault killed the flow mid-serialization; `partial_bytes` were on
+    /// the wire at `interrupted_at`. Mutually exclusive with `completed`.
+    bool interrupted = false;
+    Bytes partial_bytes = 0;
+    SimTime interrupted_at = SimTime::infinity();
   };
   struct LocalRecord {
     FlowTag tag;
@@ -60,10 +68,18 @@ class TraceRecorder final : public Sink {
     Bytes bytes = 0;
     SimTime start, end;
   };
+  /// One link availability transition driven by the fault model.
+  struct FaultRecord {
+    LinkId link = kInvalidLink;
+    bool up = false;
+    const char* cause = "";
+    SimTime at;
+  };
 
   const std::vector<FlowRecord>& flows() const { return flows_; }
   const std::vector<LocalRecord>& local_ops() const { return local_ops_; }
   const std::vector<OpRecord>& ops() const { return ops_; }
+  const std::vector<FaultRecord>& faults() const { return faults_; }
   const Graph* graph() const { return graph_; }
 
  private:
@@ -73,6 +89,7 @@ class TraceRecorder final : public Sink {
   std::vector<FlowRecord> flows_;  // index = token - 1 (tokens are dense)
   std::vector<LocalRecord> local_ops_;
   std::vector<OpRecord> ops_;
+  std::vector<FaultRecord> faults_;
 };
 
 /// Emit the recorder's contents as Chrome-trace JSON ({"traceEvents": [...]})

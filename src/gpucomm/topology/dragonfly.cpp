@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "gpucomm/topology/routing.hpp"
+
 namespace gpucomm {
 
 Dragonfly::Dragonfly(Graph& g, DragonflyParams params) : params_(params) {
@@ -130,11 +132,16 @@ int Dragonfly::group_of(DeviceId nic) const { return info(nic).group; }
 
 const std::vector<LinkId>& Dragonfly::global_links(int a, int b) const { return global_[a][b]; }
 
-Route Dragonfly::route(const Graph& g, DeviceId src_nic, DeviceId dst_nic, Rng& rng) const {
+Route Dragonfly::route(const Graph& g, DeviceId src_nic, DeviceId dst_nic, Rng& rng,
+                       const LinkFilter& link_ok) const {
   const NicInfo& a = info(src_nic);
   const NicInfo& b = info(dst_nic);
+  // A dead NIC wire cannot be routed around inside the fabric; the caller
+  // must fail over to another NIC.
+  if (link_ok && (!link_ok(a.wire) || !link_ok(b.wire + 1))) return {};
   Route r;
   r.push_back(a.wire);  // NIC -> first switch
+  bool structured_ok = true;  // minimal path viable under link_ok
 
   const int S = params_.switches_per_group;
   if (a.group == b.group) {
@@ -160,10 +167,23 @@ Route Dragonfly::route(const Graph& g, DeviceId src_nic, DeviceId dst_nic, Rng& 
       // Fine-grained adaptive spreading: cycle the parallel links so bundles
       // between a group pair load them evenly (random choice leaves a ~2x
       // hot spot on the unlucky link, which the real per-packet adaptive
-      // routing does not).
+      // routing does not). Under faults dead candidates are skipped; the
+      // cursor advances to one past the chosen link either way, so with all
+      // links up the sequence matches the unfiltered one exactly.
       std::size_t& cur = global_cursor_[static_cast<std::size_t>(from_group) * params_.groups +
                                         to_group];
-      const LinkId glink = candidates[cur++ % candidates.size()];
+      LinkId glink = kInvalidLink;
+      for (std::size_t t = 0; t < candidates.size(); ++t) {
+        const LinkId cand = candidates[(cur + t) % candidates.size()];
+        if (link_ok && !link_ok(cand)) continue;
+        glink = cand;
+        cur += t + 1;
+        break;
+      }
+      if (glink == kInvalidLink) {  // whole bundle down: reroute generically
+        structured_ok = false;
+        return from_sw;
+      }
       (void)rng;
       const Link& gl = g.link(glink);
       const int sa = static_cast<int>(g.device(gl.src).index) % S;
@@ -186,7 +206,18 @@ Route Dragonfly::route(const Graph& g, DeviceId src_nic, DeviceId dst_nic, Rng& 
   }
 
   r.push_back(b.wire + 1);  // last switch -> NIC (reverse direction of the duplex pair)
-  return r;
+  if (!link_ok) return r;
+  if (structured_ok) {
+    bool valid = true;
+    for (const LinkId l : r) {
+      if (!link_ok(l)) {
+        valid = false;  // a local hop of the minimal path is down
+        break;
+      }
+    }
+    if (valid) return r;
+  }
+  return filtered_fabric_route(g, src_nic, dst_nic, link_ok);
 }
 
 }  // namespace gpucomm

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "gpucomm/topology/routing.hpp"
+
 namespace gpucomm {
 
 DragonflyPlus::DragonflyPlus(Graph& g, DragonflyPlusParams params) : params_(params) {
@@ -121,33 +123,57 @@ int DragonflyPlus::switch_of(DeviceId nic) const {
 
 int DragonflyPlus::group_of(DeviceId nic) const { return info(nic).group; }
 
-Route DragonflyPlus::route(const Graph& g, DeviceId src_nic, DeviceId dst_nic, Rng& rng) const {
-  (void)g;
+Route DragonflyPlus::route(const Graph& g, DeviceId src_nic, DeviceId dst_nic, Rng& rng,
+                           const LinkFilter& link_ok) const {
   const NicInfo& a = info(src_nic);
   const NicInfo& b = info(dst_nic);
+  // A dead NIC wire cannot be routed around inside the fabric.
+  if (link_ok && (!link_ok(a.wire) || !link_ok(b.wire + 1))) return {};
   Route r;
   r.push_back(a.wire);
 
   const int P = params_.spines_per_group;
   // Adaptive spine selection: round-robin spreads bundles evenly (random
-  // choice leaves hot spines); rng stays for API symmetry.
+  // choice leaves hot spines); rng stays for API symmetry. Under faults the
+  // first live spine at or after the cursor is taken and the cursor lands
+  // one past it, so with all links up the sequence matches the unfiltered
+  // round-robin exactly.
   (void)rng;
+  bool structured_ok = true;
+  const auto pick_spine = [&](const auto& usable) {
+    for (int t = 0; t < P; ++t) {
+      const int p = static_cast<int>((spine_cursor_ + t) % P);
+      if (link_ok && !usable(p)) continue;
+      spine_cursor_ += static_cast<std::size_t>(t) + 1;
+      return p;
+    }
+    structured_ok = false;
+    return 0;
+  };
   if (a.group == b.group) {
     if (a.leaf != b.leaf) {
-      const int p = static_cast<int>(spine_cursor_++ % P);
+      const int p = pick_spine([&](int s) {
+        return link_ok(up_link(a.group, a.leaf, s)) && link_ok(up_link(b.group, b.leaf, s) + 1);
+      });
       r.push_back(up_link(a.group, a.leaf, p));
       r.push_back(up_link(b.group, b.leaf, p) + 1);  // spine -> leaf
     }
   } else {
     // leaf -> spine p -> (global) -> spine p in dst group -> leaf.
-    const int p = static_cast<int>(spine_cursor_++ % P);
+    const int p = pick_spine([&](int s) {
+      return link_ok(up_link(a.group, a.leaf, s)) && link_ok(global_link(a.group, b.group, s)) &&
+             link_ok(up_link(b.group, b.leaf, s) + 1);
+    });
     r.push_back(up_link(a.group, a.leaf, p));
     r.push_back(global_link(a.group, b.group, p));
     r.push_back(up_link(b.group, b.leaf, p) + 1);
   }
 
   r.push_back(b.wire + 1);
-  return r;
+  if (!link_ok || structured_ok) return r;
+  // Every spine is blocked on the minimal path: reroute generically over the
+  // surviving fabric (e.g. via another group's spines).
+  return filtered_fabric_route(g, src_nic, dst_nic, link_ok);
 }
 
 }  // namespace gpucomm

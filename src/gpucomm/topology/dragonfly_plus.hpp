@@ -35,7 +35,8 @@ class DragonflyPlus final : public Fabric {
   DragonflyPlus(Graph& g, DragonflyPlusParams params);
 
   void attach_node(Graph& g, const NodeDevices& node) override;
-  Route route(const Graph& g, DeviceId src_nic, DeviceId dst_nic, Rng& rng) const override;
+  Route route(const Graph& g, DeviceId src_nic, DeviceId dst_nic, Rng& rng,
+              const LinkFilter& link_ok = {}) const override;
   int switch_of(DeviceId nic) const override;
   int group_of(DeviceId nic) const override;
   std::size_t max_nodes() const override;

@@ -31,8 +31,15 @@ class Fabric {
   virtual void attach_node(Graph& g, const NodeDevices& node) = 0;
 
   /// NIC-to-NIC route across the fabric (including both NIC wires).
-  /// Adaptive choices (which global link / spine) consume `rng`.
-  virtual Route route(const Graph& g, DeviceId src_nic, DeviceId dst_nic, Rng& rng) const = 0;
+  /// Adaptive choices (which global link / spine) consume `rng`. `link_ok`
+  /// (when set) excludes failed links: adaptive selection skips dead
+  /// candidates, and when the structured minimal path is fully blocked the
+  /// router falls back to a generic shortest path over the surviving fabric.
+  /// Returns an empty route when no usable path exists (a dead NIC wire or a
+  /// partitioned fabric). With an empty `link_ok` the choice sequence is
+  /// identical to a filter accepting every link.
+  virtual Route route(const Graph& g, DeviceId src_nic, DeviceId dst_nic, Rng& rng,
+                      const LinkFilter& link_ok = {}) const = 0;
 
   /// First-hop switch index (fabric-global) of an attached NIC.
   virtual int switch_of(DeviceId nic) const = 0;

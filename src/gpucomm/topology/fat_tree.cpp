@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "gpucomm/topology/routing.hpp"
+
 namespace gpucomm {
 
 FatTree::FatTree(Graph& g, FatTreeParams params) : params_(params) {
@@ -109,40 +111,70 @@ int FatTree::switch_of(DeviceId nic) const {
 
 int FatTree::group_of(DeviceId nic) const { return info(nic).pod; }
 
-Route FatTree::route(const Graph& g, DeviceId src_nic, DeviceId dst_nic, Rng& rng) const {
-  (void)g;
+Route FatTree::route(const Graph& g, DeviceId src_nic, DeviceId dst_nic, Rng& rng,
+                     const LinkFilter& link_ok) const {
   const NicInfo& a = info(src_nic);
   const NicInfo& b = info(dst_nic);
+  // A dead NIC wire cannot be routed around inside the fabric.
+  if (link_ok && (!link_ok(a.wire) || !link_ok(b.wire + 1))) return {};
   const int A = params_.aggs_per_pod;
   Route r;
   r.push_back(a.wire);
 
   (void)rng;  // round-robin ECMP spreads bundles more evenly than random
+  const auto up_of = [&](const NicInfo& n, int agg) {
+    return up_[(static_cast<std::size_t>(n.pod) * params_.edges_per_pod + n.edge) * A + agg];
+  };
+  // Under faults the ECMP scan takes the first live choice at or after the
+  // cursor and leaves the cursor one past it, so with all links up the draw
+  // sequence matches the unfiltered round-robin exactly.
+  bool structured_ok = true;
   if (a.pod == b.pod && a.edge == b.edge) {
     // same edge switch: down immediately.
   } else if (a.pod == b.pod) {
     // edge -> agg -> edge inside the pod (ECMP over aggregations).
-    const int agg = static_cast<int>(ecmp_cursor_++ % A);
-    r.push_back(up_[(static_cast<std::size_t>(a.pod) * params_.edges_per_pod + a.edge) * A + agg]);
-    r.push_back(up_[(static_cast<std::size_t>(b.pod) * params_.edges_per_pod + b.edge) * A + agg] + 1);
+    int agg = -1;
+    for (int t = 0; t < A; ++t) {
+      const int cand = static_cast<int>((ecmp_cursor_ + t) % A);
+      if (link_ok && (!link_ok(up_of(a, cand)) || !link_ok(up_of(b, cand) + 1))) continue;
+      agg = cand;
+      ecmp_cursor_ += static_cast<std::size_t>(t) + 1;
+      break;
+    }
+    if (agg >= 0) {
+      r.push_back(up_of(a, agg));
+      r.push_back(up_of(b, agg) + 1);
+    } else {
+      structured_ok = false;
+    }
   } else {
     // edge -> agg -> core -> agg -> edge: ECMP over the (agg, core) choices.
-    const int agg = static_cast<int>(ecmp_cursor_++ % A);
-    const auto& cores_of = agg_core_[static_cast<std::size_t>(a.pod) * A + agg];
-    const std::size_t pick = ecmp_cursor_++ % cores_of.size();
-    const LinkId up_core = cores_of[pick];
-    // The same core serves the same aggregation column in the target pod;
-    // find the matching link there (same position in its list).
-    const auto& dst_cores = agg_core_[static_cast<std::size_t>(b.pod) * A + agg];
-    const LinkId down_core = dst_cores[pick];
-    r.push_back(up_[(static_cast<std::size_t>(a.pod) * params_.edges_per_pod + a.edge) * A + agg]);
-    r.push_back(up_core);
-    r.push_back(down_core + 1);
-    r.push_back(up_[(static_cast<std::size_t>(b.pod) * params_.edges_per_pod + b.edge) * A + agg] + 1);
+    // The same core serves the same aggregation column in the target pod, so
+    // one pick indexes the matching link in both pods' core lists.
+    bool found = false;
+    const std::size_t base = ecmp_cursor_;
+    for (int t = 0; t < A && !found; ++t) {
+      const int agg = static_cast<int>((base + t) % A);
+      if (link_ok && (!link_ok(up_of(a, agg)) || !link_ok(up_of(b, agg) + 1))) continue;
+      const auto& cores_of = agg_core_[static_cast<std::size_t>(a.pod) * A + agg];
+      const auto& dst_cores = agg_core_[static_cast<std::size_t>(b.pod) * A + agg];
+      for (std::size_t u = 0; u < cores_of.size() && !found; ++u) {
+        const std::size_t pick = (base + t + 1 + u) % cores_of.size();
+        if (link_ok && (!link_ok(cores_of[pick]) || !link_ok(dst_cores[pick] + 1))) continue;
+        r.push_back(up_of(a, agg));
+        r.push_back(cores_of[pick]);
+        r.push_back(dst_cores[pick] + 1);
+        r.push_back(up_of(b, agg) + 1);
+        ecmp_cursor_ = base + t + 1 + u + 1;
+        found = true;
+      }
+    }
+    structured_ok = found;
   }
 
   r.push_back(b.wire + 1);
-  return r;
+  if (!link_ok || structured_ok) return r;
+  return filtered_fabric_route(g, src_nic, dst_nic, link_ok);
 }
 
 }  // namespace gpucomm

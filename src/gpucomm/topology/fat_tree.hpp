@@ -35,7 +35,8 @@ class FatTree final : public Fabric {
   FatTree(Graph& g, FatTreeParams params);
 
   void attach_node(Graph& g, const NodeDevices& node) override;
-  Route route(const Graph& g, DeviceId src_nic, DeviceId dst_nic, Rng& rng) const override;
+  Route route(const Graph& g, DeviceId src_nic, DeviceId dst_nic, Rng& rng,
+              const LinkFilter& link_ok = {}) const override;
   int switch_of(DeviceId nic) const override;
   /// "Group" maps to the pod.
   int group_of(DeviceId nic) const override;

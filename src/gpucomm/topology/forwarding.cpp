@@ -46,7 +46,7 @@ Bandwidth egress_capacity(const Graph& g, DeviceId dev, const RouteOptions& opts
   Bandwidth total = 0;
   for (const LinkId id : g.out_links(dev)) {
     const Link& l = g.link(id);
-    if (opts.link_filter && !opts.link_filter(l)) continue;
+    if (opts.link_filter && !opts.link_filter(id, l)) continue;
     total += l.capacity;
   }
   return total;
@@ -56,7 +56,7 @@ int egress_physical_links(const Graph& g, DeviceId dev, const RouteOptions& opts
   int total = 0;
   for (const LinkId id : g.out_links(dev)) {
     const Link& l = g.link(id);
-    if (opts.link_filter && !opts.link_filter(l)) continue;
+    if (opts.link_filter && !opts.link_filter(id, l)) continue;
     total += l.multiplicity;
   }
   return total;
@@ -78,7 +78,7 @@ std::vector<std::vector<DeviceId>> hamiltonian_cycles(const Graph& g,
   const auto connected = [&](DeviceId a, DeviceId b) {
     const LinkId id = g.find_link(a, b);
     if (id == kInvalidLink) return false;
-    if (opts.link_filter && !opts.link_filter(g.link(id))) return false;
+    if (opts.link_filter && !opts.link_filter(id, g.link(id))) return false;
     return true;
   };
 
@@ -131,7 +131,7 @@ std::vector<int> link_slots(const Graph& g, const RouteOptions& opts) {
   std::vector<int> slots(g.link_count(), 0);
   for (LinkId id = 0; id < g.link_count(); ++id) {
     const Link& l = g.link(id);
-    if (opts.link_filter && !opts.link_filter(l)) continue;
+    if (opts.link_filter && !opts.link_filter(id, l)) continue;
     slots[id] = l.multiplicity;
   }
   return slots;
@@ -180,7 +180,7 @@ Bandwidth expected_allreduce_goodput(const Graph& g, const std::vector<DeviceId>
   Bandwidth min_link = 1e30;
   for (LinkId id = 0; id < g.link_count(); ++id) {
     const Link& l = g.link(id);
-    if (opts.link_filter && !opts.link_filter(l)) continue;
+    if (opts.link_filter && !opts.link_filter(id, l)) continue;
     min_link = std::min(min_link, l.capacity / l.multiplicity);
   }
   const Bandwidth aggregate = 2.0 * static_cast<double>(cycles.size()) * min_link;

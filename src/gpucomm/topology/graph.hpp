@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,11 @@ class Graph {
 
 /// A route is the ordered list of directed links a transfer traverses.
 using Route = std::vector<LinkId>;
+
+/// Predicate over directed links used by fault-aware routing: returns false
+/// for links that must not be used (failed). An empty function means every
+/// link is usable.
+using LinkFilter = std::function<bool(LinkId)>;
 
 /// Sum of per-hop latencies along a route.
 SimTime route_latency(const Graph& g, const Route& r);

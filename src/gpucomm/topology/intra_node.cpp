@@ -131,7 +131,7 @@ NodeDevices build_node(Graph& g, NodeArch arch, std::int32_t node_idx) {
 
 RouteOptions gpu_fabric_options() {
   RouteOptions opts;
-  opts.link_filter = [](const Link& l) {
+  opts.link_filter = [](LinkId, const Link& l) {
     return l.type == LinkType::kNvLink || l.type == LinkType::kInfinityFabric;
   };
   return opts;

@@ -8,19 +8,22 @@
 namespace gpucomm {
 
 namespace {
-// Breadth-first distances from every device to `dst` (reverse search), so the
-// forward greedy walk can follow the shortest-path DAG.
-std::vector<int> distances_to(const Graph& g, DeviceId dst, const RouteOptions& opts) {
-  // Build reverse adjacency on the fly: for each link src->dst it relaxes
-  // dist[src] from dist[dst]. A forward BFS from dst over reversed edges
-  // needs an in-links view; we precompute it once per call.
+// In-links view (reverse adjacency) under the filter, built once per query.
+std::vector<std::vector<LinkId>> in_links(const Graph& g, const RouteOptions& opts) {
   std::vector<std::vector<LinkId>> in(g.device_count());
   for (LinkId id = 0; id < g.link_count(); ++id) {
     const Link& l = g.link(id);
-    if (opts.link_filter && !opts.link_filter(l)) continue;
+    if (opts.link_filter && !opts.link_filter(id, l)) continue;
     in[l.dst].push_back(id);
   }
+  return in;
+}
 
+// Breadth-first distances from every device to `dst` (reverse search), so the
+// forward greedy walk can follow the shortest-path DAG. Exploration stops at
+// `max_hops` links.
+std::vector<int> distances_to(const Graph& g, DeviceId dst,
+                              const std::vector<std::vector<LinkId>>& in, int max_hops) {
   std::vector<int> dist(g.device_count(), -1);
   std::queue<DeviceId> q;
   dist[dst] = 0;
@@ -28,7 +31,7 @@ std::vector<int> distances_to(const Graph& g, DeviceId dst, const RouteOptions& 
   while (!q.empty()) {
     const DeviceId cur = q.front();
     q.pop();
-    if (dist[cur] >= opts.max_hops) continue;
+    if (dist[cur] >= max_hops) continue;
     for (const LinkId id : in[cur]) {
       const DeviceId prev = g.link(id).src;
       if (dist[prev] < 0) {
@@ -39,13 +42,27 @@ std::vector<int> distances_to(const Graph& g, DeviceId dst, const RouteOptions& 
   }
   return dist;
 }
+
+// When the bounded search failed, decide whether src is truly disconnected
+// from dst or merely beyond the hop budget (an unbounded BFS reaches it).
+RouteFailure classify_failure(const Graph& g, DeviceId src, DeviceId dst,
+                              const std::vector<std::vector<LinkId>>& in) {
+  const std::vector<int> full =
+      distances_to(g, dst, in, std::numeric_limits<int>::max());
+  return full[src] < 0 ? RouteFailure::kUnreachable : RouteFailure::kHopBudget;
+}
 }  // namespace
 
 std::optional<Route> shortest_route(const Graph& g, DeviceId src, DeviceId dst,
-                                    const RouteOptions& opts) {
+                                    const RouteOptions& opts, RouteDiag* diag) {
+  if (diag != nullptr) diag->failure = RouteFailure::kNone;
   if (src == dst) return Route{};
-  const std::vector<int> dist = distances_to(g, dst, opts);
-  if (dist[src] < 0) return std::nullopt;
+  const std::vector<std::vector<LinkId>> in = in_links(g, opts);
+  const std::vector<int> dist = distances_to(g, dst, in, opts.max_hops);
+  if (dist[src] < 0) {
+    if (diag != nullptr) diag->failure = classify_failure(g, src, dst, in);
+    return std::nullopt;
+  }
 
   Route route;
   DeviceId cur = src;
@@ -56,7 +73,7 @@ std::optional<Route> shortest_route(const Graph& g, DeviceId src, DeviceId dst,
     DeviceId best_next = kInvalidDevice;
     for (const LinkId id : g.out_links(cur)) {
       const Link& l = g.link(id);
-      if (opts.link_filter && !opts.link_filter(l)) continue;
+      if (opts.link_filter && !opts.link_filter(id, l)) continue;
       if (dist[l.dst] != dist[cur] - 1) continue;
       if (best_next == kInvalidDevice || l.dst < best_next ||
           (l.dst == best_next && id < best_link)) {
@@ -73,8 +90,28 @@ std::optional<Route> shortest_route(const Graph& g, DeviceId src, DeviceId dst,
 
 int hop_distance(const Graph& g, DeviceId src, DeviceId dst, const RouteOptions& opts) {
   if (src == dst) return 0;
-  const std::vector<int> dist = distances_to(g, dst, opts);
-  return dist[src];
+  const std::vector<std::vector<LinkId>> in = in_links(g, opts);
+  const std::vector<int> dist = distances_to(g, dst, in, opts.max_hops);
+  if (dist[src] >= 0) return dist[src];
+  return classify_failure(g, src, dst, in) == RouteFailure::kUnreachable
+             ? kHopsUnreachable
+             : kHopsBudgetExceeded;
+}
+
+Route filtered_fabric_route(const Graph& g, DeviceId src_nic, DeviceId dst_nic,
+                            const LinkFilter& link_ok) {
+  RouteOptions opts;
+  opts.link_filter = [&](LinkId id, const Link& l) {
+    if (link_ok && !link_ok(id)) return false;
+    const bool src_switch = g.device(l.src).kind == DeviceKind::kSwitch;
+    const bool dst_switch = g.device(l.dst).kind == DeviceKind::kSwitch;
+    if (src_switch && dst_switch) return true;
+    // The only non-switch hops allowed are leaving the source NIC and
+    // entering the destination NIC.
+    return (l.src == src_nic && dst_switch) || (src_switch && l.dst == dst_nic);
+  };
+  const auto r = shortest_route(g, src_nic, dst_nic, opts);
+  return r.has_value() ? *r : Route{};
 }
 
 }  // namespace gpucomm

@@ -1,0 +1,106 @@
+// Strict CLI parsing: valid invocations round-trip into CliArgs, every kind
+// of malformed input fails with a one-line diagnostic (the binary turns that
+// into stderr + exit 2 — what the driver's contract promises).
+#include <gtest/gtest.h>
+
+#include "gpucomm/harness/cli_args.hpp"
+
+namespace gpucomm {
+namespace {
+
+std::optional<cli::CliArgs> parse(std::vector<const char*> argv, std::string& err) {
+  argv.insert(argv.begin(), "gpucomm_cli");
+  return cli::parse_cli(static_cast<int>(argv.size()), argv.data(), err);
+}
+
+TEST(CliArgs, FullValidInvocationRoundTrips) {
+  std::string err;
+  const auto a = parse({"--system", "alps", "--op", "allreduce", "--mechanism", "ccl",
+                        "--gpus", "16", "--min", "1024", "--max", "1048576", "--space",
+                        "host", "--untuned", "--sl", "3", "--iters", "7", "--placement",
+                        "groups", "--trace", "out.json", "--counters", "--faults",
+                        "at 1us down link 4; at 2us up link 4"},
+                       err);
+  ASSERT_TRUE(a.has_value()) << err;
+  EXPECT_EQ(a->system, "alps");
+  EXPECT_EQ(a->op, "allreduce");
+  EXPECT_EQ(a->mechanism, "ccl");
+  EXPECT_EQ(a->gpus, 16);
+  EXPECT_EQ(a->min_bytes, 1024u);
+  EXPECT_EQ(a->max_bytes, 1048576u);
+  EXPECT_EQ(a->space, MemSpace::kHost);
+  EXPECT_FALSE(a->tuned);
+  EXPECT_EQ(a->service_level, 3);
+  EXPECT_EQ(a->iters, 7);
+  EXPECT_EQ(a->placement, Placement::kScatterGroups);
+  EXPECT_EQ(a->trace_path, "out.json");
+  EXPECT_TRUE(a->counters);
+  EXPECT_EQ(a->faults, "at 1us down link 4; at 2us up link 4");
+}
+
+TEST(CliArgs, DefaultsWithNoFlags) {
+  std::string err;
+  const auto a = parse({}, err);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->system, "leonardo");
+  EXPECT_EQ(a->gpus, 2);
+  EXPECT_TRUE(a->tuned);
+  EXPECT_TRUE(a->faults.empty());
+}
+
+TEST(CliArgs, HelpShortCircuits) {
+  std::string err;
+  const auto a = parse({"--help"}, err);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_TRUE(a->help);
+}
+
+TEST(CliArgs, UnknownFlagFailsWithItsName) {
+  std::string err;
+  EXPECT_FALSE(parse({"--bogus"}, err).has_value());
+  EXPECT_NE(err.find("--bogus"), std::string::npos);
+}
+
+TEST(CliArgs, MissingValueFails) {
+  std::string err;
+  EXPECT_FALSE(parse({"--gpus"}, err).has_value());
+  EXPECT_FALSE(parse({"--system"}, err).has_value());
+  EXPECT_FALSE(parse({"--faults"}, err).has_value());
+}
+
+TEST(CliArgs, NonNumericNumbersFail) {
+  std::string err;
+  EXPECT_FALSE(parse({"--gpus", "abc"}, err).has_value());
+  EXPECT_FALSE(parse({"--gpus", "4x"}, err).has_value());
+  EXPECT_FALSE(parse({"--gpus", "0"}, err).has_value());
+  EXPECT_FALSE(parse({"--gpus", "-3"}, err).has_value());
+  EXPECT_FALSE(parse({"--min", "1e6"}, err).has_value());
+  EXPECT_FALSE(parse({"--iters", "0"}, err).has_value());
+  EXPECT_FALSE(parse({"--sl", "16"}, err).has_value());
+}
+
+TEST(CliArgs, UnknownNamesFail) {
+  std::string err;
+  EXPECT_FALSE(parse({"--system", "frontier"}, err).has_value());
+  EXPECT_NE(err.find("frontier"), std::string::npos);
+  EXPECT_FALSE(parse({"--op", "gather"}, err).has_value());
+  EXPECT_FALSE(parse({"--mechanism", "nvshmem"}, err).has_value());
+  EXPECT_FALSE(parse({"--placement", "diagonal"}, err).has_value());
+  EXPECT_FALSE(parse({"--space", "unified"}, err).has_value());
+}
+
+TEST(CliArgs, MinAboveMaxFails) {
+  std::string err;
+  EXPECT_FALSE(parse({"--min", "4096", "--max", "1024"}, err).has_value());
+  EXPECT_NE(err.find("--min"), std::string::npos);
+}
+
+TEST(CliArgs, ErrorMessageIsOneLine) {
+  std::string err;
+  EXPECT_FALSE(parse({"--gpus", "abc"}, err).has_value());
+  EXPECT_EQ(err.find('\n'), std::string::npos);
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace gpucomm

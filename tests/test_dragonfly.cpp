@@ -165,6 +165,60 @@ TEST(DragonflyTest, AdaptiveRoutingSpreadsGlobalLinks) {
   EXPECT_GT(used.size(), 1u);  // multiple parallel global links exercised
 }
 
+TEST(DragonflyTest, FilteredRouteAvoidsDeadLinks) {
+  Fixture f(4, 1, DragonflyParams::Attach::kScatterGroups);
+  f.attach(4);
+  // Kill every fabric link a healthy inter-group route uses (not the NIC
+  // wires): the filtered route must avoid all of them and still connect.
+  Rng rng(5);
+  const Route healthy = f.df->route(f.g, f.nodes[0].nics[0], f.nodes[1].nics[0], rng);
+  std::set<LinkId> dead;
+  for (const LinkId l : healthy) {
+    if (f.g.link(l).type != LinkType::kNicWire) dead.insert(l);
+  }
+  ASSERT_FALSE(dead.empty());
+  const LinkFilter ok = [&dead](LinkId l) { return dead.count(l) == 0; };
+  for (int trial = 0; trial < 16; ++trial) {
+    const Route r = f.df->route(f.g, f.nodes[0].nics[0], f.nodes[1].nics[0], rng, ok);
+    ASSERT_GE(r.size(), 2u);
+    for (const LinkId l : r) EXPECT_EQ(dead.count(l), 0u) << "used dead link " << l;
+    for (std::size_t i = 1; i < r.size(); ++i) {
+      EXPECT_EQ(f.g.link(r[i]).src, f.g.link(r[i - 1]).dst);
+    }
+  }
+}
+
+TEST(DragonflyTest, DeadNicWireMakesRouteEmpty) {
+  Fixture f(4);
+  f.attach(2);
+  Rng rng(9);
+  // The source NIC's own wire is the only way out: kill it and no path exists.
+  const DeviceId src = f.nodes[0].nics[0];
+  const LinkFilter ok = [&](LinkId l) {
+    return f.g.link(l).src != src && f.g.link(l).dst != src;
+  };
+  EXPECT_TRUE(f.df->route(f.g, src, f.nodes[1].nics[0], rng, ok).empty());
+}
+
+TEST(DragonflyTest, EmptyFilterMatchesUnfilteredChoices) {
+  // The documented contract: from identical router state, an
+  // accept-everything filter consumes the same adaptive choices (rng draws
+  // and spreading cursors) as no filter at all.
+  Fixture plain_f(4, 1, DragonflyParams::Attach::kScatterGroups);
+  plain_f.attach(4);
+  Fixture filt_f(4, 1, DragonflyParams::Attach::kScatterGroups);
+  filt_f.attach(4);
+  Rng rng_a(21), rng_b(21);
+  const LinkFilter all = [](LinkId) { return true; };
+  for (int trial = 0; trial < 16; ++trial) {
+    const Route plain = plain_f.df->route(plain_f.g, plain_f.nodes[0].nics[0],
+                                          plain_f.nodes[1].nics[0], rng_a);
+    const Route filt = filt_f.df->route(filt_f.g, filt_f.nodes[0].nics[0],
+                                        filt_f.nodes[1].nics[0], rng_b, all);
+    EXPECT_EQ(plain, filt);
+  }
+}
+
 TEST(DragonflyTest, ClassifyDistances) {
   Fixture f(4, 1, DragonflyParams::Attach::kScatterGroups);
   f.attach(8);

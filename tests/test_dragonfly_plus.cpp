@@ -171,6 +171,39 @@ TEST(DragonflyPlusTest, RouteContiguity) {
   }
 }
 
+TEST(DragonflyPlusTest, FilteredRouteAvoidsDeadLinks) {
+  Fixture f(4, DragonflyPlusParams::Attach::kScatterGroups);
+  f.attach(4);
+  Rng rng(19);
+  // Kill the fabric links of a healthy inter-group route; the reroute must
+  // find a different spine/global path and never touch a dead link.
+  const Route healthy = f.df->route(f.g, f.nodes[0].nics[0], f.nodes[1].nics[0], rng);
+  std::set<LinkId> dead;
+  for (const LinkId l : healthy) {
+    if (f.g.link(l).type != LinkType::kNicWire) dead.insert(l);
+  }
+  ASSERT_FALSE(dead.empty());
+  const LinkFilter ok = [&dead](LinkId l) { return dead.count(l) == 0; };
+  for (int trial = 0; trial < 16; ++trial) {
+    const Route r = f.df->route(f.g, f.nodes[0].nics[0], f.nodes[1].nics[0], rng, ok);
+    ASSERT_GE(r.size(), 2u);
+    for (const LinkId l : r) EXPECT_EQ(dead.count(l), 0u) << "used dead link " << l;
+    for (std::size_t i = 1; i < r.size(); ++i)
+      EXPECT_EQ(f.g.link(r[i]).src, f.g.link(r[i - 1]).dst);
+  }
+}
+
+TEST(DragonflyPlusTest, DeadNicWireMakesRouteEmpty) {
+  Fixture f(4);
+  f.attach(2);
+  Rng rng(23);
+  const DeviceId src = f.nodes[0].nics[0];
+  const LinkFilter ok = [&](LinkId l) {
+    return f.g.link(l).src != src && f.g.link(l).dst != src;
+  };
+  EXPECT_TRUE(f.df->route(f.g, src, f.nodes[1].nics[0], rng, ok).empty());
+}
+
 TEST(DragonflyPlusTest, RejectsTooManyGroups) {
   Graph g;
   DragonflyPlusParams p;

@@ -86,7 +86,7 @@ TEST(ExecutorConservationTest, EveryBuilderEveryRankCount) {
 }
 
 TEST(ExecutorConservationTest, HierarchicalShapes) {
-  for (const auto [nodes, n_local] :
+  for (const auto& [nodes, n_local] :
        {std::pair{2, 2}, {2, 4}, {4, 4}, {3, 8}, {8, 2}}) {
     for (const Bytes b : {static_cast<Bytes>(nodes * n_local) * 32, Bytes(1000)}) {
       check_conservation(sched::hierarchical_allreduce(nodes, n_local, b));

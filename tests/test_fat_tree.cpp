@@ -103,6 +103,39 @@ TEST(FatTreeTest, EcmpSpreadsCores) {
   EXPECT_GT(cores_used.size(), 2u);
 }
 
+TEST(FatTreeTest, FilteredRouteAvoidsDeadLinks) {
+  Fixture f(FatTreeParams::Attach::kScatterGroups);
+  f.attach(4);
+  Rng rng(11);
+  // Kill the fabric links of a healthy cross-pod route; ECMP must steer the
+  // reroute through surviving aggregation/core switches only.
+  const Route healthy = f.ft->route(f.g, f.nodes[0].nics[0], f.nodes[1].nics[0], rng);
+  std::set<LinkId> dead;
+  for (const LinkId l : healthy) {
+    if (f.g.link(l).type != LinkType::kNicWire) dead.insert(l);
+  }
+  ASSERT_FALSE(dead.empty());
+  const LinkFilter ok = [&dead](LinkId l) { return dead.count(l) == 0; };
+  for (int trial = 0; trial < 16; ++trial) {
+    const Route r = f.ft->route(f.g, f.nodes[0].nics[0], f.nodes[1].nics[0], rng, ok);
+    ASSERT_GE(r.size(), 2u);
+    for (const LinkId l : r) EXPECT_EQ(dead.count(l), 0u) << "used dead link " << l;
+    for (std::size_t i = 1; i < r.size(); ++i)
+      EXPECT_EQ(f.g.link(r[i]).src, f.g.link(r[i - 1]).dst);
+  }
+}
+
+TEST(FatTreeTest, DeadNicWireMakesRouteEmpty) {
+  Fixture f;
+  f.attach(2);
+  Rng rng(13);
+  const DeviceId src = f.nodes[0].nics[0];
+  const LinkFilter ok = [&](LinkId l) {
+    return f.g.link(l).src != src && f.g.link(l).dst != src;
+  };
+  EXPECT_TRUE(f.ft->route(f.g, src, f.nodes[1].nics[0], rng, ok).empty());
+}
+
 TEST(FatTreeTest, ClassifyDistances) {
   Fixture f(FatTreeParams::Attach::kScatterGroups);
   f.attach(8);

@@ -75,7 +75,7 @@ TEST(RoutingTest, LinkFilterRestrictsPaths) {
   LineFixture f;
   f.g.add_duplex_link(f.d[0], f.d[3], gbps(10), nanoseconds(10), LinkType::kPcie);
   RouteOptions opts;
-  opts.link_filter = [](const Link& l) { return l.type == LinkType::kNvLink; };
+  opts.link_filter = [](LinkId, const Link& l) { return l.type == LinkType::kNvLink; };
   const auto r = shortest_route(f.g, f.d[0], f.d[3], opts);
   ASSERT_TRUE(r.has_value());
   EXPECT_EQ(r->size(), 3u);  // the PCIe shortcut is filtered out
@@ -86,7 +86,42 @@ TEST(RoutingTest, UnreachableReturnsNullopt) {
   const DeviceId a = g.add_device({DeviceKind::kGpu, 0, 0, ""});
   const DeviceId b = g.add_device({DeviceKind::kGpu, 1, 0, ""});
   EXPECT_FALSE(shortest_route(g, a, b).has_value());
-  EXPECT_EQ(hop_distance(g, a, b), -1);
+  EXPECT_EQ(hop_distance(g, a, b), kHopsUnreachable);
+}
+
+TEST(RoutingTest, DiagDistinguishesDisconnectionFromHopBudget) {
+  // Disconnected endpoints: kUnreachable, regardless of budget.
+  Graph g;
+  const DeviceId a = g.add_device({DeviceKind::kGpu, 0, 0, ""});
+  const DeviceId b = g.add_device({DeviceKind::kGpu, 1, 0, ""});
+  RouteDiag diag;
+  EXPECT_FALSE(shortest_route(g, a, b, {}, &diag).has_value());
+  EXPECT_EQ(diag.failure, RouteFailure::kUnreachable);
+
+  // Connected but over budget: kHopBudget, and the -2 sentinel.
+  LineFixture f;
+  RouteOptions opts;
+  opts.max_hops = 2;
+  EXPECT_FALSE(shortest_route(f.g, f.d[0], f.d[3], opts, &diag).has_value());
+  EXPECT_EQ(diag.failure, RouteFailure::kHopBudget);
+  EXPECT_EQ(hop_distance(f.g, f.d[0], f.d[3], opts), kHopsBudgetExceeded);
+
+  // A successful query resets the diagnostic.
+  opts.max_hops = 3;
+  EXPECT_TRUE(shortest_route(f.g, f.d[0], f.d[3], opts, &diag).has_value());
+  EXPECT_EQ(diag.failure, RouteFailure::kNone);
+}
+
+TEST(RoutingTest, LinkFilterDisconnectionIsUnreachable) {
+  // A filter that rejects every link partitions the graph: the failure is
+  // disconnection (no path at any hop count), not budget exhaustion.
+  LineFixture f;
+  RouteOptions opts;
+  opts.link_filter = [](LinkId, const Link&) { return false; };
+  RouteDiag diag;
+  EXPECT_FALSE(shortest_route(f.g, f.d[0], f.d[3], opts, &diag).has_value());
+  EXPECT_EQ(diag.failure, RouteFailure::kUnreachable);
+  EXPECT_EQ(hop_distance(f.g, f.d[0], f.d[3], opts), kHopsUnreachable);
 }
 
 TEST(RoutingTest, HopDistance) {

@@ -122,7 +122,7 @@ TEST(BuilderValidationTest, EveryBuilderValidates) {
       EXPECT_TRUE(sched::validate(sched::recursive_doubling_allreduce(n, b))) << n;
     }
   }
-  for (const auto [nodes, n_local] : {std::pair{2, 2}, {2, 4}, {3, 4}, {4, 8}}) {
+  for (const auto& [nodes, n_local] : {std::pair{2, 2}, {2, 4}, {3, 4}, {4, 8}}) {
     EXPECT_TRUE(sched::validate(
         sched::hierarchical_allreduce(nodes, n_local, 4096)));
   }

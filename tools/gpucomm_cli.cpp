@@ -7,11 +7,20 @@
 //               --gpus 16 --min 1024 --max 1073741824 [--space host]
 //               [--untuned] [--sl N] [--placement packed|switches|groups]
 //               [--iters N] [--trace out.json] [--counters] [--dump-schedule]
+//               [--faults spec]
+//
+// Flags are validated strictly (harness/cli_args.hpp): a malformed value or
+// unknown name prints one line on stderr and exits with status 2.
 //
 // --trace writes a Chrome-trace JSON (load in chrome://tracing or Perfetto)
 // of every flow's queue/transfer spans; --counters prints per-link and
 // per-NIC utilization tables after the results. Neither flag changes the
 // simulated timings.
+//
+// --faults takes a fault-schedule file, or an inline spec with ';' between
+// events ("at 100us down link 4; at 300us up link 4" — see
+// fault/fault_schedule.hpp for the grammar). Iterations whose recovery
+// retries are exhausted count in the `fails` column instead of the stats.
 //
 // --dump-schedule prints, instead of timings, the Schedule IR the mechanism
 // would execute for the op at each size in the sweep — the output of the
@@ -20,7 +29,7 @@
 // op: pingpong | alltoall | allreduce | broadcast | allgather | reducescatter
 // mechanism: staging | devcopy | ccl | mpi
 #include <cstdio>
-#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
@@ -31,71 +40,11 @@ using namespace gpucomm;
 
 namespace {
 
-struct Args {
-  std::string system = "leonardo";
-  std::string op = "pingpong";
-  std::string mechanism = "mpi";
-  int gpus = 2;
-  Bytes min_bytes = 1;
-  Bytes max_bytes = 1_GiB;
-  MemSpace space = MemSpace::kDevice;
-  bool tuned = true;
-  int service_level = 0;
-  Placement placement = Placement::kPacked;
-  int iters = 0;  // 0 = auto per size
-  std::string trace_path;  // empty = no trace
-  bool counters = false;
-  bool dump_schedule = false;
-};
-
-bool parse(int argc, char** argv, Args& a) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (flag == "--system") {
-      a.system = next();
-    } else if (flag == "--op") {
-      a.op = next();
-    } else if (flag == "--mechanism") {
-      a.mechanism = next();
-    } else if (flag == "--gpus") {
-      a.gpus = std::atoi(next());
-    } else if (flag == "--min") {
-      a.min_bytes = std::strtoull(next(), nullptr, 10);
-    } else if (flag == "--max") {
-      a.max_bytes = std::strtoull(next(), nullptr, 10);
-    } else if (flag == "--space") {
-      a.space = std::string(next()) == "host" ? MemSpace::kHost : MemSpace::kDevice;
-    } else if (flag == "--untuned") {
-      a.tuned = false;
-    } else if (flag == "--sl") {
-      a.service_level = std::atoi(next());
-    } else if (flag == "--iters") {
-      a.iters = std::atoi(next());
-    } else if (flag == "--trace") {
-      const char* path = next();
-      if (path == nullptr) return false;
-      a.trace_path = path;
-    } else if (flag == "--counters") {
-      a.counters = true;
-    } else if (flag == "--dump-schedule") {
-      a.dump_schedule = true;
-    } else if (flag == "--placement") {
-      const std::string p = next();
-      a.placement = p == "switches" ? Placement::kScatterSwitches
-                    : p == "groups" ? Placement::kScatterGroups
-                                    : Placement::kPacked;
-    } else if (flag == "--help" || flag == "-h") {
-      return false;
-    } else {
-      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
-      return false;
-    }
-  }
-  return true;
-}
+constexpr const char* kUsage =
+    "usage: %s --system S --op OP --mechanism M --gpus N "
+    "[--min B --max B --space host|device --untuned --sl N --iters N "
+    "--placement packed|switches|groups --trace out.json --counters "
+    "--dump-schedule --faults spec]\n";
 
 Mechanism mechanism_of(const std::string& name) {
   static const std::map<std::string, Mechanism> kMap{
@@ -132,10 +81,24 @@ CollectiveOp op_of(const std::string& name) {
   return it->second;
 }
 
+/// Resolve --faults: a readable file is loaded as a schedule file; anything
+/// else is treated as an inline spec with ';' standing in for newlines.
+std::optional<fault::FaultSchedule> resolve_faults(const std::string& spec,
+                                                   std::string& error) {
+  if (std::ifstream probe(spec); probe.good()) {
+    return fault::load_fault_schedule(spec, &error);
+  }
+  std::string text = spec;
+  for (char& c : text) {
+    if (c == ';') c = '\n';
+  }
+  return fault::parse_fault_schedule(text, &error);
+}
+
 /// Print the schedule(s) the communicator's plan() selects at each size in
 /// the sweep. For allgather the sweep size is the per-rank contribution,
 /// matching time_allgather.
-void dump_schedules(Communicator& comm, const Args& a) {
+void dump_schedules(Communicator& comm, const cli::CliArgs& a) {
   const CollectiveOp op = op_of(a.op);
   for (Bytes b = a.min_bytes; b <= a.max_bytes; b *= 4) {
     const auto plans = comm.plan(op, b);
@@ -154,15 +117,28 @@ void dump_schedules(Communicator& comm, const Args& a) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args a;
-  if (!parse(argc, argv, a)) {
-    std::fprintf(stderr,
-                 "usage: %s --system S --op OP --mechanism M --gpus N "
-                 "[--min B --max B --space host --untuned --sl N --iters N "
-                 "--placement packed|switches|groups --trace out.json --counters "
-                 "--dump-schedule]\n",
-                 argv[0]);
+  std::string parse_error;
+  const std::optional<cli::CliArgs> parsed = cli::parse_cli(argc, argv, parse_error);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], parse_error.c_str());
+    std::fprintf(stderr, kUsage, argv[0]);
     return 2;
+  }
+  const cli::CliArgs& a = *parsed;
+  if (a.help) {
+    std::printf(kUsage, argv[0]);
+    return 0;
+  }
+
+  fault::FaultSchedule schedule;
+  if (!a.faults.empty()) {
+    std::string err;
+    const auto loaded = resolve_faults(a.faults, err);
+    if (!loaded.has_value()) {
+      std::fprintf(stderr, "%s: --faults: %s\n", argv[0], err.c_str());
+      return 2;
+    }
+    schedule = *loaded;
   }
 
   const SystemConfig cfg = system_by_name(a.system);
@@ -195,6 +171,16 @@ int main(int argc, char** argv) {
   }
   if (recorder || counters) cluster.set_telemetry(&sinks);
 
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!a.faults.empty()) {
+    try {
+      injector = std::make_unique<fault::FaultInjector>(cluster, schedule);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: --faults: %s\n", argv[0], e.what());
+      return 2;
+    }
+  }
+
   auto comm = build(mechanism_of(a.mechanism), cluster, first_n_gpus(cluster, a.gpus), opt);
   if (a.dump_schedule) {
     std::printf("# %s %s %s, %d GPUs (%d nodes): schedule dump\n", a.system.c_str(),
@@ -202,11 +188,12 @@ int main(int argc, char** argv) {
     dump_schedules(*comm, a);
     return 0;
   }
-  std::printf("# %s %s %s, %d GPUs (%d nodes), %s buffers, %s\n", a.system.c_str(),
+  std::printf("# %s %s %s, %d GPUs (%d nodes), %s buffers, %s%s\n", a.system.c_str(),
               a.mechanism.c_str(), a.op.c_str(), a.gpus, nodes,
-              a.space == MemSpace::kHost ? "host" : "gpu", a.tuned ? "tuned" : "default env");
+              a.space == MemSpace::kHost ? "host" : "gpu", a.tuned ? "tuned" : "default env",
+              injector ? ", faults injected" : "");
 
-  Table t({"size", "iters", "median_us", "mean_us", "p95_us", "goodput_gbps"});
+  Table t({"size", "iters", "fails", "median_us", "mean_us", "p95_us", "goodput_gbps"});
   for (Bytes b = a.min_bytes; b <= a.max_bytes; b *= 4) {
     RunConfig rc = run_config_for(b);
     if (a.iters > 0) rc.iterations = a.iters;
@@ -220,14 +207,15 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("unknown op: " + a.op);
     };
     if ((a.op == "alltoall" && !comm->available(CollectiveOp::kAlltoall))) {
-      t.add_row({format_bytes(b), "-", "stall", "stall", "stall", "-"});
+      t.add_row({format_bytes(b), "-", "-", "stall", "stall", "stall", "-"});
       continue;
     }
-    const Samples s = run_iterations(cluster, rc, iteration);
+    const Samples s =
+        run_iterations(cluster, rc, iteration, [&] { return comm->last_op_failed(); });
     const Summary lat = s.summary();
     const Summary gp = s.goodput_summary(b);
-    t.add_row({format_bytes(b), std::to_string(rc.iterations), fmt(lat.median),
-               fmt(lat.mean), fmt(lat.p95), fmt(gp.median, 1)});
+    t.add_row({format_bytes(b), std::to_string(rc.iterations), std::to_string(lat.failed),
+               fmt(lat.median), fmt(lat.mean), fmt(lat.p95), fmt(gp.median, 1)});
   }
   t.print(std::cout);
 
