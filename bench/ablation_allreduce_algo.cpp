@@ -26,7 +26,8 @@ const char* mpi_algo(const SystemConfig& sys, Bytes buffer, int gpus) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Allreduce algorithm selection",
          "Per-size algorithm regions and the latency/bandwidth crossover");
 

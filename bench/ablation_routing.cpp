@@ -72,7 +72,8 @@ double pingpong_latency(const SystemConfig& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Routing ablation", "Alps Dragonfly: minimal-adaptive vs Valiant global routing");
 
   Table t({"routing", "cross_group_lat_us", "shift_gp_full_fabric", "shift_gp_thin_fabric"});

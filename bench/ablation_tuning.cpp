@@ -16,7 +16,8 @@ double mpi_p2p_us(Cluster& cluster, const SoftwareEnv& env, Bytes b) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Obs. 1 ablations", "Per-knob tuning impact (untuned_time / tuned_time)");
 
   Table t({"system", "knob", "workload", "factor", "paper"});

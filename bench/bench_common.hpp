@@ -4,7 +4,10 @@
 // series as an aligned table (annotated with the paper's qualitative
 // expectation) and drops a CSV next to it, mirroring the artifact's data/
 // layout. Binaries take no required arguments so `for b in build/bench/*`
-// reproduces the full evaluation.
+// reproduces the full evaluation. Pass `--json <path>` (after calling
+// bench::init) to additionally dump every emitted table as one
+// machine-readable JSON document — the format BENCH_baseline.json uses to
+// track the perf trajectory across commits.
 #pragma once
 
 #include <cstdio>
@@ -14,6 +17,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "gpucomm/cluster/cluster.hpp"
@@ -24,9 +28,83 @@
 #include "gpucomm/comm/staging.hpp"
 #include "gpucomm/harness/runner.hpp"
 #include "gpucomm/harness/table.hpp"
+#include "gpucomm/metrics/json.hpp"
+#include "gpucomm/metrics/version.hpp"
 #include "gpucomm/systems/registry.hpp"
 
 namespace gpucomm::bench {
+
+namespace detail {
+
+/// Tables captured for --json, in emission order (name = CSV stem).
+struct JsonCapture {
+  std::string path;
+  std::string benchmark;
+  std::vector<std::pair<std::string, Table>> tables;
+};
+
+inline JsonCapture& capture() {
+  static JsonCapture c;
+  return c;
+}
+
+/// atexit hook: write every captured table as one JSON document. Runs after
+/// main returns so it sees the full emission sequence without the benches
+/// having to thread state through.
+inline void write_json_capture() {
+  JsonCapture& c = capture();
+  if (c.path.empty()) return;
+  std::ofstream os(c.path);
+  if (!os) {
+    std::cerr << "error: cannot write --json file '" << c.path << "'\n";
+    return;
+  }
+  metrics::JsonWriter w(os);
+  w.begin_object();
+  w.kv("benchmark", c.benchmark);
+  w.kv("version", metrics::build_version());
+  w.key("tables").begin_array();
+  for (const auto& [name, table] : c.tables) {
+    w.begin_object();
+    w.kv("name", name);
+    w.key("headers").begin_array();
+    for (const std::string& h : table.headers()) w.value(h);
+    w.end_array();
+    w.key("rows").begin_array();
+    for (const auto& row : table.row_data()) {
+      w.begin_array();
+      for (const std::string& cell : row) w.value(cell);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+  std::cout << "[json] " << c.path << "\n";
+}
+
+}  // namespace detail
+
+/// Parse shared bench flags (call first in main). Recognizes
+/// `--json <path>`; anything else is a usage error so a typo does not
+/// silently run the full sweep.
+inline void init(int argc, char** argv) {
+  detail::JsonCapture& c = detail::capture();
+  c.benchmark =
+      argc > 0 ? std::filesystem::path(argv[0]).filename().string() : "bench";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      c.path = argv[++i];
+    } else {
+      std::cerr << "usage: " << c.benchmark << " [--json <path>]\n";
+      std::exit(2);
+    }
+  }
+  if (!c.path.empty()) std::atexit(detail::write_json_capture);
+}
 
 /// Directory for CSV output (artifact-style data/ folder). Override with
 /// GPUCOMM_DATA_DIR; creation failures degrade to printing only.
@@ -40,6 +118,10 @@ inline std::string data_dir() {
 
 inline void emit(const Table& table, const std::string& csv_name) {
   table.print(std::cout);
+  if (!detail::capture().path.empty()) {
+    detail::capture().tables.emplace_back(
+        std::filesystem::path(csv_name).stem().string(), table);
+  }
   const std::string path = data_dir() + "/" + csv_name;
   table.write_csv(path);
   std::cout << "\n[csv] " << path << "\n";

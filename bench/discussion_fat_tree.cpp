@@ -30,7 +30,8 @@ SystemConfig leonardo_quiet() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Sec. VIII", "Leonardo on a fat tree vs its Dragonfly+ (drained fabric)");
 
   Table t({"fabric", "same_switch_lat_us", "cross_lat_us", "cross_gp_gbps",

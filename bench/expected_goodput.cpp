@@ -7,7 +7,8 @@
 using namespace gpucomm;
 using namespace gpucomm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Sec. IV-A", "Edge forwarding index and expected intra-node goodput");
 
   Table t({"system", "fully_connected", "edge_fwd_index", "max_loaded_link",

@@ -46,7 +46,8 @@ double degraded_goodput(const SystemConfig& cfg, Mechanism mech, int failed_nics
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Fault degradation", "64 MiB allreduce goodput vs failed NIC wires (node 0)");
 
   for (const SystemConfig& cfg : all_systems()) {

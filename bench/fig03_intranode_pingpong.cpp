@@ -11,7 +11,8 @@
 using namespace gpucomm;
 using namespace gpucomm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Fig. 3", "Intra-node GPU-GPU ping-pong: goodput and small-message runtime");
 
   for (const SystemConfig& cfg : all_systems()) {

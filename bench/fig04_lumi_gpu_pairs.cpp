@@ -10,7 +10,8 @@
 using namespace gpucomm;
 using namespace gpucomm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Fig. 4", "LUMI: goodput from GPU 0 to each other GCD, 1 GiB buffer");
 
   const SystemConfig cfg = lumi_config();

@@ -10,7 +10,8 @@
 using namespace gpucomm;
 using namespace gpucomm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Fig. 5", "Intra-node alltoall goodput vs buffer size");
 
   for (const SystemConfig& cfg : all_systems()) {

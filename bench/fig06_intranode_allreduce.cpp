@@ -12,7 +12,8 @@
 using namespace gpucomm;
 using namespace gpucomm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Fig. 6", "Intra-node allreduce goodput vs buffer size");
 
   for (const SystemConfig& cfg : all_systems()) {

@@ -11,7 +11,8 @@
 using namespace gpucomm;
 using namespace gpucomm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Fig. 7", "Inter-node ping-pong: per-node goodput and latency");
 
   for (const SystemConfig& cfg : all_systems()) {

@@ -23,7 +23,8 @@ Placement placement_for(NetworkDistance d) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Fig. 8", "Latency and goodput vs network distance (MPI)");
 
   for (const SystemConfig& cfg : all_systems()) {

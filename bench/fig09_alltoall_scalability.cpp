@@ -43,7 +43,8 @@ double exact_goodput(const SystemConfig& cfg, Library lib, int gpus) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Fig. 9", "2 MiB alltoall scalability (per-GPU goodput, Gb/s)");
 
   for (const SystemConfig& cfg : all_systems()) {

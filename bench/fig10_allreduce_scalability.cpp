@@ -35,7 +35,8 @@ double exact_goodput(const SystemConfig& cfg, Library lib, int gpus) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Fig. 10", "1 GiB allreduce scalability (per-GPU goodput, Gb/s)");
 
   for (const SystemConfig& cfg : all_systems()) {

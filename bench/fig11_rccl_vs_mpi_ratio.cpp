@@ -41,7 +41,8 @@ double ratio_model(const SystemConfig& cfg, CollKind kind, Bytes b, int nodes) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Fig. 11", "RCCL / GPU-aware MPI goodput ratio on LUMI (>1 = RCCL faster)");
 
   const SystemConfig cfg = lumi_config();

@@ -67,7 +67,8 @@ double run_case(const SystemConfig& cfg, const char* interference, int service_l
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Fig. 12", "Allreduce goodput under co-scheduled interference, per service level");
 
   const SystemConfig cfg = leonardo_config();

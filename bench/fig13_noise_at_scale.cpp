@@ -11,7 +11,8 @@
 using namespace gpucomm;
 using namespace gpucomm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Fig. 13", "Leonardo: default vs non-default service level at scale");
 
   const SystemConfig cfg = leonardo_config();

@@ -46,7 +46,8 @@ Canary run_canary(Cluster& cluster, const SystemConfig& cfg, const std::vector<i
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("GPCNet-style", "Canary workload with and without congestors");
 
   Table t({"system", "metric", "isolated", "congested", "impact_factor"});

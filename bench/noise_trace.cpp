@@ -9,7 +9,8 @@
 using namespace gpucomm;
 using namespace gpucomm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Noise trace", "Per-iteration latencies across Dragonfly+ groups (Leonardo)");
 
   const SystemConfig cfg = leonardo_config();

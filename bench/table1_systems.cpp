@@ -6,7 +6,8 @@
 using namespace gpucomm;
 using namespace gpucomm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
   header("Table I", "Main characteristics of the analyzed systems");
 
   Table t({"property", "alps", "leonardo", "lumi"});

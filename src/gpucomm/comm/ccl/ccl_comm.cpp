@@ -256,8 +256,7 @@ void CclComm::alltoall(Bytes buffer, EventFn done) {
   // One grouped launch (ncclGroupStart/End around n-1 send/recv pairs, as
   // the NCCL documentation suggests [32]); the sends then stream through the
   // channel FIFOs with several messages in flight per rank.
-  sched::ExecHooks hooks;
-  hooks.engine = &engine();
+  sched::ExecHooks hooks = exec_hooks();
   hooks.launch = straggle(sys().ccl.group_launch);
   hooks.message = [this, simple_eff = coll_intra_eff(buffer)](
                       const sched::Step& step, const sched::StepCtx& ctx, EventFn msg_done) {
@@ -308,8 +307,7 @@ void CclComm::run_hierarchical(sched::Schedule s, Bytes buffer, EventFn done) {
   const bool bad_affinity = !eff_.good_affinity;
   const double ratio =
       sys().ccl.bad_affinity_allreduce_factor / sys().ccl.bad_affinity_alltoall_factor;
-  sched::ExecHooks hooks;
-  hooks.engine = &engine();
+  sched::ExecHooks hooks = exec_hooks();
   hooks.launch = straggle(sys().ccl.group_launch);
   hooks.reduce_time = [this](Bytes b) { return copy_.reduce_time(b); };
   hooks.message = [this, simple_eff = coll_intra_eff(buffer), bad_affinity, ratio](

@@ -230,10 +230,17 @@ std::vector<sched::Schedule> Communicator::plan(CollectiveOp op, Bytes bytes, in
   }
 }
 
-void Communicator::run_coll_schedule(sched::Schedule s, Bytes op_bytes,
-                                     std::optional<SimTime> launch, EventFn done) {
+sched::ExecHooks Communicator::exec_hooks() {
   sched::ExecHooks hooks;
   hooks.engine = &engine();
+  hooks.sink = telemetry();
+  hooks.mechanism = to_string(mechanism());
+  return hooks;
+}
+
+void Communicator::run_coll_schedule(sched::Schedule s, Bytes op_bytes,
+                                     std::optional<SimTime> launch, EventFn done) {
+  sched::ExecHooks hooks = exec_hooks();
   if (launch.has_value()) launch = straggle(*launch);
   hooks.launch = launch;
   hooks.message = [this, op_bytes](const sched::Step& step, const sched::StepCtx& ctx,

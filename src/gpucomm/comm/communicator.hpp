@@ -185,6 +185,11 @@ class Communicator {
   FlowSpec make_flow(const Route& route, Bytes bytes, double efficiency,
                      Bandwidth rate_cap) const;
 
+  /// ExecHooks with engine, telemetry sink, and mechanism name pre-filled,
+  /// so every executor invocation emits sched_span telemetry consistently.
+  /// Callers fill in message/reduce_time/launch.
+  sched::ExecHooks exec_hooks();
+
   Engine& engine() { return cluster_.engine(); }
   Network& network() { return cluster_.network(); }
   const SystemConfig& sys() const { return cluster_.config(); }

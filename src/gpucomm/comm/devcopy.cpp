@@ -55,8 +55,7 @@ std::vector<sched::Schedule> DeviceCopyComm::plan(CollectiveOp op, Bytes bytes,
 
 void DeviceCopyComm::alltoall(Bytes buffer, EventFn done) {
   const int n = size();
-  sched::ExecHooks hooks;
-  hooks.engine = &engine();
+  sched::ExecHooks hooks = exec_hooks();
   hooks.message = [this, n](const sched::Step& step, const sched::StepCtx& ctx,
                             EventFn msg_done) {
     // Async issues queue back-to-back on the source stream (one per earlier
@@ -76,8 +75,7 @@ void DeviceCopyComm::allreduce(Bytes buffer, EventFn done) {
   // Round 1: every rank copies its full buffer to rank 0 (concurrent copies
   // share rank 0's ingress links); rank 0 then reduces n-1 buffers.
   // Round 2: rank 0 broadcasts the result with n-1 concurrent copies.
-  sched::ExecHooks hooks;
-  hooks.engine = &engine();
+  sched::ExecHooks hooks = exec_hooks();
   hooks.message = [this, n](const sched::Step& step, const sched::StepCtx& ctx,
                             EventFn msg_done) {
     if (step.reduce) {

@@ -160,8 +160,7 @@ std::vector<sched::Schedule> MpiComm::plan(CollectiveOp op, Bytes bytes, int roo
 
 void MpiComm::alltoall(Bytes buffer, EventFn done) {
   sched::Schedule s = plan(CollectiveOp::kAlltoall, buffer).front();
-  sched::ExecHooks hooks;
-  hooks.engine = &engine();
+  sched::ExecHooks hooks = exec_hooks();
   hooks.message = [this, buffer](const sched::Step& step, const sched::StepCtx& ctx,
                                  EventFn msg_done) {
     transfer(step.src, step.dst, step.bytes, /*collective=*/true, buffer, coll_ctx(ctx),
@@ -212,8 +211,7 @@ void MpiComm::allreduce_gpu_staged(Bytes buffer, EventFn done) {
   const double blk_factor =
       static_cast<double>(eff_.allreduce_blk) /
       static_cast<double>(eff_.allreduce_blk + sys().mpi.allreduce_blk_halfpoint);
-  sched::ExecHooks hooks;
-  hooks.engine = &engine();
+  sched::ExecHooks hooks = exec_hooks();
   hooks.message = [this, buffer, blk_factor](const sched::Step& step,
                                              const sched::StepCtx& ctx, EventFn msg_done) {
     // Surface the block penalty as extra wire bytes on every ring transfer.
@@ -226,8 +224,7 @@ void MpiComm::allreduce_gpu_staged(Bytes buffer, EventFn done) {
 }
 
 void MpiComm::allreduce_recursive_doubling(Bytes buffer, EventFn done) {
-  sched::ExecHooks hooks;
-  hooks.engine = &engine();
+  sched::ExecHooks hooks = exec_hooks();
   hooks.message = [this, buffer](const sched::Step& step, const sched::StepCtx& ctx,
                                  EventFn msg_done) {
     transfer(step.src, step.dst, step.bytes, /*collective=*/true, buffer, coll_ctx(ctx),
@@ -240,8 +237,7 @@ void MpiComm::allreduce_recursive_doubling(Bytes buffer, EventFn done) {
 
 void MpiComm::allreduce_host_staged(Bytes buffer, EventFn done) {
   // Host ring: the segments move over the host path and the CPU reduces.
-  sched::ExecHooks hooks;
-  hooks.engine = &engine();
+  sched::ExecHooks hooks = exec_hooks();
   hooks.message = [this](const sched::Step& step, const sched::StepCtx& ctx,
                          EventFn msg_done) {
     (void)ctx;

@@ -55,8 +55,7 @@ void StagingComm::run_host_schedule(sched::Schedule s, bool per_step_reduce, Byt
     stages.push_back([this, buffer](EventFn next) { stage_all(true, buffer, std::move(next)); });
   }
   stages.push_back([this, s = std::move(s), per_step_reduce](EventFn next) {
-    sched::ExecHooks hooks;
-    hooks.engine = &engine();
+    sched::ExecHooks hooks = exec_hooks();
     hooks.message = [this, per_step_reduce](const sched::Step& step, const sched::StepCtx& ctx,
                                             EventFn msg_done) {
       (void)ctx;

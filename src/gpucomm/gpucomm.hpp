@@ -24,6 +24,12 @@
 #include "gpucomm/harness/runner.hpp"
 #include "gpucomm/harness/stats.hpp"
 #include "gpucomm/harness/table.hpp"
+#include "gpucomm/metrics/json.hpp"
+#include "gpucomm/metrics/profile_report.hpp"
+#include "gpucomm/metrics/profiler.hpp"
+#include "gpucomm/metrics/run_manifest.hpp"
+#include "gpucomm/metrics/timeseries.hpp"
+#include "gpucomm/metrics/version.hpp"
 #include "gpucomm/noise/background.hpp"
 #include "gpucomm/noise/noise_model.hpp"
 #include "gpucomm/scale/scale_model.hpp"

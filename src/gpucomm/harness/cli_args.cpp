@@ -124,6 +124,22 @@ std::optional<CliArgs> parse_cli(int argc, const char* const* argv, std::string&
       }
     } else if (flag == "--faults") {
       if (!need(a.faults)) return fail(flag + " requires a path or inline spec");
+    } else if (flag == "--profile") {
+      a.profile = true;
+    } else if (flag == "--metrics-out") {
+      if (!need(a.metrics_out)) return fail(flag + " requires an output path");
+    } else if (flag == "--timeseries") {
+      if (!need(a.timeseries_path)) return fail(flag + " requires an output path");
+    } else if (flag == "--bucket-us") {
+      if (!need(v) || !parse_int(v, 1, 1'000'000'000, n)) {
+        return fail(flag + " requires a positive bucket width in microseconds");
+      }
+      a.bucket_us = static_cast<int>(n);
+    } else if (flag == "--seed") {
+      if (!need(v) || !parse_int(v, 0, INT64_MAX, n)) {
+        return fail(flag + " requires a non-negative integer");
+      }
+      a.seed = static_cast<std::uint64_t>(n);
     } else {
       return fail("unknown flag '" + flag + "'");
     }

@@ -36,6 +36,19 @@ struct CliArgs {
   /// Fault schedule: a file path, or an inline spec with ';' separating
   /// events ("at 100us down link 4; at 300us up link 4"). Empty = no faults.
   std::string faults;
+  /// Print the critical-path breakdown (metrics::ScheduleProfiler) after
+  /// the results table.
+  bool profile = false;
+  /// Write a metrics::RunManifest JSON artifact here. Empty = none.
+  std::string metrics_out;
+  /// Write the per-link time-series CSV here (and print the congestion
+  /// heatmap). Empty = no time series.
+  std::string timeseries_path;
+  /// Time-series bucket width in microseconds (used when timeseries_path,
+  /// metrics_out, or profile enables sampling).
+  int bucket_us = 50;
+  /// Cluster RNG seed (noise field); the default matches ClusterOptions.
+  std::uint64_t seed = 42;
   bool help = false;  // --help/-h seen; caller prints usage, exits 0
 };
 

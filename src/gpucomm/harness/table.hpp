@@ -18,6 +18,8 @@ class Table {
   void write_csv(const std::string& path) const;
 
   std::size_t rows() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& row_data() const { return rows_; }
 
  private:
   std::vector<std::string> headers_;

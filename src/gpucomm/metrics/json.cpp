@@ -1,0 +1,330 @@
+#include "gpucomm/metrics/json.hpp"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace gpucomm::metrics {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  assert(res.ec == std::errc());
+  std::string s(buf, res.ptr);
+  // "1e+22" and "1E22" are valid JSON but "1." is not; to_chars never emits
+  // a trailing dot, so the shortest form is embeddable as-is.
+  return s;
+}
+
+void JsonWriter::newline_indent() {
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
+}
+
+void JsonWriter::begin_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  Level& top = stack_.back();
+  if (top.count > 0) os_ << ',';
+  ++top.count;
+  newline_indent();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  begin_value();
+  os_ << '{';
+  stack_.push_back({false, 0});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  assert(!stack_.empty() && !stack_.back().is_array);
+  const bool empty = stack_.back().count == 0;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  begin_value();
+  os_ << '[';
+  stack_.push_back({true, 0});
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  assert(!stack_.empty() && stack_.back().is_array);
+  const bool empty = stack_.back().count == 0;
+  stack_.pop_back();
+  if (!empty) newline_indent();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  assert(!stack_.empty() && !stack_.back().is_array && !pending_key_);
+  Level& top = stack_.back();
+  if (top.count > 0) os_ << ',';
+  ++top.count;
+  newline_indent();
+  os_ << '"' << json_escape(k) << "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  begin_value();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  begin_value();
+  os_ << json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  begin_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  begin_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  begin_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  begin_value();
+  os_ << "null";
+  return *this;
+}
+
+// --- validation --------------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent validator; tracks position for error reporting.
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : text_(text) {}
+
+  bool run(std::string* error) {
+    skip_ws();
+    bool ok = value();
+    if (ok) {
+      skip_ws();
+      if (pos_ != text_.size()) {
+        set_err("trailing characters after top-level value");
+        ok = false;
+      }
+    }
+    if (!ok && error != nullptr) {
+      *error = (err_.empty() ? "invalid JSON" : err_) + " at byte " + std::to_string(err_pos_);
+    }
+    return ok;
+  }
+
+ private:
+
+  void set_err(const char* what) {
+    if (err_.empty()) {
+      err_ = what;
+      err_pos_ = pos_;
+    }
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      set_err("invalid literal");
+      return false;
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) {
+      set_err("expected string");
+      return false;
+    }
+    while (pos_ < text_.size()) {
+      const unsigned char c = static_cast<unsigned char>(text_[pos_++]);
+      if (c == '"') return true;
+      if (c < 0x20) {
+        --pos_;
+        set_err("unescaped control character in string");
+        return false;
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char e = text_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size() || !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              set_err("bad \\u escape");
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' &&
+                   e != 'r' && e != 't') {
+          set_err("bad escape");
+          return false;
+        }
+      }
+    }
+    set_err("unterminated string");
+    return false;
+  }
+
+  bool digits() {
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    return true;
+  }
+
+  bool number() {
+    eat('-');
+    if (peek() == '0') {
+      ++pos_;
+    } else if (!digits()) {
+      set_err("bad number");
+      return false;
+    }
+    if (eat('.') && !digits()) {
+      set_err("bad fraction");
+      return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) {
+        set_err("bad exponent");
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool value() {
+    if (++depth_ > 256) {
+      set_err("nesting too deep");
+      return false;
+    }
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = object(); break;
+      case '[': ok = array(); break;
+      case '"': ok = string(); break;
+      case 't': ok = literal("true"); break;
+      case 'f': ok = literal("false"); break;
+      case 'n': ok = literal("null"); break;
+      default: ok = number(); break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool object() {
+    eat('{');
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) {
+        set_err("expected ':'");
+        return false;
+      }
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return true;
+      set_err("expected ',' or '}'");
+      return false;
+    }
+  }
+
+  bool array() {
+    eat('[');
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return true;
+      set_err("expected ',' or ']'");
+      return false;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string err_;
+  std::size_t err_pos_ = 0;
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text, std::string* error) {
+  return Validator(text).run(error);
+}
+
+}  // namespace gpucomm::metrics

@@ -1,0 +1,20 @@
+// Human-readable rendering of ScheduleProfiler attributions: one stage
+// table per operation (critical-path breakdown per round, components
+// summing exactly to the end-to-end time) plus the top bottleneck links on
+// the critical path. `gpucomm_cli --profile` prints this.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "gpucomm/metrics/profiler.hpp"
+
+namespace gpucomm::metrics {
+
+/// Print the breakdown of every profiled operation. `graph` (optional)
+/// labels hotspot links with their endpoint devices; `max_hotspots` caps
+/// the bottleneck table.
+void print_profile(std::ostream& os, const std::vector<OpProfile>& ops,
+                   const Graph* graph = nullptr, int max_hotspots = 10);
+
+}  // namespace gpucomm::metrics

@@ -1,0 +1,160 @@
+#include "gpucomm/metrics/run_manifest.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "gpucomm/metrics/json.hpp"
+#include "gpucomm/metrics/profiler.hpp"
+#include "gpucomm/metrics/timeseries.hpp"
+#include "gpucomm/telemetry/counters.hpp"
+
+namespace gpucomm::metrics {
+
+namespace {
+
+void write_summary(JsonWriter& w, const Summary& s) {
+  w.begin_object();
+  w.kv("n", static_cast<std::uint64_t>(s.n));
+  w.kv("mean", s.mean);
+  w.kv("stddev", s.stddev);
+  w.kv("min", s.min);
+  w.kv("max", s.max);
+  w.kv("p5", s.p5);
+  w.kv("q1", s.q1);
+  w.kv("median", s.median);
+  w.kv("q3", s.q3);
+  w.kv("p95", s.p95);
+  w.kv("iqr", s.iqr);
+  w.kv("median_ci", s.median_ci);
+  w.kv("failed", static_cast<std::uint64_t>(s.failed));
+  w.end_object();
+}
+
+void write_counters(JsonWriter& w, const telemetry::CounterSet& counters) {
+  w.begin_object();
+  w.kv("total_link_bytes", static_cast<std::uint64_t>(counters.total_link_bytes()));
+  w.kv("last_event_ps", counters.last_event().ps);
+  w.key("links").begin_array();
+  const auto& links = counters.links();
+  for (LinkId l = 0; l < links.size(); ++l) {
+    const telemetry::LinkCounters& c = links[l];
+    if (c.flows_started == 0 && c.failures == 0) continue;
+    w.begin_object();
+    w.kv("link", static_cast<std::int64_t>(l));
+    w.kv("busy_ps", c.busy.ps);
+    w.kv("bits", c.bits);
+    w.kv("bytes_completed", static_cast<std::uint64_t>(c.bytes_completed));
+    w.kv("flows_started", static_cast<std::uint64_t>(c.flows_started));
+    w.kv("flows_completed", static_cast<std::uint64_t>(c.flows_completed));
+    w.kv("peak_active", c.peak_active);
+    w.kv("saturations", static_cast<std::uint64_t>(c.saturations));
+    w.kv("throttled_flows", static_cast<std::uint64_t>(c.throttled_flows));
+    w.kv("downtime_ps", c.downtime.ps);
+    w.kv("failures", static_cast<std::uint64_t>(c.failures));
+    w.kv("flows_interrupted", static_cast<std::uint64_t>(c.flows_interrupted));
+    w.kv("bytes_interrupted", static_cast<std::uint64_t>(c.bytes_interrupted));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+RunManifest::PlanInfo plan_info(Bytes bytes, const std::vector<sched::Schedule>& schedules) {
+  RunManifest::PlanInfo info;
+  info.bytes = bytes;
+  for (const sched::Schedule& s : schedules) {
+    RunManifest::ScheduleId id;
+    id.algorithm = sched::to_string(s.algorithm);
+    id.rounds = static_cast<int>(s.rounds.size());
+    for (const sched::Round& r : s.rounds) id.wire_exact = id.wire_exact && r.wire_exact;
+    info.schedules.push_back(std::move(id));
+  }
+  return info;
+}
+
+void write_manifest(std::ostream& os, const RunManifest& m, const ScheduleProfiler* profiler,
+                    const TimeSeries* timeseries, const telemetry::CounterSet* counters) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("tool", m.tool);
+  w.kv("version", m.version);
+  w.key("config").begin_object();
+  w.kv("system", m.system);
+  w.kv("op", m.op);
+  w.kv("mechanism", m.mechanism);
+  w.kv("placement", m.placement);
+  w.kv("space", m.space);
+  w.kv("gpus", m.gpus);
+  w.kv("nodes", m.nodes);
+  w.kv("service_level", m.service_level);
+  w.kv("iters", m.iters);
+  w.kv("tuned", m.tuned);
+  w.kv("seed", m.seed);
+  if (m.faults.empty()) {
+    w.key("faults").null();
+  } else {
+    w.kv("faults", m.faults);
+  }
+  w.end_object();
+
+  w.key("plans").begin_array();
+  for (const RunManifest::PlanInfo& p : m.plans) {
+    w.begin_object();
+    w.kv("bytes", static_cast<std::uint64_t>(p.bytes));
+    w.key("schedules").begin_array();
+    for (const RunManifest::ScheduleId& s : p.schedules) {
+      w.begin_object();
+      w.kv("algorithm", s.algorithm);
+      w.kv("rounds", s.rounds);
+      w.kv("wire_exact", s.wire_exact);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("results").begin_array();
+  for (const RunManifest::Result& r : m.results) {
+    w.begin_object();
+    w.kv("bytes", static_cast<std::uint64_t>(r.bytes));
+    w.kv("iterations", r.iterations);
+    w.kv("stalled", r.stalled);
+    if (!r.stalled) {
+      w.key("latency_us");
+      write_summary(w, r.latency_us);
+      w.key("goodput_gbps");
+      write_summary(w, r.goodput_gbps);
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  if (profiler != nullptr) {
+    w.key("profile");
+    profiler->write_json(w);
+  }
+  if (timeseries != nullptr) {
+    w.key("timeseries");
+    timeseries->write_json(w);
+  }
+  if (counters != nullptr) {
+    w.key("counters");
+    write_counters(w, *counters);
+  }
+  w.end_object();
+  os << "\n";
+}
+
+bool write_manifest_file(const std::string& path, const RunManifest& m,
+                         const ScheduleProfiler* profiler, const TimeSeries* timeseries,
+                         const telemetry::CounterSet* counters) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_manifest(out, m, profiler, timeseries, counters);
+  return static_cast<bool>(out);
+}
+
+}  // namespace gpucomm::metrics

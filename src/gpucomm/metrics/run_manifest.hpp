@@ -1,0 +1,93 @@
+// Machine-readable run artifact: one JSON document capturing everything
+// needed to reproduce and compare a gpucomm_cli run — the system,
+// mechanism, placement, seed, build version (git describe), the identity
+// of every schedule the mechanism planned (algorithm, rounds, wire_exact),
+// and the full per-size statistics (all stats::Summary percentiles for
+// latency and goodput). Optional sections attach the critical-path profile
+// and the per-link time series when those sinks were enabled.
+//
+// Emission is deterministic: two runs with the same configuration and seed
+// produce byte-identical files (JsonWriter renders doubles in shortest
+// round-trip form and the document contains no wall-clock timestamps).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gpucomm/harness/stats.hpp"
+#include "gpucomm/sched/schedule.hpp"
+#include "gpucomm/sim/units.hpp"
+
+namespace gpucomm::telemetry {
+class CounterSet;
+}
+
+namespace gpucomm::metrics {
+
+class JsonWriter;
+class ScheduleProfiler;
+class TimeSeries;
+
+struct RunManifest {
+  // --- run identity ---------------------------------------------------------
+  std::string tool = "gpucomm_cli";
+  /// build_version() — git describe of the built tree.
+  std::string version;
+  std::string system;
+  std::string op;
+  std::string mechanism;
+  std::string placement;
+  std::string space;
+  int gpus = 0;
+  int nodes = 0;
+  int service_level = 0;
+  /// 0 = per-size automatic iteration counts.
+  int iters = 0;
+  bool tuned = true;
+  std::uint64_t seed = 0;
+  /// Fault schedule spec/path; empty = no faults injected.
+  std::string faults;
+
+  /// Identity of one planned schedule (one entry per concurrent schedule).
+  struct ScheduleId {
+    std::string algorithm;
+    int rounds = 0;
+    /// True only if every round posts wire bytes equal to data bytes.
+    bool wire_exact = true;
+  };
+  struct PlanInfo {
+    Bytes bytes = 0;
+    std::vector<ScheduleId> schedules;
+  };
+  std::vector<PlanInfo> plans;
+
+  struct Result {
+    Bytes bytes = 0;
+    int iterations = 0;
+    /// The mechanism cannot run this op/size (reported, not measured).
+    bool stalled = false;
+    Summary latency_us;
+    Summary goodput_gbps;
+  };
+  std::vector<Result> results;
+};
+
+/// Record schedule identities from a plan() result.
+RunManifest::PlanInfo plan_info(Bytes bytes, const std::vector<sched::Schedule>& schedules);
+
+/// Emit the manifest (with optional profile/timeseries/counters sections)
+/// as one JSON object.
+void write_manifest(std::ostream& os, const RunManifest& m,
+                    const ScheduleProfiler* profiler = nullptr,
+                    const TimeSeries* timeseries = nullptr,
+                    const telemetry::CounterSet* counters = nullptr);
+
+/// write_manifest to a file. Returns false on I/O failure.
+bool write_manifest_file(const std::string& path, const RunManifest& m,
+                         const ScheduleProfiler* profiler = nullptr,
+                         const TimeSeries* timeseries = nullptr,
+                         const telemetry::CounterSet* counters = nullptr);
+
+}  // namespace gpucomm::metrics

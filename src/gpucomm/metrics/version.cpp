@@ -1,0 +1,11 @@
+#include "gpucomm/metrics/version.hpp"
+
+#ifndef GPUCOMM_GIT_DESCRIBE
+#define GPUCOMM_GIT_DESCRIBE "unknown"
+#endif
+
+namespace gpucomm::metrics {
+
+const char* build_version() { return GPUCOMM_GIT_DESCRIBE; }
+
+}  // namespace gpucomm::metrics

@@ -1,0 +1,10 @@
+// Build identity baked in at configure time for run artifacts.
+#pragma once
+
+namespace gpucomm::metrics {
+
+/// `git describe --always --dirty` of the source tree the binary was built
+/// from, captured by CMake at configure time ("unknown" outside a checkout).
+const char* build_version();
+
+}  // namespace gpucomm::metrics

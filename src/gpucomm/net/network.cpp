@@ -157,14 +157,15 @@ void Network::emit_allocation() {
   for (std::size_t i = 0; i < active_.size(); ++i) {
     const ActiveFlow& f = active_[i];
     if (f.token == 0) continue;
-    telemetry_->flow_rate(f.token, f.route, f.rate, now);
-    // Throttled = allocated below what the flow would get running alone
-    // (its route bottleneck, or its private cap if tighter).
+    // Standalone = what the flow would get running alone (its route
+    // bottleneck, or its private cap if tighter); allocated below it means
+    // fair sharing is squeezing the flow.
     Bandwidth standalone = f.rate_cap > 0 ? f.rate_cap : 0;
     for (const LinkId l : f.route) {
       const Bandwidth cap = effective_capacity(l, f.vl);
       if (standalone <= 0 || cap < standalone) standalone = cap;
     }
+    telemetry_->flow_rate(f.token, f.route, f.rate, standalone, now);
     if (standalone > 0 && f.rate < standalone * (1.0 - 1e-9)) {
       telemetry_->flow_throttled(f.token, trace_.bottleneck[i], now);
     }

@@ -10,10 +10,21 @@ namespace gpucomm::sched {
 
 namespace {
 
+/// Emit an executor stage span to the hooks' sink (no-op without one).
+void emit_span(const ExecHooks& hooks, const Schedule& schedule, const char* kind, int round,
+               SimTime start) {
+  if (hooks.sink == nullptr) return;
+  hooks.sink->sched_span(hooks.mechanism, to_string(schedule.algorithm), kind, round, start,
+                         hooks.engine->now());
+}
+
 /// Owns the schedule for the duration of an asynchronous execution.
 struct ExecState {
   Schedule schedule;
   ExecHooks hooks;
+  void span(const char* kind, int round, SimTime start) const {
+    emit_span(hooks, schedule, kind, round, start);
+  }
 };
 
 struct StepRef {
@@ -27,6 +38,9 @@ struct WindowState {
   std::vector<std::vector<StepRef>> per_rank;
   std::vector<std::size_t> cursors;
   std::shared_ptr<JoinCounter> join;
+  void span(const char* kind, int round, SimTime start) const {
+    emit_span(hooks, schedule, kind, round, start);
+  }
 };
 
 }  // namespace
@@ -40,25 +54,38 @@ void execute(Schedule s, const ExecHooks& hooks, EventFn done) {
   std::vector<Stage> stages;
   if (st->hooks.launch) {
     stages.push_back([st](EventFn next) {
-      st->hooks.engine->after(*st->hooks.launch, std::move(next));
+      const SimTime start = st->hooks.engine->now();
+      st->hooks.engine->after(*st->hooks.launch, [st, start, next = std::move(next)]() mutable {
+        st->span("launch", -1, start);
+        next();
+      });
     });
   }
   const int nrounds = static_cast<int>(st->schedule.rounds.size());
   for (int r = 0; r < nrounds; ++r) {
     stages.push_back([st, r](EventFn next) {
       const Round& round = st->schedule.rounds[r];
+      const SimTime round_start = st->hooks.engine->now();
       EventFn barrier_done;
       if (round.reduce_bytes > 0 && st->hooks.reduce_time) {
-        barrier_done = [st, r, next = std::move(next)]() mutable {
+        barrier_done = [st, r, round_start, next = std::move(next)]() mutable {
+          const SimTime barrier_end = st->hooks.engine->now();
+          st->span("round", r, round_start);
           const SimTime t = st->hooks.reduce_time(st->schedule.rounds[r].reduce_bytes);
           if (t > SimTime::zero()) {
-            st->hooks.engine->after(t, std::move(next));
+            st->hooks.engine->after(t, [st, r, barrier_end, next = std::move(next)]() mutable {
+              st->span("reduce", r, barrier_end);
+              next();
+            });
           } else {
             next();
           }
         };
       } else {
-        barrier_done = std::move(next);
+        barrier_done = [st, r, round_start, next = std::move(next)]() mutable {
+          st->span("round", r, round_start);
+          next();
+        };
       }
       int network = 0;
       for (const Step& step : round.steps) network += step.src != step.dst ? 1 : 0;
@@ -106,7 +133,13 @@ void execute_windowed(Schedule s, int window, const ExecHooks& hooks, EventFn do
     return;
   }
   st->cursors.assign(static_cast<std::size_t>(n), 0);
-  st->join = JoinCounter::create(total, std::move(done));
+  // The "stream" span covers the whole barrier-free streaming phase: from
+  // the post-launch fill to the last completion.
+  auto stream_start = std::make_shared<SimTime>(SimTime::zero());
+  st->join = JoinCounter::create(total, [st, stream_start, done = std::move(done)]() mutable {
+    st->span("stream", -1, *stream_start);
+    if (done) done();
+  });
 
   // Per-rank cursor: post the next message when one completes. The function
   // object holds only a weak reference to itself; pending completions pin it
@@ -126,7 +159,8 @@ void execute_windowed(Schedule s, int window, const ExecHooks& hooks, EventFn do
                         (*self)(rank);
                       });
   };
-  auto start = [st, post_next, window] {
+  auto start = [st, post_next, window, stream_start] {
+    *stream_start = st->hooks.engine->now();
     std::size_t longest = 0;
     for (const auto& list : st->per_rank) longest = std::max(longest, list.size());
     const int w = static_cast<int>(std::min<std::size_t>(
@@ -137,7 +171,11 @@ void execute_windowed(Schedule s, int window, const ExecHooks& hooks, EventFn do
     }
   };
   if (st->hooks.launch) {
-    st->hooks.engine->after(*st->hooks.launch, std::move(start));
+    const SimTime launch_start = st->hooks.engine->now();
+    st->hooks.engine->after(*st->hooks.launch, [st, launch_start, start = std::move(start)] {
+      st->span("launch", -1, launch_start);
+      start();
+    });
   } else {
     start();
   }

@@ -9,6 +9,7 @@
 #include "gpucomm/runtime/ops.hpp"
 #include "gpucomm/sched/schedule.hpp"
 #include "gpucomm/sim/engine.hpp"
+#include "gpucomm/telemetry/sink.hpp"
 
 namespace gpucomm::sched {
 
@@ -36,6 +37,12 @@ struct ExecHooks {
   /// Fixed launch delay posted before the first round. Engaged-but-zero still
   /// posts an engine event (the legacy launch stage); nullopt posts nothing.
   std::optional<SimTime> launch;
+  /// Observability: when set, execute() emits launch/round/reduce spans (and
+  /// execute_windowed() a whole-schedule "stream" span) to this sink,
+  /// attributed to `mechanism`. Pure observation — never schedules events or
+  /// feeds back into the simulation, so timings are untouched.
+  telemetry::Sink* sink = nullptr;
+  const char* mechanism = "?";
 };
 
 /// Drive `s` round by round: each round's network steps (src != dst) post

@@ -103,8 +103,11 @@ void remap_ranks(Schedule& s, const std::vector<int>& order) {
 
 std::string describe(const Schedule& s) {
   std::ostringstream os;
+  bool wire_exact = true;
+  for (const Round& round : s.rounds) wire_exact = wire_exact && round.wire_exact;
   os << to_string(s.algorithm) << ": n=" << s.n << " bytes=" << s.bytes << " slots="
-     << s.outer_slots << "x" << s.inner_slots << " rounds=" << s.rounds.size() << "\n";
+     << s.outer_slots << "x" << s.inner_slots << " rounds=" << s.rounds.size()
+     << " wire_exact=" << (wire_exact ? "true" : "false") << "\n";
   for (std::size_t r = 0; r < s.rounds.size(); ++r) {
     const Round& round = s.rounds[r];
     os << "  round " << r;

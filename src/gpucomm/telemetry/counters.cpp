@@ -38,7 +38,8 @@ void CounterSet::integrate(FlowToken token, const Route& route, SimTime now) {
   st.last = now;
 }
 
-void CounterSet::flow_rate(FlowToken token, const Route& route, Bandwidth rate, SimTime now) {
+void CounterSet::flow_rate(FlowToken token, const Route& route, Bandwidth rate, Bandwidth,
+                           SimTime now) {
   touch(now);
   integrate(token, route, now);
   const auto it = in_flight_.find(token);

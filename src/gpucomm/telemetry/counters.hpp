@@ -62,7 +62,8 @@ class CounterSet final : public Sink {
   // Sink interface.
   void flow_started(FlowToken token, const FlowTag& tag, const Route& route, int vl,
                     Bytes bytes, SimTime now) override;
-  void flow_rate(FlowToken token, const Route& route, Bandwidth rate, SimTime now) override;
+  void flow_rate(FlowToken token, const Route& route, Bandwidth rate, Bandwidth standalone,
+                 SimTime now) override;
   void flow_throttled(FlowToken token, LinkId bottleneck, SimTime now) override;
   void flow_completed(FlowToken token, const Route& route, Bytes bytes, SimTime serialized,
                       SimTime delivered) override;

@@ -71,7 +71,10 @@ Table nic_report(const CounterSet& counters) {
   return t;
 }
 
-void print_report(std::ostream& os, const CounterSet& counters, SimTime window) {
+void print_report(std::ostream& os, CounterSet& counters, SimTime window) {
+  // Auto-finalize: a caller that forgot finalize(now) would otherwise see
+  // busy time silently missing every still-open interval.
+  counters.finalize(window);
   os << "# link utilization over " << to_string(window) << " simulated\n";
   link_report(counters, window).print(os);
   if (!counters.nics().empty()) {

@@ -20,8 +20,9 @@ Table link_report(const CounterSet& counters, SimTime window);
 /// Per-NIC message-processing table; NICs that saw no messages are omitted.
 Table nic_report(const CounterSet& counters);
 
-/// Print both tables (plus totals) to `os`; finalizes nothing — call
-/// CounterSet::finalize(now) first.
-void print_report(std::ostream& os, const CounterSet& counters, SimTime window);
+/// Print both tables (plus totals) to `os`. Finalizes `counters` at
+/// `window` first (idempotent), so open busy intervals can never silently
+/// under-report; accounting continues normally if more events arrive.
+void print_report(std::ostream& os, CounterSet& counters, SimTime window);
 
 }  // namespace gpucomm::telemetry

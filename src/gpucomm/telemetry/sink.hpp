@@ -76,9 +76,14 @@ class Sink {
   }
 
   /// The fair-share allocator (re)assigned the flow's rate. Emitted for
-  /// every active flow on every reallocation.
-  virtual void flow_rate(FlowToken token, const Route& route, Bandwidth rate, SimTime now) {
-    (void)token, (void)route, (void)rate, (void)now;
+  /// every active flow on every reallocation. `standalone` is the rate the
+  /// flow would get running alone (its route bottleneck net of noise and
+  /// degradation, or its private cap if tighter; 0 when unconstrained) —
+  /// rate < standalone means fair sharing is squeezing it, and the gap is
+  /// what the metrics layer books as contention.
+  virtual void flow_rate(FlowToken token, const Route& route, Bandwidth rate,
+                         Bandwidth standalone, SimTime now) {
+    (void)token, (void)route, (void)rate, (void)standalone, (void)now;
   }
 
   /// Fair sharing squeezed the flow below its standalone rate;
@@ -119,6 +124,16 @@ class Sink {
     (void)mechanism, (void)op, (void)bytes, (void)start, (void)end;
   }
 
+  /// One stage of a scheduled collective's executor run (sched::execute /
+  /// execute_windowed with ExecHooks::sink set). `kind` is a string literal:
+  /// "launch" (the pre-round launch delay), "round" (round `round`, message
+  /// post to barrier), "reduce" (round `round`'s post-barrier reduction), or
+  /// "stream" (a whole windowed barrier-free execution, round = -1).
+  virtual void sched_span(const char* mechanism, const char* algorithm, const char* kind,
+                          int round, SimTime start, SimTime end) {
+    (void)mechanism, (void)algorithm, (void)kind, (void)round, (void)start, (void)end;
+  }
+
   /// A fault changed a link's availability. `cause` names the fault that
   /// flipped it ("link-down", "link-up", "nic-fail", "switch-fail").
   virtual void link_state(LinkId link, bool up, const char* cause, SimTime now) {
@@ -154,8 +169,9 @@ class MultiSink final : public Sink {
                     SimTime now) override {
     for (Sink* s : sinks_) s->flow_started(t, tag, r, vl, b, now);
   }
-  void flow_rate(FlowToken t, const Route& r, Bandwidth rate, SimTime now) override {
-    for (Sink* s : sinks_) s->flow_rate(t, r, rate, now);
+  void flow_rate(FlowToken t, const Route& r, Bandwidth rate, Bandwidth standalone,
+                 SimTime now) override {
+    for (Sink* s : sinks_) s->flow_rate(t, r, rate, standalone, now);
   }
   void flow_throttled(FlowToken t, LinkId bottleneck, SimTime now) override {
     for (Sink* s : sinks_) s->flow_throttled(t, bottleneck, now);
@@ -176,6 +192,10 @@ class MultiSink final : public Sink {
   void op_span(const char* mech, const char* op, Bytes b, SimTime start,
                SimTime end) override {
     for (Sink* s : sinks_) s->op_span(mech, op, b, start, end);
+  }
+  void sched_span(const char* mech, const char* algorithm, const char* kind, int round,
+                  SimTime start, SimTime end) override {
+    for (Sink* s : sinks_) s->sched_span(mech, algorithm, kind, round, start, end);
   }
   void link_state(LinkId link, bool up, const char* cause, SimTime now) override {
     for (Sink* s : sinks_) s->link_state(link, up, cause, now);

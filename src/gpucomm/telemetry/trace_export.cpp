@@ -35,7 +35,8 @@ void TraceRecorder::flow_started(FlowToken token, const FlowTag& tag, const Rout
   if (r.issued > now) r.issued = now;
 }
 
-void TraceRecorder::flow_rate(FlowToken token, const Route&, Bandwidth rate, SimTime) {
+void TraceRecorder::flow_rate(FlowToken token, const Route&, Bandwidth rate, Bandwidth,
+                              SimTime) {
   record(token).last_rate = rate;
 }
 

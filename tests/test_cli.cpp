@@ -46,6 +46,33 @@ TEST(CliArgs, DefaultsWithNoFlags) {
   EXPECT_EQ(a->gpus, 2);
   EXPECT_TRUE(a->tuned);
   EXPECT_TRUE(a->faults.empty());
+  EXPECT_FALSE(a->profile);
+  EXPECT_TRUE(a->metrics_out.empty());
+  EXPECT_TRUE(a->timeseries_path.empty());
+  EXPECT_EQ(a->bucket_us, 50);
+  EXPECT_EQ(a->seed, 42u);
+}
+
+TEST(CliArgs, MetricsFlagsRoundTrip) {
+  std::string err;
+  const auto a = parse({"--profile", "--metrics-out", "run.json", "--timeseries",
+                        "ts.csv", "--bucket-us", "10", "--seed", "1234"},
+                       err);
+  ASSERT_TRUE(a.has_value()) << err;
+  EXPECT_TRUE(a->profile);
+  EXPECT_EQ(a->metrics_out, "run.json");
+  EXPECT_EQ(a->timeseries_path, "ts.csv");
+  EXPECT_EQ(a->bucket_us, 10);
+  EXPECT_EQ(a->seed, 1234u);
+}
+
+TEST(CliArgs, MetricsFlagsRejectBadValues) {
+  std::string err;
+  EXPECT_FALSE(parse({"--bucket-us", "0"}, err).has_value());
+  EXPECT_FALSE(parse({"--bucket-us", "abc"}, err).has_value());
+  EXPECT_FALSE(parse({"--seed", "-1"}, err).has_value());
+  EXPECT_FALSE(parse({"--metrics-out"}, err).has_value());
+  EXPECT_FALSE(parse({"--timeseries"}, err).has_value());
 }
 
 TEST(CliArgs, HelpShortCircuits) {

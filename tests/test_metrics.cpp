@@ -1,0 +1,298 @@
+// Metrics layer: deterministic JSON emission, time-series bucket
+// conservation against CounterSet, exact critical-path attribution, and
+// byte-identical run manifests across same-seed runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/cluster/placement.hpp"
+#include "gpucomm/comm/ccl/ccl_comm.hpp"
+#include "gpucomm/comm/mpi/mpi_comm.hpp"
+#include "gpucomm/metrics/json.hpp"
+#include "gpucomm/metrics/profile_report.hpp"
+#include "gpucomm/metrics/profiler.hpp"
+#include "gpucomm/metrics/run_manifest.hpp"
+#include "gpucomm/metrics/timeseries.hpp"
+#include "gpucomm/metrics/version.hpp"
+#include "gpucomm/systems/registry.hpp"
+#include "gpucomm/telemetry/counters.hpp"
+#include "gpucomm/telemetry/sink.hpp"
+
+namespace gpucomm {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON writer / validator.
+
+TEST(MetricsJson, WriterProducesValidStructures) {
+  std::ostringstream os;
+  metrics::JsonWriter w(os);
+  w.begin_object();
+  w.kv("name", "he said \"hi\"\n\t\\");
+  w.kv("count", std::int64_t{-7});
+  w.kv("ratio", 0.1);
+  w.key("nested").begin_array();
+  w.value(true);
+  w.null();
+  w.begin_object().kv("k", 1e-300).end_object();
+  w.end_array();
+  w.end_object();
+
+  std::string err;
+  EXPECT_TRUE(metrics::json_valid(os.str(), &err)) << err << "\n" << os.str();
+  EXPECT_NE(os.str().find("\\\"hi\\\""), std::string::npos);
+}
+
+TEST(MetricsJson, NonFiniteDoublesBecomeNull) {
+  std::ostringstream os;
+  metrics::JsonWriter w(os);
+  w.begin_array();
+  w.value(std::nan(""));
+  w.value(std::numeric_limits<double>::infinity());
+  w.end_array();
+  std::string err;
+  EXPECT_TRUE(metrics::json_valid(os.str(), &err)) << err;
+  EXPECT_EQ(os.str().find("nan"), std::string::npos);
+  EXPECT_EQ(os.str().find("inf"), std::string::npos);
+}
+
+TEST(MetricsJson, NumberRoundTripsShortestForm) {
+  EXPECT_EQ(metrics::json_number(0.1), "0.1");
+  EXPECT_EQ(metrics::json_number(0.0), "0");
+  EXPECT_EQ(metrics::json_number(-2.5), "-2.5");
+}
+
+TEST(MetricsJson, ValidatorRejectsMalformedDocuments) {
+  EXPECT_TRUE(metrics::json_valid(R"({"a": [1, 2.5e3, "x"], "b": null})"));
+  EXPECT_FALSE(metrics::json_valid(""));
+  EXPECT_FALSE(metrics::json_valid("{"));
+  EXPECT_FALSE(metrics::json_valid(R"({"a": 1,})"));
+  EXPECT_FALSE(metrics::json_valid(R"([1, 2] trailing)"));
+  EXPECT_FALSE(metrics::json_valid(R"({"a": 01})"));
+  EXPECT_FALSE(metrics::json_valid("[NaN]"));
+  std::string err;
+  EXPECT_FALSE(metrics::json_valid("[1,", &err));
+  EXPECT_FALSE(err.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-level fixtures: a small Leonardo CCL allreduce with sinks attached.
+
+struct MeteredRun {
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<telemetry::CounterSet> counters;
+  std::unique_ptr<metrics::TimeSeries> timeseries;
+  std::unique_ptr<metrics::ScheduleProfiler> profiler;
+  telemetry::MultiSink sinks;
+  SimTime elapsed;
+
+  explicit MeteredRun(Bytes bytes = 1_MiB, int gpus = 4) {
+    const SystemConfig cfg = system_by_name("leonardo");
+    cluster = std::make_unique<Cluster>(cfg, ClusterOptions{});
+    counters = std::make_unique<telemetry::CounterSet>(cluster->graph());
+    timeseries =
+        std::make_unique<metrics::TimeSeries>(cluster->graph(), microseconds(5));
+    profiler = std::make_unique<metrics::ScheduleProfiler>();
+    sinks.add(counters.get());
+    sinks.add(timeseries.get());
+    sinks.add(profiler.get());
+    cluster->set_telemetry(&sinks);
+
+    CommOptions opt;
+    opt.env = cfg.tuned_env();
+    CclComm comm(*cluster, first_n_gpus(*cluster, gpus), opt);
+    elapsed = comm.time_allreduce(bytes);
+    const SimTime now = cluster->engine().now();
+    counters->finalize(now);
+    timeseries->finalize(now);
+  }
+};
+
+TEST(MetricsTimeSeries, BucketBitsConserveCounterSetIntegrals) {
+  MeteredRun run;
+  const Graph& g = run.cluster->graph();
+  bool any_traffic = false;
+  for (LinkId l = 0; l < static_cast<LinkId>(g.link_count()); ++l) {
+    const double counter_bits = run.counters->link(l).bits;
+    const double bucket_bits = run.timeseries->link_bits(l);
+    // Same integral, split across buckets: only FP re-association differs.
+    const double tol = 1e-6 * std::max(1.0, counter_bits);
+    EXPECT_NEAR(bucket_bits, counter_bits, tol) << "link " << l;
+    if (counter_bits > 0) any_traffic = true;
+  }
+  ASSERT_TRUE(any_traffic);
+}
+
+TEST(MetricsTimeSeries, DemandNeverBelowAllocatedAndExportsAreValid) {
+  MeteredRun run;
+  const Graph& g = run.cluster->graph();
+  for (LinkId l = 0; l < static_cast<LinkId>(g.link_count()); ++l) {
+    for (const auto& b : run.timeseries->link_buckets(l)) {
+      EXPECT_GE(b.demand_bits, b.bits - 1e-6);
+      EXPECT_GE(b.peak_active, b.bits > 0 ? 1 : 0);
+    }
+  }
+  std::ostringstream json;
+  metrics::JsonWriter w(json);
+  run.timeseries->write_json(w);
+  std::string err;
+  EXPECT_TRUE(metrics::json_valid(json.str(), &err)) << err;
+
+  std::ostringstream csv, heat;
+  run.timeseries->write_csv(csv);
+  run.timeseries->render_heatmap(heat);
+  EXPECT_NE(csv.str().find("link,src,dst,bucket"), std::string::npos);
+  EXPECT_NE(heat.str().find("heatmap"), std::string::npos);
+}
+
+TEST(MetricsProfiler, AttributionSumsExactlyToEndToEnd) {
+  MeteredRun run;
+  const auto ops = run.profiler->build();
+  ASSERT_FALSE(ops.empty());
+  for (const auto& op : ops) {
+    // Category totals partition the operation window to the picosecond.
+    SimTime sum = SimTime::zero();
+    for (const auto& s : op.spans) sum = sum + s.total;
+    EXPECT_EQ(sum.ps, op.duration().ps) << op.op;
+    // And within each category the components partition the total.
+    for (const auto& s : op.spans) {
+      const std::int64_t parts = s.serialization.ps + s.contention.ps +
+                                 s.propagation.ps + s.recovery.ps + s.overhead.ps;
+      EXPECT_EQ(parts, s.total.ps) << op.op << " " << s.kind << " " << s.round;
+      EXPECT_GE(s.serialization.ps, 0);
+      EXPECT_GE(s.contention.ps, 0);
+      EXPECT_GE(s.propagation.ps, 0);
+      EXPECT_GE(s.recovery.ps, 0);
+      EXPECT_GE(s.overhead.ps, 0);
+    }
+  }
+  // The report renders and declares a zero-ps delta.
+  std::ostringstream report;
+  metrics::print_profile(report, ops, &run.cluster->graph());
+  EXPECT_NE(report.str().find("delta 0 ps"), std::string::npos) << report.str();
+}
+
+TEST(MetricsProfiler, RoundSpansCoverScheduleRounds) {
+  MeteredRun run;
+  const auto ops = run.profiler->build();
+  ASSERT_FALSE(ops.empty());
+  int rounds = 0;
+  for (const auto& s : ops.front().spans) {
+    if (s.kind == "round") {
+      ++rounds;
+      EXPECT_GE(s.attempts, 1);
+      EXPECT_GE(s.src, 0);
+      EXPECT_GE(s.dst, 0);
+    }
+  }
+  EXPECT_GE(rounds, 1);
+}
+
+TEST(MetricsProfiler, DisabledProfilerRecordsNothing) {
+  const SystemConfig cfg = system_by_name("leonardo");
+  Cluster cluster(cfg, ClusterOptions{});
+  metrics::ScheduleProfiler profiler;
+  profiler.set_enabled(false);
+  cluster.set_telemetry(&profiler);
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  CclComm comm(cluster, first_n_gpus(cluster, 4), opt);
+  comm.time_allreduce(64_KiB);
+  EXPECT_TRUE(profiler.build().empty());
+}
+
+TEST(MetricsProfiler, ProfilerAttachmentDoesNotMoveSimulatedTime) {
+  const SimTime with = MeteredRun(256_KiB).elapsed;
+
+  const SystemConfig cfg = system_by_name("leonardo");
+  Cluster cluster(cfg, ClusterOptions{});
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  CclComm comm(cluster, first_n_gpus(cluster, 4), opt);
+  EXPECT_EQ(comm.time_allreduce(256_KiB).ps, with.ps);
+}
+
+// ---------------------------------------------------------------------------
+// Run manifest.
+
+metrics::RunManifest sample_manifest(const MeteredRun& run) {
+  metrics::RunManifest m;
+  m.version = metrics::build_version();
+  m.system = "leonardo";
+  m.op = "allreduce";
+  m.mechanism = "ccl";
+  m.placement = "packed";
+  m.space = "device";
+  m.gpus = 4;
+  m.nodes = 1;
+  m.iters = 3;
+  m.seed = 42;
+  metrics::RunManifest::Result r;
+  r.bytes = 1_MiB;
+  r.iterations = 3;
+  r.latency_us = summarize({10.0, 11.0, 12.0});
+  r.goodput_gbps = summarize({800.0, 810.0, 790.0});
+  m.results.push_back(r);
+  (void)run;
+  return m;
+}
+
+TEST(MetricsManifest, JsonIsValidAndCarriesAllSections) {
+  MeteredRun run;
+  const metrics::RunManifest m = sample_manifest(run);
+  std::ostringstream os;
+  metrics::write_manifest(os, m, run.profiler.get(), run.timeseries.get(),
+                          run.counters.get());
+  const std::string doc = os.str();
+  std::string err;
+  ASSERT_TRUE(metrics::json_valid(doc, &err)) << err;
+  for (const char* key :
+       {"\"tool\"", "\"version\"", "\"config\"", "\"results\"", "\"profile\"",
+        "\"timeseries\"", "\"counters\"", "\"median\"", "\"median_ci\""}) {
+    EXPECT_NE(doc.find(key), std::string::npos) << key;
+  }
+}
+
+TEST(MetricsManifest, ByteIdenticalAcrossSameSeedRuns) {
+  // Two full simulations from scratch; every sink and the manifest writer
+  // must produce byte-identical documents (the determinism --metrics-out
+  // promises).
+  auto render = [] {
+    MeteredRun run;
+    std::ostringstream os;
+    metrics::write_manifest(os, sample_manifest(run), run.profiler.get(),
+                            run.timeseries.get(), run.counters.get());
+    return os.str();
+  };
+  const std::string first = render();
+  const std::string second = render();
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+}
+
+TEST(MetricsManifest, PlanInfoRecordsWireExactness) {
+  const SystemConfig cfg = system_by_name("leonardo");
+  Cluster cluster(cfg, ClusterOptions{});
+  CommOptions opt;
+  opt.env = cfg.tuned_env();
+  CclComm comm(cluster, first_n_gpus(cluster, 4), opt);
+  const auto plan = metrics::plan_info(1_MiB, comm.plan(CollectiveOp::kAllreduce, 1_MiB));
+  EXPECT_EQ(plan.bytes, 1_MiB);
+  ASSERT_FALSE(plan.schedules.empty());
+  for (const auto& s : plan.schedules) {
+    EXPECT_FALSE(s.algorithm.empty());
+    EXPECT_GE(s.rounds, 1);
+  }
+}
+
+TEST(MetricsVersion, BuildVersionIsNonEmpty) {
+  EXPECT_NE(std::string(metrics::build_version()), "");
+}
+
+}  // namespace
+}  // namespace gpucomm

@@ -23,6 +23,32 @@ TEST(StatsTest, SingleValue) {
   EXPECT_EQ(s.stddev, 0.0);
 }
 
+TEST(StatsTest, PercentileSingleElement) {
+  // n=1: every percentile is the lone sample (no interpolation partner).
+  const std::vector<double> one{42.0};
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 50), 42.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(one, 100), 42.0);
+}
+
+TEST(StatsTest, SingleValueCiIsZero) {
+  const Summary s = summarize({7.0});
+  EXPECT_EQ(s.iqr, 0.0);
+  EXPECT_EQ(s.median_ci, 0.0);
+}
+
+TEST(StatsTest, TwoValueSummaryInterpolatesEverything) {
+  // n=2: all quartiles interpolate across the single gap, and the CI
+  // formula still applies (1.57 * iqr / sqrt(2)).
+  const Summary s = summarize({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(s.median, 15.0);
+  EXPECT_DOUBLE_EQ(s.q1, 12.5);
+  EXPECT_DOUBLE_EQ(s.q3, 17.5);
+  EXPECT_DOUBLE_EQ(s.iqr, 5.0);
+  EXPECT_NEAR(s.median_ci, 1.57 * 5.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.stddev, std::sqrt(50.0));
+}
+
 TEST(StatsTest, KnownSample) {
   // 1..9: mean 5, median 5, q1 3, q3 7.
   const Summary s = summarize({9, 1, 8, 2, 7, 3, 6, 4, 5});

@@ -6,16 +6,26 @@
 //   gpucomm_cli --system leonardo --op allreduce --mechanism ccl
 //               --gpus 16 --min 1024 --max 1073741824 [--space host]
 //               [--untuned] [--sl N] [--placement packed|switches|groups]
-//               [--iters N] [--trace out.json] [--counters] [--dump-schedule]
-//               [--faults spec]
+//               [--iters N] [--seed N] [--trace out.json] [--counters]
+//               [--profile] [--timeseries out.csv] [--bucket-us N]
+//               [--metrics-out out.json] [--dump-schedule] [--faults spec]
 //
 // Flags are validated strictly (harness/cli_args.hpp): a malformed value or
 // unknown name prints one line on stderr and exits with status 2.
 //
 // --trace writes a Chrome-trace JSON (load in chrome://tracing or Perfetto)
 // of every flow's queue/transfer spans; --counters prints per-link and
-// per-NIC utilization tables after the results. Neither flag changes the
-// simulated timings.
+// per-NIC utilization tables after the results. --profile prints, per size,
+// the critical-path breakdown of one representative iteration (per-round
+// serialization / contention / propagation / fault-recovery / overhead,
+// summing exactly to the end-to-end time) and the top bottleneck links on
+// the critical path. --timeseries writes per-link bucketed throughput CSV
+// (bucket width --bucket-us) and prints a congestion heatmap. --metrics-out
+// writes a machine-readable run manifest JSON (config, seed, git version,
+// schedule identities incl. wire_exact, full latency/goodput percentiles,
+// and any profile/time-series/counter sections that were enabled); the file
+// is byte-identical across runs with the same configuration and seed. None
+// of these flags changes the simulated timings.
 //
 // --faults takes a fault-schedule file, or an inline spec with ';' between
 // events ("at 100us down link 4; at 300us up link 4" — see
@@ -41,10 +51,32 @@ using namespace gpucomm;
 namespace {
 
 constexpr const char* kUsage =
-    "usage: %s --system S --op OP --mechanism M --gpus N "
-    "[--min B --max B --space host|device --untuned --sl N --iters N "
-    "--placement packed|switches|groups --trace out.json --counters "
-    "--dump-schedule --faults spec]\n";
+    "usage: %s --system S --op OP --mechanism M --gpus N\n"
+    "  [--min B --max B]               transfer-size sweep bounds (bytes, x4 steps)\n"
+    "  [--space host|device]           where communication buffers live\n"
+    "  [--untuned] [--sl N]            default env / service level (virtual lane)\n"
+    "  [--placement packed|switches|groups]  rank placement across the fabric\n"
+    "  [--iters N] [--seed N]          iteration override / cluster RNG seed\n"
+    "  [--trace out.json]              Chrome-trace of every flow's lifecycle\n"
+    "  [--counters]                    per-link / per-NIC utilization tables\n"
+    "  [--profile]                     per-round critical-path breakdown and the\n"
+    "                                  top bottleneck links on the critical path\n"
+    "  [--timeseries out.csv]          bucketed per-link throughput + heatmap\n"
+    "  [--bucket-us N]                 time-series bucket width (default 50us)\n"
+    "  [--metrics-out out.json]        machine-readable run manifest (config,\n"
+    "                                  seed, git version, schedule identity,\n"
+    "                                  full percentiles; deterministic output)\n"
+    "  [--dump-schedule]               print the Schedule IR instead of timings\n"
+    "  [--faults spec]                 fault schedule file or inline spec\n";
+
+const char* placement_name(Placement p) {
+  switch (p) {
+    case Placement::kPacked: return "packed";
+    case Placement::kScatterSwitches: return "switches";
+    case Placement::kScatterGroups: return "groups";
+  }
+  return "?";
+}
 
 Mechanism mechanism_of(const std::string& name) {
   static const std::map<std::string, Mechanism> kMap{
@@ -146,6 +178,7 @@ int main(int argc, char** argv) {
   ClusterOptions copt;
   copt.nodes = nodes;
   copt.placement = a.placement;
+  copt.seed = a.seed;
   Cluster cluster(cfg, copt);
   CommOptions opt;
   opt.env = a.tuned ? cfg.tuned_env() : cfg.default_env;
@@ -160,6 +193,8 @@ int main(int argc, char** argv) {
   // (none today) would also be captured; off by default, zero overhead.
   std::unique_ptr<telemetry::TraceRecorder> recorder;
   std::unique_ptr<telemetry::CounterSet> counters;
+  std::unique_ptr<metrics::ScheduleProfiler> profiler;
+  std::unique_ptr<metrics::TimeSeries> timeseries;
   telemetry::MultiSink sinks;
   if (!a.trace_path.empty()) {
     recorder = std::make_unique<telemetry::TraceRecorder>(&cluster.graph());
@@ -169,7 +204,19 @@ int main(int argc, char** argv) {
     counters = std::make_unique<telemetry::CounterSet>(cluster.graph());
     sinks.add(counters.get());
   }
-  if (recorder || counters) cluster.set_telemetry(&sinks);
+  if (a.profile || !a.metrics_out.empty()) {
+    // Gated: enabled only for one representative iteration per size, so a
+    // long sweep does not accumulate every warmup/measured iteration.
+    profiler = std::make_unique<metrics::ScheduleProfiler>();
+    profiler->set_enabled(false);
+    sinks.add(profiler.get());
+  }
+  if (!a.timeseries_path.empty()) {
+    timeseries = std::make_unique<metrics::TimeSeries>(
+        cluster.graph(), microseconds(static_cast<double>(a.bucket_us)));
+    sinks.add(timeseries.get());
+  }
+  if (recorder || counters || profiler || timeseries) cluster.set_telemetry(&sinks);
 
   std::unique_ptr<fault::FaultInjector> injector;
   if (!a.faults.empty()) {
@@ -193,6 +240,21 @@ int main(int argc, char** argv) {
               a.space == MemSpace::kHost ? "host" : "gpu", a.tuned ? "tuned" : "default env",
               injector ? ", faults injected" : "");
 
+  metrics::RunManifest manifest;
+  manifest.version = metrics::build_version();
+  manifest.system = a.system;
+  manifest.op = a.op;
+  manifest.mechanism = a.mechanism;
+  manifest.placement = placement_name(a.placement);
+  manifest.space = a.space == MemSpace::kHost ? "host" : "device";
+  manifest.gpus = a.gpus;
+  manifest.nodes = nodes;
+  manifest.service_level = a.service_level;
+  manifest.iters = a.iters;
+  manifest.tuned = a.tuned;
+  manifest.seed = a.seed;
+  manifest.faults = a.faults;
+
   Table t({"size", "iters", "fails", "median_us", "mean_us", "p95_us", "goodput_gbps"});
   for (Bytes b = a.min_bytes; b <= a.max_bytes; b *= 4) {
     RunConfig rc = run_config_for(b);
@@ -206,8 +268,14 @@ int main(int argc, char** argv) {
       if (a.op == "reducescatter") return comm->time_reduce_scatter(b);
       throw std::invalid_argument("unknown op: " + a.op);
     };
+    manifest.plans.push_back(metrics::plan_info(b, comm->plan(op_of(a.op), b)));
+    metrics::RunManifest::Result result;
+    result.bytes = b;
+    result.iterations = rc.iterations;
     if ((a.op == "alltoall" && !comm->available(CollectiveOp::kAlltoall))) {
       t.add_row({format_bytes(b), "-", "-", "stall", "stall", "stall", "-"});
+      result.stalled = true;
+      manifest.results.push_back(result);
       continue;
     }
     const Samples s =
@@ -216,12 +284,41 @@ int main(int argc, char** argv) {
     const Summary gp = s.goodput_summary(b);
     t.add_row({format_bytes(b), std::to_string(rc.iterations), std::to_string(lat.failed),
                fmt(lat.median), fmt(lat.mean), fmt(lat.p95), fmt(gp.median, 1)});
+    result.latency_us = lat;
+    result.goodput_gbps = gp;
+    manifest.results.push_back(result);
+    if (profiler) {
+      // One extra (unmeasured) iteration per size with the profiler live:
+      // its spans/flows become the representative breakdown for this size.
+      profiler->set_enabled(true);
+      iteration();
+      profiler->set_enabled(false);
+    }
   }
   t.print(std::cout);
 
   if (counters) {
     counters->finalize(cluster.engine().now());
     telemetry::print_report(std::cout, *counters, cluster.engine().now());
+  }
+  if (profiler && a.profile) {
+    metrics::print_profile(std::cout, profiler->build(), &cluster.graph());
+  }
+  if (timeseries) {
+    timeseries->finalize(cluster.engine().now());
+    timeseries->render_heatmap(std::cout);
+    std::ofstream csv(a.timeseries_path);
+    if (csv) timeseries->write_csv(csv);
+    if (!csv) {
+      std::fprintf(stderr, "failed to write time series to %s\n", a.timeseries_path.c_str());
+      return 1;
+    }
+  }
+  if (!a.metrics_out.empty() &&
+      !metrics::write_manifest_file(a.metrics_out, manifest, profiler.get(),
+                                    timeseries.get(), counters.get())) {
+    std::fprintf(stderr, "failed to write manifest to %s\n", a.metrics_out.c_str());
+    return 1;
   }
   if (recorder && !telemetry::write_chrome_trace_file(a.trace_path, *recorder)) {
     std::fprintf(stderr, "failed to write trace to %s\n", a.trace_path.c_str());
