@@ -48,6 +48,12 @@ inline JsonCapture& capture() {
   return c;
 }
 
+/// --jobs worker count; 0 = flag absent (bench picks its own default).
+inline int& jobs_store() {
+  static int n = 0;
+  return n;
+}
+
 /// atexit hook: write every captured table as one JSON document. Runs after
 /// main returns so it sees the full emission sequence without the benches
 /// having to thread state through.
@@ -87,20 +93,39 @@ inline void write_json_capture() {
 
 }  // namespace detail
 
+/// Whether a bench's sweep decomposes into independent deterministic cells
+/// (docs/PERFORMANCE.md). Benches whose iterations share one cluster must
+/// stay kUnsupported so `--jobs` is a usage error, not a silent serial run.
+enum class Parallel { kUnsupported, kCells };
+
+/// Worker count from `--jobs N`, or 0 when the flag was absent (the bench
+/// picks its own default — typically 1 so plain invocations stay serial).
+inline int jobs() { return detail::jobs_store(); }
+
 /// Parse shared bench flags (call first in main). Recognizes
-/// `--json <path>`; anything else is a usage error so a typo does not
+/// `--json <path>` and — for benches declaring Parallel::kCells —
+/// `--jobs <N>`; anything else is a usage error so a typo does not
 /// silently run the full sweep.
-inline void init(int argc, char** argv) {
+inline void init(int argc, char** argv, Parallel parallel = Parallel::kUnsupported) {
   detail::JsonCapture& c = detail::capture();
   c.benchmark =
       argc > 0 ? std::filesystem::path(argv[0]).filename().string() : "bench";
+  const auto usage = [&]() {
+    std::cerr << "usage: " << c.benchmark << " [--json <path>]"
+              << (parallel == Parallel::kCells ? " [--jobs <N>]" : "") << "\n";
+    std::exit(2);
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json" && i + 1 < argc) {
       c.path = argv[++i];
+    } else if (arg == "--jobs" && parallel == Parallel::kCells && i + 1 < argc) {
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 1 || n > 1024) usage();
+      detail::jobs_store() = static_cast<int>(n);
     } else {
-      std::cerr << "usage: " << c.benchmark << " [--json <path>]\n";
-      std::exit(2);
+      usage();
     }
   }
   if (!c.path.empty()) std::atexit(detail::write_json_capture);

@@ -12,6 +12,7 @@
 // scale; ~75% efficiency at 1,024 GPUs on Alps/Leonardo, slightly lower on
 // LUMI.
 #include "bench_common.hpp"
+#include "gpucomm/harness/parallel.hpp"
 #include "gpucomm/scale/scale_model.hpp"
 
 using namespace gpucomm;
@@ -43,26 +44,57 @@ double exact_goodput(const SystemConfig& cfg, Library lib, int gpus) {
 
 }  // namespace
 
+/// NCCL/RCCL alltoall hangs at the paper's reported rank counts; those rows
+/// are reported as "stall" without simulating.
+bool stalls(const SystemConfig& cfg, Library lib, int gpus) {
+  return lib == Library::kCcl && cfg.ccl.alltoall_stall_ranks > 0 &&
+         gpus >= cfg.ccl.alltoall_stall_ranks;
+}
+
 int main(int argc, char** argv) {
-  gpucomm::bench::init(argc, argv);
+  gpucomm::bench::init(argc, argv, gpucomm::bench::Parallel::kCells);
   header("Fig. 9", "2 MiB alltoall scalability (per-GPU goodput, Gb/s)");
 
-  for (const SystemConfig& cfg : all_systems()) {
+  // Exact-sim points are independent deterministic simulations: run them as
+  // cells on the --jobs worker pool (serial when absent) and consume in the
+  // same canonical order below, so the tables are byte-identical for any
+  // worker count (docs/PERFORMANCE.md).
+  const std::vector<SystemConfig> systems = all_systems();
+  struct Cell {
+    const SystemConfig* cfg;
+    Library lib;
+    int gpus;
+  };
+  std::vector<Cell> cells;
+  for (const SystemConfig& cfg : systems) {
+    for (int gpus = cfg.gpus_per_node; gpus <= kExactLimitGpus; gpus *= 2) {
+      for (const Library lib : {Library::kCcl, Library::kMpi}) {
+        if (gpus <= system_cap(cfg, lib) && !stalls(cfg, lib, gpus)) {
+          cells.push_back({&cfg, lib, gpus});
+        }
+      }
+    }
+  }
+  std::vector<double> exact(cells.size());
+  run_cells(std::max(1, gpucomm::bench::jobs()), cells.size(), [&](std::size_t i) {
+    exact[i] = exact_goodput(*cells[i].cfg, cells[i].lib, cells[i].gpus);
+  });
+
+  std::size_t next_cell = 0;
+  for (const SystemConfig& cfg : systems) {
     std::cout << "\n--- " << cfg.name << " (asymptotic expected "
               << fmt(cfg.nic_bw_per_gpu / 1e9, 0) << " Gb/s per GPU) ---\n";
     Table t({"gpus", "library", "goodput_gbps", "source"});
     for (int gpus = cfg.gpus_per_node; gpus <= 4096; gpus *= 2) {
       for (const Library lib : {Library::kCcl, Library::kMpi}) {
         if (gpus > system_cap(cfg, lib)) continue;
-        const bool stalled = lib == Library::kCcl && cfg.ccl.alltoall_stall_ranks > 0 &&
-                             gpus >= cfg.ccl.alltoall_stall_ranks;
-        if (stalled) {
+        if (stalls(cfg, lib, gpus)) {
           t.add_row({std::to_string(gpus), to_string(lib), "stall", "benchmark hang"});
           continue;
         }
         if (gpus <= kExactLimitGpus) {
-          t.add_row({std::to_string(gpus), to_string(lib),
-                     fmt(exact_goodput(cfg, lib, gpus), 2), "exact-sim"});
+          t.add_row({std::to_string(gpus), to_string(lib), fmt(exact[next_cell++], 2),
+                     "exact-sim"});
         } else {
           const ScaleResult r = alltoall_at_scale(cfg, lib, kBuffer, gpus);
           t.add_row({std::to_string(gpus), to_string(lib), fmt(r.goodput_gbps, 2), "model"});

@@ -5,6 +5,7 @@
 // (host-staged allreduce) is dramatically low and flat; *CCL shows a sharp
 // drop from 256 to 512 GPUs on Alps and LUMI (Sec. V-D).
 #include "bench_common.hpp"
+#include "gpucomm/harness/parallel.hpp"
 #include "gpucomm/scale/scale_model.hpp"
 
 using namespace gpucomm;
@@ -36,18 +37,42 @@ double exact_goodput(const SystemConfig& cfg, Library lib, int gpus) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  gpucomm::bench::init(argc, argv);
+  gpucomm::bench::init(argc, argv, gpucomm::bench::Parallel::kCells);
   header("Fig. 10", "1 GiB allreduce scalability (per-GPU goodput, Gb/s)");
 
-  for (const SystemConfig& cfg : all_systems()) {
+  // Each exact-sim point is an independent deterministic simulation: collect
+  // them as cells, run on the --jobs worker pool (serial when absent), and
+  // consume in the same canonical order below — the tables are byte-identical
+  // for any worker count (docs/PERFORMANCE.md).
+  const std::vector<SystemConfig> systems = all_systems();
+  struct Cell {
+    const SystemConfig* cfg;
+    Library lib;
+    int gpus;
+  };
+  std::vector<Cell> cells;
+  for (const SystemConfig& cfg : systems) {
+    for (int gpus = cfg.gpus_per_node; gpus <= kExactLimitGpus; gpus *= 2) {
+      for (const Library lib : {Library::kCcl, Library::kMpi}) {
+        if (gpus <= system_cap(cfg, lib)) cells.push_back({&cfg, lib, gpus});
+      }
+    }
+  }
+  std::vector<double> exact(cells.size());
+  run_cells(std::max(1, gpucomm::bench::jobs()), cells.size(), [&](std::size_t i) {
+    exact[i] = exact_goodput(*cells[i].cfg, cells[i].lib, cells[i].gpus);
+  });
+
+  std::size_t next_cell = 0;
+  for (const SystemConfig& cfg : systems) {
     std::cout << "\n--- " << cfg.name << " ---\n";
     Table t({"gpus", "library", "goodput_gbps", "source"});
     for (int gpus = cfg.gpus_per_node; gpus <= 4096; gpus *= 2) {
       for (const Library lib : {Library::kCcl, Library::kMpi}) {
         if (gpus > system_cap(cfg, lib)) continue;
         if (gpus <= kExactLimitGpus) {
-          t.add_row({std::to_string(gpus), to_string(lib),
-                     fmt(exact_goodput(cfg, lib, gpus), 2), "exact-sim"});
+          t.add_row({std::to_string(gpus), to_string(lib), fmt(exact[next_cell++], 2),
+                     "exact-sim"});
         } else {
           const ScaleResult r = allreduce_at_scale(cfg, lib, kBuffer, gpus);
           t.add_row({std::to_string(gpus), to_string(lib), fmt(r.goodput_gbps, 2), "model"});

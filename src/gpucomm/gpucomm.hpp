@@ -21,6 +21,7 @@
 #include "gpucomm/fault/fault_injector.hpp"
 #include "gpucomm/fault/fault_schedule.hpp"
 #include "gpucomm/harness/cli_args.hpp"
+#include "gpucomm/harness/parallel.hpp"
 #include "gpucomm/harness/runner.hpp"
 #include "gpucomm/harness/stats.hpp"
 #include "gpucomm/harness/table.hpp"

@@ -140,11 +140,26 @@ std::optional<CliArgs> parse_cli(int argc, const char* const* argv, std::string&
         return fail(flag + " requires a non-negative integer");
       }
       a.seed = static_cast<std::uint64_t>(n);
+    } else if (flag == "--jobs") {
+      if (!need(v) || !parse_int(v, 1, 1024, n)) {
+        return fail(flag + " requires a worker count in [1, 1024]");
+      }
+      a.jobs = static_cast<int>(n);
+      a.jobs_given = true;
     } else {
       return fail("unknown flag '" + flag + "'");
     }
   }
   if (a.min_bytes > a.max_bytes) return fail("--min exceeds --max");
+  // Cell mode runs every (size, rep) on its own cluster; flags that hold
+  // whole-run state on one cluster (telemetry sinks) or replay events at
+  // absolute engine times (fault schedules) have no per-cell meaning.
+  if (a.jobs_given && (!a.trace_path.empty() || a.counters || a.profile ||
+                       !a.timeseries_path.empty() || !a.faults.empty())) {
+    return fail(
+        "--jobs is incompatible with whole-run state "
+        "(--trace/--counters/--profile/--timeseries/--faults)");
+  }
   return a;
 }
 

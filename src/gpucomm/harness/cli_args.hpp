@@ -49,6 +49,17 @@ struct CliArgs {
   int bucket_us = 50;
   /// Cluster RNG seed (noise field); the default matches ClusterOptions.
   std::uint64_t seed = 42;
+  /// Worker count for the deterministic cell harness (harness/parallel.hpp).
+  /// Only meaningful when jobs_given: --jobs switches the driver to cell
+  /// mode, where every (size, rep) is an independent simulation with a
+  /// derived seed and the output is byte-identical for any N >= 1. Without
+  /// the flag the driver keeps the coupled serial run (one cluster, one
+  /// noise stream across the whole sweep). Rejected at parse time together
+  /// with flags that accumulate whole-run state on a single cluster
+  /// (--trace/--counters/--profile/--timeseries) or replay absolute-time
+  /// events (--faults).
+  int jobs = 1;
+  bool jobs_given = false;
   bool help = false;  // --help/-h seen; caller prints usage, exits 0
 };
 

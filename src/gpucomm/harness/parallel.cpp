@@ -1,0 +1,99 @@
+#include "gpucomm/harness/parallel.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace gpucomm {
+
+std::uint64_t cell_seed(std::uint64_t base_seed, std::uint64_t size_index,
+                        std::uint64_t rep) {
+  // splitmix64 finalizer over the mixed coordinates; the odd multipliers
+  // keep (seed, size, rep) permutations from colliding.
+  std::uint64_t x = base_seed;
+  x += 0x9e3779b97f4a7c15ull * (size_index + 1);
+  x += 0xbf58476d1ce4e5b9ull * (rep + 1);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  // 0 would be remapped by Rng's constructor; keep the derived stream
+  // distinct anyway.
+  return x != 0 ? x : 0x9e3779b97f4a7c15ull;
+}
+
+void run_cells(int jobs, std::size_t n, const std::function<void(std::size_t)>& cell) {
+  if (n == 0) return;
+  std::mutex error_mu;
+  std::exception_ptr error;
+  if (jobs <= 1) {
+    // Inline, no thread machinery — but the same drain semantics as the
+    // pool: every cell runs, the first failure is rethrown at the end.
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        cell(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        cell(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  const std::size_t workers = std::min<std::size_t>(static_cast<std::size_t>(jobs), n);
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+std::vector<Samples> run_cell_sweep(
+    std::size_t num_sizes, const std::function<int(std::size_t)>& reps_for, int jobs,
+    const std::function<CellResult(std::size_t size_idx, int rep)>& cell) {
+  // Flatten (size, rep) into one cell list with per-size result slots
+  // preallocated, so workers write disjoint memory and the merge below is a
+  // deterministic in-order read.
+  struct CellCoord {
+    std::size_t size_idx;
+    int rep;
+  };
+  std::vector<CellCoord> coords;
+  std::vector<std::vector<CellResult>> slots(num_sizes);
+  for (std::size_t s = 0; s < num_sizes; ++s) {
+    const int reps = reps_for(s);
+    slots[s].resize(static_cast<std::size_t>(reps > 0 ? reps : 0));
+    for (int r = 0; r < reps; ++r) coords.push_back({s, r});
+  }
+  run_cells(jobs, coords.size(), [&](std::size_t i) {
+    const CellCoord& c = coords[i];
+    slots[c.size_idx][static_cast<std::size_t>(c.rep)] = cell(c.size_idx, c.rep);
+  });
+  std::vector<Samples> merged(num_sizes);
+  for (std::size_t s = 0; s < num_sizes; ++s) {
+    for (const CellResult& r : slots[s]) {
+      if (r.failed) {
+        merged[s].aborted_us.push_back(r.us);
+      } else {
+        merged[s].us.push_back(r.us);
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace gpucomm

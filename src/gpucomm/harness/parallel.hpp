@@ -1,0 +1,53 @@
+// Deterministic parallel cell harness.
+//
+// A benchmark sweep decomposes into cells — independent simulations such as
+// one (transfer size, repetition) pair, or one (system, scale, library)
+// point of a scalability figure. Each cell builds its own Engine/Cluster
+// from a seed derived purely from the cell's coordinates, so its result is a
+// function of (base seed, cell index) and nothing else: no noise-RNG or
+// adaptive-routing draw leaks between cells. Results are merged in
+// canonical cell order, which makes the output byte-identical for any
+// worker count — `--jobs 4` and `--jobs 1` produce the same tables,
+// percentiles, and RunManifest JSON (docs/PERFORMANCE.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gpucomm/harness/runner.hpp"
+
+namespace gpucomm {
+
+/// Seed for the independent simulation of cell (size_index, rep), derived
+/// from the experiment seed by a splitmix64-style mix so neighbouring cells
+/// get uncorrelated streams. Pure function: reordering or parallelizing
+/// cells cannot change it.
+std::uint64_t cell_seed(std::uint64_t base_seed, std::uint64_t size_index,
+                        std::uint64_t rep);
+
+/// Run cells 0..n-1, each via `cell(i)`, on `jobs` worker threads (jobs <= 1
+/// runs inline on the caller's thread with no thread machinery at all).
+/// `cell` must only touch state owned by its own cell — the gpucomm library
+/// keeps all mutable state inside Cluster/Engine, so building one per cell
+/// satisfies this. Cells may complete in any order; callers must write
+/// results into per-cell slots allocated up front. The first exception
+/// thrown by a cell is rethrown on the calling thread after all workers
+/// finish.
+void run_cells(int jobs, std::size_t n, const std::function<void(std::size_t)>& cell);
+
+/// One measured repetition per cell of a (size x repetition) sweep, merged
+/// into per-size Samples in canonical (size, rep) order regardless of the
+/// worker count. `cell(size_idx, rep)` runs one independent simulation
+/// (seed it with cell_seed) and returns the measured duration in
+/// microseconds plus whether the iteration aborted (failed iterations land
+/// in Samples::aborted_us, as in run_iterations).
+struct CellResult {
+  double us = 0;
+  bool failed = false;
+};
+std::vector<Samples> run_cell_sweep(
+    std::size_t num_sizes, const std::function<int(std::size_t)>& reps_for, int jobs,
+    const std::function<CellResult(std::size_t size_idx, int rep)>& cell);
+
+}  // namespace gpucomm

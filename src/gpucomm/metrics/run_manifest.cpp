@@ -92,6 +92,7 @@ void write_manifest(std::ostream& os, const RunManifest& m, const ScheduleProfil
   w.kv("iters", m.iters);
   w.kv("tuned", m.tuned);
   w.kv("seed", m.seed);
+  w.kv("harness", m.harness);
   if (m.faults.empty()) {
     w.key("faults").null();
   } else {

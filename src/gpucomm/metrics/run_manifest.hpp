@@ -49,6 +49,11 @@ struct RunManifest {
   std::uint64_t seed = 0;
   /// Fault schedule spec/path; empty = no faults injected.
   std::string faults;
+  /// Sampling semantics: "coupled" (one cluster, one noise stream across the
+  /// sweep) or "cells" (--jobs: every (size, rep) an independent simulation
+  /// with a derived seed). The worker count itself is deliberately not
+  /// recorded — cell-mode manifests are byte-identical for any --jobs N.
+  std::string harness = "coupled";
 
   /// Identity of one planned schedule (one entry per concurrent schedule).
   struct ScheduleId {

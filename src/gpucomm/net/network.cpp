@@ -1,6 +1,7 @@
 #include "gpucomm/net/network.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -12,6 +13,10 @@ namespace gpucomm {
 namespace {
 // Residuals below this are treated as complete (guards FP rounding).
 constexpr double kEpsilonBits = 1e-6;
+// Separates flows inside the allocation key. Link ids are < link_count and
+// the double bit patterns in the key come from finite capacities, so the
+// sentinel cannot collide with a payload word.
+constexpr std::uint64_t kKeyDelimiter = UINT64_MAX;
 }  // namespace
 
 Network::Network(Engine& engine, const Graph& graph)
@@ -69,16 +74,20 @@ FlowId Network::start_flow(FlowSpec spec, std::function<void(SimTime)> on_delive
   }
 
   advance_residuals();
+  flow_index_[id] = active_.size();
   active_.push_back(std::move(flow));
   mark_dirty();
   return id;
 }
 
 Bandwidth Network::flow_rate(FlowId id) const {
-  for (const ActiveFlow& f : active_) {
-    if (f.id == id) return f.rate;
-  }
-  return 0;
+  const auto it = flow_index_.find(id);
+  return it != flow_index_.end() ? active_[it->second].rate : 0;
+}
+
+void Network::reindex_flows() {
+  flow_index_.clear();
+  for (std::size_t i = 0; i < active_.size(); ++i) flow_index_[active_[i].id] = i;
 }
 
 void Network::mark_dirty() {
@@ -109,30 +118,53 @@ void Network::reallocate_and_schedule() {
   }
   if (active_.empty()) return;
 
-  // The scratch problem's capacity table is sized once; only entries for
-  // links actually crossed by active flows are (re)written, and the solver
-  // reads exactly those, so no full reset is needed per reallocation.
-  problem_.capacity.resize(graph_.link_count(), 0.0);
-  problem_.flows.clear();
-  problem_.flows.reserve(active_.size());
-  problem_.caps.clear();
-  problem_.caps.reserve(active_.size());
+  // The scratch capacity table is sized once; only entries for links
+  // actually crossed by active flows are (re)written, and the solver reads
+  // exactly those, so no full reset is needed per reallocation. While the
+  // problem is assembled, the allocation key records the exact solver input
+  // (routes, vl, caps, per-occurrence effective capacities, congestion
+  // config, whether a trace is being filled).
+  capacity_.resize(graph_.link_count(), 0.0);
+  routes_.clear();
+  caps_.clear();
+  alloc_key_.clear();
+  alloc_key_.push_back(active_.size());
+  alloc_key_.push_back(telemetry_ != nullptr ? 1 : 0);
+  alloc_key_.push_back(static_cast<std::uint64_t>(congestion_.flow_threshold));
+  alloc_key_.push_back(std::bit_cast<std::uint64_t>(congestion_.rate_factor));
   // When flows on different VLs share a link each sees the full
   // (noise-adjusted) capacity in the problem, and the max-min allocator
   // shares it across all of them — a work-conserving approximation of
   // round-robin VL arbitration.
   for (const ActiveFlow& f : active_) {
     for (const LinkId l : f.route) {
-      problem_.capacity[l] = effective_capacity(l, f.vl);
+      const Bandwidth cap = effective_capacity(l, f.vl);
+      capacity_[l] = cap;
+      alloc_key_.push_back(l);
+      alloc_key_.push_back(std::bit_cast<std::uint64_t>(cap));
     }
-    problem_.flows.push_back(f.route);
-    problem_.caps.push_back(f.rate_cap > 0 ? f.rate_cap
-                                           : std::numeric_limits<double>::infinity());
+    const Bandwidth flow_cap =
+        f.rate_cap > 0 ? f.rate_cap : std::numeric_limits<double>::infinity();
+    alloc_key_.push_back(kKeyDelimiter);
+    alloc_key_.push_back(static_cast<std::uint64_t>(f.vl));
+    alloc_key_.push_back(std::bit_cast<std::uint64_t>(flow_cap));
+    routes_.push_back(&f.route);
+    caps_.push_back(flow_cap);
   }
-  const std::vector<Bandwidth> rates =
-      maxmin_fair_rates(problem_, telemetry_ != nullptr ? &trace_ : nullptr);
-  for (std::size_t i = 0; i < active_.size(); ++i) active_[i].rate = rates[i];
-  if (congestion_.rate_factor < 1.0) apply_congestion(rates);
+  if (have_alloc_ && alloc_key_ == last_alloc_key_) {
+    // Identical problem (e.g. a link flap off every active route): reuse the
+    // cached post-congestion rates; only the completion event below changes.
+    for (std::size_t i = 0; i < active_.size(); ++i) active_[i].rate = last_rates_[i];
+  } else {
+    const std::vector<Bandwidth>& rates =
+        solver_.solve(capacity_, routes_, caps_, telemetry_ != nullptr ? &trace_ : nullptr);
+    for (std::size_t i = 0; i < active_.size(); ++i) active_[i].rate = rates[i];
+    if (congestion_.rate_factor < 1.0) apply_congestion(rates);
+    last_alloc_key_.swap(alloc_key_);
+    last_rates_.resize(active_.size());
+    for (std::size_t i = 0; i < active_.size(); ++i) last_rates_[i] = active_[i].rate;
+    have_alloc_ = true;
+  }
   if (telemetry_ != nullptr) emit_allocation();
   SimTime earliest = SimTime::infinity();
   for (std::size_t i = 0; i < active_.size(); ++i) {
@@ -180,19 +212,33 @@ void Network::apply_congestion(const std::vector<Bandwidth>& rates) {
   // it. The backlog propagates upstream through the buffers of every switch
   // the congesting flows traverse (credit/PFC backpressure), so flows of the
   // same VL crossing any of those switches lose rate.
+  // One pass over the allocation builds, per (link, vl): the flow count, the
+  // allocated-rate sum, and an intrusive list of the flows crossing it; plus
+  // each flow's route origin (the source device of its first hop). Candidate
+  // links then consult only their own flows instead of rescanning every
+  // active flow per congested link.
   struct LinkLoad {
     int count = 0;
     double sum = 0;
+    int head = -1;  // index into entry_flow/entry_next, -1 terminates
   };
   std::unordered_map<std::uint64_t, LinkLoad> load;  // key = link << 8 | vl
   const auto key = [](LinkId l, int vl) {
     return (static_cast<std::uint64_t>(l) << 8) | static_cast<std::uint64_t>(vl & 0xff);
   };
+  std::vector<std::uint32_t> entry_flow;  // one entry per (flow, route link)
+  std::vector<int> entry_next;
+  std::vector<DeviceId> origin(active_.size(), 0);  // unread for empty routes
   for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i].route.empty()) continue;
+    origin[i] = graph_.link(active_[i].route.front()).src;
     for (const LinkId l : active_[i].route) {
       LinkLoad& ll = load[key(l, active_[i].vl)];
       ++ll.count;
       ll.sum += rates[i];
+      entry_flow.push_back(static_cast<std::uint32_t>(i));
+      entry_next.push_back(ll.head);
+      ll.head = static_cast<int>(entry_flow.size()) - 1;
     }
   }
   // A candidate link only counts as an incast if the converging flows come
@@ -206,16 +252,8 @@ void Network::apply_congestion(const std::vector<Bandwidth>& rates) {
     const int vl = static_cast<int>(k & 0xff);
     if (ll.sum < 0.98 * effective_capacity(l, vl)) continue;
     std::unordered_map<DeviceId, bool> origins;
-    for (const ActiveFlow& f : active_) {
-      if (f.vl != vl || f.route.empty()) continue;
-      bool uses = false;
-      for (const LinkId fl : f.route) {
-        if (fl == l) {
-          uses = true;
-          break;
-        }
-      }
-      if (uses) origins[graph_.link(f.route.front()).src] = true;
+    for (int e = ll.head; e != -1; e = entry_next[e]) {
+      origins[origin[entry_flow[e]]] = true;
     }
     if (static_cast<int>(origins.size()) < congestion_.flow_threshold) continue;
     congested_link[k] = true;
@@ -261,15 +299,22 @@ void Network::apply_congestion(const std::vector<Bandwidth>& rates) {
 
 void Network::on_completion_event() {
   advance_residuals();
-  // Complete every flow that has fully serialized (ties batch here).
+  // Complete every flow that has fully serialized (ties batch here). One
+  // stable partition pass: survivors slide down in order, instead of an
+  // O(n) vector::erase per completed flow.
   std::vector<ActiveFlow> done;
-  for (auto it = active_.begin(); it != active_.end();) {
-    if (it->residual_bits <= kEpsilonBits) {
-      done.push_back(std::move(*it));
-      it = active_.erase(it);
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i].residual_bits <= kEpsilonBits) {
+      done.push_back(std::move(active_[i]));
     } else {
-      ++it;
+      if (keep != i) active_[keep] = std::move(active_[i]);
+      ++keep;
     }
+  }
+  if (!done.empty()) {
+    active_.resize(keep);
+    reindex_flows();
   }
   for (ActiveFlow& f : done) deliver(std::move(f));
   mark_dirty();
@@ -279,13 +324,18 @@ void Network::on_link_state_change() {
   if (faults_ == nullptr) return;
   advance_residuals();
   std::vector<ActiveFlow> dead;
-  for (auto it = active_.begin(); it != active_.end();) {
-    if (route_has_down_link(it->route)) {
-      dead.push_back(std::move(*it));
-      it = active_.erase(it);
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (route_has_down_link(active_[i].route)) {
+      dead.push_back(std::move(active_[i]));
     } else {
-      ++it;
+      if (keep != i) active_[keep] = std::move(active_[i]);
+      ++keep;
     }
+  }
+  if (!dead.empty()) {
+    active_.resize(keep);
+    reindex_flows();
   }
   for (ActiveFlow& f : dead) interrupt(std::move(f));
   // Survivors are re-rated against the new capacities (degraded or restored

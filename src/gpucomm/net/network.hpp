@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "gpucomm/fault/fault_model.hpp"
@@ -105,7 +106,8 @@ class Network {
 
   std::size_t active_flows() const { return active_.size(); }
 
-  /// Current allocated rate of a flow (0 if unknown/finished). Test hook.
+  /// Current allocated rate of a flow (0 if unknown/finished). O(1) via the
+  /// FlowId index, so per-flow attribution on large runs stays linear.
   Bandwidth flow_rate(FlowId id) const;
 
   /// Bits delivered since construction (all flows). Test hook.
@@ -146,6 +148,8 @@ class Network {
 
   void mark_dirty();
   void reallocate_and_schedule();
+  /// Rebuild flow_index_ after flows left active_ (erase keeps it in sync).
+  void reindex_flows();
   /// Emit flow_rate / flow_throttled / link_saturated for the allocation just
   /// computed. Only called when a telemetry sink is attached.
   void emit_allocation();
@@ -168,7 +172,26 @@ class Network {
   FairshareTrace trace_;  // scratch, only filled when telemetry_ is set
 
   std::vector<ActiveFlow> active_;
-  FairshareProblem problem_;  // scratch, reused across reallocations
+  /// FlowId -> index in active_, kept in sync on insert/erase so flow_rate
+  /// is O(1) instead of an O(n) scan per query.
+  std::unordered_map<FlowId, std::size_t> flow_index_;
+  FairshareSolver solver_;
+  // Reallocation scratch, reused so the hot path never allocates: the
+  // LinkId-indexed capacity table (only entries for links crossed by active
+  // flows are rewritten and read), route pointers, and per-flow caps.
+  std::vector<Bandwidth> capacity_;
+  std::vector<const Route*> routes_;
+  std::vector<Bandwidth> caps_;
+  // Epoch cache: the exact solver input of the last allocation (flows'
+  // routes/vl/cap plus the effective capacity of every used link, encoded as
+  // an unambiguous word sequence) and the post-congestion rates it produced.
+  // When a reallocation sees the identical input — e.g. a fault flipped a
+  // link no active flow crosses — the solve and congestion passes are
+  // skipped and the cached rates are reapplied; only the completion event is
+  // rescheduled. Exact comparison, so a stale hit is impossible.
+  std::vector<std::uint64_t> alloc_key_, last_alloc_key_;
+  std::vector<Bandwidth> last_rates_;
+  bool have_alloc_ = false;
   SwitchCongestion congestion_;
   FlowId next_id_ = 1;
   SimTime last_advance_;

@@ -122,6 +122,46 @@ TEST(CliArgs, MinAboveMaxFails) {
   EXPECT_NE(err.find("--min"), std::string::npos);
 }
 
+TEST(CliArgs, JobsRoundTripsAndDefaultsToCoupled) {
+  std::string err;
+  const auto def = parse({}, err);
+  ASSERT_TRUE(def.has_value());
+  EXPECT_EQ(def->jobs, 1);
+  EXPECT_FALSE(def->jobs_given);
+
+  const auto a = parse({"--jobs", "4"}, err);
+  ASSERT_TRUE(a.has_value()) << err;
+  EXPECT_EQ(a->jobs, 4);
+  EXPECT_TRUE(a->jobs_given);
+
+  // --jobs 1 still selects the cell harness: the flag's presence, not its
+  // value, is what switches sampling semantics.
+  const auto one = parse({"--jobs", "1"}, err);
+  ASSERT_TRUE(one.has_value()) << err;
+  EXPECT_TRUE(one->jobs_given);
+}
+
+TEST(CliArgs, JobsRejectsBadValues) {
+  std::string err;
+  EXPECT_FALSE(parse({"--jobs"}, err).has_value());
+  EXPECT_FALSE(parse({"--jobs", "0"}, err).has_value());
+  EXPECT_FALSE(parse({"--jobs", "-2"}, err).has_value());
+  EXPECT_FALSE(parse({"--jobs", "abc"}, err).has_value());
+  EXPECT_FALSE(parse({"--jobs", "1025"}, err).has_value());
+}
+
+TEST(CliArgs, JobsRejectsWholeRunStateFlags) {
+  std::string err;
+  EXPECT_FALSE(parse({"--jobs", "4", "--trace", "t.json"}, err).has_value());
+  EXPECT_NE(err.find("--jobs"), std::string::npos);
+  EXPECT_FALSE(parse({"--jobs", "4", "--counters"}, err).has_value());
+  EXPECT_FALSE(parse({"--jobs", "4", "--profile"}, err).has_value());
+  EXPECT_FALSE(parse({"--jobs", "4", "--timeseries", "ts.csv"}, err).has_value());
+  EXPECT_FALSE(parse({"--jobs", "4", "--faults", "at 1us down link 4"}, err).has_value());
+  // --metrics-out is fine: the manifest is merged from cell results.
+  EXPECT_TRUE(parse({"--jobs", "4", "--metrics-out", "m.json"}, err).has_value()) << err;
+}
+
 TEST(CliArgs, ErrorMessageIsOneLine) {
   std::string err;
   EXPECT_FALSE(parse({"--gpus", "abc"}, err).has_value());

@@ -1,0 +1,129 @@
+// The deterministic cell harness (harness/parallel.hpp): results must be a
+// pure function of the cell coordinates — independent of the worker count,
+// scheduling order, or which thread ran a cell — so `--jobs N` is
+// bit-invisible in every table and manifest.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+
+#include "gpucomm/harness/parallel.hpp"
+#include "gpucomm/metrics/run_manifest.hpp"
+#include "gpucomm/net/network.hpp"
+
+namespace gpucomm {
+namespace {
+
+TEST(CellSeed, PureAndCollisionFreeAcrossCoordinates) {
+  EXPECT_EQ(cell_seed(42, 3, 7), cell_seed(42, 3, 7));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base : {0ull, 42ull, 1ull << 63}) {
+    for (std::uint64_t s = 0; s < 16; ++s) {
+      for (std::uint64_t r = 0; r < 16; ++r) {
+        const std::uint64_t seed = cell_seed(base, s, r);
+        EXPECT_NE(seed, 0u);  // 0 would be remapped by Rng
+        EXPECT_TRUE(seen.insert(seed).second)
+            << "collision at base=" << base << " s=" << s << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(RunCells, VisitsEveryCellExactlyOnce) {
+  for (const int jobs : {1, 4, 64}) {
+    std::vector<std::atomic<int>> visits(100);
+    run_cells(jobs, visits.size(), [&](std::size_t i) { visits[i].fetch_add(1); });
+    for (const std::atomic<int>& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(RunCells, ZeroCellsIsANoOp) {
+  run_cells(4, 0, [](std::size_t) { FAIL() << "cell called"; });
+}
+
+TEST(RunCells, FirstExceptionPropagatesAfterAllWorkersFinish) {
+  for (const int jobs : {1, 4}) {
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        run_cells(jobs, 8,
+                  [&](std::size_t i) {
+                    ran.fetch_add(1);
+                    if (i == 3) throw std::runtime_error("cell 3 failed");
+                  }),
+        std::runtime_error);
+    // Remaining cells still ran; the pool does not abandon them mid-flight.
+    EXPECT_EQ(ran.load(), 8);
+  }
+}
+
+/// One real simulation per cell: a flow whose size and link depend on the
+/// cell coordinates, on a Network built from the cell's derived seed — the
+/// same shape gpucomm_cli's --jobs mode runs per (size, rep).
+CellResult simulate_cell(std::size_t size_idx, int rep) {
+  Graph g;
+  const DeviceId a = g.add_device({DeviceKind::kGpu, 0, 0, "a"});
+  const DeviceId b = g.add_device({DeviceKind::kGpu, 0, 1, "b"});
+  const LinkId ab = g.add_duplex_link(a, b, gbps(100), microseconds(1), LinkType::kNvLink);
+  Engine engine;
+  Network net(engine, g);
+  const Bytes bytes = Bytes{1} << (14 + 2 * size_idx);
+  // The derived seed perturbs the workload so every cell is distinguishable.
+  const Bytes extra = cell_seed(42, size_idx, static_cast<std::uint64_t>(rep)) % 4096;
+  SimTime done = SimTime::infinity();
+  net.start_flow({{ab}, bytes + extra, 0, 0}, [&](SimTime t) { done = t; });
+  engine.run();
+  return {done.micros(), false};
+}
+
+TEST(RunCellSweep, MergeIsCanonicalForAnyWorkerCount) {
+  const auto reps_for = [](std::size_t s) { return s == 1 ? 0 : 5; };  // a stalled size
+  const auto serial = run_cell_sweep(4, reps_for, 1, simulate_cell);
+  ASSERT_EQ(serial.size(), 4u);
+  EXPECT_TRUE(serial[1].us.empty());
+  for (const int jobs : {2, 4, 16}) {
+    const auto parallel = run_cell_sweep(4, reps_for, jobs, simulate_cell);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t s = 0; s < serial.size(); ++s) {
+      EXPECT_EQ(parallel[s].us, serial[s].us) << "size " << s << ", jobs " << jobs;
+      EXPECT_EQ(parallel[s].aborted_us, serial[s].aborted_us);
+    }
+  }
+}
+
+TEST(RunCellSweep, FailedCellsLandInAbortedSamples) {
+  const auto sweep = run_cell_sweep(
+      1, [](std::size_t) { return 4; }, 2,
+      [](std::size_t, int rep) { return CellResult{static_cast<double>(rep), rep % 2 == 1}; });
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_EQ(sweep[0].us, (std::vector<double>{0.0, 2.0}));
+  EXPECT_EQ(sweep[0].aborted_us, (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(RunCellSweep, ManifestIsByteIdenticalForAnyWorkerCount) {
+  const auto manifest_for = [](int jobs) {
+    const auto sweep =
+        run_cell_sweep(3, [](std::size_t) { return 6; }, jobs, simulate_cell);
+    metrics::RunManifest m;
+    m.version = "test";
+    m.harness = "cells";
+    for (std::size_t s = 0; s < sweep.size(); ++s) {
+      metrics::RunManifest::Result r;
+      r.bytes = Bytes{1} << (14 + 2 * s);
+      r.iterations = 6;
+      r.latency_us = sweep[s].summary();
+      r.goodput_gbps = sweep[s].goodput_summary(r.bytes);
+      m.results.push_back(r);
+    }
+    std::ostringstream os;
+    metrics::write_manifest(os, m);
+    return os.str();
+  };
+  const std::string j1 = manifest_for(1);
+  EXPECT_FALSE(j1.empty());
+  EXPECT_EQ(manifest_for(4), j1);
+  EXPECT_EQ(manifest_for(16), j1);
+}
+
+}  // namespace
+}  // namespace gpucomm

@@ -6,9 +6,10 @@
 //   gpucomm_cli --system leonardo --op allreduce --mechanism ccl
 //               --gpus 16 --min 1024 --max 1073741824 [--space host]
 //               [--untuned] [--sl N] [--placement packed|switches|groups]
-//               [--iters N] [--seed N] [--trace out.json] [--counters]
-//               [--profile] [--timeseries out.csv] [--bucket-us N]
-//               [--metrics-out out.json] [--dump-schedule] [--faults spec]
+//               [--iters N] [--seed N] [--jobs N] [--trace out.json]
+//               [--counters] [--profile] [--timeseries out.csv]
+//               [--bucket-us N] [--metrics-out out.json] [--dump-schedule]
+//               [--faults spec]
 //
 // Flags are validated strictly (harness/cli_args.hpp): a malformed value or
 // unknown name prints one line on stderr and exits with status 2.
@@ -32,6 +33,14 @@
 // fault/fault_schedule.hpp for the grammar). Iterations whose recovery
 // retries are exhausted count in the `fails` column instead of the stats.
 //
+// --jobs N switches the sweep to the deterministic cell harness
+// (docs/PERFORMANCE.md): every (size, rep) becomes an independent
+// simulation seeded from (--seed, size, rep) and the cells run on N worker
+// threads; the merged tables and manifest are byte-identical for any N.
+// Because each cell owns its cluster, --jobs is rejected together with the
+// whole-run telemetry flags and --faults. Without --jobs the classic
+// coupled serial run (one cluster, one noise stream) is kept.
+//
 // --dump-schedule prints, instead of timings, the Schedule IR the mechanism
 // would execute for the op at each size in the sweep — the output of the
 // same plan() the implementations run, so what you see is what is timed.
@@ -45,6 +54,7 @@
 #include <string>
 
 #include "gpucomm/gpucomm.hpp"
+#include "gpucomm/runtime/clock.hpp"
 
 using namespace gpucomm;
 
@@ -57,6 +67,13 @@ constexpr const char* kUsage =
     "  [--untuned] [--sl N]            default env / service level (virtual lane)\n"
     "  [--placement packed|switches|groups]  rank placement across the fabric\n"
     "  [--iters N] [--seed N]          iteration override / cluster RNG seed\n"
+    "  [--jobs N]                      deterministic cell harness: every\n"
+    "                                  (size, rep) is an independent simulation\n"
+    "                                  with a seed derived from (--seed, size,\n"
+    "                                  rep), run on N workers; output is byte-\n"
+    "                                  identical for any N (incompatible with\n"
+    "                                  --trace/--counters/--profile/\n"
+    "                                  --timeseries/--faults)\n"
     "  [--trace out.json]              Chrome-trace of every flow's lifecycle\n"
     "  [--counters]                    per-link / per-NIC utilization tables\n"
     "  [--profile]                     per-round critical-path breakdown and the\n"
@@ -111,6 +128,17 @@ CollectiveOp op_of(const std::string& name) {
   const auto it = kMap.find(name);
   if (it == kMap.end()) throw std::invalid_argument("unknown op: " + name);
   return it->second;
+}
+
+/// One timed iteration of the requested op on `comm`.
+SimTime run_op(Communicator& comm, const std::string& op, Bytes b) {
+  if (op == "pingpong") return SimTime{comm.time_pingpong(0, comm.size() - 1, b).ps / 2};
+  if (op == "alltoall") return comm.time_alltoall(b);
+  if (op == "allreduce") return comm.time_allreduce(b);
+  if (op == "broadcast") return comm.time_broadcast(0, b);
+  if (op == "allgather") return comm.time_allgather(b);
+  if (op == "reducescatter") return comm.time_reduce_scatter(b);
+  throw std::invalid_argument("unknown op: " + op);
 }
 
 /// Resolve --faults: a readable file is loaded as a schedule file; anything
@@ -204,7 +232,7 @@ int main(int argc, char** argv) {
     counters = std::make_unique<telemetry::CounterSet>(cluster.graph());
     sinks.add(counters.get());
   }
-  if (a.profile || !a.metrics_out.empty()) {
+  if (a.profile || (!a.metrics_out.empty() && !a.jobs_given)) {
     // Gated: enabled only for one representative iteration per size, so a
     // long sweep does not accumulate every warmup/measured iteration.
     profiler = std::make_unique<metrics::ScheduleProfiler>();
@@ -255,45 +283,78 @@ int main(int argc, char** argv) {
   manifest.seed = a.seed;
   manifest.faults = a.faults;
 
-  Table t({"size", "iters", "fails", "median_us", "mean_us", "p95_us", "goodput_gbps"});
+  manifest.harness = a.jobs_given ? "cells" : "coupled";
+
+  std::vector<Bytes> sizes;
+  std::vector<RunConfig> rcs;
+  std::vector<bool> stalled;
   for (Bytes b = a.min_bytes; b <= a.max_bytes; b *= 4) {
     RunConfig rc = run_config_for(b);
     if (a.iters > 0) rc.iterations = a.iters;
-    const auto iteration = [&]() -> SimTime {
-      if (a.op == "pingpong") return SimTime{comm->time_pingpong(0, comm->size() - 1, b).ps / 2};
-      if (a.op == "alltoall") return comm->time_alltoall(b);
-      if (a.op == "allreduce") return comm->time_allreduce(b);
-      if (a.op == "broadcast") return comm->time_broadcast(0, b);
-      if (a.op == "allgather") return comm->time_allgather(b);
-      if (a.op == "reducescatter") return comm->time_reduce_scatter(b);
-      throw std::invalid_argument("unknown op: " + a.op);
-    };
+    sizes.push_back(b);
+    rcs.push_back(rc);
+    stalled.push_back(a.op == "alltoall" && !comm->available(CollectiveOp::kAlltoall));
+  }
+
+  std::vector<Samples> samples(sizes.size());
+  if (a.jobs_given) {
+    // Deterministic cell harness: every (size, rep) runs as its own
+    // simulation seeded from (--seed, size, rep) on the worker pool. The
+    // merge order is canonical, so the rows and manifest below are
+    // byte-identical for any --jobs N.
+    const Mechanism mech = mechanism_of(a.mechanism);
+    samples = run_cell_sweep(
+        sizes.size(), [&](std::size_t s) { return stalled[s] ? 0 : rcs[s].iterations; },
+        a.jobs, [&](std::size_t s, int rep) -> CellResult {
+          ClusterOptions cell_copt = copt;
+          cell_copt.seed = cell_seed(a.seed, s, static_cast<std::uint64_t>(rep));
+          Cluster cell_cluster(cfg, cell_copt);
+          auto cell_comm =
+              build(mech, cell_cluster, first_n_gpus(cell_cluster, a.gpus), opt);
+          // Fresh draw of the interfering-traffic state, as run_iterations
+          // does before every iteration.
+          if (NoiseField* noise = cell_cluster.noise_field()) noise->resample();
+          const SimTime t = run_op(*cell_comm, a.op, sizes[s]);
+          const MeasurementClock clock(cell_cluster.config().timer_resolution);
+          return {clock.measure(SimTime::zero(), t).micros(), cell_comm->last_op_failed()};
+        });
+  } else {
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+      if (stalled[s]) continue;
+      const Bytes b = sizes[s];
+      samples[s] = run_iterations(
+          cluster, rcs[s], [&] { return run_op(*comm, a.op, b); },
+          [&] { return comm->last_op_failed(); });
+      if (profiler) {
+        // One extra (unmeasured) iteration per size with the profiler live:
+        // its spans/flows become the representative breakdown for this size.
+        profiler->set_enabled(true);
+        run_op(*comm, a.op, b);
+        profiler->set_enabled(false);
+      }
+    }
+  }
+
+  Table t({"size", "iters", "fails", "median_us", "mean_us", "p95_us", "goodput_gbps"});
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    const Bytes b = sizes[s];
     manifest.plans.push_back(metrics::plan_info(b, comm->plan(op_of(a.op), b)));
     metrics::RunManifest::Result result;
     result.bytes = b;
-    result.iterations = rc.iterations;
-    if ((a.op == "alltoall" && !comm->available(CollectiveOp::kAlltoall))) {
+    result.iterations = rcs[s].iterations;
+    if (stalled[s]) {
       t.add_row({format_bytes(b), "-", "-", "stall", "stall", "stall", "-"});
       result.stalled = true;
       manifest.results.push_back(result);
       continue;
     }
-    const Samples s =
-        run_iterations(cluster, rc, iteration, [&] { return comm->last_op_failed(); });
-    const Summary lat = s.summary();
-    const Summary gp = s.goodput_summary(b);
-    t.add_row({format_bytes(b), std::to_string(rc.iterations), std::to_string(lat.failed),
+    const Summary lat = samples[s].summary();
+    const Summary gp = samples[s].goodput_summary(b);
+    t.add_row({format_bytes(b), std::to_string(rcs[s].iterations), std::to_string(lat.failed),
                fmt(lat.median), fmt(lat.mean), fmt(lat.p95), fmt(gp.median, 1)});
     result.latency_us = lat;
     result.goodput_gbps = gp;
     manifest.results.push_back(result);
-    if (profiler) {
-      // One extra (unmeasured) iteration per size with the profiler live:
-      // its spans/flows become the representative breakdown for this size.
-      profiler->set_enabled(true);
-      iteration();
-      profiler->set_enabled(false);
-    }
   }
   t.print(std::cout);
 
