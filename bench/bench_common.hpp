@@ -17,6 +17,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -69,6 +70,10 @@ inline void write_json_capture() {
   w.begin_object();
   w.kv("benchmark", c.benchmark);
   w.kv("version", metrics::build_version());
+  // Host core count, so archived trend documents from different runner
+  // generations stay interpretable (a 1.0x pool speedup on a 1-CPU runner
+  // is expected, not a regression).
+  w.kv("host_cpus", static_cast<std::int64_t>(std::thread::hardware_concurrency()));
   w.key("tables").begin_array();
   for (const auto& [name, table] : c.tables) {
     w.begin_object();
@@ -104,28 +109,38 @@ inline int jobs() { return detail::jobs_store(); }
 
 /// Parse shared bench flags (call first in main). Recognizes
 /// `--json <path>` and — for benches declaring Parallel::kCells —
-/// `--jobs <N>`; anything else is a usage error so a typo does not
-/// silently run the full sweep.
+/// `--jobs <N>`. Strict in the cli::parse_cli style: an unknown flag, a
+/// missing value, or a malformed number prints one line naming the problem
+/// (plus the usage line) on stderr and exits with status 2, so a typo does
+/// not silently run the full sweep.
 inline void init(int argc, char** argv, Parallel parallel = Parallel::kUnsupported) {
   detail::JsonCapture& c = detail::capture();
   c.benchmark =
       argc > 0 ? std::filesystem::path(argv[0]).filename().string() : "bench";
-  const auto usage = [&]() {
-    std::cerr << "usage: " << c.benchmark << " [--json <path>]"
+  const auto fail = [&](const std::string& message) {
+    std::cerr << c.benchmark << ": " << message << "\n"
+              << "usage: " << c.benchmark << " [--json <path>]"
               << (parallel == Parallel::kCells ? " [--jobs <N>]" : "") << "\n";
     std::exit(2);
   };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--json" && i + 1 < argc) {
+    if (arg == "--json") {
+      if (i + 1 >= argc) fail("--json requires an output path");
       c.path = argv[++i];
-    } else if (arg == "--jobs" && parallel == Parallel::kCells && i + 1 < argc) {
+    } else if (arg == "--jobs") {
+      if (parallel != Parallel::kCells) {
+        fail("--jobs is not supported by this bench (its sweep is not cell-decomposable)");
+      }
+      if (i + 1 >= argc) fail("--jobs requires a worker count in [1, 1024]");
       char* end = nullptr;
       const long n = std::strtol(argv[++i], &end, 10);
-      if (end == argv[i] || *end != '\0' || n < 1 || n > 1024) usage();
+      if (end == argv[i] || *end != '\0' || n < 1 || n > 1024) {
+        fail("--jobs requires a worker count in [1, 1024]");
+      }
       detail::jobs_store() = static_cast<int>(n);
     } else {
-      usage();
+      fail("unknown flag '" + arg + "'");
     }
   }
   if (!c.path.empty()) std::atexit(detail::write_json_capture);

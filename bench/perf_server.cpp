@@ -1,0 +1,91 @@
+// Wall-clock tracking for the scenario server (not a paper figure).
+//
+// Drives serve_loop in-process with a 1,000-query near-identical sweep
+// (same scenario, single-size sweeps stepping 1 KiB apart) twice over one
+// cache set: the first pass is all cold misses, the second all response-
+// cache hits. The two response streams must be byte-identical — that is
+// the server's determinism contract — and the tracked quantity is the
+// warm/cold queries-per-second ratio (the tentpole target is >= 10x).
+// Emitted through --json so CI can archive the trend (BENCH_perf.json —
+// informational, no gate).
+#include <chrono>
+#include <sstream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "gpucomm/serve/scenario.hpp"
+#include "gpucomm/serve/server.hpp"
+
+using namespace gpucomm;
+using namespace gpucomm::bench;
+
+namespace {
+
+constexpr int kQueries = 1000;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string query_stream() {
+  std::ostringstream os;
+  for (int i = 0; i < kQueries; ++i) {
+    // Near-identical: only the (single-size) sweep bounds differ, so the
+    // cold pass misses every response but shares the topology snapshot.
+    const Bytes b = 4096 + static_cast<Bytes>(i) * 1024;
+    os << "{\"id\":" << i << ",\"op\":\"pingpong\",\"mechanism\":\"mpi\",\"gpus\":2,"
+       << "\"min\":" << b << ",\"max\":" << b << ",\"iters\":5}\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gpucomm::bench::init(argc, argv);
+  header("perf_server", "scenario server: queries/sec cold vs warm cache");
+
+  const std::string queries = query_stream();
+  serve::ServerCaches caches(256u << 20);
+  serve::ServeOptions opts;
+  opts.jobs = 1;
+  opts.caches = &caches;
+
+  std::istringstream cold_in(queries);
+  std::ostringstream cold_out;
+  const auto t_cold = std::chrono::steady_clock::now();
+  const std::size_t cold_answered = serve::serve_loop(cold_in, cold_out, opts).answered;
+  const double cold_ms = ms_since(t_cold);
+
+  std::istringstream warm_in(queries);
+  std::ostringstream warm_out;
+  const auto t_warm = std::chrono::steady_clock::now();
+  const std::size_t warm_answered = serve::serve_loop(warm_in, warm_out, opts).answered;
+  const double warm_ms = ms_since(t_warm);
+
+  if (cold_answered != kQueries || warm_answered != kQueries) {
+    std::cerr << "error: expected " << kQueries << " answers per pass\n";
+    return 1;
+  }
+  if (warm_out.str() != cold_out.str()) {
+    std::cerr << "error: warm responses diverged from cold responses\n";
+    return 1;
+  }
+  const auto hits = caches.responses.stats().hits;
+  if (hits < kQueries) {
+    std::cerr << "error: warm pass expected " << kQueries << " response hits, saw "
+              << hits << "\n";
+    return 1;
+  }
+
+  Table t({"pass", "queries", "wall_ms", "queries_per_s", "speedup"});
+  t.add_row({"cold", std::to_string(kQueries), fmt(cold_ms, 0),
+             fmt(1000.0 * kQueries / cold_ms, 0), "1.00"});
+  t.add_row({"warm", std::to_string(kQueries), fmt(warm_ms, 0),
+             fmt(1000.0 * kQueries / warm_ms, 0), fmt(cold_ms / warm_ms, 2)});
+  emit(t, "perf_server.csv");
+  std::cout << "(responses byte-identical across passes; "
+            << hits << " response-cache hits)\n";
+  return 0;
+}

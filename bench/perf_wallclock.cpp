@@ -148,6 +148,18 @@ void end_to_end_section(Table& t) {
   run_cells(1, cells.size(), [&](std::size_t i) { serial[i] = run_cell(cells[i]); });
   const double serial_ms = ms_since(t_serial);
 
+  // The speedup is bounded by the host's core count; record it so the
+  // archived trend is interpretable across runner generations. On a 1-CPU
+  // runner the pool cannot beat the serial run, so the comparison row is an
+  // explicit skip marker rather than a meaningless ~1.0x data point.
+  const unsigned host_cpus = std::thread::hardware_concurrency();
+  const std::string cpus = std::to_string(host_cpus);
+  t.add_row({"1", std::to_string(cells.size()), cpus, fmt(serial_ms, 0), "1.00"});
+  if (host_cpus <= 1) {
+    t.add_row({"-", std::to_string(cells.size()), cpus, "-", "skipped: 1 cpu"});
+    return;
+  }
+
   const int workers = jobs() > 0 ? jobs() : 4;
   std::vector<double> parallel(cells.size());
   const auto t_par = std::chrono::steady_clock::now();
@@ -159,10 +171,6 @@ void end_to_end_section(Table& t) {
     std::exit(1);
   }
 
-  // The speedup is bounded by the host's core count; record it so the
-  // archived trend is interpretable across runner generations.
-  const std::string cpus = std::to_string(std::thread::hardware_concurrency());
-  t.add_row({"1", std::to_string(cells.size()), cpus, fmt(serial_ms, 0), "1.00"});
   t.add_row({std::to_string(workers), std::to_string(cells.size()), cpus, fmt(par_ms, 0),
              fmt(serial_ms / par_ms, 2)});
 }

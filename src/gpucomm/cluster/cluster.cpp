@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "gpucomm/cluster/topo_snapshot.hpp"
 #include "gpucomm/noise/noise_model.hpp"
 
 namespace gpucomm {
@@ -10,43 +11,7 @@ namespace gpucomm {
 Cluster::Cluster(SystemConfig config, ClusterOptions options)
     : config_(std::move(config)), rng_(options.seed) {
   // Fabric first: switch construction precedes node attachment.
-  FabricSpec& spec = config_.fabric;
-  if (spec.kind == FabricKind::kDragonfly) {
-    DragonflyParams p = spec.dragonfly;
-    p.wire.rate = config_.nic.rate;  // the NIC wire runs at the NIC's rate
-    switch (options.placement) {
-      case Placement::kPacked: p.attach = DragonflyParams::Attach::kPacked; break;
-      case Placement::kScatterSwitches:
-        p.attach = DragonflyParams::Attach::kScatterSwitches;
-        break;
-      case Placement::kScatterGroups: p.attach = DragonflyParams::Attach::kScatterGroups; break;
-    }
-    fabric_ = std::make_unique<Dragonfly>(graph_, p);
-  } else if (spec.kind == FabricKind::kDragonflyPlus) {
-    DragonflyPlusParams p = spec.dragonfly_plus;
-    p.edge.rate = config_.nic.rate;  // the NIC wire runs at the NIC's rate
-    switch (options.placement) {
-      case Placement::kPacked: p.attach = DragonflyPlusParams::Attach::kPacked; break;
-      case Placement::kScatterSwitches:
-        p.attach = DragonflyPlusParams::Attach::kScatterSwitches;
-        break;
-      case Placement::kScatterGroups:
-        p.attach = DragonflyPlusParams::Attach::kScatterGroups;
-        break;
-    }
-    fabric_ = std::make_unique<DragonflyPlus>(graph_, p);
-  } else {
-    FatTreeParams p = spec.fat_tree;
-    p.edge_link.rate = config_.nic.rate;
-    switch (options.placement) {
-      case Placement::kPacked: p.attach = FatTreeParams::Attach::kPacked; break;
-      case Placement::kScatterSwitches:
-        p.attach = FatTreeParams::Attach::kScatterSwitches;
-        break;
-      case Placement::kScatterGroups: p.attach = FatTreeParams::Attach::kScatterGroups; break;
-    }
-    fabric_ = std::make_unique<FatTree>(graph_, p);
-  }
+  fabric_ = make_fabric(graph_, config_, options.placement);
 
   if (static_cast<std::size_t>(options.nodes) > fabric_->max_nodes())
     throw std::invalid_argument("more nodes requested than the fabric can host");
@@ -57,6 +22,21 @@ Cluster::Cluster(SystemConfig config, ClusterOptions options)
     fabric_->attach_node(graph_, nodes_.back());
   }
 
+  finish_init(options);
+}
+
+Cluster::Cluster(const TopologySnapshot& topo, ClusterOptions options)
+    : config_(topo.config),
+      graph_(topo.graph),
+      fabric_(topo.fabric->clone()),
+      nodes_(topo.node_devices),
+      rng_(options.seed) {
+  if (options.nodes != topo.nodes || options.placement != topo.placement)
+    throw std::invalid_argument("cluster options do not match the topology snapshot");
+  finish_init(options);
+}
+
+void Cluster::finish_init(const ClusterOptions& options) {
   network_ = std::make_unique<Network>(engine_, graph_);
   network_->set_congestion(
       {config_.congestion.flow_threshold, config_.congestion.rate_factor});

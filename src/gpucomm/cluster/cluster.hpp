@@ -35,9 +35,18 @@ struct ClusterOptions {
   std::uint64_t seed = 42;
 };
 
+struct TopologySnapshot;
+
 class Cluster {
  public:
   Cluster(SystemConfig config, ClusterOptions options);
+  /// Build around a prebuilt topology (cluster/topo_snapshot.hpp): the graph
+  /// and node tables are copied and the fabric is cloned, so the resulting
+  /// cluster behaves bit-identically to one built from scratch with the
+  /// snapshot's (config, nodes, placement) — only the construction cost
+  /// differs. `options.nodes` and `options.placement` must match the
+  /// snapshot's shape.
+  Cluster(const TopologySnapshot& topo, ClusterOptions options);
   ~Cluster();
 
   Cluster(const Cluster&) = delete;
@@ -104,6 +113,9 @@ class Cluster {
   telemetry::Sink* telemetry() const { return telemetry_; }
 
  private:
+  /// Shared tail of both constructors: flow network + noise field.
+  void finish_init(const ClusterOptions& options);
+
   SystemConfig config_;
   Engine engine_;
   Graph graph_;

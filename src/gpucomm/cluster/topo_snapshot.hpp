@@ -1,0 +1,51 @@
+// Reusable snapshot of a fully-built topology: the switch fabric, the device
+// graph it was built into, and the attached per-node device tables.
+//
+// Building a Cluster spends most of its constructor wiring switches, nodes
+// and links — work that is a pure function of (SystemConfig, node count,
+// placement). A TopologySnapshot captures that work once; Cluster's
+// snapshot constructor then copies the graph, clones the fabric (including
+// its adaptive-routing cursors, which a fresh build leaves in the same
+// state) and copies the node tables, producing a cluster that is
+// bit-identical in behaviour to one built from scratch. The serve
+// subsystem's cross-query topology cache (serve/cache.hpp) and the cell
+// harness both lean on this: hundreds of near-identical simulations share
+// one construction.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gpucomm/cluster/cluster.hpp"
+#include "gpucomm/systems/system_config.hpp"
+#include "gpucomm/topology/fabric.hpp"
+#include "gpucomm/topology/graph.hpp"
+
+namespace gpucomm {
+
+struct TopologySnapshot {
+  SystemConfig config;
+  int nodes = 0;
+  Placement placement = Placement::kPacked;
+  Graph graph;
+  std::unique_ptr<Fabric> fabric;
+  std::vector<NodeDevices> node_devices;
+
+  /// Approximate heap footprint, used by the serve cache's byte budget.
+  std::size_t memory_bytes() const;
+};
+
+/// Construct the fabric a Cluster would build for `cfg` under `placement`
+/// (switches wired into `g`, NIC rates applied). Shared by Cluster's
+/// from-scratch constructor and build_topology_snapshot so the two can never
+/// diverge.
+std::unique_ptr<Fabric> make_fabric(Graph& g, const SystemConfig& cfg, Placement placement);
+
+/// Build the topology exactly as Cluster's from-scratch constructor does:
+/// fabric first, then nodes attached in node order. Throws
+/// std::invalid_argument when the fabric cannot host `nodes`.
+std::shared_ptr<const TopologySnapshot> build_topology_snapshot(const SystemConfig& cfg,
+                                                                int nodes,
+                                                                Placement placement);
+
+}  // namespace gpucomm

@@ -12,6 +12,7 @@
 
 #include "gpucomm/cluster/cluster.hpp"
 #include "gpucomm/cluster/placement.hpp"
+#include "gpucomm/cluster/topo_snapshot.hpp"
 #include "gpucomm/comm/ccl/ccl_comm.hpp"
 #include "gpucomm/comm/communicator.hpp"
 #include "gpucomm/comm/dataplane.hpp"
@@ -35,6 +36,11 @@
 #include "gpucomm/noise/noise_model.hpp"
 #include "gpucomm/scale/scale_model.hpp"
 #include "gpucomm/sched/builders.hpp"
+#include "gpucomm/serve/cache.hpp"
+#include "gpucomm/serve/json_value.hpp"
+#include "gpucomm/serve/query.hpp"
+#include "gpucomm/serve/scenario.hpp"
+#include "gpucomm/serve/server.hpp"
 #include "gpucomm/sched/executor.hpp"
 #include "gpucomm/sched/schedule.hpp"
 #include "gpucomm/systems/registry.hpp"

@@ -32,14 +32,48 @@ bool known(const Names& names, const std::string& value) {
 
 }  // namespace
 
+bool known_op(const std::string& name) { return known(kOps, name); }
+
+bool known_mechanism(const std::string& name) { return known(kMechanisms, name); }
+
+bool parse_placement_name(const std::string& name, Placement& out) {
+  if (name == "packed") {
+    out = Placement::kPacked;
+  } else if (name == "switches") {
+    out = Placement::kScatterSwitches;
+  } else if (name == "groups") {
+    out = Placement::kScatterGroups;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* placement_name(Placement p) {
+  switch (p) {
+    case Placement::kPacked: return "packed";
+    case Placement::kScatterSwitches: return "switches";
+    case Placement::kScatterGroups: return "groups";
+  }
+  return "?";
+}
+
 std::optional<CliArgs> parse_cli(int argc, const char* const* argv, std::string& error) {
   CliArgs a;
   const auto fail = [&error](std::string msg) {
     error = std::move(msg);
     return std::nullopt;
   };
+  // First scenario (non-serve, non-help) flag seen, for the --serve
+  // exclusivity diagnostic: in serve mode every scenario parameter arrives
+  // per query, so a scenario flag on the command line is a usage error.
+  std::string scenario_flag;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
+    if (flag.rfind("--serve", 0) != 0 && flag != "--help" && flag != "-h" &&
+        scenario_flag.empty()) {
+      scenario_flag = flag;
+    }
     const auto value = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
@@ -113,13 +147,7 @@ std::optional<CliArgs> parse_cli(int argc, const char* const* argv, std::string&
       a.dump_schedule = true;
     } else if (flag == "--placement") {
       if (!need(v)) return fail(flag + " requires packed|switches|groups");
-      if (v == "packed") {
-        a.placement = Placement::kPacked;
-      } else if (v == "switches") {
-        a.placement = Placement::kScatterSwitches;
-      } else if (v == "groups") {
-        a.placement = Placement::kScatterGroups;
-      } else {
+      if (!parse_placement_name(v, a.placement)) {
         return fail("unknown placement '" + v + "' (packed|switches|groups)");
       }
     } else if (flag == "--faults") {
@@ -146,11 +174,39 @@ std::optional<CliArgs> parse_cli(int argc, const char* const* argv, std::string&
       }
       a.jobs = static_cast<int>(n);
       a.jobs_given = true;
+    } else if (flag == "--no-noise") {
+      a.noise = false;
+    } else if (flag == "--nodes") {
+      if (!need(v) || !parse_int(v, 1, 1 << 20, n)) {
+        return fail(flag + " requires a positive node count");
+      }
+      a.nodes = static_cast<int>(n);
+    } else if (flag == "--serve") {
+      a.serve = true;
+    } else if (flag == "--serve-jobs") {
+      if (!need(v) || !parse_int(v, 1, 1024, n)) {
+        return fail(flag + " requires a worker count in [1, 1024]");
+      }
+      a.serve_jobs = static_cast<int>(n);
+    } else if (flag == "--serve-cache-mb") {
+      if (!need(v) || !parse_int(v, 1, 1 << 20, n)) {
+        return fail(flag + " requires a budget in MiB in [1, 1048576]");
+      }
+      a.serve_cache_mb = static_cast<int>(n);
+    } else if (flag == "--serve-socket") {
+      if (!need(a.serve_socket)) return fail(flag + " requires a socket path");
     } else {
       return fail("unknown flag '" + flag + "'");
     }
   }
   if (a.min_bytes > a.max_bytes) return fail("--min exceeds --max");
+  if (a.serve && !scenario_flag.empty()) {
+    return fail("--serve cannot be combined with '" + scenario_flag +
+                "' (scenario parameters arrive per query)");
+  }
+  if (!a.serve && (a.serve_jobs != 1 || a.serve_cache_mb != 256 || !a.serve_socket.empty())) {
+    return fail("--serve-jobs/--serve-cache-mb/--serve-socket require --serve");
+  }
   // Cell mode runs every (size, rep) on its own cluster; flags that hold
   // whole-run state on one cluster (telemetry sinks) or replay events at
   // absolute engine times (fault schedules) have no per-cell meaning.

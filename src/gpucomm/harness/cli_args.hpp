@@ -18,6 +18,14 @@
 
 namespace gpucomm::cli {
 
+/// Shared flag vocabulary, reused by the serve query parser so the two
+/// surfaces can never drift apart.
+bool known_op(const std::string& name);
+bool known_mechanism(const std::string& name);
+/// packed|switches|groups. Returns false on an unknown name.
+bool parse_placement_name(const std::string& name, Placement& out);
+const char* placement_name(Placement p);
+
 struct CliArgs {
   std::string system = "leonardo";
   std::string op = "pingpong";
@@ -60,6 +68,25 @@ struct CliArgs {
   /// events (--faults).
   int jobs = 1;
   bool jobs_given = false;
+  /// Disable the production-noise field (ClusterOptions::enable_noise),
+  /// modelling a drained system. Maps to the serve query's "noise": false.
+  bool noise = true;
+  /// Node-count override; 0 derives the count from --gpus. Must be able to
+  /// host --gpus ranks (checked against the system's gpus_per_node at run
+  /// time, not parse time).
+  int nodes = 0;
+  /// --serve: run the persistent scenario server (JSON-lines on
+  /// stdin/stdout, or on --serve-socket) instead of one experiment. Only the
+  /// --serve-* flags may accompany it; every scenario parameter arrives per
+  /// query (docs/SERVER.md).
+  bool serve = false;
+  /// Worker threads answering scenario queries in --serve mode.
+  int serve_jobs = 1;
+  /// Total cross-query cache budget in MiB, split across the server's
+  /// topology/plan/result/response caches.
+  int serve_cache_mb = 256;
+  /// Unix-domain socket path to listen on instead of stdin/stdout.
+  std::string serve_socket;
   bool help = false;  // --help/-h seen; caller prints usage, exits 0
 };
 

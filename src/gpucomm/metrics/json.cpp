@@ -42,6 +42,7 @@ std::string json_number(double v) {
 }
 
 void JsonWriter::newline_indent() {
+  if (style_ == Style::kCompact) return;
   os_ << '\n';
   for (std::size_t i = 0; i < stack_.size(); ++i) os_ << "  ";
 }

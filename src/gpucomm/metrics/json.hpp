@@ -26,8 +26,14 @@ std::string json_number(double v);
 
 class JsonWriter {
  public:
+  /// kPretty is the two-space-indented multi-line form every artifact file
+  /// uses; kCompact emits the same document with no newlines or indentation
+  /// (single-line, for the serve subsystem's JSON-lines responses).
+  enum class Style { kPretty, kCompact };
+
   /// Writes to `os`; emit exactly one top-level value.
-  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  explicit JsonWriter(std::ostream& os, Style style = Style::kPretty)
+      : os_(os), style_(style) {}
 
   JsonWriter& begin_object();
   JsonWriter& end_object();
@@ -59,6 +65,7 @@ class JsonWriter {
   void newline_indent();
 
   std::ostream& os_;
+  Style style_;
   struct Level {
     bool is_array = false;
     int count = 0;

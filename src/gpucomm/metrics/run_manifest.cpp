@@ -75,8 +75,9 @@ RunManifest::PlanInfo plan_info(Bytes bytes, const std::vector<sched::Schedule>&
 }
 
 void write_manifest(std::ostream& os, const RunManifest& m, const ScheduleProfiler* profiler,
-                    const TimeSeries* timeseries, const telemetry::CounterSet* counters) {
-  JsonWriter w(os);
+                    const TimeSeries* timeseries, const telemetry::CounterSet* counters,
+                    JsonWriter::Style style) {
+  JsonWriter w(os, style);
   w.begin_object();
   w.kv("tool", m.tool);
   w.kv("version", m.version);
@@ -146,7 +147,7 @@ void write_manifest(std::ostream& os, const RunManifest& m, const ScheduleProfil
     write_counters(w, *counters);
   }
   w.end_object();
-  os << "\n";
+  if (style == JsonWriter::Style::kPretty) os << "\n";
 }
 
 bool write_manifest_file(const std::string& path, const RunManifest& m,

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "gpucomm/harness/stats.hpp"
+#include "gpucomm/metrics/json.hpp"
 #include "gpucomm/sched/schedule.hpp"
 #include "gpucomm/sim/units.hpp"
 
@@ -83,11 +84,15 @@ struct RunManifest {
 RunManifest::PlanInfo plan_info(Bytes bytes, const std::vector<sched::Schedule>& schedules);
 
 /// Emit the manifest (with optional profile/timeseries/counters sections)
-/// as one JSON object.
+/// as one JSON object. kPretty is the --metrics-out artifact form (trailing
+/// newline included); kCompact is the same document on a single line with no
+/// trailing newline, for embedding in the serve protocol's JSON-lines
+/// responses.
 void write_manifest(std::ostream& os, const RunManifest& m,
                     const ScheduleProfiler* profiler = nullptr,
                     const TimeSeries* timeseries = nullptr,
-                    const telemetry::CounterSet* counters = nullptr);
+                    const telemetry::CounterSet* counters = nullptr,
+                    JsonWriter::Style style = JsonWriter::Style::kPretty);
 
 /// write_manifest to a file. Returns false on I/O failure.
 bool write_manifest_file(const std::string& path, const RunManifest& m,

@@ -1,0 +1,240 @@
+#include "gpucomm/serve/server.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gpucomm/metrics/json.hpp"
+#include "gpucomm/serve/json_value.hpp"
+
+namespace gpucomm::serve {
+
+namespace {
+
+/// Sequence-ordered line writer: workers deliver out of order, lines leave
+/// in request order, one flush per line so a piping client never stalls on
+/// a buffered reply.
+class OrderedWriter {
+ public:
+  explicit OrderedWriter(std::ostream& out) : out_(out) {}
+
+  void deliver(std::uint64_t seq, std::string line) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    pending_.emplace(seq, std::move(line));
+    while (true) {
+      const auto it = pending_.find(next_);
+      if (it == pending_.end()) break;
+      out_ << it->second << '\n';
+      out_.flush();
+      pending_.erase(it);
+      ++next_;
+    }
+    cv_.notify_all();
+  }
+
+  /// Block until every sequence number below `seq` has been written.
+  void wait_until(std::uint64_t seq) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return next_ >= seq; });
+  }
+
+  std::uint64_t written() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return next_;
+  }
+
+ private:
+  std::ostream& out_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::uint64_t next_ = 0;
+  std::map<std::uint64_t, std::string> pending_;
+};
+
+std::string error_line(std::int64_t id, const std::string& message) {
+  return "{\"id\":" + std::to_string(id) + ",\"ok\":false,\"error\":\"" +
+         metrics::json_escape(message) + "\"}";
+}
+
+/// Answer one scenario query (run, optional artifact file, response line).
+std::string answer(const ScenarioQuery& q, ServerCaches& caches) {
+  std::string err;
+  const std::shared_ptr<const ScenarioOutput> out =
+      run_scenario(q, &caches, /*want_manifest=*/true, err);
+  if (out == nullptr) return error_line(q.id, err);
+  if (!q.metrics_out.empty()) {
+    std::ofstream f(q.metrics_out, std::ios::binary);
+    if (f) f << out->manifest_pretty;
+    if (!f) return error_line(q.id, "failed to write manifest to " + q.metrics_out);
+  }
+  return "{\"id\":" + std::to_string(q.id) + ",\"ok\":true,\"manifest\":" +
+         out->manifest_compact + "}";
+}
+
+std::string stats_line(std::int64_t id, const ServerCaches& caches) {
+  std::ostringstream os;
+  metrics::JsonWriter w(os, metrics::JsonWriter::Style::kCompact);
+  w.begin_object();
+  w.kv("id", static_cast<std::int64_t>(id));
+  w.kv("ok", true);
+  w.kv("control", "stats");
+  w.key("caches");
+  w.begin_array();
+  for (const CacheStats& s : caches.stats()) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("hits", s.hits);
+    w.kv("misses", s.misses);
+    w.kv("insertions", s.insertions);
+    w.kv("evictions", s.evictions);
+    w.kv("rejected", s.rejected);
+    w.kv("entries", static_cast<std::uint64_t>(s.entries));
+    w.kv("bytes", static_cast<std::uint64_t>(s.bytes));
+    w.kv("capacity_bytes", static_cast<std::uint64_t>(s.capacity_bytes));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return os.str();
+}
+
+/// Fixed-size worker pool feeding the ordered writer.
+class WorkerPool {
+ public:
+  WorkerPool(int jobs, ServerCaches& caches, OrderedWriter& writer)
+      : caches_(caches), writer_(writer) {
+    for (int i = 0; i < jobs; ++i) {
+      threads_.emplace_back([this] { worker(); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  void submit(std::uint64_t seq, ScenarioQuery q) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back({seq, std::move(q)});
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  struct Job {
+    std::uint64_t seq;
+    ScenarioQuery query;
+  };
+
+  void worker() {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // closed and drained
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      writer_.deliver(job.seq, answer(job.query, caches_));
+    }
+  }
+
+  ServerCaches& caches_;
+  OrderedWriter& writer_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool closed_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Best-effort id echo for requests that fail before query parsing.
+std::int64_t id_of(const JsonValue* v) {
+  if (v == nullptr || !v->is_object()) return 0;
+  const JsonValue* id = v->find("id");
+  if (id == nullptr || !id->is_number() || !id->as_int().has_value()) return 0;
+  return *id->as_int() >= 0 ? *id->as_int() : 0;
+}
+
+}  // namespace
+
+ServeResult serve_loop(std::istream& in, std::ostream& out, const ServeOptions& options) {
+  ServerCaches local_caches(options.caches == nullptr ? options.cache_bytes : 1);
+  ServerCaches& caches = options.caches != nullptr ? *options.caches : local_caches;
+  ServeResult result;
+  OrderedWriter writer(out);
+  const int jobs = options.jobs > 1 ? options.jobs : 0;
+  {
+    // Scoped so pool teardown (drain + join) precedes the final count read.
+    std::unique_ptr<WorkerPool> pool;
+    if (jobs > 0) pool = std::make_unique<WorkerPool>(jobs, caches, writer);
+
+    std::uint64_t seq = 0;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      const std::uint64_t my_seq = seq++;
+      std::string perr;
+      const std::optional<JsonValue> doc = parse_json(line, perr);
+      if (!doc.has_value()) {
+        writer.deliver(my_seq, error_line(0, perr));
+        continue;
+      }
+      const JsonValue* control =
+          doc->is_object() ? doc->find("control") : nullptr;
+      if (control != nullptr) {
+        const std::int64_t id = id_of(&*doc);
+        // Controls are barriers: answered only once everything earlier has
+        // been answered, so stats see a settled cache state and shutdown
+        // cannot abandon in-flight work.
+        writer.wait_until(my_seq);
+        const std::string kind = control->is_string() ? control->as_string() : "";
+        if (kind == "ping") {
+          writer.deliver(my_seq, "{\"id\":" + std::to_string(id) +
+                                     ",\"ok\":true,\"control\":\"ping\"}");
+        } else if (kind == "stats") {
+          writer.deliver(my_seq, stats_line(id, caches));
+        } else if (kind == "shutdown") {
+          writer.deliver(my_seq, "{\"id\":" + std::to_string(id) +
+                                     ",\"ok\":true,\"control\":\"shutdown\"}");
+          result.shutdown = true;
+          break;
+        } else {
+          writer.deliver(my_seq,
+                         error_line(id, "unknown control (ping|stats|shutdown)"));
+        }
+        continue;
+      }
+      std::string qerr;
+      std::optional<ScenarioQuery> q = parse_query(*doc, qerr);
+      if (!q.has_value()) {
+        writer.deliver(my_seq, error_line(id_of(&*doc), qerr));
+        continue;
+      }
+      if (pool != nullptr) {
+        pool->submit(my_seq, std::move(*q));
+      } else {
+        writer.deliver(my_seq, answer(*q, caches));
+      }
+    }
+  }
+  result.answered = static_cast<std::size_t>(writer.written());
+  return result;
+}
+
+}  // namespace gpucomm::serve

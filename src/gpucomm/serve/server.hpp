@@ -1,0 +1,56 @@
+// Persistent scenario server: JSON-lines request/response over a stream
+// pair (gpucomm_cli --serve wires stdin/stdout; serve/socket.hpp wires a
+// unix socket).
+//
+// Protocol (docs/SERVER.md):
+//   request  = one ScenarioQuery object per line (serve/query.hpp), or a
+//              control object {"control": "stats"|"ping"|"shutdown", "id": N}
+//   response = one line per request, in request order:
+//              {"id":N,"ok":true,"manifest":{...}}           scenario
+//              {"id":N,"ok":false,"error":"one line"}        any failure
+//              {"id":N,"ok":true,"control":...,...}          control
+//
+// Responses always come back in request order regardless of --serve-jobs:
+// workers deliver into a sequence-ordered writer. Combined with the
+// exact-compare caches holding bit-identical values, that gives the
+// determinism contract: the full response stream for a given request
+// stream is byte-identical for any worker count and any cache state.
+//
+// Control queries are barriers: they are answered only after every earlier
+// request has been answered, so "stats" sees a settled cache state and
+// "shutdown" cannot abandon in-flight work. Cache counters are exposed
+// ONLY through "stats" — scenario responses never embed them, which is
+// what keeps warm and cold response bytes identical.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "gpucomm/serve/scenario.hpp"
+
+namespace gpucomm::serve {
+
+struct ServeOptions {
+  /// Worker threads answering scenario queries (1 = everything inline).
+  int jobs = 1;
+  /// Total cache budget in bytes (ServerCaches split). Ignored when
+  /// `caches` is supplied.
+  std::size_t cache_bytes = 256u << 20;
+  /// External cache set to use instead of a loop-local one — the socket
+  /// server passes this so caches survive across connections. Optional.
+  ServerCaches* caches = nullptr;
+};
+
+struct ServeResult {
+  /// Requests answered (every non-blank input line gets exactly one line).
+  std::size_t answered = 0;
+  /// True when the loop ended on a "shutdown" control query rather than
+  /// end-of-input; the socket server stops accepting on it.
+  bool shutdown = false;
+};
+
+/// Run the request/response loop until end-of-input or a "shutdown"
+/// control query.
+ServeResult serve_loop(std::istream& in, std::ostream& out, const ServeOptions& options);
+
+}  // namespace gpucomm::serve

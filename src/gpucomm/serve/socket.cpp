@@ -1,0 +1,129 @@
+#include "gpucomm/serve/socket.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <streambuf>
+
+namespace gpucomm::serve {
+
+namespace {
+
+/// Minimal bidirectional streambuf over a connected socket fd, enough for
+/// serve_loop's getline/<< usage. Unbuffered on partial reads (one read(2)
+/// per underflow), flushed write-through on sync().
+class FdStreambuf : public std::streambuf {
+ public:
+  explicit FdStreambuf(int fd) : fd_(fd) {
+    setg(rbuf_, rbuf_, rbuf_);
+    setp(wbuf_, wbuf_ + sizeof(wbuf_));
+  }
+
+ protected:
+  int_type underflow() override {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    const ssize_t n = ::read(fd_, rbuf_, sizeof(rbuf_));
+    if (n <= 0) return traits_type::eof();
+    setg(rbuf_, rbuf_, rbuf_ + n);
+    return traits_type::to_int_type(*gptr());
+  }
+
+  int_type overflow(int_type ch) override {
+    if (sync() != 0) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      *pptr() = traits_type::to_char_type(ch);
+      pbump(1);
+    }
+    return traits_type::not_eof(ch);
+  }
+
+  int sync() override {
+    const char* p = pbase();
+    while (p < pptr()) {
+      const ssize_t n = ::write(fd_, p, static_cast<std::size_t>(pptr() - p));
+      if (n <= 0) return -1;
+      p += n;
+    }
+    setp(wbuf_, wbuf_ + sizeof(wbuf_));
+    return 0;
+  }
+
+ private:
+  int fd_;
+  char rbuf_[4096];
+  char wbuf_[4096];
+};
+
+}  // namespace
+
+bool serve_socket(const std::string& path, const ServeOptions& options, std::string& error) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path too long";
+    return false;
+  }
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listener, 4) != 0) {
+    error = path + ": " + std::strerror(errno);
+    ::close(listener);
+    return false;
+  }
+
+  // One cache set for the server's lifetime: clients that reconnect keep
+  // their warm caches.
+  ServerCaches caches(options.cache_bytes);
+  ServeOptions per_conn = options;
+  per_conn.caches = &caches;
+  bool shutdown = false;
+  while (!shutdown) {
+    const int conn = ::accept(listener, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      error = std::string("accept: ") + std::strerror(errno);
+      ::close(listener);
+      ::unlink(path.c_str());
+      return false;
+    }
+    FdStreambuf buf(conn);
+    std::istream in(&buf);
+    std::ostream out(&buf);
+    shutdown = serve_loop(in, out, per_conn).shutdown;
+    out.flush();
+    ::close(conn);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return true;
+}
+
+}  // namespace gpucomm::serve
+
+#else  // no AF_UNIX
+
+namespace gpucomm::serve {
+
+bool serve_socket(const std::string& path, const ServeOptions& options, std::string& error) {
+  (void)path;
+  (void)options;
+  error = "--serve-socket is not supported on this platform";
+  return false;
+}
+
+}  // namespace gpucomm::serve
+
+#endif

@@ -1,0 +1,23 @@
+// Optional local transport for --serve: a unix-domain stream socket instead
+// of stdin/stdout, so long-lived tools can attach and detach without owning
+// the server's pipes. Connections are served one at a time with the same
+// serve_loop protocol; the cache set is shared across connections, so a
+// reconnecting client keeps its warm caches. A "shutdown" control query
+// ends the whole server (not just the connection).
+//
+// POSIX-only (AF_UNIX); on other platforms serve_socket reports an error.
+#pragma once
+
+#include <string>
+
+#include "gpucomm/serve/server.hpp"
+
+namespace gpucomm::serve {
+
+/// Listen on `path` (any stale socket file is replaced) and serve
+/// connections sequentially until a shutdown control query. Returns false
+/// with a one-line `error` when the socket cannot be created or bound, or
+/// the platform has no AF_UNIX support.
+bool serve_socket(const std::string& path, const ServeOptions& options, std::string& error);
+
+}  // namespace gpucomm::serve

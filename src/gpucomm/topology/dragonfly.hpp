@@ -46,6 +46,7 @@ class Dragonfly final : public Fabric {
   int switch_of(DeviceId nic) const override;
   int group_of(DeviceId nic) const override;
   std::size_t max_nodes() const override;
+  std::unique_ptr<Fabric> clone() const override { return std::make_unique<Dragonfly>(*this); }
 
   const DragonflyParams& params() const { return params_; }
   DeviceId switch_device(int group, int sw) const { return switches_[flat(group, sw)]; }

@@ -40,6 +40,9 @@ class DragonflyPlus final : public Fabric {
   int switch_of(DeviceId nic) const override;
   int group_of(DeviceId nic) const override;
   std::size_t max_nodes() const override;
+  std::unique_ptr<Fabric> clone() const override {
+    return std::make_unique<DragonflyPlus>(*this);
+  }
 
   const DragonflyPlusParams& params() const { return params_; }
   DeviceId leaf_device(int group, int leaf) const;

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "gpucomm/hw/node.hpp"
 #include "gpucomm/sim/random.hpp"
@@ -48,6 +49,13 @@ class Fabric {
 
   /// Maximum number of nodes the fabric can host.
   virtual std::size_t max_nodes() const = 0;
+
+  /// Deep copy of the fully-built fabric, including the adaptive-routing
+  /// cursor state as of the copy. The clone shares nothing with the
+  /// original, so a cluster built around it behaves bit-identically to one
+  /// whose fabric was constructed from scratch (cluster/topo_snapshot.hpp
+  /// relies on this to reuse constructed topologies across simulations).
+  virtual std::unique_ptr<Fabric> clone() const = 0;
 
   NetworkDistance classify(DeviceId nic_a, DeviceId nic_b) const {
     if (group_of(nic_a) != group_of(nic_b)) return NetworkDistance::kDiffGroup;

@@ -41,6 +41,7 @@ class FatTree final : public Fabric {
   /// "Group" maps to the pod.
   int group_of(DeviceId nic) const override;
   std::size_t max_nodes() const override;
+  std::unique_ptr<Fabric> clone() const override { return std::make_unique<FatTree>(*this); }
 
   const FatTreeParams& params() const { return params_; }
   DeviceId edge_device(int pod, int e) const;

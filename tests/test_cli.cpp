@@ -162,6 +162,75 @@ TEST(CliArgs, JobsRejectsWholeRunStateFlags) {
   EXPECT_TRUE(parse({"--jobs", "4", "--metrics-out", "m.json"}, err).has_value()) << err;
 }
 
+TEST(CliArgs, NodesAndNoiseRoundTrip) {
+  std::string err;
+  const auto def = parse({}, err);
+  ASSERT_TRUE(def.has_value());
+  EXPECT_EQ(def->nodes, 0);  // derive from --gpus
+  EXPECT_TRUE(def->noise);
+
+  const auto a = parse({"--nodes", "8", "--no-noise"}, err);
+  ASSERT_TRUE(a.has_value()) << err;
+  EXPECT_EQ(a->nodes, 8);
+  EXPECT_FALSE(a->noise);
+
+  EXPECT_FALSE(parse({"--nodes", "0"}, err).has_value());
+  EXPECT_FALSE(parse({"--nodes", "abc"}, err).has_value());
+  EXPECT_FALSE(parse({"--nodes"}, err).has_value());
+}
+
+TEST(CliArgs, ServeRoundTrips) {
+  std::string err;
+  const auto def = parse({}, err);
+  ASSERT_TRUE(def.has_value());
+  EXPECT_FALSE(def->serve);
+  EXPECT_EQ(def->serve_jobs, 1);
+  EXPECT_EQ(def->serve_cache_mb, 256);
+  EXPECT_TRUE(def->serve_socket.empty());
+
+  const auto a = parse({"--serve", "--serve-jobs", "8", "--serve-cache-mb", "64",
+                        "--serve-socket", "/tmp/gpucomm.sock"},
+                       err);
+  ASSERT_TRUE(a.has_value()) << err;
+  EXPECT_TRUE(a->serve);
+  EXPECT_EQ(a->serve_jobs, 8);
+  EXPECT_EQ(a->serve_cache_mb, 64);
+  EXPECT_EQ(a->serve_socket, "/tmp/gpucomm.sock");
+}
+
+TEST(CliArgs, ServeRejectsScenarioFlags) {
+  // In serve mode every scenario parameter arrives per query; a scenario
+  // flag on the command line is a usage error naming the offending flag.
+  std::string err;
+  EXPECT_FALSE(parse({"--serve", "--gpus", "4"}, err).has_value());
+  EXPECT_NE(err.find("--gpus"), std::string::npos);
+  EXPECT_FALSE(parse({"--op", "allreduce", "--serve"}, err).has_value());
+  EXPECT_NE(err.find("--op"), std::string::npos);
+  EXPECT_FALSE(parse({"--serve", "--jobs", "4"}, err).has_value());
+  EXPECT_FALSE(parse({"--serve", "--metrics-out", "m.json"}, err).has_value());
+}
+
+TEST(CliArgs, ServeSubflagsRequireServe) {
+  std::string err;
+  EXPECT_FALSE(parse({"--serve-jobs", "4"}, err).has_value());
+  EXPECT_FALSE(parse({"--serve-cache-mb", "64"}, err).has_value());
+  EXPECT_FALSE(parse({"--serve-socket", "/tmp/s.sock"}, err).has_value());
+  EXPECT_FALSE(parse({"--serve-jobs", "0", "--serve"}, err).has_value());
+  EXPECT_FALSE(parse({"--serve", "--serve-cache-mb", "abc"}, err).has_value());
+}
+
+TEST(CliArgs, SharedVocabularyHelpers) {
+  EXPECT_TRUE(cli::known_op("allreduce"));
+  EXPECT_FALSE(cli::known_op("gather"));
+  EXPECT_TRUE(cli::known_mechanism("ccl"));
+  EXPECT_FALSE(cli::known_mechanism("nvshmem"));
+  Placement p = Placement::kPacked;
+  EXPECT_TRUE(cli::parse_placement_name("groups", p));
+  EXPECT_EQ(p, Placement::kScatterGroups);
+  EXPECT_FALSE(cli::parse_placement_name("diagonal", p));
+  EXPECT_STREQ(cli::placement_name(Placement::kScatterSwitches), "switches");
+}
+
 TEST(CliArgs, ErrorMessageIsOneLine) {
   std::string err;
   EXPECT_FALSE(parse({"--gpus", "abc"}, err).has_value());

@@ -6,10 +6,12 @@
 //   gpucomm_cli --system leonardo --op allreduce --mechanism ccl
 //               --gpus 16 --min 1024 --max 1073741824 [--space host]
 //               [--untuned] [--sl N] [--placement packed|switches|groups]
-//               [--iters N] [--seed N] [--jobs N] [--trace out.json]
-//               [--counters] [--profile] [--timeseries out.csv]
-//               [--bucket-us N] [--metrics-out out.json] [--dump-schedule]
-//               [--faults spec]
+//               [--nodes N] [--no-noise] [--iters N] [--seed N] [--jobs N]
+//               [--trace out.json] [--counters] [--profile]
+//               [--timeseries out.csv] [--bucket-us N]
+//               [--metrics-out out.json] [--dump-schedule] [--faults spec]
+//   gpucomm_cli --serve [--serve-jobs N] [--serve-cache-mb N]
+//               [--serve-socket path]
 //
 // Flags are validated strictly (harness/cli_args.hpp): a malformed value or
 // unknown name prints one line on stderr and exits with status 2.
@@ -45,16 +47,23 @@
 // would execute for the op at each size in the sweep — the output of the
 // same plan() the implementations run, so what you see is what is timed.
 //
+// --serve runs the persistent scenario server (docs/SERVER.md): JSON-lines
+// queries on stdin (or on --serve-socket), one response line per query with
+// the same RunManifest the standalone --metrics-out run writes — byte for
+// byte, at any --serve-jobs and any cache state. Scenario flags cannot be
+// combined with it; every parameter arrives per query.
+//
 // op: pingpong | alltoall | allreduce | broadcast | allgather | reducescatter
 // mechanism: staging | devcopy | ccl | mpi
 #include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <map>
 #include <string>
 
 #include "gpucomm/gpucomm.hpp"
-#include "gpucomm/runtime/clock.hpp"
+#include "gpucomm/serve/scenario.hpp"
+#include "gpucomm/serve/server.hpp"
+#include "gpucomm/serve/socket.hpp"
 
 using namespace gpucomm;
 
@@ -66,6 +75,8 @@ constexpr const char* kUsage =
     "  [--space host|device]           where communication buffers live\n"
     "  [--untuned] [--sl N]            default env / service level (virtual lane)\n"
     "  [--placement packed|switches|groups]  rank placement across the fabric\n"
+    "  [--nodes N]                     node-count override (default: from --gpus)\n"
+    "  [--no-noise]                    drained system: no production noise field\n"
     "  [--iters N] [--seed N]          iteration override / cluster RNG seed\n"
     "  [--jobs N]                      deterministic cell harness: every\n"
     "                                  (size, rep) is an independent simulation\n"
@@ -84,82 +95,19 @@ constexpr const char* kUsage =
     "                                  seed, git version, schedule identity,\n"
     "                                  full percentiles; deterministic output)\n"
     "  [--dump-schedule]               print the Schedule IR instead of timings\n"
-    "  [--faults spec]                 fault schedule file or inline spec\n";
-
-const char* placement_name(Placement p) {
-  switch (p) {
-    case Placement::kPacked: return "packed";
-    case Placement::kScatterSwitches: return "switches";
-    case Placement::kScatterGroups: return "groups";
-  }
-  return "?";
-}
-
-Mechanism mechanism_of(const std::string& name) {
-  static const std::map<std::string, Mechanism> kMap{
-      {"staging", Mechanism::kStaging},
-      {"devcopy", Mechanism::kDeviceCopy},
-      {"ccl", Mechanism::kCcl},
-      {"mpi", Mechanism::kMpi}};
-  const auto it = kMap.find(name);
-  if (it == kMap.end()) throw std::invalid_argument("unknown mechanism: " + name);
-  return it->second;
-}
-
-std::unique_ptr<Communicator> build(Mechanism m, Cluster& c, std::vector<int> gpus,
-                                    CommOptions opt) {
-  switch (m) {
-    case Mechanism::kStaging: return std::make_unique<StagingComm>(c, gpus, opt);
-    case Mechanism::kDeviceCopy: return std::make_unique<DeviceCopyComm>(c, gpus, opt);
-    case Mechanism::kCcl: return std::make_unique<CclComm>(c, gpus, opt);
-    case Mechanism::kMpi: return std::make_unique<MpiComm>(c, gpus, opt);
-  }
-  return nullptr;
-}
-
-CollectiveOp op_of(const std::string& name) {
-  static const std::map<std::string, CollectiveOp> kMap{
-      {"pingpong", CollectiveOp::kPingPong},
-      {"alltoall", CollectiveOp::kAlltoall},
-      {"allreduce", CollectiveOp::kAllreduce},
-      {"broadcast", CollectiveOp::kBroadcast},
-      {"allgather", CollectiveOp::kAllgather},
-      {"reducescatter", CollectiveOp::kReduceScatter}};
-  const auto it = kMap.find(name);
-  if (it == kMap.end()) throw std::invalid_argument("unknown op: " + name);
-  return it->second;
-}
-
-/// One timed iteration of the requested op on `comm`.
-SimTime run_op(Communicator& comm, const std::string& op, Bytes b) {
-  if (op == "pingpong") return SimTime{comm.time_pingpong(0, comm.size() - 1, b).ps / 2};
-  if (op == "alltoall") return comm.time_alltoall(b);
-  if (op == "allreduce") return comm.time_allreduce(b);
-  if (op == "broadcast") return comm.time_broadcast(0, b);
-  if (op == "allgather") return comm.time_allgather(b);
-  if (op == "reducescatter") return comm.time_reduce_scatter(b);
-  throw std::invalid_argument("unknown op: " + op);
-}
-
-/// Resolve --faults: a readable file is loaded as a schedule file; anything
-/// else is treated as an inline spec with ';' standing in for newlines.
-std::optional<fault::FaultSchedule> resolve_faults(const std::string& spec,
-                                                   std::string& error) {
-  if (std::ifstream probe(spec); probe.good()) {
-    return fault::load_fault_schedule(spec, &error);
-  }
-  std::string text = spec;
-  for (char& c : text) {
-    if (c == ';') c = '\n';
-  }
-  return fault::parse_fault_schedule(text, &error);
-}
+    "  [--faults spec]                 fault schedule file or inline spec\n"
+    "or: %s --serve                    persistent scenario server: JSON-lines\n"
+    "                                  queries on stdin, one response per line\n"
+    "                                  (docs/SERVER.md)\n"
+    "  [--serve-jobs N]                worker threads answering queries\n"
+    "  [--serve-cache-mb N]            cross-query cache budget (default 256)\n"
+    "  [--serve-socket path]           listen on a unix socket instead of stdio\n";
 
 /// Print the schedule(s) the communicator's plan() selects at each size in
 /// the sweep. For allgather the sweep size is the per-rank contribution,
 /// matching time_allgather.
 void dump_schedules(Communicator& comm, const cli::CliArgs& a) {
-  const CollectiveOp op = op_of(a.op);
+  const CollectiveOp op = serve::op_of(a.op);
   for (Bytes b = a.min_bytes; b <= a.max_bytes; b *= 4) {
     const auto plans = comm.plan(op, b);
     std::printf("-- %s @ %s --\n", a.op.c_str(), format_bytes(b).c_str());
@@ -174,6 +122,47 @@ void dump_schedules(Communicator& comm, const cli::CliArgs& a) {
   }
 }
 
+int run_serve(const cli::CliArgs& a, const char* argv0) {
+  serve::ServeOptions o;
+  o.jobs = a.serve_jobs;
+  o.cache_bytes = static_cast<std::size_t>(a.serve_cache_mb) << 20;
+  if (a.serve_socket.empty()) {
+    serve::serve_loop(std::cin, std::cout, o);
+    return 0;
+  }
+  std::string err;
+  if (!serve::serve_socket(a.serve_socket, o, err)) {
+    std::fprintf(stderr, "%s: --serve-socket: %s\n", argv0, err.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// A run with no telemetry-printing flags goes through the same scenario
+/// runner the server uses — which is exactly what makes a server response's
+/// manifest byte-identical to the standalone --metrics-out artifact.
+int run_plain(const cli::CliArgs& a, const char* argv0) {
+  const serve::ScenarioQuery q = serve::query_from_cli(a);
+  std::string err;
+  const auto out =
+      serve::run_scenario(q, nullptr, /*want_manifest=*/!a.metrics_out.empty(), err);
+  if (out == nullptr) {
+    std::fprintf(stderr, "%s: %s\n", argv0, err.c_str());
+    return 2;
+  }
+  std::fputs(out->header.c_str(), stdout);
+  std::fputs(out->table.c_str(), stdout);
+  if (!a.metrics_out.empty()) {
+    std::ofstream f(a.metrics_out, std::ios::binary);
+    if (f) f << out->manifest_pretty;
+    if (!f) {
+      std::fprintf(stderr, "failed to write manifest to %s\n", a.metrics_out.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -181,19 +170,26 @@ int main(int argc, char** argv) {
   const std::optional<cli::CliArgs> parsed = cli::parse_cli(argc, argv, parse_error);
   if (!parsed.has_value()) {
     std::fprintf(stderr, "%s: %s\n", argv[0], parse_error.c_str());
-    std::fprintf(stderr, kUsage, argv[0]);
+    std::fprintf(stderr, kUsage, argv[0], argv[0]);
     return 2;
   }
   const cli::CliArgs& a = *parsed;
   if (a.help) {
-    std::printf(kUsage, argv[0]);
+    std::printf(kUsage, argv[0], argv[0]);
     return 0;
   }
+  if (a.serve) return run_serve(a, argv[0]);
+  if (a.trace_path.empty() && !a.counters && !a.profile && a.timeseries_path.empty() &&
+      !a.dump_schedule) {
+    return run_plain(a, argv[0]);
+  }
 
+  // Telemetry-printing path: whole-run sinks attach to one coupled cluster
+  // (cell mode rejects these flags at parse time).
   fault::FaultSchedule schedule;
   if (!a.faults.empty()) {
     std::string err;
-    const auto loaded = resolve_faults(a.faults, err);
+    const auto loaded = serve::resolve_faults(a.faults, err);
     if (!loaded.has_value()) {
       std::fprintf(stderr, "%s: --faults: %s\n", argv[0], err.c_str());
       return 2;
@@ -202,10 +198,17 @@ int main(int argc, char** argv) {
   }
 
   const SystemConfig cfg = system_by_name(a.system);
-  const int nodes = std::max(1, (a.gpus + cfg.gpus_per_node - 1) / cfg.gpus_per_node);
+  int nodes = 0;
+  try {
+    nodes = serve::resolved_nodes(cfg, a.gpus, a.nodes);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+    return 2;
+  }
   ClusterOptions copt;
   copt.nodes = nodes;
   copt.placement = a.placement;
+  copt.enable_noise = a.noise;
   copt.seed = a.seed;
   Cluster cluster(cfg, copt);
   CommOptions opt;
@@ -256,7 +259,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  auto comm = build(mechanism_of(a.mechanism), cluster, first_n_gpus(cluster, a.gpus), opt);
+  auto comm = serve::make_comm(serve::mechanism_of(a.mechanism), cluster, a.gpus, opt);
   if (a.dump_schedule) {
     std::printf("# %s %s %s, %d GPUs (%d nodes): schedule dump\n", a.system.c_str(),
                 a.mechanism.c_str(), a.op.c_str(), a.gpus, nodes);
@@ -273,7 +276,7 @@ int main(int argc, char** argv) {
   manifest.system = a.system;
   manifest.op = a.op;
   manifest.mechanism = a.mechanism;
-  manifest.placement = placement_name(a.placement);
+  manifest.placement = cli::placement_name(a.placement);
   manifest.space = a.space == MemSpace::kHost ? "host" : "device";
   manifest.gpus = a.gpus;
   manifest.nodes = nodes;
@@ -282,7 +285,6 @@ int main(int argc, char** argv) {
   manifest.tuned = a.tuned;
   manifest.seed = a.seed;
   manifest.faults = a.faults;
-
   manifest.harness = a.jobs_given ? "cells" : "coupled";
 
   std::vector<Bytes> sizes;
@@ -297,48 +299,25 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Samples> samples(sizes.size());
-  if (a.jobs_given) {
-    // Deterministic cell harness: every (size, rep) runs as its own
-    // simulation seeded from (--seed, size, rep) on the worker pool. The
-    // merge order is canonical, so the rows and manifest below are
-    // byte-identical for any --jobs N.
-    const Mechanism mech = mechanism_of(a.mechanism);
-    samples = run_cell_sweep(
-        sizes.size(), [&](std::size_t s) { return stalled[s] ? 0 : rcs[s].iterations; },
-        a.jobs, [&](std::size_t s, int rep) -> CellResult {
-          ClusterOptions cell_copt = copt;
-          cell_copt.seed = cell_seed(a.seed, s, static_cast<std::uint64_t>(rep));
-          Cluster cell_cluster(cfg, cell_copt);
-          auto cell_comm =
-              build(mech, cell_cluster, first_n_gpus(cell_cluster, a.gpus), opt);
-          // Fresh draw of the interfering-traffic state, as run_iterations
-          // does before every iteration.
-          if (NoiseField* noise = cell_cluster.noise_field()) noise->resample();
-          const SimTime t = run_op(*cell_comm, a.op, sizes[s]);
-          const MeasurementClock clock(cell_cluster.config().timer_resolution);
-          return {clock.measure(SimTime::zero(), t).micros(), cell_comm->last_op_failed()};
-        });
-  } else {
-    for (std::size_t s = 0; s < sizes.size(); ++s) {
-      if (stalled[s]) continue;
-      const Bytes b = sizes[s];
-      samples[s] = run_iterations(
-          cluster, rcs[s], [&] { return run_op(*comm, a.op, b); },
-          [&] { return comm->last_op_failed(); });
-      if (profiler) {
-        // One extra (unmeasured) iteration per size with the profiler live:
-        // its spans/flows become the representative breakdown for this size.
-        profiler->set_enabled(true);
-        run_op(*comm, a.op, b);
-        profiler->set_enabled(false);
-      }
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    if (stalled[s]) continue;
+    const Bytes b = sizes[s];
+    samples[s] = run_iterations(
+        cluster, rcs[s], [&] { return serve::run_op(*comm, a.op, b); },
+        [&] { return comm->last_op_failed(); });
+    if (profiler) {
+      // One extra (unmeasured) iteration per size with the profiler live:
+      // its spans/flows become the representative breakdown for this size.
+      profiler->set_enabled(true);
+      serve::run_op(*comm, a.op, b);
+      profiler->set_enabled(false);
     }
   }
 
   Table t({"size", "iters", "fails", "median_us", "mean_us", "p95_us", "goodput_gbps"});
   for (std::size_t s = 0; s < sizes.size(); ++s) {
     const Bytes b = sizes[s];
-    manifest.plans.push_back(metrics::plan_info(b, comm->plan(op_of(a.op), b)));
+    manifest.plans.push_back(metrics::plan_info(b, comm->plan(serve::op_of(a.op), b)));
     metrics::RunManifest::Result result;
     result.bytes = b;
     result.iterations = rcs[s].iterations;

@@ -1,0 +1,27 @@
+// JSON-lines validator: every non-blank stdin line must be one valid JSON
+// document (metrics::json_valid, strict RFC 8259). Exits 0 when all lines
+// pass, 1 with "line N: <problem>" on stderr at the first failure. CI's
+// server-smoke job pipes gpucomm_cli --serve responses through it.
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "gpucomm/metrics/json.hpp"
+
+int main() {
+  std::string line;
+  std::size_t lineno = 0;
+  std::size_t checked = 0;
+  while (std::getline(std::cin, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::string err;
+    if (!gpucomm::metrics::json_valid(line, &err)) {
+      std::fprintf(stderr, "line %zu: %s\n", lineno, err.c_str());
+      return 1;
+    }
+    ++checked;
+  }
+  std::fprintf(stderr, "%zu JSON lines OK\n", checked);
+  return 0;
+}
