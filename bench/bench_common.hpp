@@ -55,6 +55,18 @@ inline int& jobs_store() {
   return n;
 }
 
+/// --full-machine; false = flag absent (sweeps stop at the paper ceiling).
+inline bool& full_machine_store() {
+  static bool on = false;
+  return on;
+}
+
+/// --exact-point GPU count; 0 = flag absent (normal sweep).
+inline int& exact_point_store() {
+  static int n = 0;
+  return n;
+}
+
 /// atexit hook: write every captured table as one JSON document. Runs after
 /// main returns so it sees the full emission sequence without the benches
 /// having to thread state through.
@@ -103,24 +115,43 @@ inline void write_json_capture() {
 /// stay kUnsupported so `--jobs` is a usage error, not a silent serial run.
 enum class Parallel { kUnsupported, kCells };
 
+/// Whether a bench is a scalability sweep that `--full-machine` can extend
+/// past the paper's 4,096-GPU ceiling (8k/16k model-projection rows) and
+/// `--exact-point <gpus>` can collapse to a single exact-sim measurement
+/// (the CI scale-smoke entry point). Only fig09/fig10 declare kExtendable.
+enum class Sweep { kPaper, kExtendable };
+
 /// Worker count from `--jobs N`, or 0 when the flag was absent (the bench
 /// picks its own default — typically 1 so plain invocations stay serial).
 inline int jobs() { return detail::jobs_store(); }
 
+/// True when `--full-machine` was passed: sweep to 16,384 GPUs instead of
+/// stopping at the paper's measurement caps. Default CI stays fast.
+inline bool full_machine() { return detail::full_machine_store(); }
+
+/// GPU count from `--exact-point <gpus>`, or 0 when the flag was absent.
+inline int exact_point() { return detail::exact_point_store(); }
+
 /// Parse shared bench flags (call first in main). Recognizes
-/// `--json <path>` and — for benches declaring Parallel::kCells —
-/// `--jobs <N>`. Strict in the cli::parse_cli style: an unknown flag, a
-/// missing value, or a malformed number prints one line naming the problem
-/// (plus the usage line) on stderr and exits with status 2, so a typo does
-/// not silently run the full sweep.
-inline void init(int argc, char** argv, Parallel parallel = Parallel::kUnsupported) {
+/// `--json <path>`, for benches declaring Parallel::kCells `--jobs <N>`,
+/// and for benches declaring Sweep::kExtendable `--full-machine` and
+/// `--exact-point <gpus>`. Strict in the cli::parse_cli style: an unknown
+/// flag, a missing value, or a malformed number prints one line naming the
+/// problem (plus the usage line) on stderr and exits with status 2, so a
+/// typo does not silently run the full sweep.
+inline void init(int argc, char** argv, Parallel parallel = Parallel::kUnsupported,
+                 Sweep sweep = Sweep::kPaper) {
   detail::JsonCapture& c = detail::capture();
   c.benchmark =
       argc > 0 ? std::filesystem::path(argv[0]).filename().string() : "bench";
   const auto fail = [&](const std::string& message) {
     std::cerr << c.benchmark << ": " << message << "\n"
               << "usage: " << c.benchmark << " [--json <path>]"
-              << (parallel == Parallel::kCells ? " [--jobs <N>]" : "") << "\n";
+              << (parallel == Parallel::kCells ? " [--jobs <N>]" : "")
+              << (sweep == Sweep::kExtendable
+                      ? " [--full-machine] [--exact-point <gpus>]"
+                      : "")
+              << "\n";
     std::exit(2);
   };
   for (int i = 1; i < argc; ++i) {
@@ -128,6 +159,22 @@ inline void init(int argc, char** argv, Parallel parallel = Parallel::kUnsupport
     if (arg == "--json") {
       if (i + 1 >= argc) fail("--json requires an output path");
       c.path = argv[++i];
+    } else if (arg == "--full-machine") {
+      if (sweep != Sweep::kExtendable) {
+        fail("--full-machine is not supported by this bench (not a scalability sweep)");
+      }
+      detail::full_machine_store() = true;
+    } else if (arg == "--exact-point") {
+      if (sweep != Sweep::kExtendable) {
+        fail("--exact-point is not supported by this bench (not a scalability sweep)");
+      }
+      if (i + 1 >= argc) fail("--exact-point requires a GPU count in [1, 16384]");
+      char* end = nullptr;
+      const long n = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || n < 1 || n > 16384) {
+        fail("--exact-point requires a GPU count in [1, 16384]");
+      }
+      detail::exact_point_store() = static_cast<int>(n);
     } else if (arg == "--jobs") {
       if (parallel != Parallel::kCells) {
         fail("--jobs is not supported by this bench (its sweep is not cell-decomposable)");

@@ -11,6 +11,15 @@
 // Expected shape (paper): *CCL above MPI everywhere, gap narrowing with
 // scale; ~75% efficiency at 1,024 GPUs on Alps/Leonardo, slightly lower on
 // LUMI.
+//
+// `--full-machine` extends every system's sweep to 16,384 GPUs; rows past a
+// system's paper measurement cap are model projections (ROADMAP item 1:
+// full Alps/Leonardo/LUMI and beyond). `--exact-point <gpus>` instead runs
+// a single LUMI GPU-aware-MPI point through the exact flow simulation at
+// any scale — the CI scale-smoke entry (4,096 GPUs under a wall-clock
+// budget, feasible since the incremental network core).
+#include <chrono>
+
 #include "bench_common.hpp"
 #include "gpucomm/harness/parallel.hpp"
 #include "gpucomm/scale/scale_model.hpp"
@@ -52,8 +61,30 @@ bool stalls(const SystemConfig& cfg, Library lib, int gpus) {
 }
 
 int main(int argc, char** argv) {
-  gpucomm::bench::init(argc, argv, gpucomm::bench::Parallel::kCells);
+  gpucomm::bench::init(argc, argv, gpucomm::bench::Parallel::kCells,
+                       gpucomm::bench::Sweep::kExtendable);
   header("Fig. 9", "2 MiB alltoall scalability (per-GPU goodput, Gb/s)");
+
+  if (const int gpus = gpucomm::bench::exact_point(); gpus > 0) {
+    // Single exact-sim point on LUMI with GPU-aware MPI (the only library x
+    // system pair the paper measured at 4,096 GPUs without a stall), timed
+    // so the CI scale-smoke job can enforce a wall-clock budget.
+    const SystemConfig cfg = system_by_name("lumi");
+    if (gpus % cfg.gpus_per_node != 0) {
+      std::cerr << "fig09: --exact-point must be a multiple of " << cfg.gpus_per_node
+                << " (LUMI GPUs per node)\n";
+      return 2;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const double goodput = exact_goodput(cfg, Library::kMpi, gpus);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    Table t({"gpus", "library", "goodput_gbps", "source", "wall_s"});
+    t.add_row({std::to_string(gpus), to_string(Library::kMpi), fmt(goodput, 2),
+               "exact-sim", fmt(wall_s, 1)});
+    emit(t, "fig09_exact_point.csv");
+    return 0;
+  }
 
   // Exact-sim points are independent deterministic simulations: run them as
   // cells on the --jobs worker pool (serial when absent) and consume in the
@@ -85,9 +116,13 @@ int main(int argc, char** argv) {
     std::cout << "\n--- " << cfg.name << " (asymptotic expected "
               << fmt(cfg.nic_bw_per_gpu / 1e9, 0) << " Gb/s per GPU) ---\n";
     Table t({"gpus", "library", "goodput_gbps", "source"});
-    for (int gpus = cfg.gpus_per_node; gpus <= 4096; gpus *= 2) {
+    const int sweep_cap = gpucomm::bench::full_machine() ? 16384 : 4096;
+    for (int gpus = cfg.gpus_per_node; gpus <= sweep_cap; gpus *= 2) {
       for (const Library lib : {Library::kCcl, Library::kMpi}) {
-        if (gpus > system_cap(cfg, lib)) continue;
+        // Past a system's paper measurement cap only --full-machine sweeps
+        // on, and those rows are marked as projections.
+        const bool beyond_cap = gpus > system_cap(cfg, lib);
+        if (beyond_cap && !gpucomm::bench::full_machine()) continue;
         if (stalls(cfg, lib, gpus)) {
           t.add_row({std::to_string(gpus), to_string(lib), "stall", "benchmark hang"});
           continue;
@@ -97,7 +132,8 @@ int main(int argc, char** argv) {
                      "exact-sim"});
         } else {
           const ScaleResult r = alltoall_at_scale(cfg, lib, kBuffer, gpus);
-          t.add_row({std::to_string(gpus), to_string(lib), fmt(r.goodput_gbps, 2), "model"});
+          t.add_row({std::to_string(gpus), to_string(lib), fmt(r.goodput_gbps, 2),
+                     beyond_cap ? "model (projection)" : "model"});
         }
       }
     }

@@ -4,6 +4,13 @@
 // Expected shape (paper): *CCL above MPI everywhere; Leonardo's MPI
 // (host-staged allreduce) is dramatically low and flat; *CCL shows a sharp
 // drop from 256 to 512 GPUs on Alps and LUMI (Sec. V-D).
+//
+// `--full-machine` extends every system's sweep to 16,384 GPUs; rows past a
+// system's paper measurement cap are model projections. `--exact-point
+// <gpus>` runs a single LUMI GPU-aware-MPI allreduce point through the
+// exact flow simulation (the fig09 variant is the one CI smoke-tests).
+#include <chrono>
+
 #include "bench_common.hpp"
 #include "gpucomm/harness/parallel.hpp"
 #include "gpucomm/scale/scale_model.hpp"
@@ -37,8 +44,27 @@ double exact_goodput(const SystemConfig& cfg, Library lib, int gpus) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  gpucomm::bench::init(argc, argv, gpucomm::bench::Parallel::kCells);
+  gpucomm::bench::init(argc, argv, gpucomm::bench::Parallel::kCells,
+                       gpucomm::bench::Sweep::kExtendable);
   header("Fig. 10", "1 GiB allreduce scalability (per-GPU goodput, Gb/s)");
+
+  if (const int gpus = gpucomm::bench::exact_point(); gpus > 0) {
+    const SystemConfig cfg = system_by_name("lumi");
+    if (gpus % cfg.gpus_per_node != 0) {
+      std::cerr << "fig10: --exact-point must be a multiple of " << cfg.gpus_per_node
+                << " (LUMI GPUs per node)\n";
+      return 2;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const double goodput = exact_goodput(cfg, Library::kMpi, gpus);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    Table t({"gpus", "library", "goodput_gbps", "source", "wall_s"});
+    t.add_row({std::to_string(gpus), to_string(Library::kMpi), fmt(goodput, 2),
+               "exact-sim", fmt(wall_s, 1)});
+    emit(t, "fig10_exact_point.csv");
+    return 0;
+  }
 
   // Each exact-sim point is an independent deterministic simulation: collect
   // them as cells, run on the --jobs worker pool (serial when absent), and
@@ -67,15 +93,20 @@ int main(int argc, char** argv) {
   for (const SystemConfig& cfg : systems) {
     std::cout << "\n--- " << cfg.name << " ---\n";
     Table t({"gpus", "library", "goodput_gbps", "source"});
-    for (int gpus = cfg.gpus_per_node; gpus <= 4096; gpus *= 2) {
+    const int sweep_cap = gpucomm::bench::full_machine() ? 16384 : 4096;
+    for (int gpus = cfg.gpus_per_node; gpus <= sweep_cap; gpus *= 2) {
       for (const Library lib : {Library::kCcl, Library::kMpi}) {
-        if (gpus > system_cap(cfg, lib)) continue;
+        // Past a system's paper measurement cap only --full-machine sweeps
+        // on, and those rows are marked as projections.
+        const bool beyond_cap = gpus > system_cap(cfg, lib);
+        if (beyond_cap && !gpucomm::bench::full_machine()) continue;
         if (gpus <= kExactLimitGpus) {
           t.add_row({std::to_string(gpus), to_string(lib), fmt(exact[next_cell++], 2),
                      "exact-sim"});
         } else {
           const ScaleResult r = allreduce_at_scale(cfg, lib, kBuffer, gpus);
-          t.add_row({std::to_string(gpus), to_string(lib), fmt(r.goodput_gbps, 2), "model"});
+          t.add_row({std::to_string(gpus), to_string(lib), fmt(r.goodput_gbps, 2),
+                     beyond_cap ? "model (projection)" : "model"});
         }
       }
     }

@@ -116,9 +116,18 @@ std::vector<Bandwidth> maxmin_fair_rates(const FairshareProblem& problem,
   return rate;
 }
 
+void FairshareSolver::reserve(std::size_t links, std::size_t route_hops) {
+  if (slot_of_link_.size() < links) {
+    slot_of_link_.resize(links, 0);
+    slot_epoch_.resize(links, 0);
+  }
+  flow_slots_.reserve(route_hops);
+}
+
 const std::vector<Bandwidth>& FairshareSolver::solve(
     const std::vector<Bandwidth>& capacity, const std::vector<const Route*>& flows,
     const std::vector<Bandwidth>& caps, FairshareTrace* trace) {
+  ++solves_;
   const std::size_t n = flows.size();
   constexpr double kInf = std::numeric_limits<double>::infinity();
   rate_.assign(n, 0.0);

@@ -75,6 +75,15 @@ class FairshareSolver {
                                       const std::vector<Bandwidth>& caps,
                                       FairshareTrace* trace = nullptr);
 
+  /// Pre-size the translation tables for a problem universe of `links` links
+  /// and flows of `route_hops` total hops, so the first big solve doesn't
+  /// pay vector growth inside the filling loops.
+  void reserve(std::size_t links, std::size_t route_hops);
+
+  /// Number of solve() calls over the solver's lifetime (observability: the
+  /// partitioned network core counts per-shard solver work with this).
+  std::uint64_t solves() const { return solves_; }
+
  private:
   // LinkId -> dense slot, valid only when slot_epoch_[link] == epoch_.
   std::vector<std::uint32_t> slot_of_link_;
@@ -92,6 +101,7 @@ class FairshareSolver {
   std::vector<std::uint32_t> flow_offset_;
   std::vector<std::uint32_t> unfrozen_;  // unfrozen flow ids, ascending
   std::vector<Bandwidth> rate_;
+  std::uint64_t solves_ = 0;
 };
 
 }  // namespace gpucomm

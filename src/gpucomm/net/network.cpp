@@ -5,8 +5,9 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 #include <utility>
+
+#include "gpucomm/net/shard_pool.hpp"
 
 namespace gpucomm {
 
@@ -17,10 +18,131 @@ constexpr double kEpsilonBits = 1e-6;
 // the double bit patterns in the key come from finite capacities, so the
 // sentinel cannot collide with a payload word.
 constexpr std::uint64_t kKeyDelimiter = UINT64_MAX;
+// Per-shard allocation cache: FIFO ring of exact-compare entries. Sized so
+// the steady-state component mix of a large alltoall (many small recurring
+// subproblems) stays resident without letting pathological giant components
+// pin memory.
+constexpr std::size_t kCacheEntries = 128;
+constexpr std::size_t kCacheMaxEntryWords = std::size_t{1} << 16;
+constexpr std::size_t kCacheBudgetWords = std::size_t{1} << 21;
+
+std::uint64_t hash_key(const std::vector<std::uint64_t>& key) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over 64-bit words
+  for (const std::uint64_t w : key) {
+    h ^= w;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
 }  // namespace
 
+/// Everything one solver shard needs to turn a component into rates without
+/// touching another shard's state: the fairshare solver, subproblem assembly
+/// scratch, the exact-compare allocation cache, congestion-coupling scratch,
+/// and its share of the counters. Component subproblems are link-disjoint,
+/// so shards only ever write disjoint slots/links of the shared arrays.
+struct Network::ShardCtx {
+  FairshareSolver solver;
+  FairshareTrace trace;
+  std::vector<const Route*> routes;
+  std::vector<Bandwidth> caps;
+  std::vector<std::uint64_t> key;
+
+  struct CacheEntry {
+    std::uint64_t hash = 0;
+    std::vector<std::uint64_t> key;
+    std::vector<Bandwidth> rates;  // post-congestion
+    // Telemetry trace of the cached allocation; filled only when the key's
+    // trace bit is set (so untraced entries never serve a traced lookup).
+    std::vector<LinkId> bottleneck;
+    std::vector<std::pair<LinkId, int>> saturated;
+
+    std::size_t words() const {
+      return key.size() + 2 * rates.size() + bottleneck.size() + 2 * saturated.size() + 8;
+    }
+  };
+  std::vector<CacheEntry> cache;  // FIFO ring, capacity kCacheEntries
+  std::size_t cache_next = 0;
+  std::size_t cache_words = 0;
+
+  // Congestion scratch (epoch-stamped; replaces the per-call unordered_maps
+  // of the pre-PR-7 whole-set implementation). One LinkVl per (link, vl) with flows,
+  // chained per link; one DevVl per warm (switch, vl), chained per device.
+  struct LinkVl {
+    int vl = 0;
+    int count = 0;
+    double sum = 0;
+    std::int32_t flows_head = -1;
+    std::int32_t next = -1;
+    LinkId link = kInvalidLink;
+    bool congested = false;
+  };
+  struct DevVl {
+    int vl = 0;
+    std::int32_t next = -1;
+  };
+  std::vector<std::uint64_t> cg_link_epoch, cg_dev_epoch;
+  std::vector<std::int32_t> cg_link_first, cg_dev_first;
+  std::vector<LinkVl> cg_lvl;
+  std::vector<DevVl> cg_dvl;
+  std::vector<std::uint32_t> cg_ent_slot;
+  std::vector<std::int32_t> cg_ent_next;
+  std::vector<DeviceId> cg_origins;
+  std::uint64_t cg_epoch = 0;
+
+  net::SolverStats stats;  // component/cache/shard counters only
+};
+
 Network::Network(Engine& engine, const Graph& graph)
-    : engine_(engine), graph_(graph), last_advance_(engine.now()) {}
+    : engine_(engine), graph_(graph), last_advance_(engine.now()) {
+  shard_ctx_.push_back(std::make_unique<ShardCtx>());
+}
+
+Network::~Network() { net::SolverStatsRegistry::global().add(solver_stats()); }
+
+void Network::set_noise(NoiseField* noise) {
+  noise_ = noise;
+  request_full_solve(FullReason::kConfig);
+}
+
+void Network::set_faults(const fault::FaultModel* faults) {
+  faults_ = faults;
+  request_full_solve(FullReason::kConfig);
+}
+
+void Network::set_congestion(SwitchCongestion c) {
+  congestion_ = c;
+  request_full_solve(FullReason::kConfig);
+}
+
+void Network::set_telemetry(telemetry::Sink* sink) {
+  telemetry_ = sink;
+  request_full_solve(FullReason::kConfig);
+}
+
+void Network::set_shards(int shards) {
+  shards_ = std::clamp(shards, 1, 64);
+  while (shard_ctx_.size() < static_cast<std::size_t>(shards_)) {
+    shard_ctx_.push_back(std::make_unique<ShardCtx>());
+  }
+  if (pool_ != nullptr && pool_->workers() < shards_ - 1) pool_.reset();
+}
+
+const net::SolverStats& Network::solver_stats() const {
+  stats_merged_ = stats_;
+  if (stats_merged_.shard_solves.size() < static_cast<std::size_t>(shards_)) {
+    stats_merged_.shard_solves.resize(static_cast<std::size_t>(shards_), 0);
+  }
+  for (const auto& ctx : shard_ctx_) {
+    if (ctx != nullptr) stats_merged_.merge(ctx->stats);
+  }
+  return stats_merged_;
+}
+
+void Network::request_full_solve(FullReason reason) {
+  // First cause wins: a pending kFirst/kLinkState is not downgraded.
+  if (full_reason_ == FullReason::kNone) full_reason_ = reason;
+}
 
 Bandwidth Network::effective_capacity(LinkId link, int vl) const {
   Bandwidth cap = graph_.link(link).capacity;
@@ -39,55 +161,196 @@ bool Network::route_has_down_link(const Route& route) const {
   return false;
 }
 
-FlowId Network::start_flow(FlowSpec spec, std::function<void(SimTime)> on_delivered) {
-  const FlowId id = next_id_++;
-  ActiveFlow flow;
-  flow.id = id;
-  flow.route = std::move(spec.route);
-  flow.vl = spec.vl;
-  flow.rate_cap = spec.rate_cap;
-  flow.total_bits = static_cast<double>(spec.bytes) * 8.0;
-  flow.residual_bits = flow.total_bits;
-  flow.on_delivered = std::move(on_delivered);
-  flow.on_interrupted = std::move(spec.on_interrupted);
-  bits_posted_ += flow.total_bits;
+void Network::ensure_tables() {
+  const std::size_t links = graph_.link_count();
+  if (link_head_.size() < links) {
+    link_head_.resize(links, -1);
+    link_mark_.resize(links, 0);
+    link_devx_.resize(links, 0);
+    link_sat_.resize(links, 0);
+    link_sat_count_.resize(links, 0);
+    link_vis_.resize(links, 0);
+    capacity_.resize(links, 0.0);
+    dev_links_built_ = false;  // graph grew; the closure CSR is stale
+  }
+  const std::size_t devices = graph_.device_count();
+  if (dev_mark_.size() < devices) dev_mark_.resize(devices, 0);
+}
 
+void Network::ensure_id_slot(FlowId id) {
+  if (id - id_base_ >= slot_of_id_.size()) {
+    // Trim the dead prefix (ids below the oldest live flow) when it
+    // dominates the index, so memory tracks the active set rather than every
+    // id ever issued. order_ is ascending, so the oldest live id is O(1).
+    // `id` itself is live from the caller's perspective (start_flow indexes
+    // it right after this call), so with no older flows it is the base.
+    const FlowId live_base = order_.empty() ? id : id_[order_.front()];
+    // Flows that die on arrival (downed route / no constraint) consume an id
+    // without ever touching the index, so live_base can run past the end.
+    const std::size_t dead = std::min(static_cast<std::size_t>(live_base - id_base_),
+                                      slot_of_id_.size());
+    if (dead > 1024 && dead * 2 > slot_of_id_.size()) {
+      slot_of_id_.erase(slot_of_id_.begin(),
+                        slot_of_id_.begin() + static_cast<std::ptrdiff_t>(dead));
+      id_base_ = live_base;
+    }
+    slot_of_id_.resize(static_cast<std::size_t>(id - id_base_) + 1, 0);
+  }
+}
+
+Bandwidth Network::flow_rate(FlowId id) const {
+  if (id < id_base_ || id - id_base_ >= slot_of_id_.size()) return 0;
+  const std::uint32_t slot = slot_of_id_[static_cast<std::size_t>(id - id_base_)];
+  return slot != 0 ? rate_[slot - 1] : 0;
+}
+
+std::uint32_t Network::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  const std::uint32_t slot = static_cast<std::uint32_t>(id_.size());
+  id_.push_back(0);
+  route_.emplace_back();
+  vl_.push_back(0);
+  rate_cap_.push_back(0);
+  total_bits_.push_back(0);
+  residual_bits_.push_back(0);
+  rate_.push_back(0);
+  token_.push_back(0);
+  bottleneck_.push_back(kInvalidLink);
+  ent_head_.push_back(-1);
+  on_delivered_.emplace_back();
+  on_interrupted_.emplace_back();
+  slot_mark_.push_back(0);
+  return slot;
+}
+
+void Network::link_flow_entries(std::uint32_t slot) {
+  std::int32_t head = -1;
+  for (const LinkId l : route_[slot]) {
+    std::int32_t e;
+    if (!free_entries_.empty()) {
+      e = free_entries_.back();
+      free_entries_.pop_back();
+      ent_slot_[e] = slot;
+      ent_link_[e] = l;
+    } else {
+      e = static_cast<std::int32_t>(ent_slot_.size());
+      ent_slot_.push_back(slot);
+      ent_link_.push_back(l);
+      ent_next_link_.push_back(-1);
+      ent_prev_link_.push_back(-1);
+      ent_next_flow_.push_back(-1);
+    }
+    ent_prev_link_[e] = -1;
+    ent_next_link_[e] = link_head_[l];
+    if (link_head_[l] != -1) ent_prev_link_[link_head_[l]] = e;
+    link_head_[l] = e;
+    ent_next_flow_[e] = head;
+    head = e;
+  }
+  ent_head_[slot] = head;
+}
+
+void Network::unlink_flow_entries(std::uint32_t slot) {
+  for (std::int32_t e = ent_head_[slot]; e != -1;) {
+    const std::int32_t next = ent_next_flow_[e];
+    const LinkId l = ent_link_[e];
+    if (ent_prev_link_[e] != -1) {
+      ent_next_link_[ent_prev_link_[e]] = ent_next_link_[e];
+    } else {
+      link_head_[l] = ent_next_link_[e];
+    }
+    if (ent_next_link_[e] != -1) ent_prev_link_[ent_next_link_[e]] = ent_prev_link_[e];
+    free_entries_.push_back(e);
+    e = next;
+  }
+  ent_head_[slot] = -1;
+}
+
+FlowId Network::start_flow(FlowSpec spec, std::function<void(SimTime)> on_delivered) {
+  ensure_tables();
+  const FlowId id = next_id_++;
+  const double total_bits = static_cast<double>(spec.bytes) * 8.0;
+  bits_posted_ += total_bits;
+
+  telemetry::FlowToken token = 0;
   if (telemetry_ != nullptr) {
-    flow.token = spec.token != 0 ? spec.token
-                                 : telemetry_->issue(spec.tag, spec.bytes, engine_.now());
-    telemetry_->flow_started(flow.token, spec.tag, flow.route, flow.vl, spec.bytes,
+    token = spec.token != 0 ? spec.token
+                            : telemetry_->issue(spec.tag, spec.bytes, engine_.now());
+    telemetry_->flow_started(token, spec.tag, spec.route, spec.vl, spec.bytes,
                              engine_.now());
   }
 
   // A flow posted onto a route with a downed link dies immediately (zero
   // bytes serialized) instead of joining the active set: no traffic ever
   // crosses a dead link.
-  if (faults_ != nullptr && route_has_down_link(flow.route)) {
-    interrupt(std::move(flow));
+  if (faults_ != nullptr && route_has_down_link(spec.route)) {
+    RemovedFlow dead;
+    dead.id = id;
+    dead.route = std::move(spec.route);
+    dead.vl = spec.vl;
+    dead.total_bits = total_bits;
+    dead.residual_bits = total_bits;
+    dead.token = token;
+    dead.on_interrupted = std::move(spec.on_interrupted);
+    interrupt(std::move(dead));
     return id;
   }
 
-  if (flow.residual_bits <= 0 || (flow.route.empty() && flow.rate_cap <= 0)) {
+  if (total_bits <= 0 || (spec.route.empty() && spec.rate_cap <= 0)) {
     // No constraint at all: deliver after latency only.
-    deliver(std::move(flow));
+    RemovedFlow instant;
+    instant.id = id;
+    instant.route = std::move(spec.route);
+    instant.vl = spec.vl;
+    instant.total_bits = total_bits;
+    instant.token = token;
+    instant.on_delivered = std::move(on_delivered);
+    deliver(std::move(instant));
     return id;
   }
 
   advance_residuals();
-  flow_index_[id] = active_.size();
-  active_.push_back(std::move(flow));
+  ensure_id_slot(id);
+  const std::uint32_t slot = acquire_slot();
+  id_[slot] = id;
+  route_[slot] = std::move(spec.route);
+  vl_[slot] = spec.vl;
+  rate_cap_[slot] = spec.rate_cap;
+  total_bits_[slot] = total_bits;
+  residual_bits_[slot] = total_bits;
+  rate_[slot] = 0;
+  token_[slot] = token;
+  bottleneck_[slot] = kInvalidLink;
+  on_delivered_[slot] = std::move(on_delivered);
+  on_interrupted_[slot] = std::move(spec.on_interrupted);
+  slot_of_id_[static_cast<std::size_t>(id - id_base_)] = slot + 1;
+  order_.push_back(slot);
+  link_flow_entries(slot);
+  pending_new_slots_.push_back(slot);
   mark_dirty();
   return id;
 }
 
-Bandwidth Network::flow_rate(FlowId id) const {
-  const auto it = flow_index_.find(id);
-  return it != flow_index_.end() ? active_[it->second].rate : 0;
-}
-
-void Network::reindex_flows() {
-  flow_index_.clear();
-  for (std::size_t i = 0; i < active_.size(); ++i) flow_index_[active_[i].id] = i;
+Network::RemovedFlow Network::extract_flow(std::uint32_t slot) {
+  unlink_flow_entries(slot);
+  RemovedFlow f;
+  f.id = id_[slot];
+  f.route = std::move(route_[slot]);
+  f.vl = vl_[slot];
+  f.total_bits = total_bits_[slot];
+  f.residual_bits = residual_bits_[slot];
+  f.token = token_[slot];
+  f.on_delivered = std::move(on_delivered_[slot]);
+  f.on_interrupted = std::move(on_interrupted_[slot]);
+  on_delivered_[slot] = nullptr;
+  on_interrupted_[slot] = nullptr;
+  slot_of_id_[static_cast<std::size_t>(f.id - id_base_)] = 0;
+  free_slots_.push_back(slot);
+  return f;
 }
 
 void Network::mark_dirty() {
@@ -105,8 +368,85 @@ void Network::advance_residuals() {
   const SimTime now = engine_.now();
   if (now == last_advance_) return;
   const double dt = (now - last_advance_).seconds();
-  for (ActiveFlow& f : active_) f.residual_bits = std::max(0.0, f.residual_bits - f.rate * dt);
+  for (const std::uint32_t slot : order_) {
+    residual_bits_[slot] = std::max(0.0, residual_bits_[slot] - rate_[slot] * dt);
+  }
   last_advance_ = now;
+}
+
+void Network::build_dev_links() {
+  const std::size_t devices = graph_.device_count();
+  const std::size_t links = graph_.link_count();
+  dev_link_offset_.assign(devices + 1, 0);
+  for (LinkId l = 0; l < links; ++l) {
+    const Link& lk = graph_.link(l);
+    ++dev_link_offset_[lk.src + 1];
+    if (lk.dst != lk.src) ++dev_link_offset_[lk.dst + 1];
+  }
+  for (std::size_t d = 1; d <= devices; ++d) dev_link_offset_[d] += dev_link_offset_[d - 1];
+  dev_links_.resize(dev_link_offset_[devices]);
+  std::vector<std::uint32_t> cursor(dev_link_offset_.begin(), dev_link_offset_.end() - 1);
+  for (LinkId l = 0; l < links; ++l) {
+    const Link& lk = graph_.link(l);
+    dev_links_[cursor[lk.src]++] = l;
+    if (lk.dst != lk.src) dev_links_[cursor[lk.dst]++] = l;
+  }
+  dev_links_built_ = true;
+}
+
+void Network::expand_link(LinkId link) {
+  const auto push_slots_of = [this](LinkId l) {
+    if (link_mark_[l] == mark_epoch_) return;
+    link_mark_[l] = mark_epoch_;
+    for (std::int32_t e = link_head_[l]; e != -1; e = ent_next_link_[e]) {
+      const std::uint32_t s = ent_slot_[e];
+      if (slot_mark_[s] != mark_epoch_) {
+        slot_mark_[s] = mark_epoch_;
+        comp_slots_.push_back(s);
+      }
+    }
+  };
+  push_slots_of(link);
+  if (!closure_switches_ || link_devx_[link] == mark_epoch_) return;
+  // Congestion couples flows through shared switch buffers even when they
+  // share no link: a hot flow warms every switch on its route and same-VL
+  // flows crossing those switches are degraded (apply_congestion_component).
+  // Components therefore close over the switch endpoints of member links --
+  // but only of links that carry a member flow; empty switch-to-switch links
+  // must not chain the whole fabric into one component.
+  link_devx_[link] = mark_epoch_;
+  const Link& lk = graph_.link(link);
+  for (const DeviceId d : {lk.src, lk.dst}) {
+    if (graph_.device(d).kind != DeviceKind::kSwitch || dev_mark_[d] == mark_epoch_) {
+      continue;
+    }
+    dev_mark_[d] = mark_epoch_;
+    for (std::uint32_t i = dev_link_offset_[d]; i < dev_link_offset_[d + 1]; ++i) {
+      push_slots_of(dev_links_[i]);
+    }
+  }
+}
+
+void Network::bfs_component(std::uint32_t seed_slot) {
+  if (slot_mark_[seed_slot] == mark_epoch_) return;
+  const std::size_t start = comp_slots_.size();
+  slot_mark_[seed_slot] = mark_epoch_;
+  comp_slots_.push_back(seed_slot);
+  // Frontier drain: each discovered slot expands its route's links, which
+  // enqueue further slots. Index-based because comp_slots_ grows in place.
+  for (std::size_t i = start; i < comp_slots_.size(); ++i) {
+    const std::uint32_t slot = comp_slots_[i];
+    for (const LinkId l : route_[slot]) expand_link(l);
+  }
+  // Component members solve in ascending FlowId order so every per-link
+  // subtraction sequence matches the pre-PR-7 whole-set solve bit for bit.
+  std::sort(comp_slots_.begin() + static_cast<std::ptrdiff_t>(start), comp_slots_.end(),
+            [this](std::uint32_t a, std::uint32_t b) { return id_[a] < id_[b]; });
+  comp_offset_.push_back(static_cast<std::uint32_t>(comp_slots_.size()));
+}
+
+void Network::partition_all() {
+  for (const std::uint32_t slot : order_) bfs_component(slot);
 }
 
 void Network::reallocate_and_schedule() {
@@ -116,62 +456,90 @@ void Network::reallocate_and_schedule() {
     engine_.cancel(completion_event_);
     completion_scheduled_ = false;
   }
-  if (active_.empty()) return;
+  ++stats_.reallocations;
+  if (order_.empty()) {
+    pending_new_slots_.clear();
+    pending_seed_links_.clear();
+    return;
+  }
+  ensure_tables();
 
-  // The scratch capacity table is sized once; only entries for links
-  // actually crossed by active flows are (re)written, and the solver reads
-  // exactly those, so no full reset is needed per reallocation. While the
-  // problem is assembled, the allocation key records the exact solver input
-  // (routes, vl, caps, per-occurrence effective capacities, congestion
-  // config, whether a trace is being filled).
-  capacity_.resize(graph_.link_count(), 0.0);
-  routes_.clear();
-  caps_.clear();
-  alloc_key_.clear();
-  alloc_key_.push_back(active_.size());
-  alloc_key_.push_back(telemetry_ != nullptr ? 1 : 0);
-  alloc_key_.push_back(static_cast<std::uint64_t>(congestion_.flow_threshold));
-  alloc_key_.push_back(std::bit_cast<std::uint64_t>(congestion_.rate_factor));
-  // When flows on different VLs share a link each sees the full
-  // (noise-adjusted) capacity in the problem, and the max-min allocator
-  // shares it across all of them — a work-conserving approximation of
-  // round-robin VL arbitration.
-  for (const ActiveFlow& f : active_) {
-    for (const LinkId l : f.route) {
-      const Bandwidth cap = effective_capacity(l, f.vl);
-      capacity_[l] = cap;
-      alloc_key_.push_back(l);
-      alloc_key_.push_back(std::bit_cast<std::uint64_t>(cap));
+  // A changed (or unversioned) noise field may have moved any link's
+  // capacity: only a full solve is sound.
+  if (noise_ != nullptr) {
+    const std::uint64_t v = noise_->version();
+    if (v == 0 || v != noise_version_seen_) {
+      noise_version_seen_ = v;
+      request_full_solve(FullReason::kNoise);
     }
-    const Bandwidth flow_cap =
-        f.rate_cap > 0 ? f.rate_cap : std::numeric_limits<double>::infinity();
-    alloc_key_.push_back(kKeyDelimiter);
-    alloc_key_.push_back(static_cast<std::uint64_t>(f.vl));
-    alloc_key_.push_back(std::bit_cast<std::uint64_t>(flow_cap));
-    routes_.push_back(&f.route);
-    caps_.push_back(flow_cap);
   }
-  if (have_alloc_ && alloc_key_ == last_alloc_key_) {
-    // Identical problem (e.g. a link flap off every active route): reuse the
-    // cached post-congestion rates; only the completion event below changes.
-    for (std::size_t i = 0; i < active_.size(); ++i) active_[i].rate = last_rates_[i];
+
+  closure_switches_ = congestion_.rate_factor < 1.0;
+  if (closure_switches_ && !dev_links_built_) build_dev_links();
+  comp_slots_.clear();
+  comp_offset_.assign(1, 0);
+  ++mark_epoch_;
+
+  if (mode_ == SolverMode::kFullResolve) {
+    // Re-solve every component from scratch: the pre-PR-7 O(network)-per-
+    // event cost model, kept as the reference the differential tests compare
+    // against. (See the SolverMode doc for why the reference partitions too.)
+    partition_all();
+    ++stats_.reference_solves;
+  } else if (full_reason_ != FullReason::kNone) {
+    partition_all();
+    ++stats_.full_solves;
+    switch (full_reason_) {
+      case FullReason::kFirst: ++stats_.fallback_first; break;
+      case FullReason::kLinkState: ++stats_.fallback_link_state; break;
+      case FullReason::kNoise: ++stats_.fallback_noise; break;
+      case FullReason::kConfig: ++stats_.fallback_config; break;
+      case FullReason::kNone: break;
+    }
   } else {
-    const std::vector<Bandwidth>& rates =
-        solver_.solve(capacity_, routes_, caps_, telemetry_ != nullptr ? &trace_ : nullptr);
-    for (std::size_t i = 0; i < active_.size(); ++i) active_[i].rate = rates[i];
-    if (congestion_.rate_factor < 1.0) apply_congestion(rates);
-    last_alloc_key_.swap(alloc_key_);
-    last_rates_.resize(active_.size());
-    for (std::size_t i = 0; i < active_.size(); ++i) last_rates_[i] = active_[i].rate;
-    have_alloc_ = true;
+    // Incremental: re-solve only the components containing an event seed --
+    // flows started since the last reallocation, and the links a completed
+    // or interrupted flow vacated (its bandwidth redistributes there).
+    for (const std::uint32_t slot : pending_new_slots_) bfs_component(slot);
+    for (const LinkId l : pending_seed_links_) {
+      const std::size_t start = comp_slots_.size();
+      expand_link(l);
+      for (std::size_t i = start; i < comp_slots_.size(); ++i) {
+        const std::uint32_t slot = comp_slots_[i];
+        for (const LinkId rl : route_[slot]) expand_link(rl);
+      }
+      if (comp_slots_.size() > start) {
+        std::sort(comp_slots_.begin() + static_cast<std::ptrdiff_t>(start),
+                  comp_slots_.end(),
+                  [this](std::uint32_t a, std::uint32_t b) { return id_[a] < id_[b]; });
+        comp_offset_.push_back(static_cast<std::uint32_t>(comp_slots_.size()));
+      }
+    }
+    if (4 * comp_slots_.size() >= 3 * order_.size()) {
+      // Affected set close to the whole network: partition the rest too and
+      // book it as a threshold fallback.
+      partition_all();
+      ++stats_.full_solves;
+      ++stats_.fallback_threshold;
+    } else if (comp_offset_.size() == 1) {
+      ++stats_.no_work_events;
+    } else {
+      ++stats_.incremental_events;
+    }
   }
+  pending_new_slots_.clear();
+  pending_seed_links_.clear();
+  full_reason_ = FullReason::kNone;
+
+  solve_components();
   if (telemetry_ != nullptr) emit_allocation();
+
   SimTime earliest = SimTime::infinity();
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    if (active_[i].rate > 0) {
-      const double secs = active_[i].residual_bits / active_[i].rate;
-      const SimTime done = engine_.now() + SimTime{static_cast<std::int64_t>(
-                                               std::ceil(secs * 1e12))};
+  for (const std::uint32_t slot : order_) {
+    if (rate_[slot] > 0) {
+      const double secs = residual_bits_[slot] / rate_[slot];
+      const SimTime done =
+          engine_.now() + SimTime{static_cast<std::int64_t>(std::ceil(secs * 1e12))};
       earliest = std::min(earliest, done);
     }
   }
@@ -184,166 +552,356 @@ void Network::reallocate_and_schedule() {
   }
 }
 
-void Network::emit_allocation() {
-  const SimTime now = engine_.now();
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    const ActiveFlow& f = active_[i];
-    if (f.token == 0) continue;
-    // Standalone = what the flow would get running alone (its route
-    // bottleneck, or its private cap if tighter); allocated below it means
-    // fair sharing is squeezing the flow.
-    Bandwidth standalone = f.rate_cap > 0 ? f.rate_cap : 0;
-    for (const LinkId l : f.route) {
-      const Bandwidth cap = effective_capacity(l, f.vl);
-      if (standalone <= 0 || cap < standalone) standalone = cap;
+void Network::solve_components() {
+  const std::size_t ncomp = comp_offset_.size() - 1;
+  if (ncomp == 0) return;
+  if (shards_ <= 1 || ncomp <= 1) {
+    for (std::size_t i = 0; i < ncomp; ++i) {
+      solve_component(*shard_ctx_[0], 0, comp_offset_[i], comp_offset_[i + 1]);
     }
-    telemetry_->flow_rate(f.token, f.route, f.rate, standalone, now);
-    if (standalone > 0 && f.rate < standalone * (1.0 - 1e-9)) {
-      telemetry_->flow_throttled(f.token, trace_.bottleneck[i], now);
+    return;
+  }
+  // Component i -> shard i % shards_: a pure function of discovery order, so
+  // the work split (and every cache stream) is reproducible run to run.
+  if (pool_ == nullptr || pool_->workers() < shards_ - 1) {
+    pool_ = std::make_unique<net::ShardPool>(shards_ - 1);
+  }
+  const int tasks = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(shards_), ncomp));
+  pool_->run(tasks, [&](int shard) {
+    ShardCtx& ctx = *shard_ctx_[static_cast<std::size_t>(shard)];
+    for (std::size_t i = static_cast<std::size_t>(shard); i < ncomp;
+         i += static_cast<std::size_t>(shards_)) {
+      solve_component(ctx, shard, comp_offset_[i], comp_offset_[i + 1]);
+    }
+  });
+}
+
+void Network::solve_component(ShardCtx& ctx, int shard, std::uint32_t begin,
+                              std::uint32_t end) {
+  const std::uint32_t* slots = comp_slots_.data() + begin;
+  const std::uint32_t n = end - begin;
+  const bool tracing = telemetry_ != nullptr;
+
+  ++ctx.stats.component_solves;
+  if (ctx.stats.shard_solves.size() <= static_cast<std::size_t>(shard)) {
+    ctx.stats.shard_solves.resize(static_cast<std::size_t>(shard) + 1, 0);
+  }
+  ++ctx.stats.shard_solves[static_cast<std::size_t>(shard)];
+  const unsigned bucket = static_cast<unsigned>(std::bit_width(n)) - 1;
+  ++ctx.stats.component_size_log2[std::min(bucket, 20u)];
+
+  // Assemble the subproblem; the key records the exact solver input (routes,
+  // vl, caps, per-occurrence effective capacities, congestion config,
+  // whether a trace is being filled) in the same unambiguous word encoding
+  // the pre-PR-7 solver used for its whole-problem epoch cache.
+  ctx.routes.clear();
+  ctx.caps.clear();
+  ctx.key.clear();
+  ctx.key.push_back(n);
+  ctx.key.push_back(tracing ? 1 : 0);
+  ctx.key.push_back(static_cast<std::uint64_t>(congestion_.flow_threshold));
+  ctx.key.push_back(std::bit_cast<std::uint64_t>(congestion_.rate_factor));
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t slot = slots[i];
+    // When flows on different VLs share a link each sees the full
+    // (noise-adjusted) capacity in the problem, and the max-min allocator
+    // shares it across all of them -- a work-conserving approximation of
+    // round-robin VL arbitration.
+    for (const LinkId l : route_[slot]) {
+      const Bandwidth cap = effective_capacity(l, vl_[slot]);
+      capacity_[l] = cap;
+      ctx.key.push_back(l);
+      ctx.key.push_back(std::bit_cast<std::uint64_t>(cap));
+    }
+    const Bandwidth flow_cap =
+        rate_cap_[slot] > 0 ? rate_cap_[slot] : std::numeric_limits<double>::infinity();
+    ctx.key.push_back(kKeyDelimiter);
+    ctx.key.push_back(static_cast<std::uint64_t>(vl_[slot]));
+    ctx.key.push_back(std::bit_cast<std::uint64_t>(flow_cap));
+    ctx.routes.push_back(&route_[slot]);
+    ctx.caps.push_back(flow_cap);
+  }
+
+  const std::uint64_t h = hash_key(ctx.key);
+  for (const ShardCtx::CacheEntry& e : ctx.cache) {
+    if (e.hash != h || e.key != ctx.key) continue;
+    // Identical subproblem: reapply the cached post-congestion rates (and
+    // trace state). Exact comparison, so a stale hit is impossible.
+    ++ctx.stats.cache_hits;
+    for (std::uint32_t i = 0; i < n; ++i) rate_[slots[i]] = e.rates[i];
+    if (tracing) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        bottleneck_[slots[i]] = e.bottleneck[i];
+        for (const LinkId l : route_[slots[i]]) link_sat_[l] = 0;
+      }
+      for (const auto& [l, flows] : e.saturated) {
+        link_sat_[l] = 1;
+        link_sat_count_[l] = flows;
+      }
+    }
+    return;
+  }
+  ++ctx.stats.cache_misses;
+
+  const std::vector<Bandwidth>& rates =
+      ctx.solver.solve(capacity_, ctx.routes, ctx.caps, tracing ? &ctx.trace : nullptr);
+  for (std::uint32_t i = 0; i < n; ++i) rate_[slots[i]] = rates[i];
+  if (congestion_.rate_factor < 1.0) apply_congestion_component(ctx, slots, n);
+  if (tracing) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      bottleneck_[slots[i]] = ctx.trace.bottleneck[i];
+      for (const LinkId l : route_[slots[i]]) link_sat_[l] = 0;
+    }
+    for (const auto& [l, flows] : ctx.trace.saturated) {
+      link_sat_[l] = 1;
+      link_sat_count_[l] = flows;
     }
   }
-  for (const auto& [link, flows] : trace_.saturated) {
-    telemetry_->link_saturated(link, flows, now);
+
+  ShardCtx::CacheEntry fresh;
+  fresh.hash = h;
+  fresh.key = ctx.key;
+  fresh.rates.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) fresh.rates[i] = rate_[slots[i]];
+  if (tracing) {
+    fresh.bottleneck.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) fresh.bottleneck[i] = ctx.trace.bottleneck[i];
+    fresh.saturated = ctx.trace.saturated;
+  }
+  const std::size_t w = fresh.words();
+  if (w > kCacheMaxEntryWords) return;
+  if (ctx.cache.size() < kCacheEntries) {
+    ctx.cache_words += w;
+    ctx.cache.push_back(std::move(fresh));
+  } else {
+    ShardCtx::CacheEntry& dst = ctx.cache[ctx.cache_next];
+    ctx.cache_words -= dst.words();
+    dst = std::move(fresh);
+    ctx.cache_words += w;
+    ctx.cache_next = (ctx.cache_next + 1) % kCacheEntries;
+  }
+  while (ctx.cache_words > kCacheBudgetWords) {
+    ShardCtx::CacheEntry& victim = ctx.cache[ctx.cache_next];
+    ctx.cache_words -= victim.words();
+    victim = ShardCtx::CacheEntry{};  // empty key matches no lookup
+    ctx.cache_next = (ctx.cache_next + 1) % kCacheEntries;
   }
 }
 
-void Network::apply_congestion(const std::vector<Bandwidth>& rates) {
+void Network::apply_congestion_component(ShardCtx& ctx, const std::uint32_t* slots,
+                                         std::uint32_t count) {
   // A (link, vl) is incast-congested when >= flow_threshold flows saturate
   // it. The backlog propagates upstream through the buffers of every switch
   // the congesting flows traverse (credit/PFC backpressure), so flows of the
-  // same VL crossing any of those switches lose rate.
-  // One pass over the allocation builds, per (link, vl): the flow count, the
-  // allocated-rate sum, and an intrusive list of the flows crossing it; plus
-  // each flow's route origin (the source device of its first hop). Candidate
-  // links then consult only their own flows instead of rescanning every
-  // active flow per congested link.
-  struct LinkLoad {
-    int count = 0;
-    double sum = 0;
-    int head = -1;  // index into entry_flow/entry_next, -1 terminates
+  // same VL crossing any of those switches lose rate. All coupling stays
+  // inside the component: flows sharing a link share its component, and the
+  // switch closure (expand_link) merges components whose flows share a
+  // switch, so a per-component pass reproduces the global computation.
+  if (ctx.cg_link_epoch.size() < graph_.link_count()) {
+    ctx.cg_link_epoch.resize(graph_.link_count(), 0);
+    ctx.cg_link_first.resize(graph_.link_count(), -1);
+  }
+  if (ctx.cg_dev_epoch.size() < graph_.device_count()) {
+    ctx.cg_dev_epoch.resize(graph_.device_count(), 0);
+    ctx.cg_dev_first.resize(graph_.device_count(), -1);
+  }
+  ++ctx.cg_epoch;
+  ctx.cg_lvl.clear();
+  ctx.cg_dvl.clear();
+  ctx.cg_ent_slot.clear();
+  ctx.cg_ent_next.clear();
+
+  const auto find_lvl = [&ctx](LinkId l, int vl) -> std::int32_t {
+    if (ctx.cg_link_epoch[l] != ctx.cg_epoch) return -1;
+    for (std::int32_t i = ctx.cg_link_first[l]; i != -1; i = ctx.cg_lvl[i].next) {
+      if (ctx.cg_lvl[i].vl == vl) return i;
+    }
+    return -1;
   };
-  std::unordered_map<std::uint64_t, LinkLoad> load;  // key = link << 8 | vl
-  const auto key = [](LinkId l, int vl) {
-    return (static_cast<std::uint64_t>(l) << 8) | static_cast<std::uint64_t>(vl & 0xff);
-  };
-  std::vector<std::uint32_t> entry_flow;  // one entry per (flow, route link)
-  std::vector<int> entry_next;
-  std::vector<DeviceId> origin(active_.size(), 0);  // unread for empty routes
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    if (active_[i].route.empty()) continue;
-    origin[i] = graph_.link(active_[i].route.front()).src;
-    for (const LinkId l : active_[i].route) {
-      LinkLoad& ll = load[key(l, active_[i].vl)];
-      ++ll.count;
-      ll.sum += rates[i];
-      entry_flow.push_back(static_cast<std::uint32_t>(i));
-      entry_next.push_back(ll.head);
-      ll.head = static_cast<int>(entry_flow.size()) - 1;
+
+  // Pass 1: per (link, vl) flow count, allocated-rate sum (ascending-FlowId
+  // accumulation order, matching the pre-PR-7 whole-set pass), and an intrusive list
+  // of the crossing flows.
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t slot = slots[i];
+    if (route_[slot].empty()) continue;
+    const int vl = vl_[slot];
+    for (const LinkId l : route_[slot]) {
+      std::int32_t lv = find_lvl(l, vl);
+      if (lv == -1) {
+        if (ctx.cg_link_epoch[l] != ctx.cg_epoch) {
+          ctx.cg_link_epoch[l] = ctx.cg_epoch;
+          ctx.cg_link_first[l] = -1;
+        }
+        lv = static_cast<std::int32_t>(ctx.cg_lvl.size());
+        ctx.cg_lvl.push_back({vl, 0, 0.0, -1, ctx.cg_link_first[l], l, false});
+        ctx.cg_link_first[l] = lv;
+      }
+      ShardCtx::LinkVl& e = ctx.cg_lvl[static_cast<std::size_t>(lv)];
+      ++e.count;
+      e.sum += rate_[slot];
+      ctx.cg_ent_slot.push_back(slot);
+      ctx.cg_ent_next.push_back(e.flows_head);
+      e.flows_head = static_cast<std::int32_t>(ctx.cg_ent_slot.size()) - 1;
     }
   }
-  // A candidate link only counts as an incast if the converging flows come
-  // from many *distinct sources* — a single rank streaming a deep window
+
+  // Pass 2: candidate links. An incast needs the converging flows to come
+  // from many *distinct sources* -- a single rank streaming a deep window
   // through its own NIC is well-behaved traffic, not congestion.
-  std::unordered_map<std::uint64_t, bool> congested_link;  // key = link << 8 | vl
   bool any = false;
-  for (const auto& [k, ll] : load) {
-    if (ll.count < congestion_.flow_threshold) continue;
-    const LinkId l = static_cast<LinkId>(k >> 8);
-    const int vl = static_cast<int>(k & 0xff);
-    if (ll.sum < 0.98 * effective_capacity(l, vl)) continue;
-    std::unordered_map<DeviceId, bool> origins;
-    for (int e = ll.head; e != -1; e = entry_next[e]) {
-      origins[origin[entry_flow[e]]] = true;
+  for (ShardCtx::LinkVl& e : ctx.cg_lvl) {
+    if (e.count < congestion_.flow_threshold) continue;
+    if (e.sum < 0.98 * effective_capacity(e.link, e.vl)) continue;
+    ctx.cg_origins.clear();
+    for (std::int32_t ent = e.flows_head; ent != -1; ent = ctx.cg_ent_next[ent]) {
+      ctx.cg_origins.push_back(graph_.link(route_[ctx.cg_ent_slot[ent]].front()).src);
     }
-    if (static_cast<int>(origins.size()) < congestion_.flow_threshold) continue;
-    congested_link[k] = true;
+    std::sort(ctx.cg_origins.begin(), ctx.cg_origins.end());
+    const auto distinct =
+        std::unique(ctx.cg_origins.begin(), ctx.cg_origins.end()) - ctx.cg_origins.begin();
+    if (static_cast<int>(distinct) < congestion_.flow_threshold) continue;
+    e.congested = true;
     any = true;
   }
   if (!any) return;
 
-  // Hot flows: those crossing a congested link. Warm switches: every switch
-  // on a hot flow's route (their buffers hold the backlog).
-  std::unordered_map<std::uint64_t, bool> warm_switch;  // key = device << 8 | vl
-  const auto dev_key = [](DeviceId d, int vl) {
-    return (static_cast<std::uint64_t>(d) << 8) | static_cast<std::uint64_t>(vl & 0xff);
+  // Pass 3: hot flows (crossing a congested link) warm every switch on their
+  // route (their buffers hold the backlog).
+  const auto warm_dev = [&ctx, this](DeviceId d, int vl) {
+    if (graph_.device(d).kind != DeviceKind::kSwitch) return;
+    if (ctx.cg_dev_epoch[d] != ctx.cg_epoch) {
+      ctx.cg_dev_epoch[d] = ctx.cg_epoch;
+      ctx.cg_dev_first[d] = -1;
+    }
+    for (std::int32_t i = ctx.cg_dev_first[d]; i != -1; i = ctx.cg_dvl[i].next) {
+      if (ctx.cg_dvl[i].vl == vl) return;
+    }
+    ctx.cg_dvl.push_back({vl, ctx.cg_dev_first[d]});
+    ctx.cg_dev_first[d] = static_cast<std::int32_t>(ctx.cg_dvl.size()) - 1;
   };
-  for (const ActiveFlow& f : active_) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t slot = slots[i];
+    const int vl = vl_[slot];
     bool hot = false;
-    for (const LinkId l : f.route) {
-      if (congested_link.count(key(l, f.vl)) != 0) {
+    for (const LinkId l : route_[slot]) {
+      const std::int32_t lv = find_lvl(l, vl);
+      if (lv != -1 && ctx.cg_lvl[static_cast<std::size_t>(lv)].congested) {
         hot = true;
         break;
       }
     }
     if (!hot) continue;
-    for (const LinkId l : f.route) {
-      const Link& link = graph_.link(l);
-      for (const DeviceId d : {link.src, link.dst}) {
-        if (graph_.device(d).kind == DeviceKind::kSwitch) warm_switch[dev_key(d, f.vl)] = true;
-      }
+    for (const LinkId l : route_[slot]) {
+      const Link& lk = graph_.link(l);
+      warm_dev(lk.src, vl);
+      warm_dev(lk.dst, vl);
     }
   }
-  for (ActiveFlow& f : active_) {
+
+  // Pass 4: every flow crossing a warm switch on its VL is degraded.
+  const auto dev_warm = [&ctx](DeviceId d, int vl) {
+    if (ctx.cg_dev_epoch[d] != ctx.cg_epoch) return false;
+    for (std::int32_t i = ctx.cg_dev_first[d]; i != -1; i = ctx.cg_dvl[i].next) {
+      if (ctx.cg_dvl[i].vl == vl) return true;
+    }
+    return false;
+  };
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t slot = slots[i];
+    const int vl = vl_[slot];
     bool crosses = false;
-    for (const LinkId l : f.route) {
-      const Link& link = graph_.link(l);
-      if (warm_switch.count(dev_key(link.src, f.vl)) != 0 ||
-          warm_switch.count(dev_key(link.dst, f.vl)) != 0) {
+    for (const LinkId l : route_[slot]) {
+      const Link& lk = graph_.link(l);
+      if (dev_warm(lk.src, vl) || dev_warm(lk.dst, vl)) {
         crosses = true;
         break;
       }
     }
-    if (crosses) f.rate *= congestion_.rate_factor;
+    if (crosses) rate_[slot] *= congestion_.rate_factor;
+  }
+}
+
+void Network::emit_allocation() {
+  const SimTime now = engine_.now();
+  for (const std::uint32_t slot : order_) {
+    if (token_[slot] == 0) continue;
+    // Standalone = what the flow would get running alone (its route
+    // bottleneck, or its private cap if tighter); allocated below it means
+    // fair sharing is squeezing the flow.
+    Bandwidth standalone = rate_cap_[slot] > 0 ? rate_cap_[slot] : 0;
+    for (const LinkId l : route_[slot]) {
+      const Bandwidth cap = effective_capacity(l, vl_[slot]);
+      if (standalone <= 0 || cap < standalone) standalone = cap;
+    }
+    telemetry_->flow_rate(token_[slot], route_[slot], rate_[slot], standalone, now);
+    if (standalone > 0 && rate_[slot] < standalone * (1.0 - 1e-9)) {
+      telemetry_->flow_throttled(token_[slot], bottleneck_[slot], now);
+    }
+  }
+  // Saturated links, in first-visit order over the active flows' routes --
+  // the exact order the pre-PR-7 solver's trace listed them. Stale flags
+  // on links no active flow crosses are never visited, hence never emitted.
+  ++vis_epoch_;
+  for (const std::uint32_t slot : order_) {
+    for (const LinkId l : route_[slot]) {
+      if (link_vis_[l] == vis_epoch_) continue;
+      link_vis_[l] = vis_epoch_;
+      if (link_sat_[l] != 0) telemetry_->link_saturated(l, link_sat_count_[l], now);
+    }
   }
 }
 
 void Network::on_completion_event() {
   advance_residuals();
   // Complete every flow that has fully serialized (ties batch here). One
-  // stable partition pass: survivors slide down in order, instead of an
-  // O(n) vector::erase per completed flow.
-  std::vector<ActiveFlow> done;
+  // stable partition pass over order_: survivors slide down in place, so the
+  // ascending-FlowId invariant is preserved.
+  removed_scratch_.clear();
   std::size_t keep = 0;
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    if (active_[i].residual_bits <= kEpsilonBits) {
-      done.push_back(std::move(active_[i]));
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    const std::uint32_t slot = order_[i];
+    if (residual_bits_[slot] <= kEpsilonBits) {
+      // The vacated links are next event's seeds: the completed flow's share
+      // redistributes to whatever still crosses them.
+      for (const LinkId l : route_[slot]) pending_seed_links_.push_back(l);
+      removed_scratch_.push_back(extract_flow(slot));
     } else {
-      if (keep != i) active_[keep] = std::move(active_[i]);
-      ++keep;
+      order_[keep++] = slot;
     }
   }
-  if (!done.empty()) {
-    active_.resize(keep);
-    reindex_flows();
-  }
-  for (ActiveFlow& f : done) deliver(std::move(f));
+  order_.resize(keep);
+  for (RemovedFlow& f : removed_scratch_) deliver(std::move(f));
+  removed_scratch_.clear();
   mark_dirty();
 }
 
 void Network::on_link_state_change() {
   if (faults_ == nullptr) return;
   advance_residuals();
-  std::vector<ActiveFlow> dead;
+  removed_scratch_.clear();
   std::size_t keep = 0;
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    if (route_has_down_link(active_[i].route)) {
-      dead.push_back(std::move(active_[i]));
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    const std::uint32_t slot = order_[i];
+    if (route_has_down_link(route_[slot])) {
+      removed_scratch_.push_back(extract_flow(slot));
     } else {
-      if (keep != i) active_[keep] = std::move(active_[i]);
-      ++keep;
+      order_[keep++] = slot;
     }
   }
-  if (!dead.empty()) {
-    active_.resize(keep);
-    reindex_flows();
-  }
-  for (ActiveFlow& f : dead) interrupt(std::move(f));
+  order_.resize(keep);
+  for (RemovedFlow& f : removed_scratch_) interrupt(std::move(f));
+  removed_scratch_.clear();
   // Survivors are re-rated against the new capacities (degraded or restored
   // links) at the same coalesced zero-delay event starts/completions use.
+  // Which links changed is unknown here, so localization is unsound: force a
+  // full solve.
+  request_full_solve(FullReason::kLinkState);
   mark_dirty();
 }
 
-void Network::interrupt(ActiveFlow&& flow) {
+void Network::interrupt(RemovedFlow&& flow) {
   const double sent_bits = flow.total_bits - flow.residual_bits;
   bits_interrupted_ += sent_bits;
   ++flows_interrupted_;
@@ -358,7 +916,7 @@ void Network::interrupt(ActiveFlow&& flow) {
   }
 }
 
-void Network::deliver(ActiveFlow&& flow) {
+void Network::deliver(RemovedFlow&& flow) {
   SimTime delay = route_latency(graph_, flow.route);
   if (noise_ != nullptr && flow.vl == noise_->noisy_vl()) {
     for (const LinkId l : flow.route) delay += noise_->queueing_delay(l);

@@ -11,22 +11,39 @@
 // VL see reduced link capacity and stochastic per-hop queueing delays, flows
 // on other VLs are isolated (separate switch buffering + round-robin
 // arbitration, Sec. VI-A).
+//
+// Solver core (PR 7): rates are no longer recomputed over the whole network
+// on every event. The active set is stored as struct-of-arrays slots with
+// per-link intrusive flow lists, and each reallocation partitions the
+// affected flows into connected components (flows coupled through shared
+// links, plus shared switches when congestion coupling is enabled), solves
+// each component as an independent subproblem, and splices the rates back.
+// Events that cannot be localized (link state changes, noise epochs, model
+// rewiring) fall back to a full partitioned solve. Components are assigned
+// round-robin to solver shards that run concurrently; because components
+// share no state and the per-shard allocation caches are exact-compare, the
+// resulting rates are byte-identical at any shard count and to the
+// kFullResolve reference mode (docs/PERFORMANCE.md, tests/test_network).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "gpucomm/fault/fault_model.hpp"
 #include "gpucomm/net/fairshare.hpp"
+#include "gpucomm/net/solver_stats.hpp"
 #include "gpucomm/sim/engine.hpp"
 #include "gpucomm/sim/random.hpp"
 #include "gpucomm/telemetry/sink.hpp"
 #include "gpucomm/topology/graph.hpp"
 
 namespace gpucomm {
+
+namespace net {
+class ShardPool;
+}  // namespace net
 
 using FlowId = std::uint64_t;
 
@@ -68,6 +85,13 @@ class NoiseField {
   virtual SimTime queueing_delay(LinkId link) = 0;
   /// Redraw the background state (called by the harness between iterations).
   virtual void resample() = 0;
+  /// Monotone stamp that changes whenever background_utilization()'s answers
+  /// may have changed (i.e. on resample). The incremental solver re-solves
+  /// only affected components and must know when link capacities moved under
+  /// it; a changed version forces a full re-solve. Return 0 (the default) to
+  /// declare the field unversioned — correct but slow: every reallocation
+  /// then falls back to a full solve while noise is attached.
+  virtual std::uint64_t version() const { return 0; }
 };
 
 /// Shared-buffer congestion coupling (see SystemConfig::CongestionParams):
@@ -78,36 +102,71 @@ struct SwitchCongestion {
   double rate_factor = 1.0;
 };
 
+/// How reallocation events are turned into fairshare subproblems.
+enum class SolverMode {
+  /// Solve only the connected components touched by the event; full
+  /// partitioned solve on fallback. The default.
+  kIncremental,
+  /// Re-partition and re-solve every component from scratch on every event:
+  /// the pre-PR-7 cost model (O(network) per event) with the per-component
+  /// subproblem decomposition. Reference mode for the differential tests —
+  /// provably bit-identical to kIncremental because untouched components
+  /// re-solve the same subproblem the incremental mode skips. (A literal
+  /// whole-set-as-one-subproblem solve is NOT bit-stable against any
+  /// decomposition: the fairshare solver's 1e-12 freeze tolerance lets one
+  /// component's fill level capture a flow in another whose own share ties
+  /// within an ulp. The 45 pinned regression timings pin the per-component
+  /// result to the PR 6 whole-set behavior on every real scenario.)
+  kFullResolve,
+};
+
 class Network {
  public:
   Network(Engine& engine, const Graph& graph);
+  ~Network();  // folds solver_stats() into net::SolverStatsRegistry::global()
 
   /// Attach interfering-traffic model; nullptr disables noise. Non-owning.
-  void set_noise(NoiseField* noise) { noise_ = noise; }
+  void set_noise(NoiseField* noise);
   NoiseField* noise() const { return noise_; }
 
   /// Attach the fault subsystem's link-state provider; nullptr (the default)
   /// keeps every code path branch-identical to a machine that never breaks.
   /// Non-owning.
-  void set_faults(const fault::FaultModel* faults) { faults_ = faults; }
+  void set_faults(const fault::FaultModel* faults);
   const fault::FaultModel* faults() const { return faults_; }
 
-  void set_congestion(SwitchCongestion c) { congestion_ = c; }
+  void set_congestion(SwitchCongestion c);
 
   /// Attach a telemetry sink; nullptr (the default) disables instrumentation
   /// and keeps the simulation path branch-identical to an untraced run.
   /// Non-owning.
-  void set_telemetry(telemetry::Sink* sink) { telemetry_ = sink; }
+  void set_telemetry(telemetry::Sink* sink);
   telemetry::Sink* telemetry() const { return telemetry_; }
+
+  /// Select the solving strategy. Rates are bit-identical in both modes;
+  /// only wall-clock and the solver counters differ.
+  void set_solver_mode(SolverMode mode) { mode_ = mode; }
+  SolverMode solver_mode() const { return mode_; }
+
+  /// Number of concurrent solver shards for partitioned solves (clamped to
+  /// [1, 64]). Component subproblems are assigned round-robin in discovery
+  /// order; rates are byte-identical at any shard count.
+  void set_shards(int shards);
+  int shards() const { return shards_; }
+
+  /// Live solver counters for this network (see solver_stats.hpp). The
+  /// returned reference is invalidated by the next call.
+  const net::SolverStats& solver_stats() const;
 
   /// Begin a transfer. `on_delivered` fires (via the engine) when the last
   /// byte has arrived at the destination.
   FlowId start_flow(FlowSpec spec, std::function<void(SimTime)> on_delivered);
 
-  std::size_t active_flows() const { return active_.size(); }
+  std::size_t active_flows() const { return order_.size(); }
 
   /// Current allocated rate of a flow (0 if unknown/finished). O(1) via the
-  /// FlowId index, so per-flow attribution on large runs stays linear.
+  /// dense FlowId -> slot index, so per-flow attribution on large runs stays
+  /// linear.
   Bandwidth flow_rate(FlowId id) const;
 
   /// Bits delivered since construction (all flows). Test hook.
@@ -130,68 +189,158 @@ class Network {
   void on_link_state_change();
 
  private:
-  struct ActiveFlow {
-    FlowId id;
+  /// Per-shard solver context (fairshare solver, subproblem scratch,
+  /// exact-compare allocation cache, congestion scratch, counters). Defined
+  /// in network.cpp; one per shard so partitioned solves share nothing.
+  struct ShardCtx;
+
+  /// A flow leaving the active set, with everything deliver()/interrupt()
+  /// still need after its slot has been recycled.
+  struct RemovedFlow {
+    FlowId id = 0;
     Route route;
-    int vl;
-    Bandwidth rate_cap;
-    double total_bits;
-    double residual_bits;
-    Bandwidth rate = 0;
+    int vl = 0;
+    double total_bits = 0;
+    double residual_bits = 0;
     telemetry::FlowToken token = 0;
     std::function<void(SimTime)> on_delivered;
     std::function<void(Bytes, SimTime)> on_interrupted;
   };
+
+  /// Why the next reallocation must be a full partitioned solve.
+  enum class FullReason : std::uint8_t { kNone, kFirst, kLinkState, kNoise, kConfig };
 
   /// Effective capacity of a link for traffic on `vl`, net of noise.
   Bandwidth effective_capacity(LinkId link, int vl) const;
 
   void mark_dirty();
   void reallocate_and_schedule();
-  /// Rebuild flow_index_ after flows left active_ (erase keeps it in sync).
-  void reindex_flows();
-  /// Emit flow_rate / flow_throttled / link_saturated for the allocation just
-  /// computed. Only called when a telemetry sink is attached.
-  void emit_allocation();
-  /// Post-allocation congestion coupling: degrade flows crossing switches
-  /// with an incast-saturated port on their VL.
-  void apply_congestion(const std::vector<Bandwidth>& rates);
-  void on_completion_event();
   void advance_residuals();
-  void deliver(ActiveFlow&& flow);
+  void on_completion_event();
+  void deliver(RemovedFlow&& flow);
   /// Account + report a fault-killed flow and fire its on_interrupted.
-  void interrupt(ActiveFlow&& flow);
+  void interrupt(RemovedFlow&& flow);
   /// True when any link of `route` is currently down.
   bool route_has_down_link(const Route& route) const;
+
+  // --- slot management ---
+  std::uint32_t acquire_slot();
+  /// Detach `slot` from the active set (entry lists, order_ position handled
+  /// by the caller's compaction, id index) and move its payload out.
+  RemovedFlow extract_flow(std::uint32_t slot);
+  void link_flow_entries(std::uint32_t slot);
+  void unlink_flow_entries(std::uint32_t slot);
+  /// Grow the per-link/per-device tables to the graph's current size.
+  void ensure_tables();
+  /// Make room in slot_of_id_ for `id`, trimming the dead prefix when it
+  /// dominates the index (keeps the index O(active), not O(ids ever issued)).
+  void ensure_id_slot(FlowId id);
+  void request_full_solve(FullReason reason);
+
+  // --- partitioning ---
+  /// Append the connected component containing `slot` (nothing if already
+  /// visited this epoch) to comp_slots_ / comp_offset_, sorted by FlowId.
+  void bfs_component(std::uint32_t seed_slot);
+  /// Visit a link during BFS: enqueue its flows and, under congestion
+  /// closure, expand through its switch endpoints.
+  void expand_link(LinkId link);
+  /// Partition every active flow into components (order_ walk).
+  void partition_all();
+  void build_dev_links();
+
+  // --- solving ---
+  /// Solve comp_offset_ ranges [first..comp count) across shards_ and write
+  /// rates (and telemetry trace state) back to the slots.
+  void solve_components();
+  void solve_component(ShardCtx& ctx, int shard, std::uint32_t begin, std::uint32_t end);
+  /// Post-allocation congestion coupling for one component: degrade flows
+  /// crossing switches with an incast-saturated port on their VL.
+  void apply_congestion_component(ShardCtx& ctx, const std::uint32_t* slots,
+                                  std::uint32_t count);
+  /// Emit flow_rate / flow_throttled / link_saturated for the allocation just
+  /// computed, reconstructed from the persisted per-slot/per-link trace state
+  /// in the exact order the pre-PR-7 whole-set solver emitted them. Only called when
+  /// a telemetry sink is attached.
+  void emit_allocation();
 
   Engine& engine_;
   const Graph& graph_;
   NoiseField* noise_ = nullptr;
   const fault::FaultModel* faults_ = nullptr;
   telemetry::Sink* telemetry_ = nullptr;
-  FairshareTrace trace_;  // scratch, only filled when telemetry_ is set
 
-  std::vector<ActiveFlow> active_;
-  /// FlowId -> index in active_, kept in sync on insert/erase so flow_rate
-  /// is O(1) instead of an O(n) scan per query.
-  std::unordered_map<FlowId, std::size_t> flow_index_;
-  FairshareSolver solver_;
-  // Reallocation scratch, reused so the hot path never allocates: the
-  // LinkId-indexed capacity table (only entries for links crossed by active
-  // flows are rewritten and read), route pointers, and per-flow caps.
+  // --- active flows, struct-of-arrays, indexed by slot ---
+  // Slots are recycled through free_slots_; order_ lists the live slots in
+  // ascending FlowId (insertion) order and is compacted stably on removal,
+  // which keeps every per-link arithmetic sequence identical to the
+  // pre-PR-7 reference. Routes and callbacks live in parallel arrays so the
+  // hot scans (residual advance, deadline scan) touch only small PODs.
+  std::vector<FlowId> id_;
+  std::vector<Route> route_;
+  std::vector<int> vl_;
+  std::vector<Bandwidth> rate_cap_;
+  std::vector<double> total_bits_;
+  std::vector<double> residual_bits_;
+  std::vector<Bandwidth> rate_;
+  std::vector<telemetry::FlowToken> token_;
+  std::vector<LinkId> bottleneck_;  // last solve's throttle attribution
+  std::vector<std::int32_t> ent_head_;  // first link entry of the flow, -1
+  std::vector<std::function<void(SimTime)>> on_delivered_;
+  std::vector<std::function<void(Bytes, SimTime)>> on_interrupted_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> order_;  // live slots, ascending FlowId
+
+  // Dense FlowId -> slot lookup: slot_of_id_[id - id_base_] = slot + 1 (0 =
+  // unknown/finished). The dead prefix below the oldest live id is trimmed
+  // amortized-O(1) so the index scales with the active set.
+  std::vector<std::uint32_t> slot_of_id_;
+  FlowId id_base_ = 1;
+
+  // --- per-link intrusive flow-entry lists ---
+  // One entry per (flow, route link) occurrence: doubly linked within the
+  // link's list (O(hop) removal), singly linked within the flow's list. This
+  // is what makes component discovery O(component), not O(network).
+  std::vector<std::uint32_t> ent_slot_;
+  std::vector<LinkId> ent_link_;
+  std::vector<std::int32_t> ent_next_link_, ent_prev_link_;
+  std::vector<std::int32_t> ent_next_flow_;
+  std::vector<std::int32_t> link_head_;  // per link, -1 = no active flows
+  std::vector<std::int32_t> free_entries_;
+
+  // --- partition scratch (epoch-stamped, never cleared) ---
+  std::vector<std::uint64_t> slot_mark_, link_mark_, link_devx_, dev_mark_;
+  std::uint64_t mark_epoch_ = 0;
+  std::vector<std::uint32_t> comp_slots_;   // concatenated component slots
+  std::vector<std::uint32_t> comp_offset_;  // component i = [off[i], off[i+1])
+  bool closure_switches_ = false;  // expand components through switch devices
+  // Undirected device -> incident links CSR for the congestion closure.
+  std::vector<std::uint32_t> dev_link_offset_;
+  std::vector<LinkId> dev_links_;
+  bool dev_links_built_ = false;
+
+  // --- event seeds accumulated between coalesced reallocations ---
+  std::vector<std::uint32_t> pending_new_slots_;  // flows started since last
+  std::vector<LinkId> pending_seed_links_;        // links of removed flows
+  FullReason full_reason_ = FullReason::kFirst;
+  std::uint64_t noise_version_seen_ = 0;
+
+  // --- solving state ---
+  SolverMode mode_ = SolverMode::kIncremental;
+  int shards_ = 1;
+  std::vector<std::unique_ptr<ShardCtx>> shard_ctx_;
+  std::unique_ptr<net::ShardPool> pool_;
+  // LinkId-indexed capacity table shared by all shards: components are
+  // link-disjoint, so concurrent shards write disjoint entries. Only entries
+  // for links in the subproblem being assembled are (re)written and read.
   std::vector<Bandwidth> capacity_;
-  std::vector<const Route*> routes_;
-  std::vector<Bandwidth> caps_;
-  // Epoch cache: the exact solver input of the last allocation (flows'
-  // routes/vl/cap plus the effective capacity of every used link, encoded as
-  // an unambiguous word sequence) and the post-congestion rates it produced.
-  // When a reallocation sees the identical input — e.g. a fault flipped a
-  // link no active flow crosses — the solve and congestion passes are
-  // skipped and the cached rates are reapplied; only the completion event is
-  // rescheduled. Exact comparison, so a stale hit is impossible.
-  std::vector<std::uint64_t> alloc_key_, last_alloc_key_;
-  std::vector<Bandwidth> last_rates_;
-  bool have_alloc_ = false;
+  // Persisted telemetry trace state (filled only when telemetry_ is set):
+  // which links the last allocation saturated and by how many flows. Emission
+  // walks the active set, so stale entries for unused links are never read.
+  std::vector<char> link_sat_;
+  std::vector<int> link_sat_count_;
+  std::vector<std::uint64_t> link_vis_;  // emission first-visit dedupe
+  std::uint64_t vis_epoch_ = 0;
+
   SwitchCongestion congestion_;
   FlowId next_id_ = 1;
   SimTime last_advance_;
@@ -202,6 +351,11 @@ class Network {
   double bits_posted_ = 0;
   double bits_interrupted_ = 0;
   std::uint64_t flows_interrupted_ = 0;
+
+  net::SolverStats stats_;                  // event-level counters
+  mutable net::SolverStats stats_merged_;   // solver_stats() scratch
+  // Removal scratch reused across events.
+  std::vector<RemovedFlow> removed_scratch_;
 };
 
 }  // namespace gpucomm

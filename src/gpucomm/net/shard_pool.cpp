@@ -1,0 +1,81 @@
+#include "gpucomm/net/shard_pool.hpp"
+
+#include <utility>
+
+namespace gpucomm::net {
+
+ShardPool::ShardPool(int workers) {
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    const std::scoped_lock lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ShardPool::run(int tasks, const std::function<void(int)>& fn) {
+  if (tasks <= 1) {
+    if (tasks == 1) fn(0);
+    return;
+  }
+  {
+    const std::scoped_lock lock(mu_);
+    fn_ = &fn;
+    tasks_ = tasks;
+    remaining_ = tasks - 1;
+    error_ = nullptr;
+    ++generation_;
+  }
+  cv_.notify_all();
+  // The caller is shard 0; a task exception there still waits for the pool
+  // so no worker touches `fn` after run() returns.
+  std::exception_ptr caller_error;
+  try {
+    fn(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  fn_ = nullptr;
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
+}
+
+void ShardPool::worker_loop(int worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    int task = -1;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = worker + 1;
+      if (task < tasks_) fn = fn_;
+    }
+    if (fn != nullptr) {
+      try {
+        (*fn)(task);
+      } catch (...) {
+        const std::scoped_lock lock(mu_);
+        if (!error_) error_ = std::current_exception();
+      }
+      {
+        const std::scoped_lock lock(mu_);
+        --remaining_;
+      }
+      done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace gpucomm::net

@@ -1,0 +1,59 @@
+// Persistent worker pool for partitioned network solves.
+//
+// A Network configured with S > 1 shards assigns component subproblems to
+// shards round-robin in discovery order and solves the S per-shard work
+// lists concurrently — shard 0 on the calling thread, shards 1..S-1 on the
+// pool. The assignment is a pure function of the component sequence, never
+// of timing, and each component's solve writes only its own flows' and
+// links' state, which is what keeps the merged result byte-identical to the
+// serial order at any shard count (docs/PERFORMANCE.md).
+//
+// The pool is tiny and deliberately dumb: one generation-counted dispatch,
+// static task assignment (worker w runs task w + 1), first exception
+// rethrown on the caller. Networks create it lazily on the first solve that
+// actually has both multiple shards and multiple components.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gpucomm::net {
+
+class ShardPool {
+ public:
+  /// Spawns `workers` threads (>= 1).
+  explicit ShardPool(int workers);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Executes fn(1) .. fn(tasks - 1) on the pool (task t on worker t - 1;
+  /// tasks beyond the worker count are an error by construction — callers
+  /// size the pool to shards - 1) while the caller runs fn(0) itself, then
+  /// blocks until every task finished. Rethrows the first task exception.
+  void run(int tasks, const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop(int worker);
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;        // workers wait for a new generation
+  std::condition_variable done_cv_;   // caller waits for completion
+  const std::function<void(int)>* fn_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int tasks_ = 0;      // tasks of the current generation (incl. caller's 0)
+  int remaining_ = 0;  // pool tasks not yet finished
+  std::exception_ptr error_;
+  bool stop_ = false;
+};
+
+}  // namespace gpucomm::net

@@ -20,7 +20,8 @@ bool ProductionNoise::noisy_link(LinkId link) const {
 }
 
 void ProductionNoise::resample() {
-  if (!params_.production_noise) return;
+  if (!params_.production_noise) return;  // utilization stays 0: same version
+  ++version_;
   for (LinkId l = 0; l < util_.size(); ++l) {
     if (!noisy_link(l)) continue;
     const bool global = graph_.link(l).type == LinkType::kGlobal;

@@ -24,6 +24,10 @@ class ProductionNoise final : public NoiseField {
   int noisy_vl() const override { return 0; }
   SimTime queueing_delay(LinkId link) override;
   void resample() override;
+  /// Bumped on every resample so the incremental network core knows when
+  /// link capacities moved (see NoiseField::version); starts at 1 because 0
+  /// means "unversioned".
+  std::uint64_t version() const override { return version_; }
 
   /// Mean utilization across noisy links (test hook).
   double mean_utilization() const;
@@ -35,6 +39,7 @@ class ProductionNoise final : public NoiseField {
   NoiseParams params_;
   Rng rng_;
   std::vector<double> util_;  // per link; 0 for non-fabric links
+  std::uint64_t version_ = 1;
 };
 
 }  // namespace gpucomm

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "gpucomm/metrics/json.hpp"
+#include "gpucomm/net/solver_stats.hpp"
 #include "gpucomm/serve/json_value.hpp"
 
 namespace gpucomm::serve {
@@ -103,6 +104,37 @@ std::string stats_line(std::int64_t id, const ServerCaches& caches) {
     w.end_object();
   }
   w.end_array();
+  // Process-wide solver counters: every Network destroyed so far (cells and
+  // coupled runs alike) folded its counts into the global registry. The
+  // stats barrier means no query is mid-flight when this snapshot is taken.
+  const net::SolverStats solver = net::SolverStatsRegistry::global().snapshot();
+  w.key("solver");
+  w.begin_object();
+  w.kv("reallocations", solver.reallocations);
+  w.kv("reference_solves", solver.reference_solves);
+  w.kv("full_solves", solver.full_solves);
+  w.kv("incremental_events", solver.incremental_events);
+  w.kv("no_work_events", solver.no_work_events);
+  w.kv("component_solves", solver.component_solves);
+  w.kv("cache_hits", solver.cache_hits);
+  w.kv("cache_misses", solver.cache_misses);
+  w.key("fallbacks");
+  w.begin_object();
+  w.kv("first", solver.fallback_first);
+  w.kv("link_state", solver.fallback_link_state);
+  w.kv("noise", solver.fallback_noise);
+  w.kv("config", solver.fallback_config);
+  w.kv("threshold", solver.fallback_threshold);
+  w.end_object();
+  w.key("component_size_log2");
+  w.begin_array();
+  for (const std::uint64_t count : solver.component_size_log2) w.value(count);
+  w.end_array();
+  w.key("shard_solves");
+  w.begin_array();
+  for (const std::uint64_t count : solver.shard_solves) w.value(count);
+  w.end_array();
+  w.end_object();
   w.end_object();
   return os.str();
 }

@@ -77,6 +77,8 @@ constexpr const char* kUsage =
     "  [--placement packed|switches|groups]  rank placement across the fabric\n"
     "  [--nodes N]                     node-count override (default: from --gpus)\n"
     "  [--no-noise]                    drained system: no production noise field\n"
+    "  [--net-shards N]                flow-network solver shards (bit-identical\n"
+    "                                  rates at any N; threads for wall-clock)\n"
     "  [--iters N] [--seed N]          iteration override / cluster RNG seed\n"
     "  [--jobs N]                      deterministic cell harness: every\n"
     "                                  (size, rep) is an independent simulation\n"
@@ -119,6 +121,42 @@ void dump_schedules(Communicator& comm, const cli::CliArgs& a) {
       if (plans.size() > 1) std::printf("[concurrent schedule %zu]\n", i);
       std::fputs(sched::describe(plans[i]).c_str(), stdout);
     }
+  }
+}
+
+/// Solver section of --counters: how the flow network's reallocation events
+/// were answered (incremental vs full vs no-work), why full solves happened,
+/// the size distribution of the component subproblems, and how the work
+/// spread across shards. None of it changes the simulated timings.
+void print_solver_stats(const net::SolverStats& s) {
+  std::printf("\n-- flow-network solver --\n");
+  std::printf("reallocations   %10llu\n", (unsigned long long)s.reallocations);
+  std::printf("  incremental   %10llu\n", (unsigned long long)s.incremental_events);
+  std::printf("  full          %10llu  (first %llu, link-state %llu, noise %llu, "
+              "config %llu, threshold %llu)\n",
+              (unsigned long long)s.full_solves, (unsigned long long)s.fallback_first,
+              (unsigned long long)s.fallback_link_state, (unsigned long long)s.fallback_noise,
+              (unsigned long long)s.fallback_config, (unsigned long long)s.fallback_threshold);
+  std::printf("  reference     %10llu\n", (unsigned long long)s.reference_solves);
+  std::printf("  no-work       %10llu\n", (unsigned long long)s.no_work_events);
+  std::printf("component solves %9llu  (cache hits %llu, misses %llu)\n",
+              (unsigned long long)s.component_solves, (unsigned long long)s.cache_hits,
+              (unsigned long long)s.cache_misses);
+  std::printf("component sizes (log2 flows):");
+  std::size_t last = 0;
+  for (std::size_t b = 0; b < s.component_size_log2.size(); ++b) {
+    if (s.component_size_log2[b] != 0) last = b;
+  }
+  for (std::size_t b = 0; b <= last; ++b) {
+    std::printf(" [2^%zu]=%llu", b, (unsigned long long)s.component_size_log2[b]);
+  }
+  std::printf("\n");
+  if (s.shard_solves.size() > 1) {
+    std::printf("shard solves:");
+    for (std::size_t i = 0; i < s.shard_solves.size(); ++i) {
+      std::printf(" [%zu]=%llu", i, (unsigned long long)s.shard_solves[i]);
+    }
+    std::printf("\n");
   }
 }
 
@@ -209,6 +247,7 @@ int main(int argc, char** argv) {
   copt.nodes = nodes;
   copt.placement = a.placement;
   copt.enable_noise = a.noise;
+  copt.net_shards = a.net_shards;
   copt.seed = a.seed;
   Cluster cluster(cfg, copt);
   CommOptions opt;
@@ -340,6 +379,7 @@ int main(int argc, char** argv) {
   if (counters) {
     counters->finalize(cluster.engine().now());
     telemetry::print_report(std::cout, *counters, cluster.engine().now());
+    print_solver_stats(cluster.network().solver_stats());
   }
   if (profiler && a.profile) {
     metrics::print_profile(std::cout, profiler->build(), &cluster.graph());
